@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper through
+:mod:`repro.bench.experiments`, prints the measured rows next to the paper's
+headline numbers and asserts the qualitative shape (who wins, by roughly what
+factor, where crossovers fall).  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import ExperimentResult, format_table
+
+
+def report(result: ExperimentResult) -> None:
+    """Print an experiment's rows and notes underneath the benchmark output."""
+    print()
+    print(format_table(result.rows, title=f"[{result.experiment}] {result.description}"))
+    for note in result.notes:
+        print(f"  note: {note}")
+
+
+@pytest.fixture
+def show():
+    return report

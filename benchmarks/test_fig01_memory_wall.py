@@ -1,0 +1,14 @@
+"""Figure 1: model growth vs GPU memory growth (motivation)."""
+
+from repro.bench import experiments
+
+
+def test_fig01_memory_wall(benchmark, show):
+    result = benchmark(experiments.fig1_memory_wall)
+    show(result)
+    model_growth = result.row_for(series="growth", name="model_per_2yr")["value"]
+    gpu_growth = result.row_for(series="growth", name="gpu_per_2yr")["value"]
+    # Shape: model sizes grow orders of magnitude faster than GPU memory.
+    assert model_growth > 20.0
+    assert gpu_growth < 4.0
+    assert model_growth / gpu_growth > 10.0

@@ -1,0 +1,21 @@
+"""Figure 3: fraction of the update phase spent in disk I/O (gap analysis)."""
+
+from repro.bench import experiments
+
+
+def test_fig03_update_io_fraction(benchmark, show):
+    result = benchmark(experiments.fig3_update_io_fraction)
+    show(result)
+    cpu_row = result.row_for(model="20B (CPU)")
+    assert cpu_row["io_fraction"] == 0.0
+    for name in ("20B (SSD)", "40B (SSD)", "70B (SSD)", "120B (SSD)"):
+        row = result.row_for(model=name)
+        # Paper: ~99% of the SSD-offloaded update phase is disk I/O.
+        assert row["io_fraction"] > 0.9
+        # Paper: the in-memory update is dramatically (≈30x) faster.
+        assert row["update_seconds"] > 5.0 * cpu_row["update_seconds"]
+    # Larger models take longer updates.
+    assert (
+        result.row_for(model="120B (SSD)")["update_seconds"]
+        > result.row_for(model="40B (SSD)")["update_seconds"]
+    )

@@ -1,0 +1,19 @@
+"""Figure 4: raw SSD vs PFS bandwidth and per-process latency under concurrency."""
+
+from repro.bench import experiments
+
+
+def test_fig04_tier_bandwidth(benchmark, show):
+    result = benchmark(experiments.fig4_tier_bandwidth)
+    show(result)
+    nvme_1 = result.row_for(tier="nvme", processes=1)
+    nvme_4 = result.row_for(tier="nvme", processes=4)
+    pfs_1 = result.row_for(tier="pfs", processes=1)
+    # Table 1 shape: the local NVMe out-reads the VAST PFS on Testbed-1.
+    assert nvme_1["read_gbps"] > pfs_1["read_gbps"]
+    # Aggregate throughput stays flat while per-process latency grows ~linearly.
+    assert nvme_4["read_gbps"] == nvme_1["read_gbps"]
+    assert nvme_4["read_latency_s_per_gb"] > 3.0 * nvme_1["read_latency_s_per_gb"]
+    # §3.2: FP16→FP32 CPU conversion is an order of magnitude faster than any tier.
+    cpu = result.row_for(tier="cpu_fp16_to_fp32", processes=1)
+    assert cpu["read_gbps"] > 5.0 * nvme_1["read_gbps"]

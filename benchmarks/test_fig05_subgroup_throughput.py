@@ -1,0 +1,17 @@
+"""Figure 5: effective per-subgroup read/write throughput under concurrency (40B)."""
+
+from repro.bench import experiments
+
+
+def test_fig05_subgroup_throughput(benchmark, show):
+    result = benchmark(experiments.fig5_subgroup_throughput)
+    show(result)
+    summary = result.row_for(subgroup=-1)
+    # Paper (Testbed-1, 40B, NVMe offload): mean read 3.68 GB/s, write 1.44 GB/s;
+    # the shape requirement is that the per-subgroup write throughput is the
+    # bottleneck and both are well below the device peak.
+    assert summary["read_gbps"] > summary["write_gbps"]
+    assert summary["read_gbps"] < 6.9
+    assert summary["write_gbps"] < 5.3
+    per_subgroup = [row for row in result.rows if row["subgroup"] >= 0]
+    assert len(per_subgroup) >= 50  # one point per subgroup of the 40B model

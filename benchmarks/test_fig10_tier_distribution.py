@@ -1,0 +1,26 @@
+"""Figure 10: distribution of optimizer state across host memory, NVMe and PFS."""
+
+from repro.bench import experiments
+
+
+def test_fig10_tier_distribution(benchmark, show):
+    result = benchmark(experiments.fig10_tier_distribution)
+    show(result)
+    for model in ("40B", "52B", "70B", "100B", "120B"):
+        row = result.row_for(model=model)
+        # All three locations hold a non-trivial share.
+        assert row["host_gb"] > 0
+        assert row["nvme_gb"] > 0
+        assert row["pfs_gb"] > 0
+        # Performance-model split: NVMe holds more than the PFS, roughly the
+        # 2:1 ratio implied by Table 1's bandwidths (paper Figure 10).
+        ratio = row["nvme_gb"] / row["pfs_gb"]
+        assert 1.1 < ratio < 3.0
+        assert abs(row["host_pct"] + row["nvme_pct"] + row["pfs_pct"] - 100.0) < 1.0
+    # The host-cached *fraction* shrinks as the model grows.
+    assert (
+        result.row_for(model="120B")["host_pct"] < result.row_for(model="40B")["host_pct"]
+    )
+    # Absolute host-cached bytes for the 40B model are in the low hundreds of GB
+    # (paper: 145 GB of 659 GB).
+    assert 50 < result.row_for(model="40B")["host_gb"] < 350

@@ -1,0 +1,23 @@
+"""Figure 15: ablation with the PFS active (multi-path I/O)."""
+
+from repro.bench import experiments
+
+LADDER = ("Multi-Path (with caching)", "MP Skip Grads", "Our Approach")
+
+
+def test_fig15_ablation_multipath(benchmark, show):
+    nvme_result = experiments.fig14_ablation_nvme()
+    result = benchmark(experiments.fig15_ablation_multipath)
+    show(result)
+    for model in ("40B", "70B", "100B"):
+        series = [result.row_for(model=model, engine=label)["iteration_s"] for label in LADDER]
+        # The remaining principles still help on top of multi-path I/O.
+        assert all(later <= earlier * 1.001 for earlier, later in zip(series, series[1:]))
+        baseline = nvme_result.row_for(model=model, engine="DeepSpeed ZeRO-3")["iteration_s"]
+        nvme_only_best = nvme_result.row_for(model=model, engine="Process Atomic R/W")["iteration_s"]
+        # Multi-path adds a further speedup over the best NVMe-only variant
+        # (paper: another ~1.6x) ...
+        assert series[-1] < nvme_only_best
+        # ... reaching the paper's headline ~2.5x end-to-end improvement
+        # (we accept anything clearly above 2x).
+        assert baseline / series[-1] > 2.0

@@ -1,0 +1,18 @@
+"""Table 2: model geometries used in the evaluation."""
+
+from repro.bench import experiments
+
+
+def test_table2_model_zoo(benchmark, show):
+    result = benchmark(experiments.table2_model_zoo)
+    show(result)
+    rows = {row["model"]: row for row in result.rows}
+    assert set(rows) == {"40B", "52B", "70B", "100B", "120B", "130B", "280B"}
+    # Geometry spot checks straight from Table 2.
+    assert rows["40B"]["num_layers"] == 128 and rows["40B"]["hidden_dim"] == 5120
+    assert rows["280B"]["hidden_dim"] == 16384 and rows["280B"]["attention_heads"] == 128
+    # Derived sizes are close to the nominal labels and monotone.
+    params = [rows[m]["params_billion"] for m in ("40B", "52B", "70B", "100B", "120B", "130B", "280B")]
+    assert params == sorted(params)
+    # The 120B optimizer state is terabyte-scale (paper: ~1.8 TB).
+    assert rows["120B"]["optimizer_state_gb"] > 1000

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Multi-path virtual-tier planning with the Equation 1 performance model.
+
+Shows how MLP-Offload decides where each optimizer-state subgroup lives:
+
+1. probe (or declare) the bandwidth of every storage path,
+2. split the subgroups proportionally to bandwidth (Equation 1),
+3. adapt the split when a shared tier slows down under external load.
+
+Run with::
+
+    python examples/multipath_tiering.py
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import format_table
+from repro.core.performance_model import (
+    BandwidthEstimator,
+    allocate_subgroups,
+    expected_round_trip_seconds,
+)
+from repro.core.placement import PlacementMap
+from repro.tiers.spec import TESTBED_1, TESTBED_2
+from repro.train.model_zoo import model_by_name
+from repro.train.sharding import PAPER_SUBGROUP_SIZE, build_shard_layout
+
+
+def main() -> None:
+    model = model_by_name("70B")
+    layout = build_shard_layout(model.total_params, num_ranks=4, subgroup_size=PAPER_SUBGROUP_SIZE)
+    per_worker = layout.max_subgroups_per_rank()
+    subgroup_bytes = layout.subgroups[0].optimizer_state_bytes
+    print(f"70B model: {per_worker} subgroups per worker, "
+          f"{subgroup_bytes / 1e9:.1f} GB of optimizer state each\n")
+
+    rows = []
+    for node in (TESTBED_1, TESTBED_2):
+        bandwidths = {name: tier.effective_bw for name, tier in node.storage.items()}
+        allocation = allocate_subgroups(per_worker, bandwidths)
+        sweep = expected_round_trip_seconds(subgroup_bytes, allocation, bandwidths)
+        nvme_only = expected_round_trip_seconds(
+            subgroup_bytes, {"nvme": per_worker}, bandwidths
+        )
+        rows.append(
+            {
+                "testbed": node.name,
+                "nvme_subgroups": allocation["nvme"],
+                "pfs_subgroups": allocation["pfs"],
+                "sweep_s_multipath": sweep,
+                "sweep_s_nvme_only": nvme_only,
+                "predicted_gain": nvme_only / sweep,
+            }
+        )
+    print(format_table(rows, title="Equation 1 subgroup allocation (per worker)"))
+
+    # Adaptive re-balancing when the PFS comes under pressure from other jobs.
+    print("\nadaptive re-balancing on Testbed-1 when the PFS slows down 4x:")
+    estimator = BandwidthEstimator(
+        initial={n: t.effective_bw for n, t in TESTBED_1.storage.items()}, smoothing=1.0
+    )
+    placement = PlacementMap.from_allocation(
+        list(range(per_worker)), estimator.allocate(per_worker)
+    )
+    print(f"  before: {placement.counts()}")
+    degraded = TESTBED_1.tier("pfs").effective_bw / 4
+    estimator.observe("pfs", nbytes=degraded * 10, seconds=10.0)
+    moves = placement.rebalance(estimator.allocate(per_worker))
+    print(f"  after : {placement.counts()}  ({len(moves)} subgroups re-homed)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Paper-scale pre-training study on the simulator (Figures 7-10).
+
+Reproduces the single-node model-size scalability experiment: 40B-120B
+parameter models on a Testbed-1 node (4×H100-80GB, NVMe + VAST PFS),
+comparing DeepSpeed ZeRO-3 NVMe offloading against MLP-Offload.
+
+Run with::
+
+    python examples/pretrain_study.py [model ...]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.harness import format_table
+from repro.sim.sweep import SINGLE_NODE_MODELS, model_size_sweep
+from repro.tiers.spec import TESTBED_1
+
+
+def main(models) -> None:
+    print(f"testbed: {TESTBED_1.name} — {TESTBED_1.gpus_per_node} GPUs, "
+          f"NVMe {TESTBED_1.tier('nvme').read_bw/1e9:.1f}/{TESTBED_1.tier('nvme').write_bw/1e9:.1f} GB/s, "
+          f"PFS {TESTBED_1.tier('pfs').read_bw/1e9:.1f}/{TESTBED_1.tier('pfs').write_bw/1e9:.1f} GB/s")
+    rows = []
+    for model_name, engines in model_size_sweep(models).items():
+        baseline = engines["DeepSpeed ZeRO-3"]
+        ours = engines["MLP-Offload"]
+        rows.append(
+            {
+                "model": model_name,
+                "zero3_fwd_s": baseline.forward_seconds,
+                "zero3_bwd_s": baseline.backward_seconds,
+                "zero3_upd_s": baseline.update_seconds,
+                "mlp_fwd_s": ours.forward_seconds,
+                "mlp_bwd_s": ours.backward_seconds,
+                "mlp_upd_s": ours.update_seconds,
+                "speedup": baseline.iteration_seconds / ours.iteration_seconds,
+                "io_gain": ours.effective_io_throughput_gbps / baseline.effective_io_throughput_gbps,
+            }
+        )
+    print(format_table(rows, title="Iteration breakdown: DeepSpeed ZeRO-3 vs MLP-Offload (simulated)"))
+    print("\npaper headline: 2.5x faster iterations, 2-2.6x higher effective I/O throughput")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:] or SINGLE_NODE_MODELS)

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Weak-scaling study: 40B on 4 GPUs up to 280B on 32 GPUs (Figures 11-12).
+
+Tensor parallelism within a node, data parallelism across nodes, on the
+Testbed-2 (Polaris-like) configuration, comparing DeepSpeed ZeRO-3 with
+MLP-Offload.  Also reports the §4.4 cost-effectiveness comparison against
+GPU-only training of the 70B model.
+
+Run with::
+
+    python examples/weak_scaling.py
+"""
+
+from __future__ import annotations
+
+from repro.bench import experiments
+from repro.bench.harness import format_table
+from repro.sim.sweep import weak_scaling_sweep
+
+
+def main() -> None:
+    rows = []
+    for config, engines in weak_scaling_sweep().items():
+        baseline = engines["DeepSpeed ZeRO-3"]
+        ours = engines["MLP-Offload"]
+        rows.append(
+            {
+                "config": config,
+                "gpus": baseline.num_gpus,
+                "zero3_iter_s": baseline.iteration_seconds,
+                "mlp_iter_s": ours.iteration_seconds,
+                "speedup": baseline.iteration_seconds / ours.iteration_seconds,
+                "zero3_mparams_s": baseline.update_throughput_mparams,
+                "mlp_mparams_s": ours.update_throughput_mparams,
+            }
+        )
+    print(format_table(rows, title="Weak scaling on Testbed-2 (model size grown with node count)"))
+
+    print()
+    cost = experiments.cost_effectiveness_70b()
+    print(format_table(cost.rows, title=cost.description))
+    for note in cost.notes:
+        print(f"  note: {note}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+so that legacy editable installs (``pip install -e . --no-use-pep517`` /
+``python setup.py develop``) work on environments without the ``wheel``
+package, such as air-gapped test machines.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,32 @@
+"""Asynchronous I/O engine substrate.
+
+This subpackage is the stand-in for DeepSpeed's DeepNVMe engine built on
+``libaio``.  It provides:
+
+* :mod:`repro.aio.engine` — a thread-pool asynchronous read/write engine with
+  bounded queue depth and futures, mirroring libaio submission/completion
+  queues;
+* :mod:`repro.aio.locks` — the process-exclusive, multi-thread-shared lock
+  used for MLP-Offload's node-level tier concurrency control (§3.5);
+* :mod:`repro.aio.throttle` — token-bucket bandwidth throttling so functional
+  runs can reproduce Table 1's tier speeds;
+* :mod:`repro.aio.microbench` — tier bandwidth probing used to seed the
+  performance model and regenerate Figure 4.
+"""
+
+from repro.aio.engine import AsyncIOEngine, IORequest, IOResult
+from repro.aio.locks import TierLease, TierLockManager
+from repro.aio.throttle import BandwidthThrottle
+from repro.aio.microbench import MicrobenchResult, measure_store_bandwidth, probe_tiers
+
+__all__ = [
+    "AsyncIOEngine",
+    "IORequest",
+    "IOResult",
+    "TierLockManager",
+    "TierLease",
+    "BandwidthThrottle",
+    "MicrobenchResult",
+    "measure_store_bandwidth",
+    "probe_tiers",
+]

@@ -1,0 +1,126 @@
+"""Tier bandwidth microbenchmarks.
+
+The performance model (§3.3) is seeded with per-tier bandwidths measured by
+microbenchmarks before training starts, then refined online from observed
+fetch/flush times.  This module provides two levels of measurement:
+
+* :func:`measure_store_bandwidth` — measure the *actual* read/write bandwidth
+  of a :class:`~repro.tiers.file_store.FileStore` by streaming real blobs
+  through it (exercised in functional runs and in Figure 4's bench);
+* :func:`probe_tiers` — convenience wrapper probing every store of an engine
+  and returning bandwidths keyed by tier name, in the exact shape the
+  performance model expects.
+
+Both honour the store's throttle, so a functional run with Table 1 throttles
+yields Table 1-shaped bandwidths.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+import numpy as np
+
+from repro.tiers.file_store import FileStore
+
+
+@dataclass(frozen=True)
+class MicrobenchResult:
+    """Measured bandwidths (bytes/second) and latencies (seconds/op) for one tier."""
+
+    tier: str
+    read_bw: float
+    write_bw: float
+    read_latency: float
+    write_latency: float
+    block_bytes: int
+    iterations: int
+
+    @property
+    def effective_bw(self) -> float:
+        """min(read, write) — the figure the performance model consumes."""
+        return min(self.read_bw, self.write_bw)
+
+
+def measure_store_bandwidth(
+    store: FileStore,
+    *,
+    block_bytes: int = 1 << 20,
+    iterations: int = 4,
+    cleanup: bool = True,
+    key_prefix: str = "microbench",
+) -> MicrobenchResult:
+    """Measure sustained read and write bandwidth of ``store``.
+
+    Writes ``iterations`` blocks of ``block_bytes`` pseudo-random bytes, then
+    reads them back, timing each direction separately.  Throttled stores
+    include the modelled transfer time in the charged duration, so the
+    measurement reflects the configured tier speed.
+    """
+    if block_bytes <= 0:
+        raise ValueError("block_bytes must be positive")
+    if iterations < 1:
+        raise ValueError("iterations must be >= 1")
+
+    rng = np.random.default_rng(1234)
+    payloads = [
+        rng.integers(0, 255, size=block_bytes, dtype=np.uint8) for _ in range(iterations)
+    ]
+    keys = [f"{key_prefix}-{i}" for i in range(iterations)]
+
+    store.reset_stats()
+    write_start = time.perf_counter()
+    for key, payload in zip(keys, payloads):
+        store.write(key, payload)
+    write_wall = time.perf_counter() - write_start
+
+    read_start = time.perf_counter()
+    total_read = 0
+    for key in keys:
+        total_read += store.read(key).nbytes
+    read_wall = time.perf_counter() - read_start
+
+    stats = store.stats()
+    # Prefer the store's own accounting (which includes throttle charges);
+    # fall back to wall-clock if the store reports nothing.
+    write_seconds = stats.write_seconds if stats.write_seconds > 0 else write_wall
+    read_seconds = stats.read_seconds if stats.read_seconds > 0 else read_wall
+    total_written = stats.bytes_written if stats.bytes_written else block_bytes * iterations
+    total_read = stats.bytes_read if stats.bytes_read else total_read
+
+    if cleanup:
+        for key in keys:
+            if store.contains(key):
+                store.delete(key)
+
+    return MicrobenchResult(
+        tier=store.name,
+        read_bw=total_read / read_seconds if read_seconds > 0 else float("inf"),
+        write_bw=total_written / write_seconds if write_seconds > 0 else float("inf"),
+        read_latency=read_seconds / iterations,
+        write_latency=write_seconds / iterations,
+        block_bytes=block_bytes,
+        iterations=iterations,
+    )
+
+
+def probe_tiers(
+    stores: Mapping[str, FileStore],
+    *,
+    block_bytes: int = 1 << 20,
+    iterations: int = 2,
+) -> Dict[str, float]:
+    """Probe every store and return ``{tier_name: effective_bandwidth}``.
+
+    The returned mapping feeds straight into
+    :class:`repro.core.performance_model.SubgroupAllocator`.
+    """
+    results: Dict[str, float] = {}
+    for name, store in stores.items():
+        result = measure_store_bandwidth(
+            store, block_bytes=block_bytes, iterations=iterations, key_prefix=f"probe-{name}"
+        )
+        results[name] = result.effective_bw
+    return results

@@ -1,0 +1,80 @@
+"""Bandwidth throttling for functional storage tiers.
+
+The functional engine runs on whatever disk backs the test machine, which is
+usually *much* faster (page cache) or occasionally much slower than the
+paper's NVMe/PFS.  To let small functional experiments reproduce the paper's
+*relative* tier speeds, stores can be throttled to a configured bandwidth.
+
+Two modes are supported:
+
+* ``simulate=True`` (default): no real sleeping — the throttle only accounts
+  the time a transfer *would* have taken at the configured bandwidth and
+  returns it, so experiments stay fast while timing-derived metrics remain
+  meaningful.
+* ``simulate=False``: the throttle actually sleeps, pacing real I/O.  Useful
+  for demonstrations where wall-clock behaviour should match the model.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+
+class BandwidthThrottle:
+    """Token-bucket style pacing of byte transfers.
+
+    Parameters
+    ----------
+    bytes_per_second:
+        Target sustained bandwidth.
+    simulate:
+        If ``True``, :meth:`consume` returns the modelled transfer time
+        without sleeping.  If ``False``, it sleeps to enforce the pace.
+    latency:
+        Fixed per-operation latency (seconds) added to every transfer,
+        modelling submission + device latency.
+    """
+
+    def __init__(self, bytes_per_second: float, *, simulate: bool = True, latency: float = 0.0) -> None:
+        if bytes_per_second <= 0:
+            raise ValueError("bytes_per_second must be positive")
+        if latency < 0:
+            raise ValueError("latency must be non-negative")
+        self.bytes_per_second = float(bytes_per_second)
+        self.simulate = simulate
+        self.latency = float(latency)
+        self._lock = threading.Lock()
+        self._consumed_bytes = 0
+        self._charged_seconds = 0.0
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Modelled time to move ``nbytes`` at the configured bandwidth."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return self.latency + nbytes / self.bytes_per_second
+
+    def consume(self, nbytes: int) -> float:
+        """Charge a transfer of ``nbytes`` and return the time charged (seconds)."""
+        cost = self.transfer_time(nbytes)
+        with self._lock:
+            self._consumed_bytes += nbytes
+            self._charged_seconds += cost
+        if not self.simulate and cost > 0:
+            time.sleep(cost)
+        return cost
+
+    @property
+    def consumed_bytes(self) -> int:
+        with self._lock:
+            return self._consumed_bytes
+
+    @property
+    def charged_seconds(self) -> float:
+        with self._lock:
+            return self._charged_seconds
+
+    def reset(self) -> None:
+        with self._lock:
+            self._consumed_bytes = 0
+            self._charged_seconds = 0.0

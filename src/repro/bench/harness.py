@@ -1,0 +1,94 @@
+"""Small helpers shared by the experiment functions and the benchmark suite.
+
+Each experiment function in :mod:`repro.bench.experiments` returns an
+:class:`ExperimentResult` — a named collection of rows (dictionaries) plus
+free-form notes — which the benchmark files print in a table next to the
+numbers the paper reports, and on which they assert the qualitative shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+
+@dataclass
+class ExperimentResult:
+    """Rows produced by one experiment (one table or figure)."""
+
+    experiment: str
+    description: str
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, **fields: Any) -> None:
+        self.rows.append(dict(fields))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def column(self, name: str) -> List[Any]:
+        """Values of one column across all rows (missing values become ``None``)."""
+        return [row.get(name) for row in self.rows]
+
+    def row_for(self, **match: Any) -> Dict[str, Any]:
+        """First row whose fields match all of ``match`` (raises if none)."""
+        for row in self.rows:
+            if all(row.get(key) == value for key, value in match.items()):
+                return row
+        raise KeyError(f"no row matching {match} in experiment {self.experiment!r}")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return format_table(self.rows, title=f"{self.experiment}: {self.description}")
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Mapping[str, Any]], *, title: Optional[str] = None) -> str:
+    """Render rows as a fixed-width text table (used by benches and examples)."""
+    if not rows:
+        return f"{title}\n  (no rows)" if title else "(no rows)"
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    widths = {
+        col: max(len(col), *(len(_format_value(row.get(col, ""))) for row in rows))
+        for col in columns
+    }
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " | ".join(col.ljust(widths[col]) for col in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[col] for col in columns))
+    for row in rows:
+        lines.append(
+            " | ".join(_format_value(row.get(col, "")).ljust(widths[col]) for col in columns)
+        )
+    return "\n".join(lines)
+
+
+def paper_vs_measured(
+    label: str, paper_value: float, measured_value: float, unit: str = ""
+) -> Dict[str, Any]:
+    """A standard paper-vs-measured comparison row."""
+    ratio = measured_value / paper_value if paper_value else float("nan")
+    return {
+        "metric": label,
+        "paper": paper_value,
+        "measured": measured_value,
+        "unit": unit,
+        "measured/paper": ratio,
+    }

@@ -1,0 +1,42 @@
+"""MLP-Offload: the paper's primary contribution.
+
+The engine offloads ZeRO-3 optimizer-state subgroups across a *virtual*
+third-level tier that aggregates multiple physical storage paths (node-local
+NVMe, parallel file system, object store), applying four design principles:
+
+1. performance-model-driven subgroup placement proportional to each path's
+   I/O bandwidth (:mod:`repro.core.performance_model`,
+   :mod:`repro.core.placement`);
+2. node-level tier-exclusive concurrency control
+   (:mod:`repro.core.concurrency`);
+3. cache-friendly alternating subgroup update ordering
+   (:mod:`repro.core.ordering`);
+4. delayed in-place FP16→FP32 gradient conversion
+   (:mod:`repro.core.gradient_policy`).
+
+:class:`repro.core.engine.MLPOffloadEngine` combines them into the functional
+update loop of the paper's Algorithm 1, running against real file-backed
+tiers through the asynchronous I/O engine.
+"""
+
+from repro.core.config import MLPOffloadConfig, TierConfig
+from repro.core.engine import MLPOffloadEngine, UpdateReport
+from repro.core.gradient_policy import GradientConversionPolicy
+from repro.core.ordering import OrderingPolicy, update_order
+from repro.core.performance_model import BandwidthEstimator, allocate_subgroups
+from repro.core.placement import PlacementMap
+from repro.core.virtual_tier import VirtualTier
+
+__all__ = [
+    "MLPOffloadConfig",
+    "TierConfig",
+    "MLPOffloadEngine",
+    "UpdateReport",
+    "GradientConversionPolicy",
+    "OrderingPolicy",
+    "update_order",
+    "BandwidthEstimator",
+    "allocate_subgroups",
+    "PlacementMap",
+    "VirtualTier",
+]

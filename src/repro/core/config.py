@@ -1,0 +1,226 @@
+"""Configuration of the MLP-Offload engine.
+
+The paper integrates with DeepSpeed through "two JSON key-value pairs" in the
+runtime configuration (§3.5): the list of offload directories (with an
+optional subgroup split ratio such as ``2:1`` between ``/local/`` and
+``/remote/``) and the per-tier host-buffer budget.  The configuration classes
+below capture that surface, plus switches for each individual design
+principle so the ablation study (Figures 14–15) can toggle them one by one.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, asdict
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.train.adam import AdamConfig
+from repro.train.sharding import PAPER_SUBGROUP_SIZE
+from repro.util.bytesize import parse_bytes
+
+
+@dataclass(frozen=True)
+class TierConfig:
+    """One physical storage path of the virtual third-level tier.
+
+    Attributes
+    ----------
+    name:
+        Tier identifier (``"nvme"``, ``"pfs"``, …).
+    path:
+        Directory backing the tier in functional mode.
+    read_bw / write_bw:
+        Optional bandwidth hints in bytes/second.  When omitted the engine
+        measures them with microbenchmarks before the first iteration (§3.3).
+    ratio:
+        Optional user-specified share in the subgroup split (the ``2`` of a
+        ``2:1`` split).  Ratios, when present on every tier, override the
+        measured-bandwidth allocation.
+    """
+
+    name: str
+    path: str
+    read_bw: Optional[float] = None
+    write_bw: Optional[float] = None
+    ratio: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tier name must be non-empty")
+        for label, value in (("read_bw", self.read_bw), ("write_bw", self.write_bw)):
+            if value is not None and value <= 0:
+                raise ValueError(f"{label} must be positive when given")
+        if self.ratio is not None and self.ratio <= 0:
+            raise ValueError("ratio must be positive when given")
+
+    @property
+    def effective_bw(self) -> Optional[float]:
+        """min(read, write) when both hints are present, else ``None``."""
+        if self.read_bw is None or self.write_bw is None:
+            return None
+        return min(self.read_bw, self.write_bw)
+
+
+@dataclass(frozen=True)
+class MLPOffloadConfig:
+    """Full configuration of the MLP-Offload engine.
+
+    The four ``enable_*`` switches correspond one-to-one to the paper's
+    design principles; disabling all of them (and keeping a single tier)
+    degenerates the engine into the DeepSpeed ZeRO-3 baseline behaviour.
+    """
+
+    tiers: Tuple[TierConfig, ...]
+    subgroup_size: int = PAPER_SUBGROUP_SIZE
+    #: Number of pinned host buffers per worker (>=3: flush + update + prefetch).
+    pinned_buffers: int = 3
+    #: Host bytes available for caching subgroups between iterations.
+    host_cache_bytes: float = 0.0
+    #: Design principle 1: split subgroups across all tiers (multi-path).
+    enable_multipath: bool = True
+    #: Design principle 2: node-level tier-exclusive concurrency control.
+    enable_tier_locks: bool = True
+    #: Design principle 3: alternate ascending/descending update order.
+    enable_cache_reorder: bool = True
+    #: Design principle 4: keep FP16 grads on host, convert at update time.
+    enable_delayed_grad_conversion: bool = True
+    #: Adam hyper-parameters for the CPU update.
+    adam: AdamConfig = field(default_factory=AdamConfig)
+    #: Re-estimate tier bandwidths from observed I/O after each iteration.
+    adaptive_bandwidth: bool = True
+    #: EWMA smoothing factor for the adaptive bandwidth estimate.
+    bandwidth_smoothing: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not self.tiers:
+            raise ValueError("at least one tier must be configured")
+        names = [t.name for t in self.tiers]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate tier names in {names}")
+        if self.subgroup_size < 1:
+            raise ValueError("subgroup_size must be >= 1")
+        if self.pinned_buffers < 1:
+            raise ValueError("pinned_buffers must be >= 1")
+        if self.host_cache_bytes < 0:
+            raise ValueError("host_cache_bytes must be non-negative")
+        if not 0.0 < self.bandwidth_smoothing <= 1.0:
+            raise ValueError("bandwidth_smoothing must be in (0, 1]")
+
+    # -- convenience accessors -------------------------------------------
+
+    @property
+    def tier_names(self) -> List[str]:
+        return [t.name for t in self.tiers]
+
+    @property
+    def primary_tier(self) -> TierConfig:
+        """The first configured tier (used exclusively when multipath is off)."""
+        return self.tiers[0]
+
+    def tier(self, name: str) -> TierConfig:
+        for tier in self.tiers:
+            if tier.name == name:
+                return tier
+        raise KeyError(f"no tier named {name!r}; known: {self.tier_names}")
+
+    def explicit_ratios(self) -> Optional[Dict[str, float]]:
+        """User-specified split ratios if *every* tier declares one, else ``None``."""
+        if all(t.ratio is not None for t in self.tiers):
+            return {t.name: float(t.ratio) for t in self.tiers}  # type: ignore[arg-type]
+        return None
+
+    def bandwidth_hints(self) -> Dict[str, float]:
+        """Bandwidth hints for tiers that declare both read and write speeds."""
+        hints: Dict[str, float] = {}
+        for tier in self.tiers:
+            bw = tier.effective_bw
+            if bw is not None:
+                hints[tier.name] = bw
+        return hints
+
+    # -- (de)serialization -------------------------------------------------
+
+    def to_json(self) -> str:
+        """Serialize to the JSON shape used in the DeepSpeed-style config block."""
+        payload = {
+            "mlp_offload": {
+                "tiers": [
+                    {k: v for k, v in asdict(t).items() if v is not None} for t in self.tiers
+                ],
+                "subgroup_size": self.subgroup_size,
+                "pinned_buffers": self.pinned_buffers,
+                "host_cache_bytes": self.host_cache_bytes,
+                "multipath": self.enable_multipath,
+                "tier_locks": self.enable_tier_locks,
+                "cache_reorder": self.enable_cache_reorder,
+                "delayed_grad_conversion": self.enable_delayed_grad_conversion,
+                "adaptive_bandwidth": self.adaptive_bandwidth,
+                "bandwidth_smoothing": self.bandwidth_smoothing,
+                "adam": asdict(self.adam),
+            }
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "MLPOffloadConfig":
+        """Parse a configuration previously produced by :meth:`to_json`."""
+        payload = json.loads(text)
+        if "mlp_offload" not in payload:
+            raise ValueError("missing top-level 'mlp_offload' key")
+        block = payload["mlp_offload"]
+        tiers = tuple(TierConfig(**t) for t in block.get("tiers", []))
+        adam = AdamConfig(**block.get("adam", {}))
+        return cls(
+            tiers=tiers,
+            subgroup_size=int(block.get("subgroup_size", PAPER_SUBGROUP_SIZE)),
+            pinned_buffers=int(block.get("pinned_buffers", 3)),
+            host_cache_bytes=parse_bytes(block.get("host_cache_bytes", 0)),
+            enable_multipath=bool(block.get("multipath", True)),
+            enable_tier_locks=bool(block.get("tier_locks", True)),
+            enable_cache_reorder=bool(block.get("cache_reorder", True)),
+            enable_delayed_grad_conversion=bool(block.get("delayed_grad_conversion", True)),
+            adam=adam,
+            adaptive_bandwidth=bool(block.get("adaptive_bandwidth", True)),
+            bandwidth_smoothing=float(block.get("bandwidth_smoothing", 0.5)),
+        )
+
+    @classmethod
+    def single_tier(cls, path: "str | Path", **overrides) -> "MLPOffloadConfig":
+        """A single-NVMe configuration (the baseline's storage layout)."""
+        return cls(tiers=(TierConfig(name="nvme", path=str(path)),), **overrides)
+
+    @classmethod
+    def local_and_remote(
+        cls,
+        local_path: "str | Path",
+        remote_path: "str | Path",
+        *,
+        ratio: Optional[Tuple[float, float]] = None,
+        **overrides,
+    ) -> "MLPOffloadConfig":
+        """The paper's canonical ``/local/`` + ``/remote/`` two-tier configuration."""
+        local_ratio, remote_ratio = ratio if ratio is not None else (None, None)
+        tiers = (
+            TierConfig(name="nvme", path=str(local_path), ratio=local_ratio),
+            TierConfig(name="pfs", path=str(remote_path), ratio=remote_ratio),
+        )
+        return cls(tiers=tiers, **overrides)
+
+    def baseline_variant(self) -> "MLPOffloadConfig":
+        """A copy with every MLP-Offload design principle disabled.
+
+        The resulting configuration behaves like the DeepSpeed ZeRO-3
+        baseline: single tier, sequential order, FP32 gradient flush, no
+        concurrency control.
+        """
+        from dataclasses import replace
+
+        return replace(
+            self,
+            tiers=(self.primary_tier,),
+            enable_multipath=False,
+            enable_tier_locks=False,
+            enable_cache_reorder=False,
+            enable_delayed_grad_conversion=False,
+        )

@@ -1,0 +1,428 @@
+"""The functional offloading engine (paper Algorithm 1).
+
+:class:`OffloadEngineBase` implements the complete subgroup life-cycle
+against real file-backed tiers:
+
+* **initialization** — create the FP32 optimizer state of every subgroup and
+  flush it to the virtual tier according to the performance-model placement;
+* **backward hook** — accumulate FP16 gradients on the host and, for the
+  baseline gradient policy, up-convert and flush FP32 gradients to storage;
+* **update phase** — walk the subgroups in the configured order, fetch each
+  one from its tier (or hit the host cache), up-convert the gradients,
+  run the vectorized CPU Adam, push the refreshed FP16 parameters to the
+  rank's working copy, and lazily flush the updated state.
+
+Every design principle is an independent switch on
+:class:`~repro.core.config.MLPOffloadConfig`, so the same code path serves
+MLP-Offload, the DeepSpeed-ZeRO-3-style baseline and all ablation variants.
+:class:`MLPOffloadEngine` is the fully-enabled configuration.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+import numpy as np
+
+from repro.aio.locks import TierLockManager
+from repro.core.concurrency import NodeConcurrencyController
+from repro.core.config import MLPOffloadConfig
+from repro.core.gradient_policy import (
+    GradientConversionPolicy,
+    backward_flush_payload,
+    update_time_gradient,
+)
+from repro.core.ordering import OrderingPolicy, update_order
+from repro.core.stats import UpdatePhaseStats
+from repro.core.virtual_tier import GRAD_FIELD, STATE_FIELDS, VirtualTier
+from repro.tiers.host_cache import HostSubgroupCache
+from repro.train.adam import AdamState, adam_update
+from repro.train.gradients import GradientAccumulator
+from repro.train.sharding import ShardLayout, Subgroup, flat_views
+from repro.util.logging import get_logger
+
+_LOG = get_logger("core.engine")
+
+
+@dataclass
+class UpdateReport:
+    """Result of one update phase: statistics plus the tier distribution."""
+
+    stats: UpdatePhaseStats
+    tier_distribution_bytes: Dict[str, float] = field(default_factory=dict)
+    order: List[int] = field(default_factory=list)
+    bandwidth_estimates: Dict[str, float] = field(default_factory=dict)
+
+
+class OffloadEngineBase:
+    """Shared functional offloading machinery (see module docstring)."""
+
+    def __init__(
+        self,
+        config: MLPOffloadConfig,
+        layout: ShardLayout,
+        rank: int,
+        *,
+        lock_manager: Optional[TierLockManager] = None,
+        throttles: Optional[Mapping[str, object]] = None,
+        io_threads: int = 4,
+    ) -> None:
+        self.config = config
+        self.layout = layout
+        self.rank = rank
+        self.worker = f"rank{rank}"
+        self.subgroups: List[Subgroup] = layout.subgroups_for_rank(rank)
+        if not self.subgroups:
+            raise ValueError(f"rank {rank} owns no subgroups")
+        self._by_index: Dict[int, Subgroup] = {sg.index: sg for sg in self.subgroups}
+        self._views = flat_views(None, layout, rank)
+
+        self.concurrency = NodeConcurrencyController(
+            lock_manager, enabled=config.enable_tier_locks
+        )
+        self.tier = VirtualTier(
+            config,
+            worker=self.worker,
+            lock_manager=self.concurrency.lock_manager,
+            io_threads=io_threads,
+            throttles=throttles,
+        )
+        self.cache = HostSubgroupCache(
+            capacity_bytes=config.host_cache_bytes, writeback=self._writeback
+        )
+        self.accumulator = GradientAccumulator(layout, rank)
+        self.gradient_policy = (
+            GradientConversionPolicy.DELAYED_FP16
+            if config.enable_delayed_grad_conversion
+            else GradientConversionPolicy.FLUSH_FP32
+        )
+        self.ordering_policy = (
+            OrderingPolicy.ALTERNATING if config.enable_cache_reorder else OrderingPolicy.SEQUENTIAL
+        )
+        self._steps: Dict[int, int] = {sg.index: 0 for sg in self.subgroups}
+        self._initialized = False
+        self._update_count = 0
+        self.backward_flush_seconds = 0.0
+
+    # -- initialization ----------------------------------------------------
+
+    def initialize(self, initial_params_fp32: np.ndarray) -> None:
+        """Create and offload the FP32 optimizer state of every subgroup.
+
+        ``initial_params_fp32`` is the rank-local flat FP32 parameter vector;
+        each subgroup's master copy is seeded from it, momentum and variance
+        start at zero, and everything is flushed to the virtual tier per the
+        initial performance-model placement (§3.4: "Initially, the subgroups
+        are created on the host memory and flushed to either the NVMe or
+        PFS").
+        """
+        if self._initialized:
+            raise RuntimeError("engine already initialized")
+        expected = self.layout.rank_params(self.rank)
+        if initial_params_fp32.size != expected:
+            raise ValueError(
+                f"rank {self.rank} expects {expected} parameters, got {initial_params_fp32.size}"
+            )
+        self.tier.build_placement([sg.index for sg in self.subgroups])
+        flat = initial_params_fp32.astype(np.float32, copy=False).reshape(-1)
+        for sg in self.subgroups:
+            view = flat[self._views[sg.index]]
+            arrays = {
+                "params": view.astype(np.float32),
+                "exp_avg": np.zeros(sg.num_params, dtype=np.float32),
+                "exp_avg_sq": np.zeros(sg.num_params, dtype=np.float32),
+            }
+            self.tier.flush_subgroup(sg.key, sg.index, arrays, wait=True)
+            # Populate the host cache with as many (clean) subgroups as fit,
+            # so the very first update phase already benefits from caching.
+            self.cache.put(sg.index, arrays, dirty=False)
+        self._initialized = True
+
+    # -- backward-pass hook --------------------------------------------------
+
+    def on_backward_gradient(self, subgroup_index: int, grad_fp16: np.ndarray) -> float:
+        """Accept one subgroup's FP16 gradient produced by the backward pass.
+
+        Returns the seconds spent on gradient handling that land in the
+        *backward* phase (zero for the delayed policy; conversion + flush
+        time for the baseline policy).
+        """
+        if not self._initialized:
+            raise RuntimeError("engine not initialized")
+        self.accumulator.accumulate(subgroup_index, grad_fp16)
+        if self.gradient_policy is GradientConversionPolicy.DELAYED_FP16:
+            return 0.0
+        start = time.perf_counter()
+        payload = backward_flush_payload(self.gradient_policy, self.accumulator, subgroup_index)
+        assert payload is not None
+        sg = self._by_index[subgroup_index]
+        with self.concurrency.exclusive(self.tier.placement.tier_of(sg.index), self.worker):
+            self.tier.flush_subgroup(sg.key, sg.index, {GRAD_FIELD: payload}, wait=True)
+        elapsed = time.perf_counter() - start
+        self.backward_flush_seconds += elapsed
+        return elapsed
+
+    def on_microbatch_complete(self) -> None:
+        """Record that one micro-batch's gradients have been fully accumulated."""
+        self.accumulator.mark_microbatch_done()
+
+    # -- update phase ----------------------------------------------------------
+
+    def run_update(self, fp16_params_out: np.ndarray) -> UpdateReport:
+        """Run one update phase over all of the rank's subgroups (Algorithm 1).
+
+        ``fp16_params_out`` is the rank-local flat FP16 working copy; the
+        refreshed parameters of every subgroup are written into it (the
+        functional counterpart of the asynchronous H2D push in line 8 of
+        Algorithm 1).
+        """
+        if not self._initialized:
+            raise RuntimeError("engine not initialized")
+        if fp16_params_out.dtype != np.float16:
+            raise TypeError("fp16_params_out must be float16")
+        if fp16_params_out.size != self.layout.rank_params(self.rank):
+            raise ValueError("fp16_params_out has the wrong size for this rank")
+
+        stats = UpdatePhaseStats()
+        wall_start = time.perf_counter()
+        io_before = self.tier.io_summary()
+
+        indices = [sg.index for sg in self.subgroups]
+        order_positions = update_order(
+            len(indices),
+            self._update_count,
+            self.ordering_policy,
+            cached_ids=self.cache.cached_ids(),
+        )
+        order = [indices[p] for p in order_positions]
+
+        fetch_fields = list(STATE_FIELDS)
+        if self.gradient_policy is GradientConversionPolicy.FLUSH_FP32:
+            fetch_fields.append(GRAD_FIELD)
+
+        pending: Dict[int, Dict[str, object]] = {}
+        self._maybe_prefetch(order, 0, pending, fetch_fields)
+
+        for position, subgroup_index in enumerate(order):
+            sg = self._by_index[subgroup_index]
+            arrays = self.cache.get(subgroup_index)
+            if arrays is not None and self._has_required_fields(arrays, fetch_fields):
+                stats.cache_hits += 1
+                fetch_seconds = 0.0
+            else:
+                stats.cache_misses += 1
+                fetch_start = time.perf_counter()
+                arrays = self._complete_fetch(sg, pending, fetch_fields)
+                fetch_seconds = time.perf_counter() - fetch_start
+                stats.fetch_seconds += fetch_seconds
+                stats.fetch_bytes += int(sum(a.nbytes for a in arrays.values()))
+            # Start prefetching the next subgroup before computing this one
+            # (line 11 of Algorithm 1).
+            self._maybe_prefetch(order, position + 1, pending, fetch_fields)
+
+            # Delayed (or stored) gradient conversion.
+            conv_start = time.perf_counter()
+            stored = arrays.get(GRAD_FIELD)
+            grad = update_time_gradient(
+                self.gradient_policy,
+                self.accumulator,
+                subgroup_index,
+                stored_fp32=stored,  # type: ignore[arg-type]
+            )
+            stats.conversion_seconds += time.perf_counter() - conv_start
+
+            # CPU Adam update.
+            compute_start = time.perf_counter()
+            state = AdamState(
+                params=np.asarray(arrays["params"], dtype=np.float32),
+                exp_avg=np.asarray(arrays["exp_avg"], dtype=np.float32),
+                exp_avg_sq=np.asarray(arrays["exp_avg_sq"], dtype=np.float32),
+                step=self._steps[subgroup_index],
+            )
+            adam_update(state, grad, self.config.adam)
+            self._steps[subgroup_index] = state.step
+            # Push the refreshed FP16 parameters to the working copy.
+            view = fp16_params_out[self._views[subgroup_index]]
+            np.copyto(view, state.params.astype(np.float16))
+            stats.compute_seconds += time.perf_counter() - compute_start
+
+            # Lazy flush: keep the updated subgroup in the host cache and let
+            # eviction write it back; if the cache cannot hold it, flush now.
+            updated = {
+                "params": state.params,
+                "exp_avg": state.exp_avg,
+                "exp_avg_sq": state.exp_avg_sq,
+            }
+            if not self.cache.put(subgroup_index, updated, dirty=True):
+                flush_start = time.perf_counter()
+                self._flush_now(sg, updated)
+                stats.flush_seconds += time.perf_counter() - flush_start
+                stats.flush_bytes += int(sum(a.nbytes for a in updated.values()))
+            else:
+                stats.skipped_flushes += 1
+
+            stats.subgroups_processed += 1
+            stats.params_updated += sg.num_params
+
+        # Account I/O performed through cache write-backs (evictions) that the
+        # per-subgroup timers above did not see.
+        io_after = self.tier.io_summary()
+        extra_write_bytes = sum(t["bytes_written"] for t in io_after.values()) - sum(
+            t["bytes_written"] for t in io_before.values()
+        )
+        extra_write_seconds = sum(t["write_seconds"] for t in io_after.values()) - sum(
+            t["write_seconds"] for t in io_before.values()
+        )
+        if extra_write_bytes > stats.flush_bytes:
+            stats.flush_bytes = int(extra_write_bytes)
+        if extra_write_seconds > stats.flush_seconds:
+            stats.flush_seconds = extra_write_seconds
+
+        stats.wall_seconds = time.perf_counter() - wall_start
+        self.accumulator.reset()
+        self._update_count += 1
+
+        estimates = self.tier.observe_iteration()
+        report = UpdateReport(
+            stats=stats,
+            tier_distribution_bytes=self.tier_distribution(),
+            order=order,
+            bandwidth_estimates=estimates,
+        )
+        return report
+
+    # -- helpers -----------------------------------------------------------
+
+    @staticmethod
+    def _has_required_fields(arrays: Mapping[str, np.ndarray], fields: List[str]) -> bool:
+        return all(f in arrays for f in fields if f != GRAD_FIELD)
+
+    def _maybe_prefetch(
+        self,
+        order: List[int],
+        position: int,
+        pending: Dict[int, Dict[str, object]],
+        fields: List[str],
+    ) -> None:
+        """Start the asynchronous prefetch of the subgroup at ``position`` in ``order``."""
+        if position >= len(order):
+            return
+        subgroup_index = order[position]
+        if subgroup_index in pending or subgroup_index in self.cache:
+            return
+        sg = self._by_index[subgroup_index]
+        tier_name = self.tier.placement.tier_of(sg.index)
+        lease = self.concurrency.try_exclusive(tier_name, self.worker)
+        if lease is None:
+            # The tier is busy with another worker; defer (the fetch will be
+            # issued synchronously when the subgroup's turn comes).
+            return
+        try:
+            pending[subgroup_index] = self.tier.prefetch_subgroup(sg.key, sg.index, fields)
+        finally:
+            lease.release()
+
+    def _complete_fetch(
+        self, sg: Subgroup, pending: Dict[int, Dict[str, object]], fields: List[str]
+    ) -> Dict[str, np.ndarray]:
+        futures = pending.pop(sg.index, None)
+        if futures is None:
+            tier_name = self.tier.placement.tier_of(sg.index)
+            with self.concurrency.exclusive(tier_name, self.worker):
+                futures = self.tier.prefetch_subgroup(sg.key, sg.index, fields)
+        arrays: Dict[str, np.ndarray] = {}
+        for fieldname, future in futures.items():  # type: ignore[union-attr]
+            result = future.result()
+            if not result.ok:
+                # A missing FP32 gradient blob simply means this is the first
+                # iteration for the baseline policy; fall back to the host
+                # accumulator.  Anything else is a genuine failure.
+                if fieldname == GRAD_FIELD:
+                    continue
+                raise result.error
+            arrays[fieldname] = result.array
+        return arrays
+
+    def _flush_now(self, sg: Subgroup, arrays: Mapping[str, np.ndarray]) -> None:
+        tier_name = self._flush_target(sg)
+        with self.concurrency.exclusive(tier_name, self.worker):
+            self.tier.flush_subgroup(sg.key, sg.index, arrays, tier=tier_name, wait=True)
+
+    def _flush_target(self, sg: Subgroup) -> str:
+        """Pick the tier the subgroup should be flushed to (line 9 of Algorithm 1).
+
+        The performance-model placement is respected by default; only when
+        the subgroup's assigned tier is currently driven by *another* worker
+        (tier-exclusive concurrency control) is the flush redirected to an
+        idle tier — the "natural interleaving" of §3.2.
+        """
+        current = self.tier.placement.tier_of(sg.index)
+        if not self.config.enable_multipath or len(self.tier.tier_names) == 1:
+            return current
+        if not self.config.enable_tier_locks:
+            return current
+        owner = self.concurrency.lock_manager.owner_of(current)
+        if owner in (None, self.worker):
+            return current
+        idle = [
+            name
+            for name in self.tier.tier_names
+            if self.concurrency.lock_manager.owner_of(name) in (None, self.worker)
+        ]
+        return idle[0] if idle else current
+
+    def _writeback(self, subgroup_index: int, arrays: Mapping[str, np.ndarray]) -> None:
+        """Cache-eviction callback: flush a dirty subgroup to its tier."""
+        sg = self._by_index[subgroup_index]
+        self._flush_now(sg, arrays)
+
+    # -- introspection ------------------------------------------------------
+
+    def tier_distribution(self) -> Dict[str, float]:
+        """Bytes of optimizer state per location (host cache vs physical tiers)."""
+        distribution: Dict[str, float] = {name: 0.0 for name in self.tier.tier_names}
+        distribution["host"] = 0.0
+        for sg in self.subgroups:
+            nbytes = float(sg.optimizer_state_bytes)
+            if sg.index in self.cache:
+                distribution["host"] += nbytes
+            else:
+                distribution[self.tier.placement.tier_of(sg.index)] += nbytes
+        return distribution
+
+    def fetch_master_params(self) -> np.ndarray:
+        """Gather the rank's full FP32 master parameter vector (for tests/checkpointing)."""
+        flat = np.zeros(self.layout.rank_params(self.rank), dtype=np.float32)
+        for sg in self.subgroups:
+            cached = self.cache.peek(sg.index)
+            if cached is not None and "params" in cached:
+                flat[self._views[sg.index]] = np.asarray(cached["params"], dtype=np.float32)
+            else:
+                arrays = self.tier.fetch_subgroup(sg.key, sg.index, ["params"])
+                flat[self._views[sg.index]] = arrays["params"]
+        return flat
+
+    @property
+    def update_count(self) -> int:
+        return self._update_count
+
+    def close(self) -> None:
+        self.tier.close()
+
+    def __enter__(self) -> "OffloadEngineBase":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class MLPOffloadEngine(OffloadEngineBase):
+    """The fully-enabled MLP-Offload engine (all four design principles on).
+
+    This is a thin alias over :class:`OffloadEngineBase`: the behaviour is
+    entirely driven by :class:`~repro.core.config.MLPOffloadConfig`, and this
+    class exists to give the paper's engine a first-class name next to the
+    :class:`~repro.zero.zero3_engine.ZeRO3OffloadEngine` baseline.
+    """

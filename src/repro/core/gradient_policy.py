@@ -1,0 +1,123 @@
+"""Gradient handling policies (paper §3.2, "Delayed In-place Mixed-Precision
+Gradient Conversion").
+
+Two policies are implemented:
+
+``FLUSH_FP32`` (baseline)
+    During the backward pass the FP16 gradients are up-converted to FP32 on
+    the host and flushed to the subgroup's storage tier.  At update time the
+    FP32 gradients are fetched back together with the optimizer state, so
+    every fetch moves 16 bytes/parameter instead of 12.
+
+``DELAYED_FP16`` (MLP-Offload)
+    The FP16 gradients stay in the host accumulation buffer.  At update time
+    they are up-converted in place — a CPU-bound conversion whose throughput
+    (~65 GB/s) dwarfs tier bandwidth — and consumed directly, so neither the
+    backward pass nor the update phase moves gradient bytes through the
+    third-level tier.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.train.gradients import GradientAccumulator
+from repro.train.mixed_precision import fp16_to_fp32
+
+
+class GradientConversionPolicy(enum.Enum):
+    """Where and when FP16 gradients become FP32."""
+
+    #: Convert on the host during backward and flush FP32 gradients to storage.
+    FLUSH_FP32 = "flush_fp32"
+    #: Keep FP16 gradients on the host; convert in place at update time.
+    DELAYED_FP16 = "delayed_fp16"
+
+
+@dataclass
+class GradientTraffic:
+    """Bytes of gradient data moved by one backward+update cycle of a subgroup."""
+
+    backward_flush_bytes: int
+    update_fetch_bytes: int
+    conversion_bytes: int
+
+    @property
+    def storage_bytes(self) -> int:
+        """Total gradient bytes crossing the third-level tier."""
+        return self.backward_flush_bytes + self.update_fetch_bytes
+
+
+def gradient_traffic(policy: GradientConversionPolicy, subgroup_params: int) -> GradientTraffic:
+    """Per-subgroup gradient byte movement implied by ``policy``.
+
+    Used by the simulator and the memory/IO accounting; the functional engine
+    produces the same numbers through its actual I/O counters.
+    """
+    if subgroup_params < 0:
+        raise ValueError("subgroup_params must be non-negative")
+    fp16 = subgroup_params * 2
+    fp32 = subgroup_params * 4
+    if policy is GradientConversionPolicy.FLUSH_FP32:
+        return GradientTraffic(
+            backward_flush_bytes=fp32,
+            update_fetch_bytes=fp32,
+            conversion_bytes=fp16,
+        )
+    if policy is GradientConversionPolicy.DELAYED_FP16:
+        return GradientTraffic(
+            backward_flush_bytes=0,
+            update_fetch_bytes=0,
+            conversion_bytes=fp16,
+        )
+    raise ValueError(f"unknown policy {policy!r}")
+
+
+def update_time_gradient(
+    policy: GradientConversionPolicy,
+    accumulator: GradientAccumulator,
+    subgroup_index: int,
+    *,
+    stored_fp32: Optional[np.ndarray] = None,
+    average: bool = True,
+) -> np.ndarray:
+    """Produce the FP32 gradient consumed by the Adam update of one subgroup.
+
+    For :attr:`GradientConversionPolicy.DELAYED_FP16` the gradient comes from
+    the host accumulation buffer and is up-converted here ("in place" in the
+    sense that no storage round-trip is involved).  For
+    :attr:`GradientConversionPolicy.FLUSH_FP32` the caller passes the FP32
+    gradient it fetched from storage (``stored_fp32``); the accumulator is
+    only used to fall back when the stored copy is missing (first iteration).
+    """
+    if policy is GradientConversionPolicy.DELAYED_FP16:
+        return accumulator.gradient_fp32(subgroup_index, average=average)
+    if policy is GradientConversionPolicy.FLUSH_FP32:
+        if stored_fp32 is not None:
+            grad = stored_fp32.astype(np.float32, copy=False)
+            if average and accumulator.accumulated_steps > 1:
+                grad = grad / float(accumulator.accumulated_steps)
+            return grad
+        return accumulator.gradient_fp32(subgroup_index, average=average)
+    raise ValueError(f"unknown policy {policy!r}")
+
+
+def backward_flush_payload(
+    policy: GradientConversionPolicy,
+    accumulator: GradientAccumulator,
+    subgroup_index: int,
+) -> Optional[np.ndarray]:
+    """The gradient payload the backward pass flushes to storage, if any.
+
+    ``None`` for the delayed policy (nothing is flushed); the up-converted
+    FP32 gradient for the baseline policy.
+    """
+    if policy is GradientConversionPolicy.DELAYED_FP16:
+        return None
+    if policy is GradientConversionPolicy.FLUSH_FP32:
+        return fp16_to_fp32(accumulator.gradient_fp16(subgroup_index))
+    raise ValueError(f"unknown policy {policy!r}")

@@ -1,0 +1,105 @@
+"""Per-phase counters and reports produced by the functional engines.
+
+The counters mirror the paper's key metrics (§4.1): iteration time broken
+down by phase, update throughput in parameters/second, effective I/O
+throughput (2 × subgroup bytes / (read + write time)), cache hits, and the
+distribution of offloaded state across tiers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+
+@dataclass
+class UpdatePhaseStats:
+    """Counters accumulated over one update phase of one worker."""
+
+    subgroups_processed: int = 0
+    params_updated: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    fetch_bytes: int = 0
+    fetch_seconds: float = 0.0
+    flush_bytes: int = 0
+    flush_seconds: float = 0.0
+    compute_seconds: float = 0.0
+    conversion_seconds: float = 0.0
+    wall_seconds: float = 0.0
+    skipped_flushes: int = 0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    @property
+    def update_throughput(self) -> float:
+        """Parameters updated per second of update-phase wall time."""
+        return self.params_updated / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    @property
+    def io_seconds(self) -> float:
+        return self.fetch_seconds + self.flush_seconds
+
+    @property
+    def effective_io_throughput(self) -> float:
+        """2 × subgroup bytes / (read time + write time), as defined in §4.3."""
+        if self.io_seconds <= 0:
+            return 0.0
+        return (self.fetch_bytes + self.flush_bytes) / self.io_seconds
+
+    @property
+    def io_fraction(self) -> float:
+        """Fraction of update wall time attributable to storage I/O."""
+        return self.io_seconds / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    def merge(self, other: "UpdatePhaseStats") -> "UpdatePhaseStats":
+        """Element-wise sum of two stats records (for multi-worker aggregation)."""
+        return UpdatePhaseStats(
+            subgroups_processed=self.subgroups_processed + other.subgroups_processed,
+            params_updated=self.params_updated + other.params_updated,
+            cache_hits=self.cache_hits + other.cache_hits,
+            cache_misses=self.cache_misses + other.cache_misses,
+            fetch_bytes=self.fetch_bytes + other.fetch_bytes,
+            fetch_seconds=self.fetch_seconds + other.fetch_seconds,
+            flush_bytes=self.flush_bytes + other.flush_bytes,
+            flush_seconds=self.flush_seconds + other.flush_seconds,
+            compute_seconds=self.compute_seconds + other.compute_seconds,
+            conversion_seconds=self.conversion_seconds + other.conversion_seconds,
+            wall_seconds=max(self.wall_seconds, other.wall_seconds),
+            skipped_flushes=self.skipped_flushes + other.skipped_flushes,
+        )
+
+
+@dataclass
+class IterationStats:
+    """One full training iteration's phase breakdown (functional engine)."""
+
+    iteration: int
+    forward_seconds: float = 0.0
+    backward_seconds: float = 0.0
+    update: UpdatePhaseStats = field(default_factory=UpdatePhaseStats)
+    tier_distribution_bytes: Dict[str, float] = field(default_factory=dict)
+    loss: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.forward_seconds + self.backward_seconds + self.update.wall_seconds
+
+    def breakdown(self) -> Dict[str, float]:
+        return {
+            "forward": self.forward_seconds,
+            "backward": self.backward_seconds,
+            "update": self.update.wall_seconds,
+        }
+
+
+def aggregate_tier_distribution(distributions: Mapping[str, Mapping[str, float]]) -> Dict[str, float]:
+    """Sum per-worker tier-distribution dictionaries into a node-level view."""
+    total: Dict[str, float] = {}
+    for per_worker in distributions.values():
+        for tier, nbytes in per_worker.items():
+            total[tier] = total.get(tier, 0.0) + float(nbytes)
+    return total

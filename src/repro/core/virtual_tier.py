@@ -1,0 +1,239 @@
+"""The virtual third-level tier: multiple physical paths behind one interface.
+
+A :class:`VirtualTier` owns one :class:`~repro.tiers.file_store.FileStore`
+per configured physical path plus the shared asynchronous I/O engine, the
+bandwidth estimator and the placement map.  The offloading engines interact
+only with subgroup-level operations (``fetch``, ``flush``, ``prefetch``) and
+never see individual files or tiers directly — exactly the "unified
+multi-level, multi-path asynchronous offloading using virtual tiers" of §3.2.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional
+
+import numpy as np
+
+from repro.aio.engine import AsyncIOEngine, IOResult
+from repro.aio.locks import TierLockManager
+from repro.aio.microbench import probe_tiers
+from repro.core.config import MLPOffloadConfig
+from repro.core.performance_model import BandwidthEstimator, allocation_from_ratios
+from repro.core.placement import PlacementMap
+from repro.tiers.file_store import FileStore
+from repro.util.logging import get_logger
+
+_LOG = get_logger("core.virtual_tier")
+
+#: The arrays making up one offloaded subgroup of optimizer state.
+STATE_FIELDS = ("params", "exp_avg", "exp_avg_sq")
+#: Additional field carried by the baseline policy (FP32 gradients on disk).
+GRAD_FIELD = "grad_fp32"
+
+
+class VirtualTier:
+    """Aggregate of physical storage tiers presenting subgroup-level I/O.
+
+    Parameters
+    ----------
+    config:
+        The engine configuration (tier paths, multipath switch, bandwidth
+        hints, smoothing factor).
+    worker:
+        Worker identity used for tier-exclusive locking.
+    lock_manager:
+        Node-level lock manager shared by all workers of the node (may be
+        ``None`` to disable locking at the I/O layer).
+    io_threads / queue_depth:
+        Passed through to the :class:`AsyncIOEngine`.
+    """
+
+    def __init__(
+        self,
+        config: MLPOffloadConfig,
+        *,
+        worker: str = "worker0",
+        lock_manager: Optional[TierLockManager] = None,
+        io_threads: int = 4,
+        queue_depth: int = 16,
+        throttles: Optional[Mapping[str, object]] = None,
+    ) -> None:
+        self.config = config
+        self.worker = worker
+        active_tiers = config.tiers if config.enable_multipath else (config.primary_tier,)
+        self.tier_names: List[str] = [t.name for t in active_tiers]
+        self.stores: Dict[str, FileStore] = {}
+        for tier in active_tiers:
+            throttle = None
+            if throttles is not None:
+                throttle = throttles.get(tier.name)  # type: ignore[assignment]
+            self.stores[tier.name] = FileStore(
+                Path(tier.path), name=tier.name, throttle=throttle
+            )
+        self.engine = AsyncIOEngine(
+            self.stores,
+            num_threads=io_threads,
+            queue_depth=queue_depth,
+            lock_manager=lock_manager if config.enable_tier_locks else None,
+        )
+        self.estimator = self._build_estimator(active_tiers)
+        self.placement: Optional[PlacementMap] = None
+        self._pending: Dict[str, concurrent.futures.Future] = {}
+
+    # -- construction helpers ---------------------------------------------
+
+    def _build_estimator(self, active_tiers) -> BandwidthEstimator:
+        hints = {
+            t.name: t.effective_bw for t in active_tiers if t.effective_bw is not None
+        }
+        missing = [t.name for t in active_tiers if t.name not in hints]
+        if missing:
+            probed = probe_tiers({name: self.stores[name] for name in missing})
+            hints.update(probed)
+        return BandwidthEstimator(initial=hints, smoothing=self.config.bandwidth_smoothing)
+
+    def initial_allocation(self, num_subgroups: int) -> Dict[str, int]:
+        """Equation 1 allocation for ``num_subgroups`` (honouring explicit ratios)."""
+        ratios = self.config.explicit_ratios()
+        if ratios is not None and self.config.enable_multipath:
+            active = {name: ratios[name] for name in self.tier_names}
+            return allocation_from_ratios(num_subgroups, active)
+        if not self.config.enable_multipath:
+            primary = self.tier_names[0]
+            allocation = {name: 0 for name in self.tier_names}
+            allocation[primary] = num_subgroups
+            return allocation
+        return self.estimator.allocate(num_subgroups)
+
+    def build_placement(self, subgroup_ids: Iterable[int]) -> PlacementMap:
+        """Create (and remember) the initial placement for the given subgroups."""
+        ids = list(subgroup_ids)
+        allocation = self.initial_allocation(len(ids))
+        self.placement = PlacementMap.from_allocation(ids, allocation)
+        return self.placement
+
+    # -- subgroup I/O -------------------------------------------------------
+
+    @staticmethod
+    def _field_key(subgroup_key: str, fieldname: str) -> str:
+        return f"{subgroup_key}.{fieldname}"
+
+    def flush_subgroup(
+        self,
+        subgroup_key: str,
+        subgroup_id: int,
+        arrays: Mapping[str, np.ndarray],
+        *,
+        tier: Optional[str] = None,
+        wait: bool = True,
+    ) -> List[concurrent.futures.Future]:
+        """Write one subgroup's arrays to a physical tier (asynchronously).
+
+        The target tier defaults to the placement map's current assignment;
+        passing ``tier`` overrides it (lazy flush to an idle tier) and the
+        placement map is updated accordingly.
+        """
+        if self.placement is None:
+            raise RuntimeError("placement not built; call build_placement() first")
+        target = tier if tier is not None else self.placement.tier_of(subgroup_id)
+        futures = []
+        for name, array in arrays.items():
+            futures.append(
+                self.engine.write(
+                    target, self._field_key(subgroup_key, name), array, worker=self.worker
+                )
+            )
+        self.placement.assign(subgroup_id, target)
+        if wait:
+            for future in futures:
+                result = future.result()
+                if not result.ok:
+                    raise result.error  # type: ignore[misc]
+        return futures
+
+    def prefetch_subgroup(
+        self, subgroup_key: str, subgroup_id: int, fields: Iterable[str]
+    ) -> Dict[str, concurrent.futures.Future]:
+        """Start asynchronous reads of the subgroup's arrays; returns field→future."""
+        if self.placement is None:
+            raise RuntimeError("placement not built; call build_placement() first")
+        tier = self.placement.tier_of(subgroup_id)
+        futures: Dict[str, concurrent.futures.Future] = {}
+        for fieldname in fields:
+            futures[fieldname] = self.engine.read(
+                tier, self._field_key(subgroup_key, fieldname), worker=self.worker
+            )
+        return futures
+
+    def fetch_subgroup(
+        self, subgroup_key: str, subgroup_id: int, fields: Iterable[str]
+    ) -> Dict[str, np.ndarray]:
+        """Synchronously read the subgroup's arrays (prefetch + wait)."""
+        futures = self.prefetch_subgroup(subgroup_key, subgroup_id, fields)
+        return self.wait_fetch(futures)
+
+    @staticmethod
+    def wait_fetch(futures: Mapping[str, concurrent.futures.Future]) -> Dict[str, np.ndarray]:
+        """Wait for a prefetch started via :meth:`prefetch_subgroup`."""
+        arrays: Dict[str, np.ndarray] = {}
+        for fieldname, future in futures.items():
+            result: IOResult = future.result()
+            if not result.ok:
+                raise result.error  # type: ignore[misc]
+            assert result.array is not None
+            arrays[fieldname] = result.array
+        return arrays
+
+    def delete_subgroup_field(self, subgroup_key: str, subgroup_id: int, fieldname: str) -> None:
+        """Remove one field of a subgroup from its tier (ignoring missing files)."""
+        if self.placement is None:
+            raise RuntimeError("placement not built")
+        tier = self.placement.tier_of(subgroup_id)
+        store = self.stores[tier]
+        key = self._field_key(subgroup_key, fieldname)
+        if store.contains(key):
+            store.delete(key)
+
+    # -- feedback & accounting ---------------------------------------------
+
+    def observe_iteration(self) -> Dict[str, float]:
+        """Feed observed per-tier I/O back into the bandwidth estimator.
+
+        Returns the updated estimates.  Called once per update phase when
+        ``adaptive_bandwidth`` is enabled (§3.3).
+        """
+        if not self.config.adaptive_bandwidth:
+            return self.estimator.bandwidths
+        for name in self.tier_names:
+            stats = self.engine.tier_stats(name)
+            nbytes = stats.bytes_read + stats.bytes_written
+            seconds = stats.read_seconds + stats.write_seconds
+            if nbytes > 0 and seconds > 0:
+                self.estimator.observe(name, nbytes, seconds)
+        return self.estimator.bandwidths
+
+    def io_summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-tier byte and time counters accumulated so far."""
+        summary: Dict[str, Dict[str, float]] = {}
+        for name in self.tier_names:
+            stats = self.engine.tier_stats(name)
+            summary[name] = {
+                "bytes_read": float(stats.bytes_read),
+                "bytes_written": float(stats.bytes_written),
+                "read_seconds": stats.read_seconds,
+                "write_seconds": stats.write_seconds,
+                "read_ops": float(stats.read_ops),
+                "write_ops": float(stats.write_ops),
+            }
+        return summary
+
+    def close(self) -> None:
+        self.engine.close()
+
+    def __enter__(self) -> "VirtualTier":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

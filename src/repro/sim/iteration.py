@@ -1,0 +1,139 @@
+"""Full-iteration simulation: forward, backward and update phases.
+
+The update phase comes from the pipeline simulator; the forward and backward
+phases are modelled analytically:
+
+* **forward** — transformer FLOPs on the node's GPUs plus the ZeRO-3
+  parameter all-gather over the inter-node fabric;
+* **backward** — twice the forward FLOPs, inflated by activation-checkpoint
+  recomputation (+33 %, §4.1), plus the gradient reduce-scatter, plus — for
+  the baseline gradient policy only — the FP16→FP32 up-conversion and the
+  FP32 gradient flush to the third-level tier, which is what makes the
+  baseline's backward pass "begin to be noticeable" (§4.2) while MLP-Offload
+  reduces it "to a negligible level".
+
+GPU throughput constants are sustained-efficiency estimates for the paper's
+H100/A100 parts; as with all simulator outputs they are meant to reproduce
+the *shape* of the paper's results, not absolute seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.sim.metrics import IterationResult
+from repro.sim.pipeline import DEFAULT_CONTENTION_PENALTY, simulate_update_phase
+from repro.sim.workload import EngineKnobs, build_workload
+from repro.tiers.spec import NodeSpec
+from repro.train.model_zoo import FP16_GRAD_BYTES, FP32_GRAD_BYTES, ModelConfig
+from repro.train.parallelism import ParallelTopology
+from repro.train.sharding import PAPER_SUBGROUP_SIZE
+
+#: Sustained mixed-precision throughput assumed per GPU model (FLOP/s).
+GPU_SUSTAINED_FLOPS: Dict[str, float] = {
+    "testbed-1": 300e12,  # H100-80GB
+    "testbed-2": 120e12,  # A100-40GB
+}
+#: Extra backward-pass compute due to activation checkpointing (§4.1).
+ACTIVATION_RECOMPUTE_FACTOR = 1.33
+
+
+@dataclass(frozen=True)
+class IterationModel:
+    """Everything needed to simulate one configuration's iteration."""
+
+    model: ModelConfig
+    node: NodeSpec
+    knobs: EngineKnobs
+    topology: Optional[ParallelTopology] = None
+    micro_batch_size: int = 1
+    gradient_accumulation_steps: int = 1
+    subgroup_size: int = PAPER_SUBGROUP_SIZE
+    label: str = ""
+
+    def resolved_topology(self) -> ParallelTopology:
+        if self.topology is not None:
+            return self.topology
+        return ParallelTopology.single_node(self.node.gpus_per_node)
+
+
+def _compute_seconds(model: ModelConfig, node: NodeSpec, topology: ParallelTopology, micro_batch: int, *, backward: bool) -> float:
+    """Dense transformer FLOP time per pass on one worker's GPU."""
+    flops_per_token = 2.0 * model.total_params / topology.tensor_parallel
+    tokens = model.sequence_length * micro_batch
+    flops = flops_per_token * tokens
+    if backward:
+        flops *= 2.0 * ACTIVATION_RECOMPUTE_FACTOR
+    gpu_flops = GPU_SUSTAINED_FLOPS.get(node.name, 150e12)
+    return flops / gpu_flops
+
+
+def _communication_seconds(model: ModelConfig, node: NodeSpec, topology: ParallelTopology) -> float:
+    """ZeRO-3 parameter gather / gradient reduce time per pass (inter-node only)."""
+    if topology.num_nodes <= 1:
+        # Intra-node collectives ride NVLink-class links and are negligible
+        # next to the I/O times studied here.
+        return 0.0
+    gather_bytes = topology.zero3_gather_bytes_per_pass(model)
+    return gather_bytes / node.interconnect_bw
+
+
+def simulate_iteration(
+    spec: IterationModel,
+    *,
+    contention_penalty: float = DEFAULT_CONTENTION_PENALTY,
+    prefetch_ahead: int = 2,
+) -> IterationResult:
+    """Simulate one full training iteration and return its result record."""
+    model = spec.model
+    node = spec.node
+    topology = spec.resolved_topology()
+    knobs = spec.knobs
+
+    workload = build_workload(
+        model,
+        node,
+        knobs,
+        topology=topology,
+        subgroup_size=spec.subgroup_size,
+    )
+    update = simulate_update_phase(
+        workload, prefetch_ahead=prefetch_ahead, contention_penalty=contention_penalty
+    )
+    # Every node runs the same update phase concurrently on its own shard of
+    # the optimizer state, so the job-level update throughput (the metric of
+    # Figures 8 and 12) covers all nodes' parameters in one node's wall time.
+    update.params_updated *= topology.num_nodes
+
+    accum = spec.gradient_accumulation_steps
+    forward_compute = _compute_seconds(model, node, topology, spec.micro_batch_size, backward=False)
+    backward_compute = _compute_seconds(model, node, topology, spec.micro_batch_size, backward=True)
+    comm = _communication_seconds(model, node, topology)
+    forward_seconds = (forward_compute + comm) * accum
+
+    # Gradient handling on the backward path.
+    params_per_rank = topology.params_per_rank(model)
+    grad_d2h_seconds = params_per_rank * FP16_GRAD_BYTES / node.d2h_bw
+    backward_io_seconds = grad_d2h_seconds
+    if not knobs.delayed_grads:
+        conversion_seconds = params_per_rank * FP16_GRAD_BYTES / node.fp16_to_fp32_bw
+        # All workers of the node flush their FP32 gradients to the (single)
+        # offload tier during every backward pass.
+        flush_tier = next(iter(workload.tiers.values()))
+        node_flush_bytes = workload.workers * params_per_rank * FP32_GRAD_BYTES
+        flush_seconds = node_flush_bytes / flush_tier.write_bw
+        backward_io_seconds = grad_d2h_seconds + conversion_seconds + flush_seconds
+    # I/O overlaps with the backward compute; whichever is longer dominates.
+    backward_seconds = (max(backward_compute + comm, backward_io_seconds)) * accum
+
+    label = spec.label or ("MLP-Offload" if knobs == EngineKnobs.mlp_offload() else "variant")
+    return IterationResult(
+        label=label,
+        model_name=model.name,
+        forward_seconds=forward_seconds,
+        backward_seconds=backward_seconds,
+        update=update,
+        num_gpus=topology.world_size,
+        tier_distribution_bytes=workload.tier_distribution_bytes(),
+    )

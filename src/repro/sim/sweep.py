@@ -1,0 +1,162 @@
+"""Parameter sweeps used by the benchmark harness.
+
+Each sweep mirrors one of the paper's experiment axes:
+
+* :func:`model_size_sweep` — model sizes 40B–120B on a single Testbed-1 node
+  (Figures 7, 8, 9, 10, and the gap analysis of Figure 3);
+* :func:`weak_scaling_sweep` — model size grown with node count on Testbed-2
+  (Figures 11 and 12);
+* :func:`batch_size_sweep` — gradient accumulation on the 40B model
+  (Figure 13);
+* :func:`ablation_sweep` — progressive activation of the design principles
+  (Figures 14 and 15).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.iteration import IterationModel, simulate_iteration
+from repro.sim.metrics import IterationResult
+from repro.sim.workload import EngineKnobs
+from repro.tiers.spec import TESTBED_1, TESTBED_2, NodeSpec
+from repro.train.model_zoo import ModelConfig, model_by_name
+from repro.train.parallelism import ParallelTopology
+from repro.train.sharding import PAPER_SUBGROUP_SIZE
+from repro.zero.variants import ABLATION_LADDER_MULTIPATH, ABLATION_LADDER_NVME, AblationVariant
+
+#: The model-size axis of the single-node experiments (Figures 7–10).
+SINGLE_NODE_MODELS: Tuple[str, ...] = ("40B", "52B", "70B", "100B", "120B")
+
+#: The weak-scaling axis of §4.4: (model, number of nodes on Testbed-2).
+WEAK_SCALING_POINTS: Tuple[Tuple[str, int], ...] = (
+    ("40B", 1),
+    ("70B", 2),
+    ("100B", 3),
+    ("130B", 4),
+    ("280B", 8),
+)
+
+#: The equivalent global batch sizes of the gradient-accumulation study (§4.5).
+BATCH_SIZE_POINTS: Tuple[int, ...] = (32, 128, 256, 512)
+
+
+def _knobs_for(variant: AblationVariant) -> EngineKnobs:
+    return EngineKnobs(
+        multipath=variant.multipath,
+        cache_reorder=variant.cache_reorder,
+        delayed_grads=variant.delayed_grads,
+        tier_locks=variant.tier_locks,
+    )
+
+
+def compare_engines(
+    model: ModelConfig,
+    node: NodeSpec,
+    *,
+    topology: Optional[ParallelTopology] = None,
+    micro_batch_size: int = 1,
+    gradient_accumulation_steps: int = 1,
+    subgroup_size: int = PAPER_SUBGROUP_SIZE,
+) -> Dict[str, IterationResult]:
+    """Simulate the ZeRO-3 baseline and MLP-Offload for one configuration."""
+    results: Dict[str, IterationResult] = {}
+    for label, knobs in (
+        ("DeepSpeed ZeRO-3", EngineKnobs.zero3_baseline()),
+        ("MLP-Offload", EngineKnobs.mlp_offload()),
+    ):
+        spec = IterationModel(
+            model=model,
+            node=node,
+            knobs=knobs,
+            topology=topology,
+            micro_batch_size=micro_batch_size,
+            gradient_accumulation_steps=gradient_accumulation_steps,
+            subgroup_size=subgroup_size,
+            label=label,
+        )
+        results[label] = simulate_iteration(spec)
+    return results
+
+
+def model_size_sweep(
+    model_names: Sequence[str] = SINGLE_NODE_MODELS,
+    node: NodeSpec = TESTBED_1,
+) -> Dict[str, Dict[str, IterationResult]]:
+    """Single-node sweep over model sizes: ``{model: {engine: result}}``."""
+    sweep: Dict[str, Dict[str, IterationResult]] = {}
+    for name in model_names:
+        model = model_by_name(name)
+        sweep[name] = compare_engines(model, node)
+    return sweep
+
+
+def weak_scaling_sweep(
+    points: Sequence[Tuple[str, int]] = WEAK_SCALING_POINTS,
+    node: NodeSpec = TESTBED_2,
+) -> Dict[str, Dict[str, IterationResult]]:
+    """Weak-scaling sweep: tensor parallel within a node, data parallel across nodes."""
+    sweep: Dict[str, Dict[str, IterationResult]] = {}
+    for name, num_nodes in points:
+        model = model_by_name(name)
+        topology = ParallelTopology.weak_scaling(num_nodes, node.gpus_per_node)
+        key = f"{name}[{topology.world_size}]"
+        sweep[key] = compare_engines(model, node, topology=topology)
+    return sweep
+
+
+def batch_size_sweep(
+    batch_sizes: Sequence[int] = BATCH_SIZE_POINTS,
+    node: NodeSpec = TESTBED_1,
+    model_name: str = "40B",
+    micro_batch_size: int = 8,
+) -> Dict[int, Dict[str, IterationResult]]:
+    """Gradient-accumulation sweep for the 40B model (Figure 13).
+
+    The paper fixes the per-GPU micro-batch at 8 samples (the largest that
+    fits) and grows the equivalent global batch size by adding accumulation
+    steps across the node's 4 data-parallel GPUs.
+    """
+    model = model_by_name(model_name)
+    sweep: Dict[int, Dict[str, IterationResult]] = {}
+    for batch in batch_sizes:
+        per_step = micro_batch_size * node.gpus_per_node
+        if batch % per_step != 0:
+            raise ValueError(
+                f"batch size {batch} is not a multiple of micro_batch × GPUs = {per_step}"
+            )
+        accumulation = batch // per_step
+        sweep[batch] = compare_engines(
+            model,
+            node,
+            micro_batch_size=micro_batch_size,
+            gradient_accumulation_steps=accumulation,
+        )
+    return sweep
+
+
+def ablation_sweep(
+    model_names: Sequence[str] = ("40B", "70B", "100B"),
+    node: NodeSpec = TESTBED_1,
+    *,
+    multipath: bool = False,
+) -> Dict[str, Dict[str, IterationResult]]:
+    """Progressive-activation ablation (Figure 14 without PFS, Figure 15 with).
+
+    Returns ``{model: {variant_label: result}}`` in ladder order.
+    """
+    ladder = ABLATION_LADDER_MULTIPATH if multipath else ABLATION_LADDER_NVME
+    sweep: Dict[str, Dict[str, IterationResult]] = {}
+    for name in model_names:
+        model = model_by_name(name)
+        per_model: Dict[str, IterationResult] = {}
+        for variant in ladder:
+            spec = IterationModel(
+                model=model,
+                node=node,
+                knobs=_knobs_for(variant),
+                label=variant.label,
+            )
+            per_model[variant.label] = simulate_iteration(spec)
+        sweep[name] = per_model
+    return sweep

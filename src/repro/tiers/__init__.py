@@ -1,0 +1,45 @@
+"""Memory and storage tier substrate.
+
+The paper's offloading engine spans three levels:
+
+1. GPU HBM (FP16 model parameters, activations, one subgroup of FP16 grads),
+2. host DRAM (pinned I/O buffers, gradient accumulation, cached subgroups),
+3. "third-level" storage — node-local NVMe and, with MLP-Offload, remote
+   parallel file systems (PFS) / object stores unified into a virtual tier.
+
+This subpackage provides the descriptors for those tiers (including the
+paper's Table 1 testbeds), a file-backed store used for real offloading in
+functional mode, a pinned host-buffer pool and the host subgroup cache.
+"""
+
+from repro.tiers.spec import (
+    TESTBED_1,
+    TESTBED_2,
+    NodeSpec,
+    StorageTierSpec,
+    TierKind,
+    testbed_by_name,
+)
+from repro.tiers.device import DeviceMemory, MemoryAccountant, OutOfMemoryError
+from repro.tiers.file_store import FileStore, StoreError
+from repro.tiers.host_buffer import BufferPool, BufferPoolExhausted, PinnedBuffer
+from repro.tiers.host_cache import CacheEntry, HostSubgroupCache
+
+__all__ = [
+    "TierKind",
+    "StorageTierSpec",
+    "NodeSpec",
+    "TESTBED_1",
+    "TESTBED_2",
+    "testbed_by_name",
+    "DeviceMemory",
+    "MemoryAccountant",
+    "OutOfMemoryError",
+    "FileStore",
+    "StoreError",
+    "BufferPool",
+    "PinnedBuffer",
+    "BufferPoolExhausted",
+    "HostSubgroupCache",
+    "CacheEntry",
+]

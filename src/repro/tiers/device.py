@@ -1,0 +1,137 @@
+"""GPU / host memory capacity accounting.
+
+The functional engine does not have real GPUs, but the paper's runtime
+configuration rules (§4.1 "Runtime Configurations") constrain what must fit
+where: FP16 parameters and activation checkpoints on the GPUs, gradient
+accumulation buffers and at least three subgroups' worth of pinned buffers on
+the host.  :class:`MemoryAccountant` enforces those budgets so that
+mis-configured runs fail fast (the stand-in for CUDA OOM errors), and so the
+simulator can compute how many subgroups fit in the host cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.util.bytesize import format_bytes
+
+
+class OutOfMemoryError(RuntimeError):
+    """Raised when an allocation exceeds a device's remaining capacity."""
+
+
+@dataclass
+class DeviceMemory:
+    """Capacity accounting for a single memory device (one GPU or host DRAM).
+
+    This tracks named reservations rather than raw pointers: the functional
+    substrate stores its arrays in ordinary NumPy buffers, and the accountant
+    only verifies that the configuration would fit on the real device.
+    """
+
+    name: str
+    capacity: float
+    _reservations: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ValueError(f"device {self.name!r} capacity must be positive")
+
+    @property
+    def used(self) -> float:
+        return float(sum(self._reservations.values()))
+
+    @property
+    def free(self) -> float:
+        return self.capacity - self.used
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of capacity currently reserved (0..1)."""
+        return self.used / self.capacity
+
+    def reserve(self, label: str, nbytes: float) -> None:
+        """Reserve ``nbytes`` under ``label``.
+
+        Raises
+        ------
+        OutOfMemoryError
+            If the reservation would exceed capacity.
+        ValueError
+            If the label is already reserved or the size is negative.
+        """
+        if nbytes < 0:
+            raise ValueError("reservation size must be non-negative")
+        if label in self._reservations:
+            raise ValueError(f"label {label!r} already reserved on {self.name!r}")
+        if self.used + nbytes > self.capacity:
+            raise OutOfMemoryError(
+                f"{self.name}: cannot reserve {format_bytes(nbytes)} for {label!r}: "
+                f"{format_bytes(self.free)} free of {format_bytes(self.capacity)}"
+            )
+        self._reservations[label] = float(nbytes)
+
+    def resize(self, label: str, nbytes: float) -> None:
+        """Change the size of an existing reservation."""
+        if label not in self._reservations:
+            raise KeyError(f"no reservation {label!r} on {self.name!r}")
+        if nbytes < 0:
+            raise ValueError("reservation size must be non-negative")
+        current = self._reservations[label]
+        if self.used - current + nbytes > self.capacity:
+            raise OutOfMemoryError(
+                f"{self.name}: cannot grow {label!r} to {format_bytes(nbytes)}"
+            )
+        self._reservations[label] = float(nbytes)
+
+    def release(self, label: str) -> float:
+        """Release a reservation and return its size."""
+        try:
+            return self._reservations.pop(label)
+        except KeyError:
+            raise KeyError(f"no reservation {label!r} on {self.name!r}") from None
+
+    def reservation(self, label: str) -> float:
+        return self._reservations[label]
+
+    def reservations(self) -> Dict[str, float]:
+        return dict(self._reservations)
+
+
+class MemoryAccountant:
+    """Per-node memory accountant covering all GPUs and the host DRAM.
+
+    One worker process per GPU (as in the paper); all workers on a node share
+    the host DRAM device.
+    """
+
+    def __init__(self, gpu_memory: float, num_gpus: int, host_memory: float) -> None:
+        if num_gpus < 1:
+            raise ValueError("num_gpus must be >= 1")
+        self.gpus = [DeviceMemory(name=f"gpu{i}", capacity=gpu_memory) for i in range(num_gpus)]
+        self.host = DeviceMemory(name="host", capacity=host_memory)
+
+    @property
+    def num_gpus(self) -> int:
+        return len(self.gpus)
+
+    def gpu(self, rank: int) -> DeviceMemory:
+        if not 0 <= rank < len(self.gpus):
+            raise IndexError(f"rank {rank} out of range for {len(self.gpus)} GPUs")
+        return self.gpus[rank]
+
+    @property
+    def aggregate_gpu_capacity(self) -> float:
+        return float(sum(g.capacity for g in self.gpus))
+
+    @property
+    def aggregate_gpu_used(self) -> float:
+        return float(sum(g.used for g in self.gpus))
+
+    def check_gpu_fits(self, per_gpu_bytes: float) -> bool:
+        """Whether ``per_gpu_bytes`` fits on every GPU's remaining capacity."""
+        return all(g.free >= per_gpu_bytes for g in self.gpus)
+
+    def check_host_fits(self, nbytes: float) -> bool:
+        return self.host.free >= nbytes

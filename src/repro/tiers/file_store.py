@@ -1,0 +1,267 @@
+"""File-backed storage tier used by the functional offloading engines.
+
+Each third-level tier (node-local NVMe, remote PFS, …) is represented by a
+directory.  Subgroup state is serialized as raw little-endian binary blobs
+with a tiny sidecar-free header so that reads do not need an external
+manifest.  The store optionally throttles its reads and writes to a
+configured bandwidth, which lets small functional runs reproduce the relative
+NVMe/PFS speeds of Table 1 without terabytes of real I/O.
+
+The store is the stand-in for DeepNVMe's swap files; the asynchronous
+pipelining on top of it lives in :mod:`repro.aio.engine`.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, Optional
+
+import numpy as np
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import is for type checkers only
+    from repro.aio.throttle import BandwidthThrottle
+
+from repro.util.logging import get_logger
+
+_LOG = get_logger("tiers.file_store")
+
+#: Magic prefix guarding against reading foreign files as subgroup blobs.
+_MAGIC = b"MLPO"
+#: Header: magic, version, dtype code length, ndim, then shape dims (uint64 each).
+_HEADER_FMT = "<4sBBB"
+_SUPPORTED_DTYPES = {"float16", "float32", "float64", "int32", "int64", "uint8"}
+
+
+class StoreError(RuntimeError):
+    """Raised for malformed blobs, missing keys or I/O failures in a store."""
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """Cumulative I/O counters for one :class:`FileStore`."""
+
+    bytes_read: int
+    bytes_written: int
+    read_ops: int
+    write_ops: int
+    read_seconds: float
+    write_seconds: float
+
+    @property
+    def read_bandwidth(self) -> float:
+        """Observed read bandwidth in bytes/second (0 when nothing was read)."""
+        return self.bytes_read / self.read_seconds if self.read_seconds > 0 else 0.0
+
+    @property
+    def write_bandwidth(self) -> float:
+        """Observed write bandwidth in bytes/second (0 when nothing was written)."""
+        return self.bytes_written / self.write_seconds if self.write_seconds > 0 else 0.0
+
+
+class FileStore:
+    """A directory-backed key→array store representing one storage tier.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the tier's files.  Created if missing.
+    name:
+        Tier name used in diagnostics (defaults to the directory name).
+    throttle:
+        Optional :class:`~repro.aio.throttle.BandwidthThrottle` applied to
+        both reads and writes (simulating the tier's sustained bandwidth).
+    capacity:
+        Optional capacity limit in bytes; writes beyond it raise
+        :class:`StoreError`, mirroring a full NVMe device.
+    fsync:
+        Whether to ``fsync`` after each write.  Functional tests leave this
+        off for speed; durability-sensitive callers may enable it.
+    """
+
+    def __init__(
+        self,
+        root: "str | os.PathLike[str]",
+        *,
+        name: Optional[str] = None,
+        throttle: "Optional[BandwidthThrottle]" = None,
+        capacity: Optional[float] = None,
+        fsync: bool = False,
+    ) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.name = name if name is not None else self.root.name
+        self.throttle = throttle
+        self.capacity = capacity
+        self.fsync = fsync
+        self._lock = threading.Lock()
+        self._bytes_read = 0
+        self._bytes_written = 0
+        self._read_ops = 0
+        self._write_ops = 0
+        self._read_seconds = 0.0
+        self._write_seconds = 0.0
+        self._sizes: Dict[str, int] = {}
+        # Re-discover any pre-existing blobs (e.g. the store survived a restart).
+        for path in self.root.glob("*.bin"):
+            self._sizes[path.stem] = path.stat().st_size
+
+    # -- helpers ---------------------------------------------------------
+
+    def _path(self, key: str) -> Path:
+        if not key or "/" in key or key.startswith("."):
+            raise StoreError(f"invalid store key {key!r}")
+        return self.root / f"{key}.bin"
+
+    @staticmethod
+    def _encode(array: np.ndarray) -> bytes:
+        dtype_name = array.dtype.name
+        if dtype_name not in _SUPPORTED_DTYPES:
+            raise StoreError(f"unsupported dtype {dtype_name!r}")
+        dtype_bytes = dtype_name.encode("ascii")
+        header = struct.pack(
+            _HEADER_FMT, _MAGIC, 1, len(dtype_bytes), array.ndim
+        )
+        shape = struct.pack(f"<{array.ndim}Q", *array.shape) if array.ndim else b""
+        return header + dtype_bytes + shape + np.ascontiguousarray(array).tobytes()
+
+    @staticmethod
+    def _decode(blob: bytes, key: str) -> np.ndarray:
+        header_size = struct.calcsize(_HEADER_FMT)
+        if len(blob) < header_size:
+            raise StoreError(f"blob for {key!r} is truncated")
+        magic, version, dtype_len, ndim = struct.unpack_from(_HEADER_FMT, blob)
+        if magic != _MAGIC:
+            raise StoreError(f"blob for {key!r} has invalid magic {magic!r}")
+        if version != 1:
+            raise StoreError(f"blob for {key!r} has unsupported version {version}")
+        offset = header_size
+        dtype_name = blob[offset : offset + dtype_len].decode("ascii")
+        if dtype_name not in _SUPPORTED_DTYPES:
+            raise StoreError(f"blob for {key!r} has unsupported dtype {dtype_name!r}")
+        offset += dtype_len
+        shape = struct.unpack_from(f"<{ndim}Q", blob, offset) if ndim else ()
+        offset += 8 * ndim
+        dtype = np.dtype(dtype_name)
+        expected = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize if ndim else dtype.itemsize
+        payload = blob[offset:]
+        if len(payload) != expected:
+            raise StoreError(
+                f"blob for {key!r} has {len(payload)} payload bytes, expected {expected}"
+            )
+        array = np.frombuffer(payload, dtype=dtype)
+        return array.reshape(shape).copy() if ndim else array.copy()
+
+    # -- public API ------------------------------------------------------
+
+    def write(self, key: str, array: np.ndarray) -> int:
+        """Serialize ``array`` under ``key`` and return the number of bytes written."""
+        blob = self._encode(array)
+        path = self._path(key)
+        with self._lock:
+            projected = self.used_bytes - self._sizes.get(key, 0) + len(blob)
+            if self.capacity is not None and projected > self.capacity:
+                raise StoreError(
+                    f"store {self.name!r} capacity exceeded: {projected} > {self.capacity}"
+                )
+        elapsed = 0.0
+        if self.throttle is not None:
+            elapsed += self.throttle.consume(len(blob))
+        tmp = path.with_suffix(".tmp")
+        import time
+
+        start = time.perf_counter()
+        with open(tmp, "wb") as handle:
+            handle.write(blob)
+            if self.fsync:
+                handle.flush()
+                os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        elapsed += time.perf_counter() - start
+        with self._lock:
+            self._sizes[key] = len(blob)
+            self._bytes_written += len(blob)
+            self._write_ops += 1
+            self._write_seconds += elapsed
+        return len(blob)
+
+    def read(self, key: str) -> np.ndarray:
+        """Read and deserialize the array stored under ``key``."""
+        path = self._path(key)
+        if not path.exists():
+            raise StoreError(f"store {self.name!r} has no key {key!r}")
+        import time
+
+        start = time.perf_counter()
+        blob = path.read_bytes()
+        elapsed = time.perf_counter() - start
+        if self.throttle is not None:
+            elapsed += self.throttle.consume(len(blob))
+        array = self._decode(blob, key)
+        with self._lock:
+            self._bytes_read += len(blob)
+            self._read_ops += 1
+            self._read_seconds += elapsed
+        return array
+
+    def delete(self, key: str) -> None:
+        """Remove ``key`` from the store (missing keys raise :class:`StoreError`)."""
+        path = self._path(key)
+        if not path.exists():
+            raise StoreError(f"store {self.name!r} has no key {key!r}")
+        path.unlink()
+        with self._lock:
+            self._sizes.pop(key, None)
+
+    def contains(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def keys(self) -> Iterator[str]:
+        """Iterate over the keys currently stored (sorted for determinism)."""
+        return iter(sorted(p.stem for p in self.root.glob("*.bin")))
+
+    def size_of(self, key: str) -> int:
+        """On-store size of ``key`` in bytes."""
+        path = self._path(key)
+        if not path.exists():
+            raise StoreError(f"store {self.name!r} has no key {key!r}")
+        return path.stat().st_size
+
+    @property
+    def used_bytes(self) -> int:
+        return int(sum(self._sizes.values()))
+
+    def clear(self) -> None:
+        """Delete all keys."""
+        for path in self.root.glob("*.bin"):
+            path.unlink()
+        with self._lock:
+            self._sizes.clear()
+
+    def stats(self) -> StoreStats:
+        with self._lock:
+            return StoreStats(
+                bytes_read=self._bytes_read,
+                bytes_written=self._bytes_written,
+                read_ops=self._read_ops,
+                write_ops=self._write_ops,
+                read_seconds=self._read_seconds,
+                write_seconds=self._write_seconds,
+            )
+
+    def reset_stats(self) -> None:
+        with self._lock:
+            self._bytes_read = 0
+            self._bytes_written = 0
+            self._read_ops = 0
+            self._write_ops = 0
+            self._read_seconds = 0.0
+            self._write_seconds = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FileStore(name={self.name!r}, root={str(self.root)!r}, keys={len(self._sizes)})"

@@ -1,0 +1,166 @@
+"""Pinned host-buffer pool.
+
+DeepSpeed (and MLP-Offload on top of it) pre-allocates pinned host buffers for
+asynchronous fetch/flush so that I/O never pays allocation or page-fault costs
+in the critical path and so that the host-memory budget is explicit.  The
+functional substrate mirrors this with a fixed pool of NumPy-backed buffers:
+acquiring a buffer is O(1), the pool never grows, and exhausting it is an
+explicit error — the same failure mode as exhausting pinned memory on a real
+node.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.util.bytesize import format_bytes
+
+
+class BufferPoolExhausted(RuntimeError):
+    """Raised when acquiring a buffer from an empty pool without blocking."""
+
+
+class PinnedBuffer:
+    """A fixed-capacity host buffer handed out by :class:`BufferPool`.
+
+    The buffer owns ``capacity`` bytes and exposes typed views of a prefix of
+    that storage via :meth:`view`.  Buffers must be released back to their
+    pool exactly once.
+    """
+
+    def __init__(self, pool: "BufferPool", index: int, capacity: int) -> None:
+        self._pool = pool
+        self.index = index
+        self.capacity = capacity
+        self._storage = np.zeros(capacity, dtype=np.uint8)
+        self._released = True  # starts in the pool
+
+    def view(self, dtype: "np.dtype | str", count: int) -> np.ndarray:
+        """Return a typed view of the first ``count`` elements of the buffer."""
+        dtype = np.dtype(dtype)
+        nbytes = dtype.itemsize * count
+        if nbytes > self.capacity:
+            raise ValueError(
+                f"requested {format_bytes(nbytes)} view exceeds buffer capacity "
+                f"{format_bytes(self.capacity)}"
+            )
+        return self._storage[:nbytes].view(dtype)
+
+    def fill_from(self, array: np.ndarray) -> np.ndarray:
+        """Copy ``array`` into the buffer and return the typed view over it."""
+        flat = np.ascontiguousarray(array).reshape(-1)
+        view = self.view(flat.dtype, flat.size)
+        np.copyto(view, flat)
+        return view
+
+    @property
+    def in_use(self) -> bool:
+        return not self._released
+
+    def release(self) -> None:
+        """Return the buffer to its pool."""
+        self._pool.release(self)
+
+    def __enter__(self) -> "PinnedBuffer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self.in_use:
+            self.release()
+
+
+class BufferPool:
+    """A fixed pool of :class:`PinnedBuffer` objects.
+
+    Parameters
+    ----------
+    buffer_bytes:
+        Capacity of each buffer.  Sized to hold one subgroup of offloaded
+        state (FP32 params + momentum + variance [+ gradients for the
+        baseline engine]).
+    num_buffers:
+        Number of buffers.  The paper's configuration keeps "a minimum of
+        three subgroups" in flight: one being flushed, one being updated and
+        one being prefetched (§4.1).
+    """
+
+    def __init__(self, buffer_bytes: int, num_buffers: int) -> None:
+        if buffer_bytes <= 0:
+            raise ValueError("buffer_bytes must be positive")
+        if num_buffers < 1:
+            raise ValueError("num_buffers must be >= 1")
+        self.buffer_bytes = int(buffer_bytes)
+        self.num_buffers = int(num_buffers)
+        self._buffers = [PinnedBuffer(self, i, self.buffer_bytes) for i in range(num_buffers)]
+        self._free: List[int] = list(range(num_buffers))
+        self._lock = threading.Lock()
+        self._available = threading.Condition(self._lock)
+        self._acquired_total = 0
+        self._wait_seconds = 0.0
+
+    @property
+    def total_bytes(self) -> int:
+        """Aggregate host memory held by the pool."""
+        return self.buffer_bytes * self.num_buffers
+
+    @property
+    def free_count(self) -> int:
+        with self._lock:
+            return len(self._free)
+
+    @property
+    def in_use_count(self) -> int:
+        return self.num_buffers - self.free_count
+
+    def acquire(self, *, blocking: bool = True, timeout: Optional[float] = None) -> PinnedBuffer:
+        """Acquire a buffer from the pool.
+
+        With ``blocking=False`` an empty pool raises
+        :class:`BufferPoolExhausted` immediately; otherwise the call waits
+        (optionally up to ``timeout`` seconds) for a buffer to be released —
+        this is exactly the back-pressure that throttles prefetching when the
+        host cache is full.
+        """
+        import time
+
+        start = time.perf_counter()
+        with self._available:
+            if not self._free:
+                if not blocking:
+                    raise BufferPoolExhausted(
+                        f"all {self.num_buffers} buffers of {format_bytes(self.buffer_bytes)} in use"
+                    )
+                if not self._available.wait_for(lambda: bool(self._free), timeout=timeout):
+                    raise BufferPoolExhausted(
+                        f"timed out waiting for a free buffer after {timeout}s"
+                    )
+            index = self._free.pop()
+            buffer = self._buffers[index]
+            buffer._released = False
+            self._acquired_total += 1
+            self._wait_seconds += time.perf_counter() - start
+            return buffer
+
+    def release(self, buffer: PinnedBuffer) -> None:
+        """Return ``buffer`` to the pool (double release raises ``ValueError``)."""
+        if buffer._pool is not self:
+            raise ValueError("buffer does not belong to this pool")
+        with self._available:
+            if buffer._released:
+                raise ValueError(f"buffer {buffer.index} released twice")
+            buffer._released = True
+            self._free.append(buffer.index)
+            self._available.notify()
+
+    def stats(self) -> Dict[str, float]:
+        """Return counters useful for diagnosing buffer-pool pressure."""
+        with self._lock:
+            return {
+                "acquired_total": float(self._acquired_total),
+                "wait_seconds": self._wait_seconds,
+                "free": float(len(self._free)),
+                "in_use": float(self.num_buffers - len(self._free)),
+            }

@@ -1,0 +1,222 @@
+"""Host-memory subgroup cache.
+
+The host DRAM left over after runtime buffers is used as a cache for
+offloaded subgroups.  The baseline (ZeRO-3) processes subgroups in ascending
+ID order every iteration, which — with a cache that can only hold the tail of
+the sequence — guarantees that the subgroups needed first next iteration were
+just evicted ("thrashing", §3.1).  MLP-Offload's cache-friendly ordering
+(§3.2) flips the processing order each iteration so the cached tail is reused.
+
+This module provides the cache itself; ordering policies live in
+:mod:`repro.core.ordering`.  Eviction is *insertion-ordered by update
+completion*: the cache keeps the most recently updated subgroups, which is
+exactly the population the reversal exploits.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+import numpy as np
+
+
+@dataclass
+class CacheEntry:
+    """One cached subgroup: its arrays plus bookkeeping."""
+
+    subgroup_id: int
+    arrays: Dict[str, np.ndarray]
+    nbytes: int
+    dirty: bool = False
+    #: Monotonically increasing stamp of the last insertion/touch.
+    stamp: int = 0
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    dirty_evictions: int = 0
+    rejected: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class HostSubgroupCache:
+    """A capacity-bounded cache of subgroup state kept in host memory.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Total bytes of subgroup state the cache may hold.
+    writeback:
+        Callable invoked with ``(subgroup_id, arrays)`` when a *dirty* entry
+        is evicted; the offloading engine uses it to flush the evicted
+        subgroup to its storage tier.  If ``None``, dirty evictions raise.
+    """
+
+    def __init__(self, capacity_bytes: float, writeback=None) -> None:
+        if capacity_bytes < 0:
+            raise ValueError("capacity_bytes must be non-negative")
+        self.capacity_bytes = float(capacity_bytes)
+        self.writeback = writeback
+        self._entries: Dict[int, CacheEntry] = {}
+        self._lock = threading.RLock()
+        self._clock = 0
+        self.stats = CacheStats()
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def used_bytes(self) -> float:
+        with self._lock:
+            return float(sum(e.nbytes for e in self._entries.values()))
+
+    @property
+    def free_bytes(self) -> float:
+        return self.capacity_bytes - self.used_bytes
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, subgroup_id: int) -> bool:
+        with self._lock:
+            return subgroup_id in self._entries
+
+    def cached_ids(self) -> List[int]:
+        """Subgroup IDs currently resident, oldest stamp first."""
+        with self._lock:
+            return [e.subgroup_id for e in sorted(self._entries.values(), key=lambda e: e.stamp)]
+
+    def entry(self, subgroup_id: int) -> Optional[CacheEntry]:
+        with self._lock:
+            return self._entries.get(subgroup_id)
+
+    # -- core operations -------------------------------------------------
+
+    def get(self, subgroup_id: int) -> Optional[Dict[str, np.ndarray]]:
+        """Return the cached arrays of ``subgroup_id`` (a hit) or ``None`` (a miss)."""
+        with self._lock:
+            entry = self._entries.get(subgroup_id)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._clock += 1
+            entry.stamp = self._clock
+            self.stats.hits += 1
+            return entry.arrays
+
+    def peek(self, subgroup_id: int) -> Optional[Dict[str, np.ndarray]]:
+        """Like :meth:`get` but without touching the entry or the counters."""
+        with self._lock:
+            entry = self._entries.get(subgroup_id)
+            return entry.arrays if entry is not None else None
+
+    def put(self, subgroup_id: int, arrays: Dict[str, np.ndarray], *, dirty: bool = False) -> bool:
+        """Insert (or refresh) a subgroup, evicting older entries if needed.
+
+        Returns ``True`` if the subgroup is resident after the call.  A
+        subgroup larger than the whole cache is rejected (returns ``False``)
+        rather than evicting everything for nothing.
+        """
+        nbytes = int(sum(a.nbytes for a in arrays.values()))
+        with self._lock:
+            if nbytes > self.capacity_bytes:
+                self.stats.rejected += 1
+                return False
+            existing = self._entries.pop(subgroup_id, None)
+            self._evict_until(nbytes)
+            self._clock += 1
+            entry = CacheEntry(
+                subgroup_id=subgroup_id,
+                arrays=arrays,
+                nbytes=nbytes,
+                dirty=dirty or (existing.dirty if existing is not None else False),
+                stamp=self._clock,
+            )
+            self._entries[subgroup_id] = entry
+            self.stats.insertions += 1
+            return True
+
+    def mark_dirty(self, subgroup_id: int) -> None:
+        with self._lock:
+            entry = self._entries.get(subgroup_id)
+            if entry is None:
+                raise KeyError(f"subgroup {subgroup_id} not cached")
+            entry.dirty = True
+
+    def mark_clean(self, subgroup_id: int) -> None:
+        with self._lock:
+            entry = self._entries.get(subgroup_id)
+            if entry is None:
+                raise KeyError(f"subgroup {subgroup_id} not cached")
+            entry.dirty = False
+
+    def evict(self, subgroup_id: int) -> bool:
+        """Explicitly evict one subgroup; returns whether it was resident."""
+        with self._lock:
+            entry = self._entries.pop(subgroup_id, None)
+            if entry is None:
+                return False
+            self._writeback_if_dirty(entry)
+            self.stats.evictions += 1
+            return True
+
+    def flush_dirty(self) -> int:
+        """Write back every dirty entry (keeping it cached); returns the count flushed."""
+        flushed = 0
+        with self._lock:
+            for entry in self._entries.values():
+                if entry.dirty:
+                    self._writeback_if_dirty(entry)
+                    entry.dirty = False
+                    flushed += 1
+        return flushed
+
+    def clear(self) -> None:
+        """Evict everything (dirty entries are written back)."""
+        with self._lock:
+            for entry in list(self._entries.values()):
+                self._writeback_if_dirty(entry)
+                self.stats.evictions += 1
+            self._entries.clear()
+
+    # -- internals -------------------------------------------------------
+
+    def _writeback_if_dirty(self, entry: CacheEntry) -> None:
+        if not entry.dirty:
+            return
+        if self.writeback is None:
+            raise RuntimeError(
+                f"evicting dirty subgroup {entry.subgroup_id} without a writeback callback"
+            )
+        self.writeback(entry.subgroup_id, entry.arrays)
+        self.stats.dirty_evictions += 1
+        entry.dirty = False
+
+    def _evict_until(self, incoming_bytes: int) -> None:
+        """Evict oldest-stamped entries until ``incoming_bytes`` fits."""
+        used = sum(e.nbytes for e in self._entries.values())
+        if used + incoming_bytes <= self.capacity_bytes:
+            return
+        for entry in sorted(self._entries.values(), key=lambda e: e.stamp):
+            self._writeback_if_dirty(entry)
+            del self._entries[entry.subgroup_id]
+            self.stats.evictions += 1
+            used -= entry.nbytes
+            if used + incoming_bytes <= self.capacity_bytes:
+                return
+
+    def __iter__(self) -> Iterator[CacheEntry]:
+        with self._lock:
+            return iter(list(self._entries.values()))

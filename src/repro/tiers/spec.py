@@ -1,0 +1,288 @@
+"""Tier and testbed specifications (the paper's Table 1).
+
+A :class:`StorageTierSpec` describes one physical path of the (virtual)
+third-level tier: a node-local NVMe device, a remote parallel file system
+(PFS), an object store, …  A :class:`NodeSpec` describes one compute node of
+a testbed — GPU count and memory, host memory, device↔host bandwidth, CPU
+cores, and the storage tiers reachable from that node.
+
+The two testbeds of the paper (Table 1) are provided as module constants:
+
+* ``TESTBED_1`` — ANL JLSE: 4×H100-80GB, 512 GB host memory, 96 cores,
+  NVMe 6.9/5.3 GB/s (read/write), VAST PFS 3.6/3.6 GB/s, D↔H 55 GB/s.
+* ``TESTBED_2`` — ALCF Polaris: 4×A100-40GB, 512 GB host memory, 32 cores,
+  NVMe 13.5/4.8 GB/s, Lustre PFS 6.9/13.7 GB/s, D↔H 25 GB/s.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Dict, Tuple
+
+from repro.util.bytesize import GB, GiB
+
+
+class TierKind(enum.Enum):
+    """Classification of a memory or storage tier by level."""
+
+    GPU = "gpu"
+    HOST = "host"
+    NVME = "nvme"
+    PFS = "pfs"
+    OBJECT_STORE = "object_store"
+
+    @property
+    def is_third_level(self) -> bool:
+        """Whether this tier belongs to the third (storage) level."""
+        return self in (TierKind.NVME, TierKind.PFS, TierKind.OBJECT_STORE)
+
+    @property
+    def is_node_local(self) -> bool:
+        """Whether the tier is private to a compute node (not shared across nodes)."""
+        return self in (TierKind.GPU, TierKind.HOST, TierKind.NVME)
+
+
+@dataclass(frozen=True)
+class StorageTierSpec:
+    """One physical storage path usable as (part of) the third-level tier.
+
+    Attributes
+    ----------
+    name:
+        Unique identifier of the tier (e.g. ``"nvme"``, ``"pfs"``).
+    kind:
+        The :class:`TierKind` of the tier.
+    read_bw:
+        Sustained sequential read bandwidth in bytes/second.
+    write_bw:
+        Sustained sequential write bandwidth in bytes/second.
+    capacity:
+        Usable capacity in bytes.
+    shared_across_nodes:
+        ``True`` for external storage (PFS, object stores) whose bandwidth is
+        shared by all compute nodes of a job; ``False`` for node-local tiers.
+    preferred_io_threads:
+        The I/O parallelism at which the tier reaches peak bandwidth (a PFS
+        typically wants several streams, an NVMe saturates with few).
+    """
+
+    name: str
+    kind: TierKind
+    read_bw: float
+    write_bw: float
+    capacity: float
+    shared_across_nodes: bool = False
+    preferred_io_threads: int = 1
+
+    def __post_init__(self) -> None:
+        if self.read_bw <= 0 or self.write_bw <= 0:
+            raise ValueError(f"tier {self.name!r} must have positive bandwidths")
+        if self.capacity <= 0:
+            raise ValueError(f"tier {self.name!r} must have positive capacity")
+        if self.preferred_io_threads < 1:
+            raise ValueError("preferred_io_threads must be >= 1")
+
+    @property
+    def effective_bw(self) -> float:
+        """The bandwidth the performance model uses for this tier.
+
+        The paper (§3.3) defines a tier's bandwidth B_i as the *minimum* of
+        its read and write throughput, because every offloaded subgroup must
+        be both fetched and flushed each iteration and the slower direction
+        dominates steady state.
+        """
+        return min(self.read_bw, self.write_bw)
+
+    @property
+    def round_trip_bw(self) -> float:
+        """Harmonic-mean bandwidth of a read-then-write round trip.
+
+        Used when estimating the time to cycle one subgroup through the tier:
+        ``2 * size / (size/read_bw + size/write_bw)``.
+        """
+        return 2.0 / (1.0 / self.read_bw + 1.0 / self.write_bw)
+
+    def scaled(self, factor: float) -> "StorageTierSpec":
+        """Return a copy with read/write bandwidth scaled by ``factor``.
+
+        Convenient for modelling degraded tiers (e.g. a PFS under external
+        I/O pressure from other jobs).
+        """
+        if factor <= 0:
+            raise ValueError("scaling factor must be positive")
+        return replace(self, read_bw=self.read_bw * factor, write_bw=self.write_bw * factor)
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One compute node of a testbed.
+
+    Attributes
+    ----------
+    name:
+        Testbed name (e.g. ``"testbed-1"``).
+    gpus_per_node:
+        Number of GPUs (= worker processes) per node.
+    gpu_memory:
+        HBM capacity per GPU, in bytes.
+    host_memory:
+        DRAM capacity per node, in bytes (shared by all GPUs of the node).
+    d2h_bw:
+        Pinned device↔host transfer bandwidth per GPU, bytes/second.
+    cpu_cores:
+        CPU cores per node (drives the CPU-side Adam update throughput).
+    cpu_update_throughput:
+        Aggregate CPU optimizer-update throughput, in parameters/second,
+        when all state is resident in host memory.  The paper reports
+        ~8000 Mparams/s on Testbed-1's 96 cores (§4.2).
+    fp16_to_fp32_bw:
+        CPU throughput of FP16→FP32 up-conversion in bytes/second of FP16
+        input (65 GB/s on Testbed-1, §3.2).
+    storage:
+        Mapping of tier name to :class:`StorageTierSpec` for every
+        third-level storage path reachable from this node.
+    interconnect_bw:
+        Inter-node interconnect bandwidth per node (bytes/second), used by
+        the simulator for data/tensor-parallel collectives.
+    """
+
+    name: str
+    gpus_per_node: int
+    gpu_memory: float
+    host_memory: float
+    d2h_bw: float
+    cpu_cores: int
+    cpu_update_throughput: float
+    fp16_to_fp32_bw: float
+    storage: Dict[str, StorageTierSpec] = field(default_factory=dict)
+    interconnect_bw: float = 25 * GB
+
+    def __post_init__(self) -> None:
+        if self.gpus_per_node < 1:
+            raise ValueError("gpus_per_node must be >= 1")
+        if self.gpu_memory <= 0 or self.host_memory <= 0:
+            raise ValueError("memory capacities must be positive")
+        if self.d2h_bw <= 0 or self.interconnect_bw <= 0:
+            raise ValueError("bandwidths must be positive")
+        if self.cpu_cores < 1:
+            raise ValueError("cpu_cores must be >= 1")
+        if self.cpu_update_throughput <= 0 or self.fp16_to_fp32_bw <= 0:
+            raise ValueError("CPU throughputs must be positive")
+
+    @property
+    def aggregate_gpu_memory(self) -> float:
+        """Total HBM across the node's GPUs, in bytes."""
+        return self.gpu_memory * self.gpus_per_node
+
+    @property
+    def host_to_gpu_memory_ratio(self) -> float:
+        """Host DRAM : aggregate GPU HBM ratio (1.6:1 on Testbed-1, 3.2:1 on Testbed-2)."""
+        return self.host_memory / self.aggregate_gpu_memory
+
+    def tier(self, name: str) -> StorageTierSpec:
+        """Look up a storage tier by name, raising ``KeyError`` with context."""
+        try:
+            return self.storage[name]
+        except KeyError:
+            known = ", ".join(sorted(self.storage)) or "<none>"
+            raise KeyError(f"node {self.name!r} has no storage tier {name!r} (known: {known})") from None
+
+    def local_tiers(self) -> Tuple[StorageTierSpec, ...]:
+        """Third-level tiers that are private to this node (NVMe)."""
+        return tuple(t for t in self.storage.values() if not t.shared_across_nodes)
+
+    def shared_tiers(self) -> Tuple[StorageTierSpec, ...]:
+        """Third-level tiers shared across nodes (PFS, object stores)."""
+        return tuple(t for t in self.storage.values() if t.shared_across_nodes)
+
+    def with_storage(self, *tiers: StorageTierSpec) -> "NodeSpec":
+        """Return a copy of this node with ``storage`` replaced by ``tiers``."""
+        return replace(self, storage={t.name: t for t in tiers})
+
+
+def _make_testbed_1() -> NodeSpec:
+    nvme = StorageTierSpec(
+        name="nvme",
+        kind=TierKind.NVME,
+        read_bw=6.9 * GB,
+        write_bw=5.3 * GB,
+        capacity=3.2e12,  # 2x RAID-mounted 1.6 TB NVMe M2 SSDs
+        shared_across_nodes=False,
+        preferred_io_threads=2,
+    )
+    pfs = StorageTierSpec(
+        name="pfs",
+        kind=TierKind.PFS,
+        read_bw=3.6 * GB,
+        write_bw=3.6 * GB,
+        capacity=1e15,  # 1 PB VAST
+        shared_across_nodes=True,
+        preferred_io_threads=4,
+    )
+    return NodeSpec(
+        name="testbed-1",
+        gpus_per_node=4,
+        gpu_memory=80 * GiB,
+        host_memory=512 * GiB,
+        d2h_bw=55 * GB,
+        cpu_cores=96,
+        cpu_update_throughput=8000e6,
+        fp16_to_fp32_bw=65 * GB,
+        storage={"nvme": nvme, "pfs": pfs},
+        interconnect_bw=25 * GB,
+    )
+
+
+def _make_testbed_2() -> NodeSpec:
+    nvme = StorageTierSpec(
+        name="nvme",
+        kind=TierKind.NVME,
+        read_bw=13.5 * GB,
+        write_bw=4.8 * GB,
+        capacity=3.2e12,
+        shared_across_nodes=False,
+        preferred_io_threads=2,
+    )
+    pfs = StorageTierSpec(
+        name="pfs",
+        kind=TierKind.PFS,
+        read_bw=6.9 * GB,
+        write_bw=13.7 * GB,
+        capacity=100e15,  # 100 PB ClusterStor E1000
+        shared_across_nodes=True,
+        preferred_io_threads=8,
+    )
+    return NodeSpec(
+        name="testbed-2",
+        gpus_per_node=4,
+        gpu_memory=40 * GiB,
+        host_memory=512 * GiB,
+        d2h_bw=25 * GB,
+        cpu_cores=32,
+        # fewer cores than Testbed-1 -> proportionally lower CPU Adam throughput
+        cpu_update_throughput=8000e6 * 32 / 96,
+        fp16_to_fp32_bw=40 * GB,
+        storage={"nvme": nvme, "pfs": pfs},
+        interconnect_bw=25 * GB,
+    )
+
+
+#: Table 1, left column: ANL JLSE node with 4×H100-80GB.
+TESTBED_1: NodeSpec = _make_testbed_1()
+
+#: Table 1, right column: ALCF Polaris node with 4×A100-40GB.
+TESTBED_2: NodeSpec = _make_testbed_2()
+
+_TESTBEDS: Dict[str, NodeSpec] = {
+    "testbed-1": TESTBED_1,
+    "testbed-2": TESTBED_2,
+}
+
+
+def testbed_by_name(name: str) -> NodeSpec:
+    """Return a testbed node spec by name (``"testbed-1"`` or ``"testbed-2"``)."""
+    key = name.strip().lower()
+    if key not in _TESTBEDS:
+        raise KeyError(f"unknown testbed {name!r}; known: {sorted(_TESTBEDS)}")
+    return _TESTBEDS[key]

@@ -1,0 +1,183 @@
+"""Vectorized CPU Adam optimizer operating on flat parameter shards.
+
+When the optimizer state is offloaded, the update runs on the CPU (§2,
+"Optimizer State Offloading").  The update of each subgroup is independent of
+every other subgroup — the property MLP-Offload's cache-friendly reordering
+relies on (§3.2) — so the natural unit of work here is one flat FP32 slice of
+parameters plus its momentum/variance and gradient slices.
+
+The implementation follows the original Adam paper (Kingma & Ba, 2014) with
+the standard bias correction, matches ``torch.optim.Adam`` semantics for the
+default hyper-parameters, and is fully vectorized with in-place NumPy
+operations (no Python-level per-element loops), per the HPC guides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class AdamConfig:
+    """Adam hyper-parameters."""
+
+    lr: float = 1e-4
+    beta1: float = 0.9
+    beta2: float = 0.999
+    eps: float = 1e-8
+    weight_decay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.lr < 0:
+            raise ValueError("lr must be non-negative")
+        if not 0.0 <= self.beta1 < 1.0 or not 0.0 <= self.beta2 < 1.0:
+            raise ValueError("betas must lie in [0, 1)")
+        if self.eps <= 0:
+            raise ValueError("eps must be positive")
+        if self.weight_decay < 0:
+            raise ValueError("weight_decay must be non-negative")
+
+
+@dataclass
+class AdamState:
+    """Optimizer state for one flat parameter slice (one subgroup).
+
+    All three arrays are FP32 and share the same shape; together they are the
+    12 bytes/parameter that get offloaded to the third-level tier.
+    """
+
+    params: np.ndarray
+    exp_avg: np.ndarray
+    exp_avg_sq: np.ndarray
+    step: int = 0
+
+    def __post_init__(self) -> None:
+        for label, arr in (("params", self.params), ("exp_avg", self.exp_avg), ("exp_avg_sq", self.exp_avg_sq)):
+            if arr.dtype != np.float32:
+                raise TypeError(f"{label} must be float32, got {arr.dtype}")
+        if not (self.params.shape == self.exp_avg.shape == self.exp_avg_sq.shape):
+            raise ValueError("params, exp_avg and exp_avg_sq must share one shape")
+        if self.step < 0:
+            raise ValueError("step must be non-negative")
+
+    @classmethod
+    def zeros(cls, num_params: int, *, init: Optional[np.ndarray] = None) -> "AdamState":
+        """Create a fresh state of ``num_params`` elements (optionally seeded with ``init``)."""
+        if num_params < 0:
+            raise ValueError("num_params must be non-negative")
+        params = np.zeros(num_params, dtype=np.float32)
+        if init is not None:
+            if init.size != num_params:
+                raise ValueError("init size mismatch")
+            np.copyto(params, init.astype(np.float32, copy=False).reshape(-1))
+        return cls(
+            params=params,
+            exp_avg=np.zeros(num_params, dtype=np.float32),
+            exp_avg_sq=np.zeros(num_params, dtype=np.float32),
+        )
+
+    @property
+    def num_params(self) -> int:
+        return int(self.params.size)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.params.nbytes + self.exp_avg.nbytes + self.exp_avg_sq.nbytes)
+
+    def copy(self) -> "AdamState":
+        return AdamState(
+            params=self.params.copy(),
+            exp_avg=self.exp_avg.copy(),
+            exp_avg_sq=self.exp_avg_sq.copy(),
+            step=self.step,
+        )
+
+
+def adam_update(
+    state: AdamState,
+    grad: np.ndarray,
+    config: AdamConfig,
+    *,
+    out_fp16: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Apply one Adam step to ``state`` in place and return the updated FP32 params.
+
+    Parameters
+    ----------
+    state:
+        The subgroup's optimizer state; updated in place (no reallocation, so
+        repeated updates reuse the offload buffers).
+    grad:
+        FP32 gradient of the same shape as ``state.params``.
+    config:
+        Adam hyper-parameters.
+    out_fp16:
+        Optional pre-allocated FP16 array receiving the down-converted
+        updated parameters (the copy that is pushed back to the GPU).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``state.params`` (the in-place-updated FP32 master copy).
+    """
+    if grad.shape != state.params.shape:
+        raise ValueError(f"gradient shape {grad.shape} != params shape {state.params.shape}")
+    if grad.dtype != np.float32:
+        grad = grad.astype(np.float32)
+
+    state.step += 1
+    beta1, beta2 = config.beta1, config.beta2
+
+    if config.weight_decay != 0.0:
+        # L2-regularization formulation (as in torch.optim.Adam).
+        grad = grad + config.weight_decay * state.params
+
+    # exp_avg = beta1 * exp_avg + (1 - beta1) * grad
+    state.exp_avg *= beta1
+    state.exp_avg += (1.0 - beta1) * grad
+    # exp_avg_sq = beta2 * exp_avg_sq + (1 - beta2) * grad^2
+    state.exp_avg_sq *= beta2
+    state.exp_avg_sq += (1.0 - beta2) * np.square(grad)
+
+    bias_correction1 = 1.0 - beta1**state.step
+    bias_correction2 = 1.0 - beta2**state.step
+
+    denom = np.sqrt(state.exp_avg_sq / bias_correction2)
+    denom += config.eps
+    step_size = config.lr / bias_correction1
+    state.params -= step_size * (state.exp_avg / denom)
+
+    if out_fp16 is not None:
+        if out_fp16.shape != state.params.shape:
+            raise ValueError("out_fp16 shape mismatch")
+        np.copyto(out_fp16, state.params.astype(np.float16))
+    return state.params
+
+
+def adam_reference(
+    params: np.ndarray,
+    grads: np.ndarray,
+    config: AdamConfig,
+    num_steps: int,
+) -> np.ndarray:
+    """Scalar-loop reference implementation used only by the test suite.
+
+    Intentionally naive (element-by-element) so that it cannot share bugs
+    with the vectorized production path.
+    """
+    p = params.astype(np.float64).copy()
+    m = np.zeros_like(p)
+    v = np.zeros_like(p)
+    g = grads.astype(np.float64)
+    for step in range(1, num_steps + 1):
+        for i in range(p.size):
+            gi = g[i] + config.weight_decay * p[i]
+            m[i] = config.beta1 * m[i] + (1 - config.beta1) * gi
+            v[i] = config.beta2 * v[i] + (1 - config.beta2) * gi * gi
+            mhat = m[i] / (1 - config.beta1**step)
+            vhat = v[i] / (1 - config.beta2**step)
+            p[i] -= config.lr * mhat / (np.sqrt(vhat) + config.eps)
+    return p.astype(np.float32)

@@ -1,0 +1,155 @@
+"""Mixed-precision state management (FP16 working copy, FP32 master copy).
+
+Mixed-precision training keeps two copies of the model parameters: an FP16
+(or BF16) working copy used by forward/backward, and an FP32 master copy used
+by the optimizer for numerical stability (§2, "Mixed Precision Training").
+Gradients are produced in FP16 and must be up-converted to FP32 before the
+Adam update.
+
+Where that conversion happens is one of the paper's design points:
+
+* the ZeRO-3 baseline converts FP16→FP32 on the host during the backward
+  pass and flushes the FP32 gradients to disk, inflating every subsequent
+  subgroup fetch by 4 bytes/parameter;
+* MLP-Offload keeps the FP16 gradients in the host accumulation buffer and
+  converts *in place at update time* ("delayed in-place mixed-precision
+  gradient conversion", §3.2), which is cheap because CPU conversion
+  throughput (~65 GB/s) dwarfs tier fetch bandwidth.
+
+Both policies are built from the primitives in this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+def fp32_to_fp16(array: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Down-convert FP32 values to FP16 (the GPU working copy)."""
+    if out is None:
+        return array.astype(np.float16)
+    if out.shape != array.shape:
+        raise ValueError("output shape mismatch")
+    np.copyto(out, array.astype(np.float16, copy=False))
+    return out
+
+
+def fp16_to_fp32(array: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Up-convert FP16 values to FP32 (for the optimizer update)."""
+    if out is None:
+        return array.astype(np.float32)
+    if out.shape != array.shape:
+        raise ValueError("output shape mismatch")
+    np.copyto(out, array.astype(np.float32, copy=False))
+    return out
+
+
+@dataclass
+class MixedPrecisionState:
+    """The two parameter copies of one shard (or subgroup).
+
+    ``master`` is the authoritative FP32 copy updated by Adam; ``working`` is
+    the FP16 copy used for forward/backward and refreshed from ``master``
+    after each update.
+    """
+
+    master: np.ndarray
+    working: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.master.dtype != np.float32:
+            raise TypeError("master copy must be float32")
+        if self.working.dtype != np.float16:
+            raise TypeError("working copy must be float16")
+        if self.master.shape != self.working.shape:
+            raise ValueError("master and working copies must share a shape")
+
+    @classmethod
+    def from_fp32(cls, master: np.ndarray) -> "MixedPrecisionState":
+        master = master.astype(np.float32, copy=False)
+        return cls(master=master, working=master.astype(np.float16))
+
+    def sync_working(self) -> None:
+        """Refresh the FP16 working copy from the FP32 master copy (H2D push)."""
+        np.copyto(self.working, self.master.astype(np.float16, copy=False))
+
+    def max_divergence(self) -> float:
+        """Largest |master - working| (useful as a staleness check in tests)."""
+        return float(np.max(np.abs(self.master - self.working.astype(np.float32)))) if self.master.size else 0.0
+
+
+class GradScaler:
+    """Dynamic loss scaling for FP16 gradients.
+
+    FP16 gradients underflow easily; standard practice multiplies the loss by
+    a scale factor before backward and divides the gradients by it before the
+    update, growing the scale while steps succeed and shrinking it on
+    overflow.  The functional trainer uses this to keep tiny-model training
+    numerically faithful to the mixed-precision recipe.
+    """
+
+    def __init__(
+        self,
+        init_scale: float = 2.0**16,
+        growth_factor: float = 2.0,
+        backoff_factor: float = 0.5,
+        growth_interval: int = 200,
+        min_scale: float = 1.0,
+        max_scale: float = 2.0**24,
+    ) -> None:
+        if init_scale <= 0 or min_scale <= 0 or max_scale < min_scale:
+            raise ValueError("invalid scale bounds")
+        if growth_factor <= 1.0 or not 0.0 < backoff_factor < 1.0:
+            raise ValueError("growth_factor must be > 1 and backoff_factor in (0, 1)")
+        if growth_interval < 1:
+            raise ValueError("growth_interval must be >= 1")
+        self.scale = float(init_scale)
+        self.growth_factor = growth_factor
+        self.backoff_factor = backoff_factor
+        self.growth_interval = growth_interval
+        self.min_scale = min_scale
+        self.max_scale = max_scale
+        self._good_steps = 0
+        self.overflow_count = 0
+
+    def scale_loss(self, loss: float) -> float:
+        return loss * self.scale
+
+    def unscale(self, grad: np.ndarray) -> np.ndarray:
+        """Return ``grad / scale`` in FP32."""
+        return grad.astype(np.float32) / self.scale
+
+    @staticmethod
+    def has_overflow(grad: np.ndarray) -> bool:
+        """Whether a gradient contains non-finite values."""
+        return not bool(np.isfinite(grad).all())
+
+    def update(self, found_overflow: bool) -> None:
+        """Adjust the scale after a step: back off on overflow, grow after a streak."""
+        if found_overflow:
+            self.scale = max(self.min_scale, self.scale * self.backoff_factor)
+            self._good_steps = 0
+            self.overflow_count += 1
+            return
+        self._good_steps += 1
+        if self._good_steps >= self.growth_interval:
+            self.scale = min(self.max_scale, self.scale * self.growth_factor)
+            self._good_steps = 0
+
+
+def conversion_seconds(nbytes_fp16: int, cpu_fp16_to_fp32_bw: float) -> float:
+    """Time to up-convert ``nbytes_fp16`` of FP16 gradients on the CPU.
+
+    Used by the performance model and the simulator to account for the
+    (small) cost of MLP-Offload's delayed conversion, which the paper
+    measures at ~65 GB/s on Testbed-1 — an order of magnitude above tier
+    fetch bandwidth, hence "typically negligible" (§3.2).
+    """
+    if nbytes_fp16 < 0:
+        raise ValueError("nbytes_fp16 must be non-negative")
+    if cpu_fp16_to_fp32_bw <= 0:
+        raise ValueError("cpu_fp16_to_fp32_bw must be positive")
+    return nbytes_fp16 / cpu_fp16_to_fp32_bw

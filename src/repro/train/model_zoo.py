@@ -1,0 +1,220 @@
+"""Model geometries used by the paper's evaluation (Table 2).
+
+The paper evaluates seven decoder-only transformer configurations between
+40B and 280B parameters, each described by its number of layers ``N_L``,
+hidden dimension ``D_H`` and attention heads ``A_H``.  This module captures
+those geometries, the standard GPT-style parameter-count formula used to
+derive total parameter counts, and the derived byte footprints (FP16 model,
+FP32 optimizer state) that drive both the functional engine and the
+simulator.
+
+Parameter-count model
+---------------------
+For a decoder-only transformer with tied embeddings, vocabulary ``V``,
+sequence length ``S``, ``N_L`` layers and hidden size ``D_H``:
+
+* per-layer attention parameters: ``4 * D_H^2`` (Q, K, V, output projections)
+  plus biases ``4 * D_H``;
+* per-layer MLP parameters: ``8 * D_H^2`` (two projections with the usual
+  4x expansion) plus biases ``5 * D_H``;
+* per-layer LayerNorm parameters: ``4 * D_H``;
+* embeddings: ``V * D_H`` plus positional ``S * D_H``;
+* final LayerNorm: ``2 * D_H``.
+
+This is the same first-order counting used by Megatron and the DeepSpeed
+memory estimator; small deviations (a few percent) from the marketing sizes
+are expected and irrelevant to the I/O behaviour studied here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Tuple
+
+#: Default vocabulary size (LLaMA2 tokenizer, used by the paper's dataset prep).
+DEFAULT_VOCAB_SIZE = 32000
+#: Default sequence length (OPT-style configuration, §4.1).
+DEFAULT_SEQUENCE_LENGTH = 2048
+
+#: Bytes per parameter of FP16 model state.
+FP16_BYTES = 2
+#: Bytes per parameter of FP32 state.
+FP32_BYTES = 4
+#: Optimizer state per parameter in mixed-precision Adam training: FP32
+#: master parameters + momentum + variance (3 * 4 bytes).  Together with the
+#: FP32 gradients the baseline also materializes, this is the "8x larger than
+#: FP16 parameters" ratio quoted in the paper's conclusion (16 B vs 2 B).
+OPTIMIZER_STATE_BYTES = 12
+#: FP32 gradient bytes per parameter (flushed to disk by the ZeRO-3 baseline).
+FP32_GRAD_BYTES = 4
+#: FP16 gradient bytes per parameter (kept on the host by MLP-Offload).
+FP16_GRAD_BYTES = 2
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """A decoder-only transformer geometry.
+
+    Attributes
+    ----------
+    name:
+        Human-readable label, e.g. ``"40B"``.
+    num_layers / hidden_dim / num_heads:
+        The Table 2 geometry (``N_L``, ``D_H``, ``A_H``).
+    vocab_size / sequence_length:
+        Embedding geometry; defaults follow the paper's setup (§4.1).
+    """
+
+    name: str
+    num_layers: int
+    hidden_dim: int
+    num_heads: int
+    vocab_size: int = DEFAULT_VOCAB_SIZE
+    sequence_length: int = DEFAULT_SEQUENCE_LENGTH
+
+    def __post_init__(self) -> None:
+        if self.num_layers < 1 or self.hidden_dim < 1 or self.num_heads < 1:
+            raise ValueError("model dimensions must be positive")
+        if self.hidden_dim % self.num_heads != 0:
+            raise ValueError(
+                f"hidden_dim {self.hidden_dim} must be divisible by num_heads {self.num_heads}"
+            )
+        if self.vocab_size < 1 or self.sequence_length < 1:
+            raise ValueError("vocab_size and sequence_length must be positive")
+
+    # -- parameter counting ---------------------------------------------
+
+    @property
+    def head_dim(self) -> int:
+        return self.hidden_dim // self.num_heads
+
+    @property
+    def params_per_layer(self) -> int:
+        """Parameters of one transformer block (attention + MLP + norms)."""
+        d = self.hidden_dim
+        attention = 4 * d * d + 4 * d
+        mlp = 8 * d * d + 5 * d
+        norms = 4 * d
+        return attention + mlp + norms
+
+    @property
+    def embedding_params(self) -> int:
+        """Token + positional embedding parameters (embeddings are tied to the LM head)."""
+        return self.vocab_size * self.hidden_dim + self.sequence_length * self.hidden_dim
+
+    @property
+    def total_params(self) -> int:
+        """Total trainable parameters."""
+        return self.num_layers * self.params_per_layer + self.embedding_params + 2 * self.hidden_dim
+
+    @property
+    def total_params_billions(self) -> float:
+        return self.total_params / 1e9
+
+    # -- byte footprints --------------------------------------------------
+
+    @property
+    def fp16_model_bytes(self) -> int:
+        """Bytes of the FP16 parameter copy used by forward/backward."""
+        return self.total_params * FP16_BYTES
+
+    @property
+    def fp16_gradient_bytes(self) -> int:
+        return self.total_params * FP16_GRAD_BYTES
+
+    @property
+    def fp32_gradient_bytes(self) -> int:
+        return self.total_params * FP32_GRAD_BYTES
+
+    @property
+    def optimizer_state_bytes(self) -> int:
+        """Bytes of FP32 master params + momentum + variance."""
+        return self.total_params * OPTIMIZER_STATE_BYTES
+
+    def activation_bytes(self, micro_batch_size: int = 1, *, checkpointing: bool = True) -> int:
+        """Approximate activation memory for one micro-batch.
+
+        With activation checkpointing only the per-layer boundary activations
+        (one ``S x D_H`` FP16 tensor per layer) are retained, plus one layer's
+        worth of recomputation workspace; without it, roughly the classic
+        ``S * D_H * (34 + 5 * A_H * S / D_H)`` bytes per layer are live.
+        """
+        if micro_batch_size < 1:
+            raise ValueError("micro_batch_size must be >= 1")
+        s, d = self.sequence_length, self.hidden_dim
+        if checkpointing:
+            boundary = self.num_layers * s * d * FP16_BYTES
+            workspace = s * d * (34 + 5 * self.num_heads * s / d)
+            return int(micro_batch_size * (boundary + workspace))
+        per_layer = s * d * (34 + 5 * self.num_heads * s / d)
+        return int(micro_batch_size * self.num_layers * per_layer)
+
+    def scaled_to(self, name: str, *, num_layers: int | None = None, hidden_dim: int | None = None) -> "ModelConfig":
+        """Return a copy with selected dimensions overridden (for tiny test models)."""
+        return replace(
+            self,
+            name=name,
+            num_layers=num_layers if num_layers is not None else self.num_layers,
+            hidden_dim=hidden_dim if hidden_dim is not None else self.hidden_dim,
+        )
+
+
+def _zoo() -> Dict[str, ModelConfig]:
+    configs = [
+        # Table 2: N_L, D_H, A_H.  The 20B model is used in §3.1 as the
+        # host-memory-only baseline; it is not in Table 2 but its geometry
+        # follows the same family (GPT-NeoX-20B-like).
+        ModelConfig(name="20B", num_layers=44, hidden_dim=6144, num_heads=64),
+        ModelConfig(name="40B", num_layers=128, hidden_dim=5120, num_heads=40),
+        ModelConfig(name="52B", num_layers=64, hidden_dim=8192, num_heads=64),
+        ModelConfig(name="70B", num_layers=80, hidden_dim=8192, num_heads=64),
+        ModelConfig(name="100B", num_layers=124, hidden_dim=8192, num_heads=64),
+        ModelConfig(name="120B", num_layers=96, hidden_dim=10240, num_heads=80),
+        ModelConfig(name="130B", num_layers=70, hidden_dim=12288, num_heads=96),
+        ModelConfig(name="280B", num_layers=72, hidden_dim=16384, num_heads=128),
+    ]
+    return {c.name: c for c in configs}
+
+
+#: The paper's model configurations keyed by name (Table 2 plus the 20B baseline).
+MODEL_ZOO: Dict[str, ModelConfig] = _zoo()
+
+#: Names appearing in Table 2 proper, in the paper's column order.
+TABLE2_NAMES: Tuple[str, ...] = ("40B", "52B", "70B", "100B", "120B", "130B", "280B")
+
+
+def model_by_name(name: str) -> ModelConfig:
+    """Look up a paper model configuration by its Table 2 label (e.g. ``"70B"``)."""
+    key = name.strip().upper()
+    if key not in MODEL_ZOO:
+        raise KeyError(f"unknown model {name!r}; known: {sorted(MODEL_ZOO)}")
+    return MODEL_ZOO[key]
+
+
+def smallest_offload_model() -> ModelConfig:
+    """The smallest model whose optimizer state no longer fits in 512 GB host memory.
+
+    The paper uses 40B as the smallest evaluated configuration for exactly
+    this reason (§4.1: "We do not consider models smaller than 40B").
+    """
+    return MODEL_ZOO["40B"]
+
+
+def tiny_test_model(
+    *,
+    num_layers: int = 2,
+    hidden_dim: int = 64,
+    num_heads: int = 4,
+    vocab_size: int = 128,
+    sequence_length: int = 32,
+    name: str = "tiny",
+) -> ModelConfig:
+    """A miniature geometry for functional end-to-end tests."""
+    return ModelConfig(
+        name=name,
+        num_layers=num_layers,
+        hidden_dim=hidden_dim,
+        num_heads=num_heads,
+        vocab_size=vocab_size,
+        sequence_length=sequence_length,
+    )

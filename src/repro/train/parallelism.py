@@ -1,0 +1,119 @@
+"""Data / tensor parallel topology.
+
+The paper's single-node experiments use pure ZeRO-3 data parallelism across
+the node's GPUs; the weak-scaling experiments (§4.4) use tensor parallelism
+within a node (4-way) and data parallelism across nodes, because DeepSpeed
+cannot combine ZeRO-3 with pipeline parallelism.
+
+:class:`ParallelTopology` captures that process grid and the collective
+communication volumes the simulator charges to the interconnect:
+
+* ZeRO-3 parameter gathering: every forward and backward pass all-gathers the
+  FP16 parameters of the layers being executed (the "1.5x higher
+  communication overheads" of §2);
+* gradient reduce-scatter across data-parallel ranks;
+* tensor-parallel activation all-reduces within a node (fast NVLink-class
+  links, charged separately from the inter-node fabric).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.train.model_zoo import FP16_BYTES, ModelConfig
+
+
+@dataclass(frozen=True)
+class ParallelTopology:
+    """A (data-parallel × tensor-parallel) process grid.
+
+    Attributes
+    ----------
+    data_parallel:
+        Number of data-parallel replicas (ZeRO-3 shards the model/optimizer
+        state across these).
+    tensor_parallel:
+        Tensor-parallel degree (within a node in the paper's runs).
+    gpus_per_node:
+        GPUs per compute node; used to derive the node count.
+    """
+
+    data_parallel: int
+    tensor_parallel: int = 1
+    gpus_per_node: int = 4
+
+    def __post_init__(self) -> None:
+        if self.data_parallel < 1 or self.tensor_parallel < 1:
+            raise ValueError("parallel degrees must be >= 1")
+        if self.gpus_per_node < 1:
+            raise ValueError("gpus_per_node must be >= 1")
+
+    @property
+    def world_size(self) -> int:
+        """Total number of worker processes (= GPUs)."""
+        return self.data_parallel * self.tensor_parallel
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of compute nodes, assuming dense packing of GPUs."""
+        return max(1, -(-self.world_size // self.gpus_per_node))
+
+    @property
+    def workers_per_node(self) -> int:
+        return min(self.world_size, self.gpus_per_node)
+
+    # -- communication volume models -------------------------------------
+
+    def zero3_gather_bytes_per_pass(self, model: ModelConfig) -> int:
+        """Bytes all-gathered per rank per forward (or backward) pass.
+
+        ZeRO-3 reconstructs each layer's FP16 parameters on demand: every
+        rank receives the full FP16 parameter set once per pass, i.e.
+        ``(1 - 1/N) * P * 2`` bytes cross the fabric into each rank.
+        """
+        n = self.data_parallel
+        if n == 1:
+            return 0
+        full = model.total_params * FP16_BYTES // max(1, self.tensor_parallel)
+        return int(full * (n - 1) / n)
+
+    def gradient_reduce_bytes(self, model: ModelConfig) -> int:
+        """Bytes reduce-scattered per rank per backward pass (FP16 gradients)."""
+        n = self.data_parallel
+        if n == 1:
+            return 0
+        full = model.total_params * FP16_BYTES // max(1, self.tensor_parallel)
+        return int(full * (n - 1) / n)
+
+    def tensor_parallel_bytes_per_layer(self, model: ModelConfig, micro_batch_size: int = 1) -> int:
+        """Bytes all-reduced within the tensor-parallel group per transformer layer.
+
+        Megatron-style tensor parallelism performs two activation all-reduces
+        per layer, each over an ``S × D_H`` FP16 activation tensor.
+        """
+        if self.tensor_parallel == 1:
+            return 0
+        t = self.tensor_parallel
+        activation = model.sequence_length * model.hidden_dim * FP16_BYTES * micro_batch_size
+        # Ring all-reduce volume per rank: 2 * (t-1)/t * payload, twice per layer.
+        return int(2 * 2 * activation * (t - 1) / t)
+
+    def params_per_rank(self, model: ModelConfig) -> int:
+        """Parameters whose optimizer state each rank owns under ZeRO-3."""
+        return -(-model.total_params // self.world_size)
+
+    @classmethod
+    def single_node(cls, gpus: int = 4) -> "ParallelTopology":
+        """Pure data parallelism on one node (the paper's §4.2 setup)."""
+        return cls(data_parallel=gpus, tensor_parallel=1, gpus_per_node=gpus)
+
+    @classmethod
+    def weak_scaling(cls, num_nodes: int, gpus_per_node: int = 4) -> "ParallelTopology":
+        """Tensor parallel within a node, data parallel across nodes (§4.4)."""
+        if num_nodes < 1:
+            raise ValueError("num_nodes must be >= 1")
+        return cls(
+            data_parallel=num_nodes,
+            tensor_parallel=gpus_per_node,
+            gpus_per_node=gpus_per_node,
+        )

@@ -1,0 +1,396 @@
+"""A functional NumPy decoder-only transformer with hand-written backward pass.
+
+The offloading engines only ever see flat parameter/gradient vectors at
+subgroup granularity, but the end-to-end correctness tests need a *real*
+model producing *real* gradients so that we can verify:
+
+* training with MLP-Offload (real file offloading, reordered updates, delayed
+  gradient conversion) yields exactly the same parameters as an in-memory
+  reference run;
+* the cache-friendly reordering does not change results (order independence
+  of the Adam update);
+* gradient accumulation across micro-batches matches large-batch training.
+
+This module implements a small GPT-style causal language model — token and
+positional embeddings, pre-LayerNorm attention and GELU MLP blocks with
+residual connections, and a tied LM head — entirely in NumPy with a manual
+backward pass.  Parameters live in a single flat FP32 vector so that ZeRO-3
+style sharding (:mod:`repro.train.sharding`) applies directly.
+
+The implementation favours clarity and testability over speed (the paper's
+figures come from the simulator, not from this model), but all inner loops
+are vectorized over batch/sequence dimensions per the HPC guides.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.train.model_zoo import ModelConfig
+
+
+@dataclass(frozen=True)
+class ParameterSpec:
+    """One named parameter tensor inside the flat parameter vector."""
+
+    name: str
+    shape: Tuple[int, ...]
+    offset: int
+
+    @property
+    def size(self) -> int:
+        return int(np.prod(self.shape, dtype=np.int64))
+
+    @property
+    def stop(self) -> int:
+        return self.offset + self.size
+
+
+def _gelu(x: np.ndarray) -> np.ndarray:
+    """Tanh-approximated GELU (the Megatron/GPT-2 variant)."""
+    return 0.5 * x * (1.0 + np.tanh(math.sqrt(2.0 / math.pi) * (x + 0.044715 * x**3)))
+
+
+def _gelu_grad(x: np.ndarray) -> np.ndarray:
+    c = math.sqrt(2.0 / math.pi)
+    inner = c * (x + 0.044715 * x**3)
+    tanh_inner = np.tanh(inner)
+    sech2 = 1.0 - tanh_inner**2
+    return 0.5 * (1.0 + tanh_inner) + 0.5 * x * sech2 * c * (1.0 + 3 * 0.044715 * x**2)
+
+
+def _layer_norm(x: np.ndarray, gamma: np.ndarray, beta: np.ndarray, eps: float = 1e-5):
+    mean = x.mean(axis=-1, keepdims=True)
+    var = x.var(axis=-1, keepdims=True)
+    inv_std = 1.0 / np.sqrt(var + eps)
+    x_hat = (x - mean) * inv_std
+    out = x_hat * gamma + beta
+    cache = (x_hat, inv_std, gamma)
+    return out, cache
+
+
+def _layer_norm_backward(dout: np.ndarray, cache) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    x_hat, inv_std, gamma = cache
+    d = x_hat.shape[-1]
+    dgamma = (dout * x_hat).sum(axis=tuple(range(dout.ndim - 1)))
+    dbeta = dout.sum(axis=tuple(range(dout.ndim - 1)))
+    dx_hat = dout * gamma
+    dx = (
+        dx_hat
+        - dx_hat.mean(axis=-1, keepdims=True)
+        - x_hat * (dx_hat * x_hat).mean(axis=-1, keepdims=True)
+    ) * inv_std
+    return dx, dgamma, dbeta
+
+
+def _softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    shifted = x - x.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+class TransformerLM:
+    """GPT-style causal language model over a flat FP32 parameter vector."""
+
+    def __init__(self, config: ModelConfig, *, init_std: float = 0.02) -> None:
+        self.config = config
+        self.init_std = init_std
+        self._specs: List[ParameterSpec] = []
+        self._index: Dict[str, ParameterSpec] = {}
+        self._build_layout()
+
+    # -- parameter layout --------------------------------------------------
+
+    def _register(self, name: str, shape: Tuple[int, ...], offset: int) -> int:
+        spec = ParameterSpec(name=name, shape=shape, offset=offset)
+        self._specs.append(spec)
+        self._index[name] = spec
+        return offset + spec.size
+
+    def _build_layout(self) -> None:
+        c = self.config
+        d = c.hidden_dim
+        offset = 0
+        offset = self._register("tok_emb", (c.vocab_size, d), offset)
+        offset = self._register("pos_emb", (c.sequence_length, d), offset)
+        for layer in range(c.num_layers):
+            prefix = f"layer{layer}."
+            offset = self._register(prefix + "ln1_g", (d,), offset)
+            offset = self._register(prefix + "ln1_b", (d,), offset)
+            offset = self._register(prefix + "w_qkv", (d, 3 * d), offset)
+            offset = self._register(prefix + "b_qkv", (3 * d,), offset)
+            offset = self._register(prefix + "w_out", (d, d), offset)
+            offset = self._register(prefix + "b_out", (d,), offset)
+            offset = self._register(prefix + "ln2_g", (d,), offset)
+            offset = self._register(prefix + "ln2_b", (d,), offset)
+            offset = self._register(prefix + "w_fc", (d, 4 * d), offset)
+            offset = self._register(prefix + "b_fc", (4 * d,), offset)
+            offset = self._register(prefix + "w_proj", (4 * d, d), offset)
+            offset = self._register(prefix + "b_proj", (d,), offset)
+        offset = self._register("lnf_g", (d,), offset)
+        offset = self._register("lnf_b", (d,), offset)
+        self._num_params = offset
+
+    @property
+    def num_params(self) -> int:
+        """Total number of trainable parameters of the functional model."""
+        return self._num_params
+
+    @property
+    def parameter_specs(self) -> Tuple[ParameterSpec, ...]:
+        return tuple(self._specs)
+
+    def spec(self, name: str) -> ParameterSpec:
+        return self._index[name]
+
+    def view(self, flat: np.ndarray, name: str) -> np.ndarray:
+        """A reshaped view of parameter ``name`` inside the flat vector ``flat``."""
+        spec = self._index[name]
+        return flat[spec.offset : spec.stop].reshape(spec.shape)
+
+    def init_params(self, seed: int = 0) -> np.ndarray:
+        """Initialize a flat FP32 parameter vector (GPT-2 style initialization)."""
+        rng = np.random.default_rng(seed)
+        flat = np.zeros(self._num_params, dtype=np.float32)
+        scale_proj = self.init_std / math.sqrt(2.0 * self.config.num_layers)
+        for spec in self._specs:
+            view = flat[spec.offset : spec.stop].reshape(spec.shape)
+            if spec.name.endswith(("_g", "lnf_g")):
+                view[...] = 1.0
+            elif spec.name.endswith("_b") or spec.name.endswith(("b_qkv", "b_fc", "b_proj", "b_out")):
+                view[...] = 0.0
+            elif spec.name.endswith(("w_proj", "w_out")):
+                view[...] = rng.normal(0.0, scale_proj, size=spec.shape)
+            else:
+                view[...] = rng.normal(0.0, self.init_std, size=spec.shape)
+        return flat
+
+    # -- forward / backward -------------------------------------------------
+
+    def forward(self, flat_params: np.ndarray, tokens: np.ndarray, targets: np.ndarray):
+        """Compute mean next-token cross-entropy loss and the backward cache.
+
+        ``flat_params`` may be FP16 or FP32; compute happens in FP32 (matching
+        the numerics of FP16-storage/FP32-accumulate mixed precision closely
+        enough for the correctness tests, which compare like with like).
+        """
+        if tokens.ndim != 2:
+            raise ValueError("tokens must be (batch, sequence)")
+        if tokens.shape != targets.shape:
+            raise ValueError("tokens and targets must share a shape")
+        c = self.config
+        batch, seq = tokens.shape
+        if seq > c.sequence_length:
+            raise ValueError(f"sequence length {seq} exceeds model maximum {c.sequence_length}")
+        params = flat_params.astype(np.float32, copy=False)
+
+        tok_emb = self.view(params, "tok_emb")
+        pos_emb = self.view(params, "pos_emb")
+        x = tok_emb[tokens] + pos_emb[:seq][None, :, :]
+
+        mask = np.triu(np.ones((seq, seq), dtype=bool), k=1)
+        layer_caches = []
+        for layer in range(c.num_layers):
+            x, cache = self._layer_forward(params, layer, x, mask)
+            layer_caches.append(cache)
+
+        lnf_out, lnf_cache = _layer_norm(x, self.view(params, "lnf_g"), self.view(params, "lnf_b"))
+        logits = lnf_out @ tok_emb.T
+        probs = _softmax(logits, axis=-1)
+        # Mean token cross entropy.
+        flat_probs = probs.reshape(-1, c.vocab_size)
+        flat_targets = targets.reshape(-1)
+        nll = -np.log(np.clip(flat_probs[np.arange(flat_targets.size), flat_targets], 1e-12, None))
+        loss = float(nll.mean())
+
+        cache = {
+            "tokens": tokens,
+            "targets": targets,
+            "probs": probs,
+            "lnf_out": lnf_out,
+            "lnf_cache": lnf_cache,
+            "layer_caches": layer_caches,
+            "params": params,
+            "mask": mask,
+            "seq": seq,
+        }
+        return loss, cache
+
+    def _layer_forward(self, params: np.ndarray, layer: int, x: np.ndarray, mask: np.ndarray):
+        c = self.config
+        d = c.hidden_dim
+        h = c.num_heads
+        dh = c.head_dim
+        prefix = f"layer{layer}."
+        batch, seq, _ = x.shape
+
+        ln1_out, ln1_cache = _layer_norm(
+            x, self.view(params, prefix + "ln1_g"), self.view(params, prefix + "ln1_b")
+        )
+        w_qkv = self.view(params, prefix + "w_qkv")
+        b_qkv = self.view(params, prefix + "b_qkv")
+        qkv = ln1_out @ w_qkv + b_qkv
+        q, k, v = np.split(qkv, 3, axis=-1)
+        # (batch, heads, seq, head_dim)
+        q = q.reshape(batch, seq, h, dh).transpose(0, 2, 1, 3)
+        k = k.reshape(batch, seq, h, dh).transpose(0, 2, 1, 3)
+        v = v.reshape(batch, seq, h, dh).transpose(0, 2, 1, 3)
+        scores = q @ k.transpose(0, 1, 3, 2) / math.sqrt(dh)
+        scores = np.where(mask[None, None, :, :], -1e9, scores)
+        attn = _softmax(scores, axis=-1)
+        ctx = attn @ v  # (batch, heads, seq, head_dim)
+        ctx_merged = ctx.transpose(0, 2, 1, 3).reshape(batch, seq, d)
+        w_out = self.view(params, prefix + "w_out")
+        b_out = self.view(params, prefix + "b_out")
+        attn_out = ctx_merged @ w_out + b_out
+        x_attn = x + attn_out
+
+        ln2_out, ln2_cache = _layer_norm(
+            x_attn, self.view(params, prefix + "ln2_g"), self.view(params, prefix + "ln2_b")
+        )
+        w_fc = self.view(params, prefix + "w_fc")
+        b_fc = self.view(params, prefix + "b_fc")
+        fc_pre = ln2_out @ w_fc + b_fc
+        fc_act = _gelu(fc_pre)
+        w_proj = self.view(params, prefix + "w_proj")
+        b_proj = self.view(params, prefix + "b_proj")
+        mlp_out = fc_act @ w_proj + b_proj
+        out = x_attn + mlp_out
+
+        cache = {
+            "ln1_out": ln1_out,
+            "ln1_cache": ln1_cache,
+            "q": q,
+            "k": k,
+            "v": v,
+            "attn": attn,
+            "ctx_merged": ctx_merged,
+            "x_attn": x_attn,
+            "ln2_out": ln2_out,
+            "ln2_cache": ln2_cache,
+            "fc_pre": fc_pre,
+            "fc_act": fc_act,
+        }
+        return out, cache
+
+    def backward(self, cache) -> np.ndarray:
+        """Compute the flat FP32 gradient of the mean loss w.r.t. every parameter."""
+        c = self.config
+        params = cache["params"]
+        tokens = cache["tokens"]
+        targets = cache["targets"]
+        probs = cache["probs"]
+        seq = cache["seq"]
+        batch = tokens.shape[0]
+        grads = np.zeros(self._num_params, dtype=np.float32)
+
+        tok_emb = self.view(params, "tok_emb")
+        d_tok_emb = self.view(grads, "tok_emb")
+        d_pos_emb = self.view(grads, "pos_emb")
+
+        # Cross-entropy + softmax backward.
+        dlogits = probs.copy()
+        flat = dlogits.reshape(-1, c.vocab_size)
+        flat[np.arange(targets.size), targets.reshape(-1)] -= 1.0
+        dlogits /= float(targets.size)
+
+        lnf_out = cache["lnf_out"]
+        # logits = lnf_out @ tok_emb.T  (tied head)
+        d_lnf_out = dlogits @ tok_emb
+        d_tok_emb += np.einsum("bsv,bsd->vd", dlogits, lnf_out)
+
+        dx, dgamma, dbeta = _layer_norm_backward(d_lnf_out, cache["lnf_cache"])
+        self.view(grads, "lnf_g")[...] += dgamma
+        self.view(grads, "lnf_b")[...] += dbeta
+
+        for layer in reversed(range(c.num_layers)):
+            dx = self._layer_backward(params, grads, layer, dx, cache["layer_caches"][layer], cache["mask"])
+
+        # Embedding lookups.
+        np.add.at(d_tok_emb, tokens.reshape(-1), dx.reshape(-1, c.hidden_dim))
+        d_pos_emb[:seq] += dx.sum(axis=0)
+        return grads
+
+    def _layer_backward(self, params, grads, layer: int, dout: np.ndarray, cache, mask) -> np.ndarray:
+        c = self.config
+        d = c.hidden_dim
+        h = c.num_heads
+        dh = c.head_dim
+        prefix = f"layer{layer}."
+        batch, seq, _ = dout.shape
+
+        # out = x_attn + mlp_out
+        d_x_attn = dout.copy()
+        d_mlp_out = dout
+
+        # MLP branch.
+        fc_act = cache["fc_act"]
+        w_proj = self.view(params, prefix + "w_proj")
+        self.view(grads, prefix + "w_proj")[...] += np.einsum("bsf,bsd->fd", fc_act, d_mlp_out)
+        self.view(grads, prefix + "b_proj")[...] += d_mlp_out.sum(axis=(0, 1))
+        d_fc_act = d_mlp_out @ w_proj.T
+        d_fc_pre = d_fc_act * _gelu_grad(cache["fc_pre"])
+        ln2_out = cache["ln2_out"]
+        w_fc = self.view(params, prefix + "w_fc")
+        self.view(grads, prefix + "w_fc")[...] += np.einsum("bsd,bsf->df", ln2_out, d_fc_pre)
+        self.view(grads, prefix + "b_fc")[...] += d_fc_pre.sum(axis=(0, 1))
+        d_ln2_out = d_fc_pre @ w_fc.T
+        d_x_attn_from_ln2, dgamma2, dbeta2 = _layer_norm_backward(d_ln2_out, cache["ln2_cache"])
+        self.view(grads, prefix + "ln2_g")[...] += dgamma2
+        self.view(grads, prefix + "ln2_b")[...] += dbeta2
+        d_x_attn += d_x_attn_from_ln2
+
+        # x_attn = x + attn_out
+        d_x = d_x_attn.copy()
+        d_attn_out = d_x_attn
+
+        ctx_merged = cache["ctx_merged"]
+        w_out = self.view(params, prefix + "w_out")
+        self.view(grads, prefix + "w_out")[...] += np.einsum("bsd,bse->de", ctx_merged, d_attn_out)
+        self.view(grads, prefix + "b_out")[...] += d_attn_out.sum(axis=(0, 1))
+        d_ctx_merged = d_attn_out @ w_out.T
+        d_ctx = d_ctx_merged.reshape(batch, seq, h, dh).transpose(0, 2, 1, 3)
+
+        attn = cache["attn"]
+        v = cache["v"]
+        d_attn = d_ctx @ v.transpose(0, 1, 3, 2)
+        d_v = attn.transpose(0, 1, 3, 2) @ d_ctx
+        # Softmax backward.
+        d_scores = attn * (d_attn - (d_attn * attn).sum(axis=-1, keepdims=True))
+        d_scores = np.where(mask[None, None, :, :], 0.0, d_scores)
+        d_scores /= math.sqrt(dh)
+        q = cache["q"]
+        k = cache["k"]
+        d_q = d_scores @ k
+        d_k = d_scores.transpose(0, 1, 3, 2) @ q
+
+        # Merge heads back and propagate through the QKV projection.
+        def merge(t: np.ndarray) -> np.ndarray:
+            return t.transpose(0, 2, 1, 3).reshape(batch, seq, d)
+
+        d_qkv = np.concatenate([merge(d_q), merge(d_k), merge(d_v)], axis=-1)
+        ln1_out = cache["ln1_out"]
+        w_qkv = self.view(params, prefix + "w_qkv")
+        self.view(grads, prefix + "w_qkv")[...] += np.einsum("bsd,bse->de", ln1_out, d_qkv)
+        self.view(grads, prefix + "b_qkv")[...] += d_qkv.sum(axis=(0, 1))
+        d_ln1_out = d_qkv @ w_qkv.T
+        d_x_from_ln1, dgamma1, dbeta1 = _layer_norm_backward(d_ln1_out, cache["ln1_cache"])
+        self.view(grads, prefix + "ln1_g")[...] += dgamma1
+        self.view(grads, prefix + "ln1_b")[...] += dbeta1
+        d_x += d_x_from_ln1
+        return d_x
+
+    # -- convenience ---------------------------------------------------------
+
+    def loss_and_grad(self, flat_params: np.ndarray, tokens: np.ndarray, targets: np.ndarray):
+        """Forward + backward in one call; returns ``(loss, flat_grads)``."""
+        loss, cache = self.forward(flat_params, tokens, targets)
+        return loss, self.backward(cache)
+
+    def loss(self, flat_params: np.ndarray, tokens: np.ndarray, targets: np.ndarray) -> float:
+        loss, _ = self.forward(flat_params, tokens, targets)
+        return loss

@@ -1,0 +1,22 @@
+"""Shared utilities: byte-size arithmetic, timers and structured logging."""
+
+from repro.util.bytesize import (
+    GiB,
+    KiB,
+    MiB,
+    TiB,
+    format_bytes,
+    parse_bytes,
+)
+from repro.util.timer import PhaseTimer, Stopwatch
+
+__all__ = [
+    "KiB",
+    "MiB",
+    "GiB",
+    "TiB",
+    "format_bytes",
+    "parse_bytes",
+    "Stopwatch",
+    "PhaseTimer",
+]

@@ -1,0 +1,102 @@
+"""Lightweight wall-clock timers used by the functional engine and benches."""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+
+class Stopwatch:
+    """A resumable monotonic stopwatch.
+
+    The functional offloading engine uses stopwatches to attribute wall-clock
+    time to phases (fetch, compute, flush) without assuming the phases are
+    contiguous.
+    """
+
+    def __init__(self) -> None:
+        self._elapsed = 0.0
+        self._started_at: float | None = None
+
+    def start(self) -> None:
+        if self._started_at is not None:
+            raise RuntimeError("stopwatch already running")
+        self._started_at = time.perf_counter()
+
+    def stop(self) -> float:
+        if self._started_at is None:
+            raise RuntimeError("stopwatch not running")
+        self._elapsed += time.perf_counter() - self._started_at
+        self._started_at = None
+        return self._elapsed
+
+    def reset(self) -> None:
+        self._elapsed = 0.0
+        self._started_at = None
+
+    @property
+    def running(self) -> bool:
+        return self._started_at is not None
+
+    @property
+    def elapsed(self) -> float:
+        """Total accumulated seconds (including the in-flight interval)."""
+        extra = 0.0
+        if self._started_at is not None:
+            extra = time.perf_counter() - self._started_at
+        return self._elapsed + extra
+
+    @contextmanager
+    def measure(self) -> Iterator["Stopwatch"]:
+        self.start()
+        try:
+            yield self
+        finally:
+            self.stop()
+
+
+class PhaseTimer:
+    """Accumulates wall-clock time per named phase.
+
+    Used by the functional trainer to produce the same iteration-time
+    breakdown (forward / backward / update) reported in the paper's figures.
+    """
+
+    def __init__(self) -> None:
+        self._totals: Dict[str, float] = defaultdict(float)
+        self._counts: Dict[str, int] = defaultdict(int)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self._totals[name] += time.perf_counter() - start
+            self._counts[name] += 1
+
+    def add(self, name: str, seconds: float) -> None:
+        """Record ``seconds`` against ``name`` without timing anything."""
+        if seconds < 0:
+            raise ValueError("cannot record negative time")
+        self._totals[name] += seconds
+        self._counts[name] += 1
+
+    def total(self, name: str) -> float:
+        return self._totals.get(name, 0.0)
+
+    def count(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def mean(self, name: str) -> float:
+        count = self._counts.get(name, 0)
+        return self._totals.get(name, 0.0) / count if count else 0.0
+
+    def totals(self) -> Dict[str, float]:
+        return dict(self._totals)
+
+    def reset(self) -> None:
+        self._totals.clear()
+        self._counts.clear()

@@ -1,0 +1,26 @@
+"""Baseline offloading engines: DeepSpeed ZeRO-3 style and ablation variants.
+
+The paper compares MLP-Offload against DeepSpeed ZeRO-3 with NVMe optimizer
+offloading through the DeepNVMe engine (§4.1, "Compared Approaches") and runs
+an ablation that enables the design principles one by one (§4.6,
+Figures 14–15).  Both are expressed here as configurations of the shared
+functional engine:
+
+* :class:`~repro.zero.zero3_engine.ZeRO3OffloadEngine` — sequential subgroup
+  order, FP32 gradient flush during backward, single (NVMe) tier, no
+  node-level concurrency control;
+* :mod:`repro.zero.variants` — the progressive ablation ladder used by
+  Figures 14 and 15.
+"""
+
+from repro.zero.zero3_engine import ZeRO3OffloadEngine, zero3_config
+from repro.zero.variants import ABLATION_LADDER_NVME, ABLATION_LADDER_MULTIPATH, AblationVariant, variant_config
+
+__all__ = [
+    "ZeRO3OffloadEngine",
+    "zero3_config",
+    "AblationVariant",
+    "variant_config",
+    "ABLATION_LADDER_NVME",
+    "ABLATION_LADDER_MULTIPATH",
+]

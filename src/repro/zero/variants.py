@@ -1,0 +1,124 @@
+"""Ablation variants (paper §4.6, Figures 14 and 15).
+
+The paper evaluates the design principles by *progressive activation*:
+
+Figure 14 (node-local NVMe only)
+    1. ``DeepSpeed ZeRO-3`` — the baseline;
+    2. ``Enable Caching`` — + cache-friendly subgroup reordering;
+    3. ``Skip Gradients`` — + delayed in-place gradient conversion;
+    4. ``Process Atomic R/W`` — + tier-exclusive concurrency control.
+
+Figure 15 (NVMe + PFS)
+    1. ``Multi-Path (with caching)`` — multi-path offloading + caching;
+    2. ``MP Skip Grads`` — + delayed gradient conversion;
+    3. ``Our Approach`` — + concurrency control (all principles on).
+
+Each variant is simply an :class:`~repro.core.config.MLPOffloadConfig` with
+the corresponding switches, so it can drive both the functional engine and
+the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+from repro.core.config import MLPOffloadConfig
+
+
+@dataclass(frozen=True)
+class AblationVariant:
+    """One rung of the ablation ladder."""
+
+    name: str
+    label: str
+    multipath: bool
+    cache_reorder: bool
+    delayed_grads: bool
+    tier_locks: bool
+
+    def apply(self, config: MLPOffloadConfig) -> MLPOffloadConfig:
+        """Derive this variant's configuration from a full MLP-Offload config."""
+        tiers = config.tiers if self.multipath else (config.primary_tier,)
+        return replace(
+            config,
+            tiers=tiers,
+            enable_multipath=self.multipath,
+            enable_cache_reorder=self.cache_reorder,
+            enable_delayed_grad_conversion=self.delayed_grads,
+            enable_tier_locks=self.tier_locks,
+        )
+
+
+#: Figure 14's ladder: single tier, principles enabled one at a time.
+ABLATION_LADDER_NVME: Tuple[AblationVariant, ...] = (
+    AblationVariant(
+        name="zero3",
+        label="DeepSpeed ZeRO-3",
+        multipath=False,
+        cache_reorder=False,
+        delayed_grads=False,
+        tier_locks=False,
+    ),
+    AblationVariant(
+        name="caching",
+        label="Enable Caching",
+        multipath=False,
+        cache_reorder=True,
+        delayed_grads=False,
+        tier_locks=False,
+    ),
+    AblationVariant(
+        name="skip_gradients",
+        label="Skip Gradients",
+        multipath=False,
+        cache_reorder=True,
+        delayed_grads=True,
+        tier_locks=False,
+    ),
+    AblationVariant(
+        name="atomic_rw",
+        label="Process Atomic R/W",
+        multipath=False,
+        cache_reorder=True,
+        delayed_grads=True,
+        tier_locks=True,
+    ),
+)
+
+#: Figure 15's ladder: multi-path enabled throughout, remaining principles added.
+ABLATION_LADDER_MULTIPATH: Tuple[AblationVariant, ...] = (
+    AblationVariant(
+        name="multipath_caching",
+        label="Multi-Path (with caching)",
+        multipath=True,
+        cache_reorder=True,
+        delayed_grads=False,
+        tier_locks=False,
+    ),
+    AblationVariant(
+        name="multipath_skip_grads",
+        label="MP Skip Grads",
+        multipath=True,
+        cache_reorder=True,
+        delayed_grads=True,
+        tier_locks=False,
+    ),
+    AblationVariant(
+        name="mlp_offload",
+        label="Our Approach",
+        multipath=True,
+        cache_reorder=True,
+        delayed_grads=True,
+        tier_locks=True,
+    ),
+)
+
+
+def variant_config(variant_name: str, config: MLPOffloadConfig) -> MLPOffloadConfig:
+    """Look up a variant by name across both ladders and apply it to ``config``."""
+    for variant in ABLATION_LADDER_NVME + ABLATION_LADDER_MULTIPATH:
+        if variant.name == variant_name:
+            return variant.apply(config)
+    known = [v.name for v in ABLATION_LADDER_NVME + ABLATION_LADDER_MULTIPATH]
+    raise KeyError(f"unknown ablation variant {variant_name!r}; known: {known}")

@@ -1,0 +1,58 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import MLPOffloadConfig, TierConfig
+from repro.train.adam import AdamConfig
+from repro.train.model_zoo import tiny_test_model
+from repro.train.sharding import build_shard_layout
+from repro.train.transformer import TransformerLM
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def tier_dirs(tmp_path):
+    """Two tier directories standing in for the node-local NVMe and the PFS."""
+    local = tmp_path / "nvme"
+    remote = tmp_path / "pfs"
+    local.mkdir()
+    remote.mkdir()
+    return {"nvme": local, "pfs": remote}
+
+
+@pytest.fixture
+def two_tier_config(tier_dirs) -> MLPOffloadConfig:
+    """A small fully-enabled MLP-Offload configuration over two file tiers."""
+    return MLPOffloadConfig(
+        tiers=(
+            TierConfig(name="nvme", path=str(tier_dirs["nvme"]), read_bw=6.9e9, write_bw=5.3e9),
+            TierConfig(name="pfs", path=str(tier_dirs["pfs"]), read_bw=3.6e9, write_bw=3.6e9),
+        ),
+        subgroup_size=1000,
+        host_cache_bytes=64 * 1024,
+        adam=AdamConfig(lr=1e-3),
+    )
+
+
+@pytest.fixture
+def tiny_model():
+    """A miniature transformer geometry for functional end-to-end tests."""
+    return tiny_test_model(num_layers=2, hidden_dim=32, num_heads=4, vocab_size=64, sequence_length=16)
+
+
+@pytest.fixture
+def tiny_transformer(tiny_model) -> TransformerLM:
+    return TransformerLM(tiny_model)
+
+
+@pytest.fixture
+def small_layout():
+    """A single-rank layout of 10,000 parameters split into 1,000-parameter subgroups."""
+    return build_shard_layout(total_params=10_000, num_ranks=1, subgroup_size=1_000)

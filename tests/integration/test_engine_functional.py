@@ -1,0 +1,264 @@
+"""Integration tests of the functional offloading engines against real file tiers.
+
+These tests exercise the full Algorithm 1 path — placement, prefetch, host
+cache, delayed gradient conversion, CPU Adam, lazy flush — on small state and
+verify numerical equivalence with an offloading-free reference.
+"""
+
+import numpy as np
+import pytest
+
+from repro.aio.locks import TierLockManager
+from repro.core.config import MLPOffloadConfig, TierConfig
+from repro.core.engine import MLPOffloadEngine
+from repro.core.gradient_policy import GradientConversionPolicy
+from repro.tiers.file_store import StoreError
+from repro.train.adam import AdamConfig, AdamState, adam_update
+from repro.train.sharding import build_shard_layout, flat_views
+from repro.zero.zero3_engine import ZeRO3OffloadEngine
+
+TOTAL_PARAMS = 5_000
+SUBGROUP = 600
+
+
+@pytest.fixture
+def layout():
+    return build_shard_layout(TOTAL_PARAMS, num_ranks=1, subgroup_size=SUBGROUP)
+
+
+@pytest.fixture
+def config(tier_dirs):
+    return MLPOffloadConfig(
+        tiers=(
+            TierConfig("nvme", str(tier_dirs["nvme"]), read_bw=6.9e9, write_bw=5.3e9),
+            TierConfig("pfs", str(tier_dirs["pfs"]), read_bw=3.6e9, write_bw=3.6e9),
+        ),
+        subgroup_size=SUBGROUP,
+        host_cache_bytes=3 * SUBGROUP * 12,  # three subgroups' optimizer state
+        adam=AdamConfig(lr=1e-2),
+    )
+
+
+def _reference_update(initial, grads_per_iter, adam, layout):
+    """Offloading-free reference: same accumulator-free math, in memory."""
+    views = flat_views(None, layout, 0)
+    states = {i: AdamState.zeros(v.stop - v.start, init=initial[v]) for i, v in views.items()}
+    for grads in grads_per_iter:
+        for i, v in views.items():
+            grad_fp32 = grads[v].astype(np.float16).astype(np.float32)
+            adam_update(states[i], grad_fp32, adam)
+    out = np.empty(TOTAL_PARAMS, dtype=np.float32)
+    for i, v in views.items():
+        out[v] = states[i].params
+    return out
+
+
+def _drive_engine(engine, initial, grads_per_iter, layout):
+    views = flat_views(None, layout, 0)
+    engine.initialize(initial.copy())
+    fp16 = initial.astype(np.float16)
+    reports = []
+    for grads in grads_per_iter:
+        for i, v in views.items():
+            engine.on_backward_gradient(i, grads[v].astype(np.float16))
+        engine.on_microbatch_complete()
+        reports.append(engine.run_update(fp16))
+    return fp16, reports
+
+
+@pytest.fixture
+def training_inputs(rng):
+    initial = rng.standard_normal(TOTAL_PARAMS).astype(np.float32)
+    grads = [rng.standard_normal(TOTAL_PARAMS).astype(np.float32) * 0.1 for _ in range(4)]
+    return initial, grads
+
+
+class TestNumericalEquivalence:
+    def test_mlp_offload_matches_in_memory_reference_bitwise(self, config, layout, training_inputs):
+        initial, grads = training_inputs
+        expected = _reference_update(initial, grads, config.adam, layout)
+        with MLPOffloadEngine(config, layout, rank=0) as engine:
+            _drive_engine(engine, initial, grads, layout)
+            master = engine.fetch_master_params()
+        np.testing.assert_array_equal(master, expected)
+
+    def test_zero3_baseline_reaches_the_same_parameters(self, config, layout, training_inputs):
+        initial, grads = training_inputs
+        with MLPOffloadEngine(config, layout, rank=0) as ours_engine:
+            _drive_engine(ours_engine, initial, grads, layout)
+            ours = ours_engine.fetch_master_params()
+        with ZeRO3OffloadEngine(config, layout, rank=0) as base_engine:
+            _drive_engine(base_engine, initial, grads, layout)
+            baseline = base_engine.fetch_master_params()
+        # The baseline converts gradients through an extra FP16->FP32->disk
+        # round-trip, so allow for half-precision rounding only.
+        np.testing.assert_allclose(ours, baseline, rtol=1e-3, atol=1e-5)
+
+    def test_update_order_reversal_does_not_change_results(self, config, layout, training_inputs):
+        from dataclasses import replace
+
+        initial, grads = training_inputs
+        sequential_cfg = replace(config, enable_cache_reorder=False)
+        with MLPOffloadEngine(config, layout, rank=0) as alternating:
+            _drive_engine(alternating, initial, grads, layout)
+            result_alt = alternating.fetch_master_params()
+        with MLPOffloadEngine(sequential_cfg, layout, rank=0) as sequential:
+            _drive_engine(sequential, initial, grads, layout)
+            result_seq = sequential.fetch_master_params()
+        np.testing.assert_array_equal(result_alt, result_seq)
+
+    def test_fp16_working_copy_tracks_master(self, config, layout, training_inputs):
+        initial, grads = training_inputs
+        with MLPOffloadEngine(config, layout, rank=0) as engine:
+            fp16, _ = _drive_engine(engine, initial, grads, layout)
+            master = engine.fetch_master_params()
+        np.testing.assert_array_equal(fp16, master.astype(np.float16))
+
+
+class TestEngineBehaviour:
+    def test_ordering_alternates_between_updates(self, config, layout, training_inputs):
+        initial, grads = training_inputs
+        with MLPOffloadEngine(config, layout, rank=0) as engine:
+            _, reports = _drive_engine(engine, initial, grads, layout)
+        assert reports[0].order == sorted(reports[0].order)
+        assert reports[1].order == sorted(reports[1].order, reverse=True)
+        assert reports[2].order == reports[0].order
+
+    def test_baseline_keeps_sequential_order(self, config, layout, training_inputs):
+        initial, grads = training_inputs
+        with ZeRO3OffloadEngine(config, layout, rank=0) as engine:
+            _, reports = _drive_engine(engine, initial, grads, layout)
+        assert all(r.order == sorted(r.order) for r in reports)
+
+    def test_cache_reordering_produces_hits(self, config, layout, training_inputs):
+        initial, grads = training_inputs
+        with MLPOffloadEngine(config, layout, rank=0) as engine:
+            _, reports = _drive_engine(engine, initial, grads, layout)
+        # From the second update phase on, the alternating order re-uses the
+        # subgroups still resident in the host cache.
+        assert reports[1].stats.cache_hits > 0
+        assert reports[1].stats.skipped_flushes > 0
+
+    def test_subgroups_distributed_across_both_tiers(self, config, layout, training_inputs):
+        initial, grads = training_inputs
+        with MLPOffloadEngine(config, layout, rank=0) as engine:
+            _drive_engine(engine, initial, grads, layout)
+            distribution = engine.tier_distribution()
+            placement_counts = engine.tier.placement.counts()
+        assert placement_counts["nvme"] > 0 and placement_counts["pfs"] > 0
+        assert set(distribution) >= {"nvme", "pfs", "host"}
+        total = sum(distribution.values())
+        assert total == pytest.approx(sum(sg.optimizer_state_bytes for sg in engine.subgroups))
+
+    def test_baseline_flushes_fp32_gradients_during_backward(self, config, layout, training_inputs):
+        initial, grads = training_inputs
+        with ZeRO3OffloadEngine(config, layout, rank=0) as engine:
+            assert engine.gradient_policy is GradientConversionPolicy.FLUSH_FP32
+            views = flat_views(None, layout, 0)
+            engine.initialize(initial.copy())
+            seconds = 0.0
+            for i, v in views.items():
+                seconds += engine.on_backward_gradient(i, grads[0][v].astype(np.float16))
+            assert seconds > 0.0
+            summary = engine.tier.io_summary()
+            assert summary["nvme"]["bytes_written"] > 0
+
+    def test_mlp_offload_backward_hook_is_free_of_io(self, config, layout, training_inputs):
+        initial, grads = training_inputs
+        with MLPOffloadEngine(config, layout, rank=0) as engine:
+            engine.initialize(initial.copy())
+            before = engine.tier.io_summary()
+            views = flat_views(None, layout, 0)
+            for i, v in views.items():
+                assert engine.on_backward_gradient(i, grads[0][v].astype(np.float16)) == 0.0
+            after = engine.tier.io_summary()
+        assert before == after
+
+    def test_adaptive_bandwidth_estimates_update(self, config, layout, training_inputs):
+        initial, grads = training_inputs
+        with MLPOffloadEngine(config, layout, rank=0) as engine:
+            _, reports = _drive_engine(engine, initial, grads, layout)
+        assert set(reports[-1].bandwidth_estimates) == {"nvme", "pfs"}
+        # Real tmpfs-backed I/O is far faster than the configured 5.3/3.6 GB/s
+        # hints, so at least one adaptive estimate must have moved upward.
+        assert any(
+            reports[-1].bandwidth_estimates[t] != config.bandwidth_hints()[t]
+            for t in ("nvme", "pfs")
+        )
+
+    def test_two_workers_share_a_lock_manager(self, tier_dirs, rng):
+        layout = build_shard_layout(4_000, num_ranks=2, subgroup_size=500)
+        config = MLPOffloadConfig(
+            tiers=(
+                TierConfig("nvme", str(tier_dirs["nvme"]), read_bw=5e9, write_bw=5e9),
+                TierConfig("pfs", str(tier_dirs["pfs"]), read_bw=3e9, write_bw=3e9),
+            ),
+            subgroup_size=500,
+            host_cache_bytes=2 * 500 * 12,
+        )
+        manager = TierLockManager()
+        engines = [
+            MLPOffloadEngine(config, layout, rank=r, lock_manager=manager) for r in range(2)
+        ]
+        try:
+            for rank, engine in enumerate(engines):
+                rank_params = layout.rank_params(rank)
+                engine.initialize(rng.standard_normal(rank_params).astype(np.float32))
+                for sg in engine.subgroups:
+                    engine.on_backward_gradient(
+                        sg.index, rng.standard_normal(sg.num_params).astype(np.float16)
+                    )
+                engine.on_microbatch_complete()
+                fp16 = np.zeros(rank_params, dtype=np.float16)
+                report = engine.run_update(fp16)
+                assert report.stats.subgroups_processed == len(engine.subgroups)
+            assert manager.stats("nvme").acquisitions > 0
+        finally:
+            for engine in engines:
+                engine.close()
+
+
+class TestFailureInjection:
+    def test_missing_subgroup_blob_surfaces_as_error(self, config, layout, training_inputs, tier_dirs):
+        initial, grads = training_inputs
+        engine = MLPOffloadEngine(config, layout, rank=0)
+        try:
+            engine.initialize(initial.copy())
+            # Corrupt the offloaded state: delete every blob from both tiers
+            # and drop the host cache so fetches must hit storage.
+            engine.cache.clear()
+            for store in engine.tier.stores.values():
+                store.clear()
+            views = flat_views(None, layout, 0)
+            for i, v in views.items():
+                engine.on_backward_gradient(i, grads[0][v].astype(np.float16))
+            engine.on_microbatch_complete()
+            with pytest.raises(StoreError):
+                engine.run_update(initial.astype(np.float16))
+        finally:
+            engine.close()
+
+    def test_double_initialize_rejected(self, config, layout, training_inputs):
+        initial, _ = training_inputs
+        with MLPOffloadEngine(config, layout, rank=0) as engine:
+            engine.initialize(initial.copy())
+            with pytest.raises(RuntimeError):
+                engine.initialize(initial.copy())
+
+    def test_update_before_initialize_rejected(self, config, layout):
+        with MLPOffloadEngine(config, layout, rank=0) as engine:
+            with pytest.raises(RuntimeError):
+                engine.run_update(np.zeros(TOTAL_PARAMS, dtype=np.float16))
+            with pytest.raises(RuntimeError):
+                engine.on_backward_gradient(0, np.zeros(SUBGROUP, dtype=np.float16))
+
+    def test_wrong_shapes_rejected(self, config, layout, training_inputs):
+        initial, _ = training_inputs
+        with MLPOffloadEngine(config, layout, rank=0) as engine:
+            with pytest.raises(ValueError):
+                engine.initialize(np.zeros(10, dtype=np.float32))
+            engine.initialize(initial.copy())
+            with pytest.raises(TypeError):
+                engine.run_update(np.zeros(TOTAL_PARAMS, dtype=np.float32))
+            with pytest.raises(ValueError):
+                engine.run_update(np.zeros(7, dtype=np.float16))

@@ -1,0 +1,127 @@
+"""Unit tests for the vectorized CPU Adam optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.train.adam import AdamConfig, AdamState, adam_reference, adam_update
+
+
+class TestAdamState:
+    def test_zeros_and_seeding(self, rng):
+        init = rng.standard_normal(100).astype(np.float32)
+        state = AdamState.zeros(100, init=init)
+        np.testing.assert_array_equal(state.params, init)
+        assert state.exp_avg.sum() == 0.0
+        assert state.step == 0
+        assert state.num_params == 100
+        assert state.nbytes == 3 * 100 * 4
+
+    def test_copy_is_independent(self):
+        state = AdamState.zeros(10)
+        clone = state.copy()
+        clone.params += 1.0
+        assert state.params.sum() == 0.0
+
+    def test_validation(self):
+        with pytest.raises(TypeError):
+            AdamState(
+                params=np.zeros(4, dtype=np.float64),
+                exp_avg=np.zeros(4, dtype=np.float32),
+                exp_avg_sq=np.zeros(4, dtype=np.float32),
+            )
+        with pytest.raises(ValueError):
+            AdamState(
+                params=np.zeros(4, dtype=np.float32),
+                exp_avg=np.zeros(5, dtype=np.float32),
+                exp_avg_sq=np.zeros(4, dtype=np.float32),
+            )
+        with pytest.raises(ValueError):
+            AdamState.zeros(-1)
+
+
+class TestAdamConfig:
+    def test_defaults_valid(self):
+        config = AdamConfig()
+        assert config.beta1 == 0.9 and config.beta2 == 0.999
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"lr": -1.0},
+            {"beta1": 1.0},
+            {"beta2": -0.1},
+            {"eps": 0.0},
+            {"weight_decay": -0.1},
+        ],
+    )
+    def test_invalid_hyperparameters(self, kwargs):
+        with pytest.raises(ValueError):
+            AdamConfig(**kwargs)
+
+
+class TestAdamUpdate:
+    def test_matches_scalar_reference(self, rng):
+        config = AdamConfig(lr=1e-2, weight_decay=0.01)
+        init = rng.standard_normal(50).astype(np.float32)
+        grad = rng.standard_normal(50).astype(np.float32)
+        state = AdamState.zeros(50, init=init)
+        for _ in range(5):
+            adam_update(state, grad, config)
+        expected = adam_reference(init, grad, config, num_steps=5)
+        np.testing.assert_allclose(state.params, expected, rtol=1e-5, atol=1e-6)
+
+    def test_step_counter_and_inplace_semantics(self, rng):
+        state = AdamState.zeros(10, init=rng.standard_normal(10).astype(np.float32))
+        params_buffer = state.params
+        adam_update(state, np.ones(10, dtype=np.float32), AdamConfig())
+        assert state.step == 1
+        assert state.params is params_buffer  # updated in place, no reallocation
+
+    def test_descends_a_simple_quadratic(self):
+        config = AdamConfig(lr=0.1)
+        state = AdamState.zeros(1, init=np.array([5.0], dtype=np.float32))
+        for _ in range(200):
+            grad = 2.0 * state.params.copy()  # d/dx of x^2
+            adam_update(state, grad.astype(np.float32), config)
+        assert abs(float(state.params[0])) < 0.5
+
+    def test_out_fp16_receives_downcast_params(self, rng):
+        state = AdamState.zeros(20, init=rng.standard_normal(20).astype(np.float32))
+        out = np.zeros(20, dtype=np.float16)
+        adam_update(state, rng.standard_normal(20).astype(np.float32), AdamConfig(), out_fp16=out)
+        np.testing.assert_array_equal(out, state.params.astype(np.float16))
+
+    def test_shape_mismatch_raises(self):
+        state = AdamState.zeros(10)
+        with pytest.raises(ValueError):
+            adam_update(state, np.zeros(11, dtype=np.float32), AdamConfig())
+        with pytest.raises(ValueError):
+            adam_update(
+                state,
+                np.zeros(10, dtype=np.float32),
+                AdamConfig(),
+                out_fp16=np.zeros(9, dtype=np.float16),
+            )
+
+    def test_zero_gradient_keeps_params_nearly_constant(self):
+        state = AdamState.zeros(10, init=np.ones(10, dtype=np.float32))
+        adam_update(state, np.zeros(10, dtype=np.float32), AdamConfig())
+        np.testing.assert_allclose(state.params, np.ones(10), atol=1e-6)
+
+    def test_subgroup_update_is_order_independent(self, rng):
+        """Updating disjoint subgroups in any order yields the same result (§3.2)."""
+        config = AdamConfig(lr=1e-3)
+        full = rng.standard_normal(100).astype(np.float32)
+        grad = rng.standard_normal(100).astype(np.float32)
+        slices = [slice(0, 30), slice(30, 70), slice(70, 100)]
+
+        def run(order):
+            states = {i: AdamState.zeros(s.stop - s.start, init=full[s]) for i, s in enumerate(slices)}
+            for i in order:
+                adam_update(states[i], grad[slices[i]], config)
+            out = np.empty_like(full)
+            for i, s in enumerate(slices):
+                out[s] = states[i].params
+            return out
+
+        np.testing.assert_array_equal(run([0, 1, 2]), run([2, 1, 0]))

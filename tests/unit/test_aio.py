@@ -1,0 +1,212 @@
+"""Unit tests for the asynchronous I/O engine, locks, throttling and microbenchmarks."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.aio.engine import AsyncIOEngine, IOKind, IORequest
+from repro.aio.locks import TierLockManager
+from repro.aio.microbench import measure_store_bandwidth, probe_tiers
+from repro.aio.throttle import BandwidthThrottle
+from repro.tiers.file_store import FileStore
+
+
+class TestBandwidthThrottle:
+    def test_transfer_time_model(self):
+        throttle = BandwidthThrottle(100.0, latency=0.5)
+        assert throttle.transfer_time(100) == pytest.approx(1.5)
+        assert throttle.transfer_time(0) == pytest.approx(0.5)
+
+    def test_simulated_consume_does_not_sleep(self):
+        throttle = BandwidthThrottle(10.0, simulate=True)
+        start = time.perf_counter()
+        charged = throttle.consume(100)  # would take 10 s for real
+        assert time.perf_counter() - start < 1.0
+        assert charged == pytest.approx(10.0)
+        assert throttle.consumed_bytes == 100
+        assert throttle.charged_seconds == pytest.approx(10.0)
+
+    def test_real_consume_sleeps(self):
+        throttle = BandwidthThrottle(1e6, simulate=False)
+        start = time.perf_counter()
+        throttle.consume(50_000)  # 50 ms
+        assert time.perf_counter() - start >= 0.04
+
+    def test_reset_and_validation(self):
+        throttle = BandwidthThrottle(10.0)
+        throttle.consume(10)
+        throttle.reset()
+        assert throttle.consumed_bytes == 0
+        with pytest.raises(ValueError):
+            BandwidthThrottle(0)
+        with pytest.raises(ValueError):
+            BandwidthThrottle(1, latency=-1)
+        with pytest.raises(ValueError):
+            throttle.consume(-1)
+
+
+class TestTierLockManager:
+    def test_exclusive_across_workers(self):
+        manager = TierLockManager()
+        lease = manager.acquire("nvme", "rank0")
+        assert manager.owner_of("nvme") == "rank0"
+        assert manager.acquire("nvme", "rank1", blocking=False) is None
+        lease.release()
+        assert manager.owner_of("nvme") is None
+        assert manager.acquire("nvme", "rank1", blocking=False) is not None
+
+    def test_reentrant_for_same_worker(self):
+        manager = TierLockManager()
+        first = manager.acquire("nvme", "rank0")
+        second = manager.acquire("nvme", "rank0")
+        assert first is second
+        assert first.shares == 2
+        first.release()
+        assert manager.owner_of("nvme") == "rank0"  # one share still held
+        first.release()
+        assert manager.owner_of("nvme") is None
+
+    def test_independent_tiers(self):
+        manager = TierLockManager()
+        manager.acquire("nvme", "rank0")
+        assert manager.acquire("pfs", "rank1", blocking=False) is not None
+        assert manager.held_tiers() == {"nvme": "rank0", "pfs": "rank1"}
+
+    def test_blocking_acquire_waits_for_release(self):
+        manager = TierLockManager()
+        lease = manager.acquire("nvme", "rank0")
+        got = []
+
+        def contender():
+            acquired = manager.acquire("nvme", "rank1", timeout=2.0)
+            got.append(acquired)
+            if acquired:
+                acquired.release()
+
+        thread = threading.Thread(target=contender)
+        thread.start()
+        time.sleep(0.05)
+        lease.release()
+        thread.join(timeout=2.0)
+        assert got and got[0] is not None
+        assert manager.stats("nvme").contended_acquisitions >= 1
+
+    def test_release_without_ownership_raises(self):
+        manager = TierLockManager()
+        with pytest.raises(RuntimeError):
+            manager.release("nvme", "rank0")
+
+    def test_try_acquire_any_prefers_free_tier(self):
+        manager = TierLockManager()
+        manager.acquire("nvme", "rank0")
+        lease = manager.try_acquire_any(["nvme", "pfs"], "rank1")
+        assert lease is not None and lease.tier == "pfs"
+        assert manager.try_acquire_any(["nvme"], "rank2") is None
+
+    def test_context_manager_releases(self):
+        manager = TierLockManager()
+        with manager.acquire("pfs", "rank0"):
+            assert manager.owner_of("pfs") == "rank0"
+        assert manager.owner_of("pfs") is None
+
+
+class TestAsyncIOEngine:
+    @pytest.fixture
+    def stores(self, tier_dirs):
+        return {name: FileStore(path, name=name) for name, path in tier_dirs.items()}
+
+    def test_async_write_then_read(self, stores, rng):
+        with AsyncIOEngine(stores, num_threads=2) as engine:
+            payload = rng.standard_normal(512).astype(np.float32)
+            write = engine.write("nvme", "sg0.params", payload).result()
+            assert write.ok and write.nbytes == payload.nbytes
+            read = engine.read("nvme", "sg0.params").result()
+            assert read.ok
+            np.testing.assert_array_equal(read.array, payload)
+
+    def test_errors_are_reported_in_results_not_raised(self, stores):
+        with AsyncIOEngine(stores) as engine:
+            result = engine.read("pfs", "does-not-exist").result()
+            assert not result.ok
+            assert result.error is not None
+
+    def test_unknown_tier_and_bad_requests_raise_at_submission(self, stores):
+        with AsyncIOEngine(stores) as engine:
+            with pytest.raises(KeyError):
+                engine.read("tape", "x")
+            with pytest.raises(ValueError):
+                engine.submit(IORequest(kind=IOKind.WRITE, tier="nvme", key="x"))
+
+    def test_per_tier_stats(self, stores, rng):
+        with AsyncIOEngine(stores) as engine:
+            payload = rng.standard_normal(128).astype(np.float32)
+            engine.write("nvme", "a", payload).result()
+            engine.write("pfs", "b", payload).result()
+            engine.read("nvme", "a").result()
+            nvme = engine.tier_stats("nvme")
+            pfs = engine.tier_stats("pfs")
+            assert nvme.write_ops == 1 and nvme.read_ops == 1
+            assert pfs.write_ops == 1 and pfs.read_ops == 0
+            assert nvme.bytes_read == nvme.bytes_written
+
+    def test_many_concurrent_requests_complete(self, stores, rng):
+        with AsyncIOEngine(stores, num_threads=4, queue_depth=8) as engine:
+            payload = rng.standard_normal(64).astype(np.float32)
+            futures = [engine.write("nvme", f"k{i}", payload) for i in range(32)]
+            results = [f.result() for f in futures]
+            assert all(r.ok for r in results)
+            engine.drain(timeout=5.0)
+            assert engine.inflight == 0
+
+    def test_lock_manager_serializes_tier_access(self, stores, rng):
+        manager = TierLockManager()
+        with AsyncIOEngine(stores, num_threads=4, lock_manager=manager) as engine:
+            payload = rng.standard_normal(64).astype(np.float32)
+            futures = [
+                engine.write("nvme", f"k{i}", payload, worker=f"rank{i % 2}") for i in range(8)
+            ]
+            assert all(f.result().ok for f in futures)
+            assert manager.stats("nvme").acquisitions == 8
+
+    def test_submit_after_close_raises(self, stores):
+        engine = AsyncIOEngine(stores)
+        engine.close()
+        with pytest.raises(RuntimeError):
+            engine.read("nvme", "x")
+
+    def test_constructor_validation(self, stores):
+        with pytest.raises(ValueError):
+            AsyncIOEngine({}, num_threads=1)
+        with pytest.raises(ValueError):
+            AsyncIOEngine(stores, num_threads=0)
+        with pytest.raises(ValueError):
+            AsyncIOEngine(stores, queue_depth=0)
+
+
+class TestMicrobench:
+    def test_measure_store_bandwidth_respects_throttle(self, tmp_path):
+        store = FileStore(tmp_path / "t", throttle=BandwidthThrottle(10e6, simulate=True))
+        result = measure_store_bandwidth(store, block_bytes=1 << 20, iterations=2)
+        # Throttle dominates the real disk: measured bandwidth ~ configured 10 MB/s.
+        assert result.read_bw == pytest.approx(10e6, rel=0.3)
+        assert result.write_bw == pytest.approx(10e6, rel=0.3)
+        assert result.effective_bw <= result.read_bw
+        assert list(store.keys()) == []  # cleaned up
+
+    def test_probe_tiers_returns_all_names(self, tier_dirs):
+        stores = {
+            "nvme": FileStore(tier_dirs["nvme"], throttle=BandwidthThrottle(20e6)),
+            "pfs": FileStore(tier_dirs["pfs"], throttle=BandwidthThrottle(10e6)),
+        }
+        bandwidths = probe_tiers(stores, block_bytes=1 << 18, iterations=1)
+        assert set(bandwidths) == {"nvme", "pfs"}
+        assert bandwidths["nvme"] > bandwidths["pfs"]
+
+    def test_parameter_validation(self, tmp_path):
+        store = FileStore(tmp_path / "t")
+        with pytest.raises(ValueError):
+            measure_store_bandwidth(store, block_bytes=0)
+        with pytest.raises(ValueError):
+            measure_store_bandwidth(store, iterations=0)

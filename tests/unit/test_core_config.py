@@ -1,0 +1,97 @@
+"""Unit tests for the MLP-Offload configuration surface."""
+
+import pytest
+
+from repro.core.config import MLPOffloadConfig, TierConfig
+from repro.train.adam import AdamConfig
+
+
+class TestTierConfig:
+    def test_effective_bw_requires_both_directions(self):
+        assert TierConfig(name="nvme", path="/x", read_bw=6.0, write_bw=4.0).effective_bw == 4.0
+        assert TierConfig(name="nvme", path="/x", read_bw=6.0).effective_bw is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TierConfig(name="", path="/x")
+        with pytest.raises(ValueError):
+            TierConfig(name="nvme", path="/x", read_bw=0)
+        with pytest.raises(ValueError):
+            TierConfig(name="nvme", path="/x", ratio=0)
+
+
+class TestMLPOffloadConfig:
+    def test_defaults_enable_every_design_principle(self, two_tier_config):
+        cfg = two_tier_config
+        assert cfg.enable_multipath and cfg.enable_tier_locks
+        assert cfg.enable_cache_reorder and cfg.enable_delayed_grad_conversion
+        assert cfg.tier_names == ["nvme", "pfs"]
+        assert cfg.primary_tier.name == "nvme"
+        assert cfg.tier("pfs").name == "pfs"
+        with pytest.raises(KeyError):
+            cfg.tier("tape")
+
+    def test_validation(self, tier_dirs):
+        with pytest.raises(ValueError):
+            MLPOffloadConfig(tiers=())
+        dup = (TierConfig("a", str(tier_dirs["nvme"])), TierConfig("a", str(tier_dirs["pfs"])))
+        with pytest.raises(ValueError):
+            MLPOffloadConfig(tiers=dup)
+        single = (TierConfig("nvme", str(tier_dirs["nvme"])),)
+        with pytest.raises(ValueError):
+            MLPOffloadConfig(tiers=single, subgroup_size=0)
+        with pytest.raises(ValueError):
+            MLPOffloadConfig(tiers=single, pinned_buffers=0)
+        with pytest.raises(ValueError):
+            MLPOffloadConfig(tiers=single, host_cache_bytes=-1)
+        with pytest.raises(ValueError):
+            MLPOffloadConfig(tiers=single, bandwidth_smoothing=0.0)
+
+    def test_explicit_ratios_need_every_tier(self, tier_dirs):
+        partial = MLPOffloadConfig(
+            tiers=(
+                TierConfig("nvme", str(tier_dirs["nvme"]), ratio=2.0),
+                TierConfig("pfs", str(tier_dirs["pfs"])),
+            )
+        )
+        assert partial.explicit_ratios() is None
+        full = MLPOffloadConfig.local_and_remote(
+            tier_dirs["nvme"], tier_dirs["pfs"], ratio=(2.0, 1.0)
+        )
+        assert full.explicit_ratios() == {"nvme": 2.0, "pfs": 1.0}
+
+    def test_bandwidth_hints(self, two_tier_config):
+        hints = two_tier_config.bandwidth_hints()
+        assert hints["nvme"] == pytest.approx(5.3e9)
+        assert hints["pfs"] == pytest.approx(3.6e9)
+
+    def test_json_round_trip(self, two_tier_config):
+        text = two_tier_config.to_json()
+        restored = MLPOffloadConfig.from_json(text)
+        assert restored.tier_names == two_tier_config.tier_names
+        assert restored.subgroup_size == two_tier_config.subgroup_size
+        assert restored.adam == two_tier_config.adam
+        assert restored.enable_multipath == two_tier_config.enable_multipath
+        assert restored.host_cache_bytes == two_tier_config.host_cache_bytes
+
+    def test_from_json_requires_top_level_key(self):
+        with pytest.raises(ValueError):
+            MLPOffloadConfig.from_json("{}")
+
+    def test_baseline_variant_disables_everything(self, two_tier_config):
+        base = two_tier_config.baseline_variant()
+        assert base.tier_names == ["nvme"]
+        assert not base.enable_multipath
+        assert not base.enable_tier_locks
+        assert not base.enable_cache_reorder
+        assert not base.enable_delayed_grad_conversion
+        # Shared knobs are preserved so comparisons are apples to apples.
+        assert base.subgroup_size == two_tier_config.subgroup_size
+        assert base.adam == two_tier_config.adam
+
+    def test_factory_helpers(self, tier_dirs):
+        single = MLPOffloadConfig.single_tier(tier_dirs["nvme"], subgroup_size=10)
+        assert single.tier_names == ["nvme"]
+        both = MLPOffloadConfig.local_and_remote(tier_dirs["nvme"], tier_dirs["pfs"])
+        assert both.tier_names == ["nvme", "pfs"]
+        assert isinstance(both.adam, AdamConfig)

@@ -1,0 +1,68 @@
+"""Unit tests for GPU/host memory accounting."""
+
+import pytest
+
+from repro.tiers.device import DeviceMemory, MemoryAccountant, OutOfMemoryError
+
+
+class TestDeviceMemory:
+    def test_reserve_and_release(self):
+        dev = DeviceMemory("gpu0", capacity=100)
+        dev.reserve("params", 60)
+        assert dev.used == 60
+        assert dev.free == 40
+        assert dev.utilization == pytest.approx(0.6)
+        assert dev.release("params") == 60
+        assert dev.used == 0
+
+    def test_oom_raises(self):
+        dev = DeviceMemory("gpu0", capacity=100)
+        dev.reserve("a", 80)
+        with pytest.raises(OutOfMemoryError):
+            dev.reserve("b", 30)
+
+    def test_duplicate_label_rejected(self):
+        dev = DeviceMemory("gpu0", capacity=100)
+        dev.reserve("a", 10)
+        with pytest.raises(ValueError):
+            dev.reserve("a", 10)
+
+    def test_resize(self):
+        dev = DeviceMemory("host", capacity=100)
+        dev.reserve("buffers", 40)
+        dev.resize("buffers", 90)
+        assert dev.reservation("buffers") == 90
+        with pytest.raises(OutOfMemoryError):
+            dev.resize("buffers", 101)
+        with pytest.raises(KeyError):
+            dev.resize("missing", 1)
+
+    def test_release_unknown_raises(self):
+        dev = DeviceMemory("gpu0", capacity=10)
+        with pytest.raises(KeyError):
+            dev.release("missing")
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            DeviceMemory("bad", capacity=0)
+
+
+class TestMemoryAccountant:
+    def test_per_gpu_and_host_budgets(self):
+        acct = MemoryAccountant(gpu_memory=80, num_gpus=4, host_memory=512)
+        assert acct.num_gpus == 4
+        assert acct.aggregate_gpu_capacity == 320
+        acct.gpu(0).reserve("fp16", 40)
+        assert acct.aggregate_gpu_used == 40
+        assert acct.check_gpu_fits(40)
+        assert not acct.check_gpu_fits(41)  # gpu0 only has 40 left
+        assert acct.check_host_fits(512)
+        acct.host.reserve("buffers", 500)
+        assert not acct.check_host_fits(20)
+
+    def test_rank_bounds(self):
+        acct = MemoryAccountant(gpu_memory=10, num_gpus=2, host_memory=10)
+        with pytest.raises(IndexError):
+            acct.gpu(2)
+        with pytest.raises(ValueError):
+            MemoryAccountant(gpu_memory=10, num_gpus=0, host_memory=10)

@@ -1,0 +1,162 @@
+"""Unit tests for gradient-conversion policies, concurrency control and engine stats."""
+
+import numpy as np
+import pytest
+
+from repro.aio.locks import TierLockManager
+from repro.core.concurrency import NodeConcurrencyController
+from repro.core.gradient_policy import (
+    GradientConversionPolicy,
+    backward_flush_payload,
+    gradient_traffic,
+    update_time_gradient,
+)
+from repro.core.stats import IterationStats, UpdatePhaseStats, aggregate_tier_distribution
+from repro.train.gradients import GradientAccumulator
+from repro.train.sharding import build_shard_layout
+
+
+@pytest.fixture
+def accumulator(small_layout):
+    acc = GradientAccumulator(small_layout, rank=0)
+    rng = np.random.default_rng(0)
+    for index in acc.subgroup_indices:
+        acc.accumulate(index, rng.standard_normal(1000).astype(np.float16))
+    acc.mark_microbatch_done()
+    return acc
+
+
+class TestGradientTraffic:
+    def test_delayed_policy_moves_no_gradient_bytes_through_storage(self):
+        traffic = gradient_traffic(GradientConversionPolicy.DELAYED_FP16, 1000)
+        assert traffic.storage_bytes == 0
+        assert traffic.conversion_bytes == 2000
+
+    def test_baseline_policy_moves_fp32_both_ways(self):
+        traffic = gradient_traffic(GradientConversionPolicy.FLUSH_FP32, 1000)
+        assert traffic.backward_flush_bytes == 4000
+        assert traffic.update_fetch_bytes == 4000
+        assert traffic.storage_bytes == 8000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gradient_traffic(GradientConversionPolicy.FLUSH_FP32, -1)
+
+
+class TestUpdateTimeGradient:
+    def test_delayed_policy_reads_the_host_accumulator(self, accumulator):
+        grad = update_time_gradient(GradientConversionPolicy.DELAYED_FP16, accumulator, 0)
+        np.testing.assert_allclose(grad, accumulator.gradient_fp32(0))
+        assert grad.dtype == np.float32
+
+    def test_baseline_policy_prefers_the_stored_copy(self, accumulator, rng):
+        stored = rng.standard_normal(1000).astype(np.float32)
+        grad = update_time_gradient(
+            GradientConversionPolicy.FLUSH_FP32, accumulator, 0, stored_fp32=stored
+        )
+        np.testing.assert_allclose(grad, stored)
+
+    def test_baseline_policy_falls_back_to_accumulator(self, accumulator):
+        grad = update_time_gradient(GradientConversionPolicy.FLUSH_FP32, accumulator, 0)
+        np.testing.assert_allclose(grad, accumulator.gradient_fp32(0))
+
+    def test_backward_flush_payload(self, accumulator):
+        assert backward_flush_payload(GradientConversionPolicy.DELAYED_FP16, accumulator, 0) is None
+        payload = backward_flush_payload(GradientConversionPolicy.FLUSH_FP32, accumulator, 0)
+        assert payload is not None and payload.dtype == np.float32
+        np.testing.assert_allclose(
+            payload, accumulator.gradient_fp16(0).astype(np.float32)
+        )
+
+
+class TestNodeConcurrencyController:
+    def test_exclusive_context_blocks_other_workers(self):
+        controller = NodeConcurrencyController()
+        with controller.exclusive("nvme", "rank0"):
+            assert controller.try_exclusive("nvme", "rank1") is None
+            assert controller.try_exclusive("pfs", "rank1") is not None
+        assert controller.try_exclusive("nvme", "rank1") is not None
+
+    def test_disabled_controller_never_blocks(self):
+        controller = NodeConcurrencyController(enabled=False)
+        with controller.exclusive("nvme", "rank0"):
+            lease = controller.try_exclusive("nvme", "rank1")
+            assert lease is not None
+            lease.release()  # no-op, must not raise
+        summary = controller.contention_summary(["nvme"])
+        assert "_bypassed" in summary
+
+    def test_preferred_tier_prefers_held_then_free(self):
+        manager = TierLockManager()
+        controller = NodeConcurrencyController(manager)
+        lease = manager.acquire("nvme", "rank0")
+        # rank0 already holds nvme -> keep using it.
+        assert controller.preferred_tier(["pfs", "nvme"], "rank0") == "nvme"
+        # rank1 should avoid the held tier.
+        assert controller.preferred_tier(["nvme", "pfs"], "rank1") == "pfs"
+        lease.release()
+        with pytest.raises(ValueError):
+            controller.preferred_tier([], "rank0")
+
+    def test_contention_summary_counts(self):
+        controller = NodeConcurrencyController()
+        with controller.exclusive("nvme", "rank0"):
+            pass
+        summary = controller.contention_summary(["nvme"])
+        assert summary["nvme"]["acquisitions"] == 1
+
+    def test_timeout_raises(self):
+        controller = NodeConcurrencyController()
+        lease = controller.lock_manager.acquire("nvme", "rank0")
+        with pytest.raises(TimeoutError):
+            with controller.exclusive("nvme", "rank1", timeout=0.05):
+                pass
+        lease.release()
+
+
+class TestStats:
+    def test_update_phase_derived_metrics(self):
+        stats = UpdatePhaseStats(
+            subgroups_processed=10,
+            params_updated=1000,
+            cache_hits=4,
+            cache_misses=6,
+            fetch_bytes=600,
+            fetch_seconds=2.0,
+            flush_bytes=400,
+            flush_seconds=2.0,
+            compute_seconds=1.0,
+            wall_seconds=5.0,
+        )
+        assert stats.cache_hit_rate == pytest.approx(0.4)
+        assert stats.update_throughput == pytest.approx(200.0)
+        assert stats.io_seconds == pytest.approx(4.0)
+        assert stats.effective_io_throughput == pytest.approx(250.0)
+        assert stats.io_fraction == pytest.approx(0.8)
+
+    def test_zero_division_guards(self):
+        stats = UpdatePhaseStats()
+        assert stats.cache_hit_rate == 0.0
+        assert stats.update_throughput == 0.0
+        assert stats.effective_io_throughput == 0.0
+        assert stats.io_fraction == 0.0
+
+    def test_merge_adds_counters_and_keeps_max_wall(self):
+        a = UpdatePhaseStats(params_updated=10, wall_seconds=2.0, cache_hits=1)
+        b = UpdatePhaseStats(params_updated=20, wall_seconds=3.0, cache_misses=2)
+        merged = a.merge(b)
+        assert merged.params_updated == 30
+        assert merged.wall_seconds == 3.0
+        assert merged.cache_hits == 1 and merged.cache_misses == 2
+
+    def test_iteration_stats_breakdown(self):
+        it = IterationStats(iteration=0, forward_seconds=1.0, backward_seconds=2.0)
+        it.update.wall_seconds = 3.0
+        assert it.total_seconds == pytest.approx(6.0)
+        assert it.breakdown() == {"forward": 1.0, "backward": 2.0, "update": 3.0}
+
+    def test_aggregate_tier_distribution(self):
+        total = aggregate_tier_distribution(
+            {"rank0": {"nvme": 10.0, "host": 5.0}, "rank1": {"nvme": 20.0, "pfs": 1.0}}
+        )
+        assert total == {"nvme": 30.0, "host": 5.0, "pfs": 1.0}

@@ -1,0 +1,108 @@
+"""Unit tests for the pinned host buffer pool."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.tiers.host_buffer import BufferPool, BufferPoolExhausted
+
+
+class TestBufferPool:
+    def test_basic_acquire_release_cycle(self):
+        pool = BufferPool(buffer_bytes=1024, num_buffers=3)
+        assert pool.free_count == 3
+        buf = pool.acquire()
+        assert pool.free_count == 2
+        assert buf.in_use
+        buf.release()
+        assert pool.free_count == 3
+        assert not buf.in_use
+
+    def test_total_bytes(self):
+        pool = BufferPool(buffer_bytes=1 << 20, num_buffers=3)
+        assert pool.total_bytes == 3 << 20
+
+    def test_exhaustion_without_blocking(self):
+        pool = BufferPool(buffer_bytes=64, num_buffers=1)
+        pool.acquire()
+        with pytest.raises(BufferPoolExhausted):
+            pool.acquire(blocking=False)
+
+    def test_timeout_raises(self):
+        pool = BufferPool(buffer_bytes=64, num_buffers=1)
+        pool.acquire()
+        with pytest.raises(BufferPoolExhausted):
+            pool.acquire(timeout=0.05)
+
+    def test_blocking_acquire_waits_for_release(self):
+        pool = BufferPool(buffer_bytes=64, num_buffers=1)
+        held = pool.acquire()
+        acquired = []
+
+        def worker():
+            buf = pool.acquire(timeout=2.0)
+            acquired.append(buf)
+            buf.release()
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        held.release()
+        thread.join(timeout=2.0)
+        assert len(acquired) == 1
+
+    def test_double_release_rejected(self):
+        pool = BufferPool(buffer_bytes=64, num_buffers=2)
+        buf = pool.acquire()
+        buf.release()
+        with pytest.raises(ValueError):
+            buf.release()
+
+    def test_foreign_buffer_rejected(self):
+        pool_a = BufferPool(buffer_bytes=64, num_buffers=1)
+        pool_b = BufferPool(buffer_bytes=64, num_buffers=1)
+        buf = pool_a.acquire()
+        with pytest.raises(ValueError):
+            pool_b.release(buf)
+
+    def test_context_manager_releases(self):
+        pool = BufferPool(buffer_bytes=64, num_buffers=1)
+        with pool.acquire() as buf:
+            assert buf.in_use
+        assert pool.free_count == 1
+
+    def test_stats(self):
+        pool = BufferPool(buffer_bytes=64, num_buffers=2)
+        with pool.acquire():
+            stats = pool.stats()
+            assert stats["in_use"] == 1
+            assert stats["acquired_total"] == 1
+
+
+class TestPinnedBuffer:
+    def test_typed_views_share_storage(self):
+        pool = BufferPool(buffer_bytes=1024, num_buffers=1)
+        buf = pool.acquire()
+        view_a = buf.view(np.float32, 16)
+        view_a[:] = 7.0
+        view_b = buf.view(np.float32, 16)
+        np.testing.assert_array_equal(view_b, np.full(16, 7.0, dtype=np.float32))
+
+    def test_view_capacity_enforced(self):
+        pool = BufferPool(buffer_bytes=64, num_buffers=1)
+        buf = pool.acquire()
+        with pytest.raises(ValueError):
+            buf.view(np.float64, 9)  # 72 bytes > 64
+
+    def test_fill_from_copies_data(self, rng):
+        pool = BufferPool(buffer_bytes=4096, num_buffers=1)
+        buf = pool.acquire()
+        payload = rng.standard_normal(100).astype(np.float32)
+        view = buf.fill_from(payload)
+        np.testing.assert_array_equal(view, payload)
+
+    def test_invalid_pool_parameters(self):
+        with pytest.raises(ValueError):
+            BufferPool(buffer_bytes=0, num_buffers=1)
+        with pytest.raises(ValueError):
+            BufferPool(buffer_bytes=1, num_buffers=0)

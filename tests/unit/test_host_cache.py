@@ -1,0 +1,119 @@
+"""Unit tests for the host subgroup cache."""
+
+import numpy as np
+import pytest
+
+from repro.tiers.host_cache import HostSubgroupCache
+
+
+def _arrays(num_floats: int) -> dict:
+    return {"params": np.zeros(num_floats, dtype=np.float32)}
+
+
+class TestBasicOperation:
+    def test_put_get_hit_and_miss_counters(self):
+        cache = HostSubgroupCache(capacity_bytes=10_000)
+        assert cache.get(0) is None
+        assert cache.put(0, _arrays(10))
+        assert cache.get(0) is not None
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert 0 in cache and 1 not in cache
+
+    def test_peek_does_not_touch_counters(self):
+        cache = HostSubgroupCache(capacity_bytes=10_000)
+        cache.put(3, _arrays(10))
+        assert cache.peek(3) is not None
+        assert cache.peek(4) is None
+        assert cache.stats.hits == 0 and cache.stats.misses == 0
+
+    def test_capacity_is_never_exceeded(self):
+        cache = HostSubgroupCache(capacity_bytes=1000)
+        for i in range(10):
+            cache.put(i, _arrays(50))  # 200 bytes each
+        assert cache.used_bytes <= 1000
+        assert len(cache) <= 5
+
+    def test_oldest_entries_evicted_first(self):
+        cache = HostSubgroupCache(capacity_bytes=600)
+        cache.put(0, _arrays(50))
+        cache.put(1, _arrays(50))
+        cache.put(2, _arrays(50))
+        cache.put(3, _arrays(50))  # evicts subgroup 0
+        assert 0 not in cache
+        assert cache.cached_ids() == [1, 2, 3]
+        assert cache.stats.evictions == 1
+
+    def test_oversized_entry_rejected(self):
+        cache = HostSubgroupCache(capacity_bytes=100)
+        assert not cache.put(0, _arrays(1000))
+        assert cache.stats.rejected == 1
+        assert len(cache) == 0
+
+    def test_zero_capacity_caches_nothing(self):
+        cache = HostSubgroupCache(capacity_bytes=0)
+        assert not cache.put(0, _arrays(1))
+        assert cache.get(0) is None
+
+
+class TestDirtyTracking:
+    def test_dirty_eviction_invokes_writeback(self):
+        written = {}
+        cache = HostSubgroupCache(
+            capacity_bytes=500, writeback=lambda sg, arrays: written.setdefault(sg, arrays)
+        )
+        cache.put(0, _arrays(50), dirty=True)
+        cache.put(1, _arrays(50), dirty=True)
+        cache.put(2, _arrays(50), dirty=True)  # evicts 0
+        assert 0 in written
+        assert cache.stats.dirty_evictions == 1
+
+    def test_dirty_eviction_without_writeback_raises(self):
+        cache = HostSubgroupCache(capacity_bytes=250)
+        cache.put(0, _arrays(50), dirty=True)
+        with pytest.raises(RuntimeError):
+            cache.put(1, _arrays(50), dirty=True)
+
+    def test_clean_eviction_skips_writeback(self):
+        calls = []
+        cache = HostSubgroupCache(capacity_bytes=250, writeback=lambda *a: calls.append(a))
+        cache.put(0, _arrays(50), dirty=False)
+        cache.put(1, _arrays(50), dirty=False)
+        assert calls == []
+
+    def test_flush_dirty_keeps_entries_resident(self):
+        written = []
+        cache = HostSubgroupCache(capacity_bytes=10_000, writeback=lambda sg, a: written.append(sg))
+        cache.put(0, _arrays(10), dirty=True)
+        cache.put(1, _arrays(10), dirty=False)
+        assert cache.flush_dirty() == 1
+        assert written == [0]
+        assert 0 in cache and 1 in cache
+        assert cache.flush_dirty() == 0  # now clean
+
+    def test_mark_dirty_and_clean(self):
+        cache = HostSubgroupCache(capacity_bytes=10_000, writeback=lambda *a: None)
+        cache.put(0, _arrays(10))
+        cache.mark_dirty(0)
+        assert cache.entry(0).dirty
+        cache.mark_clean(0)
+        assert not cache.entry(0).dirty
+        with pytest.raises(KeyError):
+            cache.mark_dirty(99)
+
+    def test_refresh_preserves_dirty_flag(self):
+        cache = HostSubgroupCache(capacity_bytes=10_000, writeback=lambda *a: None)
+        cache.put(0, _arrays(10), dirty=True)
+        cache.put(0, _arrays(10), dirty=False)  # refresh must not lose the pending write
+        assert cache.entry(0).dirty
+
+    def test_explicit_evict_and_clear(self):
+        written = []
+        cache = HostSubgroupCache(capacity_bytes=10_000, writeback=lambda sg, a: written.append(sg))
+        cache.put(0, _arrays(10), dirty=True)
+        cache.put(1, _arrays(10))
+        assert cache.evict(0)
+        assert not cache.evict(0)
+        assert written == [0]
+        cache.clear()
+        assert len(cache) == 0

@@ -1,0 +1,106 @@
+"""Unit tests for mixed-precision helpers."""
+
+import numpy as np
+import pytest
+
+from repro.train.mixed_precision import (
+    GradScaler,
+    MixedPrecisionState,
+    conversion_seconds,
+    fp16_to_fp32,
+    fp32_to_fp16,
+)
+
+
+class TestConversions:
+    def test_round_trip_within_fp16_precision(self, rng):
+        values = rng.standard_normal(100).astype(np.float32)
+        half = fp32_to_fp16(values)
+        back = fp16_to_fp32(half)
+        np.testing.assert_allclose(back, values, rtol=1e-3, atol=1e-3)
+        assert half.dtype == np.float16 and back.dtype == np.float32
+
+    def test_preallocated_outputs(self, rng):
+        values = rng.standard_normal(10).astype(np.float32)
+        out16 = np.zeros(10, dtype=np.float16)
+        out32 = np.zeros(10, dtype=np.float32)
+        fp32_to_fp16(values, out=out16)
+        fp16_to_fp32(out16, out=out32)
+        np.testing.assert_allclose(out32, values, rtol=1e-3, atol=1e-3)
+        with pytest.raises(ValueError):
+            fp32_to_fp16(values, out=np.zeros(5, dtype=np.float16))
+
+    def test_conversion_seconds_model(self):
+        assert conversion_seconds(65e9, 65e9) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            conversion_seconds(-1, 1)
+        with pytest.raises(ValueError):
+            conversion_seconds(1, 0)
+
+
+class TestMixedPrecisionState:
+    def test_from_fp32_and_sync(self, rng):
+        master = rng.standard_normal(64).astype(np.float32)
+        state = MixedPrecisionState.from_fp32(master)
+        assert state.max_divergence() < 1e-2
+        state.master += 0.25
+        assert state.max_divergence() >= 0.2
+        state.sync_working()
+        assert state.max_divergence() < 1e-2
+
+    def test_type_validation(self):
+        with pytest.raises(TypeError):
+            MixedPrecisionState(
+                master=np.zeros(4, dtype=np.float16), working=np.zeros(4, dtype=np.float16)
+            )
+        with pytest.raises(TypeError):
+            MixedPrecisionState(
+                master=np.zeros(4, dtype=np.float32), working=np.zeros(4, dtype=np.float32)
+            )
+        with pytest.raises(ValueError):
+            MixedPrecisionState(
+                master=np.zeros(4, dtype=np.float32), working=np.zeros(5, dtype=np.float16)
+            )
+
+
+class TestGradScaler:
+    def test_scale_and_unscale_round_trip(self, rng):
+        scaler = GradScaler(init_scale=1024.0)
+        grads = rng.standard_normal(32).astype(np.float32)
+        scaled = grads * scaler.scale
+        np.testing.assert_allclose(scaler.unscale(scaled), grads, rtol=1e-6)
+        assert scaler.scale_loss(2.0) == pytest.approx(2048.0)
+
+    def test_overflow_detection(self):
+        good = np.ones(4, dtype=np.float32)
+        bad = np.array([1.0, np.inf, 1.0, np.nan], dtype=np.float32)
+        assert not GradScaler.has_overflow(good)
+        assert GradScaler.has_overflow(bad)
+
+    def test_backoff_and_growth(self):
+        scaler = GradScaler(init_scale=1024.0, growth_interval=2)
+        scaler.update(found_overflow=True)
+        assert scaler.scale == pytest.approx(512.0)
+        assert scaler.overflow_count == 1
+        scaler.update(False)
+        scaler.update(False)
+        assert scaler.scale == pytest.approx(1024.0)
+
+    def test_scale_bounds_respected(self):
+        scaler = GradScaler(init_scale=2.0, min_scale=1.0, max_scale=4.0, growth_interval=1)
+        for _ in range(10):
+            scaler.update(found_overflow=True)
+        assert scaler.scale == 1.0
+        for _ in range(10):
+            scaler.update(found_overflow=False)
+        assert scaler.scale == 4.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            GradScaler(init_scale=0)
+        with pytest.raises(ValueError):
+            GradScaler(growth_factor=1.0)
+        with pytest.raises(ValueError):
+            GradScaler(backoff_factor=1.5)
+        with pytest.raises(ValueError):
+            GradScaler(growth_interval=0)

@@ -1,0 +1,98 @@
+"""Unit tests for the Table 2 model zoo and parameter-count model."""
+
+import pytest
+
+from repro.train.model_zoo import (
+    MODEL_ZOO,
+    TABLE2_NAMES,
+    ModelConfig,
+    model_by_name,
+    smallest_offload_model,
+    tiny_test_model,
+)
+from repro.util.bytesize import GB, GiB  # noqa: F401 - both units used in assertions
+
+
+class TestTable2Geometries:
+    @pytest.mark.parametrize(
+        "name,layers,hidden,heads",
+        [
+            ("40B", 128, 5120, 40),
+            ("52B", 64, 8192, 64),
+            ("70B", 80, 8192, 64),
+            ("100B", 124, 8192, 64),
+            ("120B", 96, 10240, 80),
+            ("130B", 70, 12288, 96),
+            ("280B", 72, 16384, 128),
+        ],
+    )
+    def test_geometries_match_table2(self, name, layers, hidden, heads):
+        model = model_by_name(name)
+        assert model.num_layers == layers
+        assert model.hidden_dim == hidden
+        assert model.num_heads == heads
+
+    @pytest.mark.parametrize("name", TABLE2_NAMES)
+    def test_parameter_counts_are_close_to_nominal(self, name):
+        """The derived parameter count should be within 25% of the marketing size."""
+        model = model_by_name(name)
+        nominal = float(name.rstrip("B"))
+        assert model.total_params_billions == pytest.approx(nominal, rel=0.25)
+
+    def test_sizes_are_monotone_in_the_table_ordering(self):
+        sizes = [MODEL_ZOO[name].total_params for name in TABLE2_NAMES]
+        assert sizes == sorted(sizes)
+
+    def test_smallest_offload_model_is_40b(self):
+        assert smallest_offload_model().name == "40B"
+        # Its optimizer state no longer fits in the 512 GB host memory once
+        # the ZeRO-3 runtime buffers (250+ GB, §4.3) are accounted for (§4.1),
+        # while the 20B baseline's comfortably does.
+        runtime_floor = 250 * GB
+        assert smallest_offload_model().optimizer_state_bytes > 512 * GiB - runtime_floor
+        assert MODEL_ZOO["20B"].optimizer_state_bytes < 512 * GiB - runtime_floor
+
+    def test_lookup_errors(self):
+        with pytest.raises(KeyError):
+            model_by_name("9000B")
+
+
+class TestByteFootprints:
+    def test_optimizer_state_is_six_times_fp16_model(self):
+        model = model_by_name("70B")
+        assert model.optimizer_state_bytes == 6 * model.fp16_model_bytes
+        assert model.fp32_gradient_bytes == 2 * model.fp16_gradient_bytes
+
+    def test_120b_optimizer_state_is_terabyte_scale(self):
+        # The paper quotes ~1.8 TB of optimizer state for the 120B model (§4.2).
+        model = model_by_name("120B")
+        assert model.optimizer_state_bytes == pytest.approx(1.8e12, rel=0.3)
+
+    def test_activation_checkpointing_reduces_activation_memory(self):
+        model = model_by_name("40B")
+        assert model.activation_bytes(1, checkpointing=True) < model.activation_bytes(
+            1, checkpointing=False
+        )
+        assert model.activation_bytes(2) > model.activation_bytes(1)
+
+    def test_head_dim(self):
+        assert model_by_name("40B").head_dim == 128
+
+
+class TestValidation:
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            ModelConfig(name="bad", num_layers=0, hidden_dim=64, num_heads=4)
+        with pytest.raises(ValueError):
+            ModelConfig(name="bad", num_layers=2, hidden_dim=65, num_heads=4)
+        with pytest.raises(ValueError):
+            ModelConfig(name="bad", num_layers=2, hidden_dim=64, num_heads=4, vocab_size=0)
+        with pytest.raises(ValueError):
+            model_by_name("40B").activation_bytes(0)
+
+    def test_tiny_test_model_and_scaling_helper(self):
+        tiny = tiny_test_model(num_layers=2, hidden_dim=64, num_heads=4)
+        assert tiny.total_params < 1_000_000
+        larger = tiny.scaled_to("tiny-deep", num_layers=4)
+        assert larger.num_layers == 4
+        assert larger.hidden_dim == tiny.hidden_dim

@@ -1,0 +1,128 @@
+"""Unit tests for the cache-friendly ordering policy and the placement map."""
+
+import pytest
+
+from repro.core.ordering import OrderingPolicy, expected_cache_hits, update_order
+from repro.core.placement import PlacementMap
+
+
+class TestUpdateOrder:
+    def test_sequential_is_always_ascending(self):
+        for iteration in range(4):
+            assert update_order(5, iteration, OrderingPolicy.SEQUENTIAL) == [0, 1, 2, 3, 4]
+
+    def test_alternating_flips_every_iteration(self):
+        assert update_order(4, 0, OrderingPolicy.ALTERNATING) == [0, 1, 2, 3]
+        assert update_order(4, 1, OrderingPolicy.ALTERNATING) == [3, 2, 1, 0]
+        assert update_order(4, 2, OrderingPolicy.ALTERNATING) == [0, 1, 2, 3]
+
+    def test_every_policy_returns_a_permutation(self):
+        for policy in OrderingPolicy:
+            order = update_order(7, 1, policy, cached_ids=[5, 6, 2])
+            assert sorted(order) == list(range(7))
+
+    def test_cached_first_puts_resident_subgroups_up_front(self):
+        order = update_order(6, 0, OrderingPolicy.CACHED_FIRST, cached_ids=[4, 2])
+        assert order[:2] == [4, 2]
+        assert sorted(order[2:]) == [0, 1, 3, 5]
+
+    def test_cached_first_ignores_out_of_range_and_duplicate_ids(self):
+        order = update_order(4, 0, OrderingPolicy.CACHED_FIRST, cached_ids=[9, 2, 2, -1])
+        assert order == [2, 0, 1, 3]
+
+    def test_edge_cases_and_validation(self):
+        assert update_order(0, 0) == []
+        with pytest.raises(ValueError):
+            update_order(-1, 0)
+        with pytest.raises(ValueError):
+            update_order(1, -1)
+
+
+class TestExpectedCacheHits:
+    def test_alternating_converts_thrashing_into_hits(self):
+        n, cache = 10, 4
+        ascending = update_order(n, 0, OrderingPolicy.ALTERNATING)
+        descending = update_order(n, 1, OrderingPolicy.ALTERNATING)
+        # Baseline: ascending after ascending -> no reuse.
+        assert expected_cache_hits(ascending, ascending, cache) == 0
+        # MLP-Offload: descending after ascending -> the whole cache is reused.
+        assert expected_cache_hits(descending, ascending, cache) == cache
+
+    def test_full_cache_hits_everything(self):
+        order = list(range(5))
+        assert expected_cache_hits(order, order, 5) == 5
+
+    def test_zero_capacity_or_empty_history(self):
+        assert expected_cache_hits([0, 1], [], 4) == 0
+        assert expected_cache_hits([0, 1], [0, 1], 0) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_cache_hits([0], [0], -1)
+
+
+class TestPlacementMap:
+    def test_from_allocation_counts_match(self):
+        placement = PlacementMap.from_allocation(list(range(9)), {"nvme": 6, "pfs": 3})
+        assert placement.counts() == {"nvme": 6, "pfs": 3}
+        assert len(placement) == 9
+
+    def test_interleaving_spreads_consecutive_subgroups(self):
+        placement = PlacementMap.from_allocation(list(range(6)), {"nvme": 3, "pfs": 3})
+        tiers = [placement.tier_of(i) for i in range(6)]
+        # With equal shares consecutive subgroups alternate tiers.
+        assert tiers[0] != tiers[1]
+
+    def test_block_placement(self):
+        placement = PlacementMap.from_allocation(
+            list(range(6)), {"nvme": 4, "pfs": 2}, interleave=False
+        )
+        assert [placement.tier_of(i) for i in range(6)] == ["nvme"] * 4 + ["pfs"] * 2
+
+    def test_allocation_must_cover_all_subgroups(self):
+        with pytest.raises(ValueError):
+            PlacementMap.from_allocation(list(range(5)), {"nvme": 3})
+
+    def test_assign_and_queries(self):
+        placement = PlacementMap.from_allocation(list(range(4)), {"nvme": 4, "pfs": 0})
+        placement.assign(2, "pfs")
+        assert placement.tier_of(2) == "pfs"
+        assert placement.subgroups_on("pfs") == [2]
+        assert 2 in placement and 9 not in placement
+        with pytest.raises(KeyError):
+            placement.assign(0, "tape")
+        with pytest.raises(KeyError):
+            placement.tier_of(99)
+
+    def test_host_sentinel_allowed(self):
+        placement = PlacementMap.from_allocation(list(range(2)), {"nvme": 2})
+        placement.assign(0, PlacementMap.HOST)
+        assert placement.tier_of(0) == "host"
+
+    def test_distribution_bytes(self):
+        placement = PlacementMap.from_allocation(list(range(4)), {"nvme": 2, "pfs": 2})
+        sizes = {i: 100.0 for i in range(4)}
+        distribution = placement.distribution_bytes(sizes)
+        assert distribution["nvme"] == 200.0
+        assert distribution["pfs"] == 200.0
+
+    def test_rebalance_moves_minimum_subgroups(self):
+        placement = PlacementMap.from_allocation(
+            list(range(10)), {"nvme": 10, "pfs": 0}, interleave=False
+        )
+        moves = placement.rebalance({"nvme": 6, "pfs": 4})
+        assert len(moves) == 4
+        assert placement.counts() == {"nvme": 6, "pfs": 4}
+        # A second rebalance to the same target moves nothing.
+        assert placement.rebalance({"nvme": 6, "pfs": 4}) == {}
+
+    def test_rebalance_requires_matching_total(self):
+        placement = PlacementMap.from_allocation(list(range(4)), {"nvme": 4})
+        with pytest.raises(ValueError):
+            placement.rebalance({"nvme": 3})
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            PlacementMap([])
+        with pytest.raises(ValueError):
+            PlacementMap(["a", "a"])

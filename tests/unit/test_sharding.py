@@ -1,0 +1,95 @@
+"""Unit tests for ZeRO-3 sharding and subgroup partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.train.model_zoo import OPTIMIZER_STATE_BYTES, model_by_name
+from repro.train.sharding import (
+    PAPER_SUBGROUP_SIZE,
+    Subgroup,
+    build_shard_layout,
+    flat_views,
+)
+
+
+class TestBuildShardLayout:
+    def test_single_rank_single_subgroup(self):
+        layout = build_shard_layout(100, num_ranks=1, subgroup_size=1000)
+        assert layout.num_subgroups == 1
+        assert layout.subgroups[0].num_params == 100
+        layout.validate()
+
+    def test_even_split_across_ranks(self):
+        layout = build_shard_layout(1000, num_ranks=4, subgroup_size=100)
+        assert all(layout.rank_params(r) == 250 for r in range(4))
+        assert layout.num_subgroups == 12  # ceil(250/100) = 3 per rank
+        assert layout.max_subgroups_per_rank() == 3
+
+    def test_uneven_split_distributes_remainder(self):
+        layout = build_shard_layout(10, num_ranks=3, subgroup_size=100)
+        assert [layout.rank_params(r) for r in range(3)] == [4, 3, 3]
+        assert sum(sg.num_params for sg in layout.subgroups) == 10
+
+    def test_subgroups_tile_rank_intervals(self):
+        layout = build_shard_layout(1003, num_ranks=2, subgroup_size=100)
+        layout.validate()
+        for rank in range(2):
+            subgroups = layout.subgroups_for_rank(rank)
+            start, stop = layout.rank_intervals[rank]
+            assert subgroups[0].global_start == start
+            assert subgroups[-1].global_stop == stop
+            assert [sg.index for sg in subgroups] == list(range(len(subgroups)))
+
+    def test_paper_subgroup_size_on_40b(self):
+        model = model_by_name("40B")
+        layout = build_shard_layout(model.total_params, num_ranks=4, subgroup_size=PAPER_SUBGROUP_SIZE)
+        # ~40B params / 4 ranks / 100M per subgroup ≈ 100 subgroups per rank.
+        assert 90 <= layout.max_subgroups_per_rank() <= 110
+        # Subgroup optimizer state is ~1.2 GB (100M params × 12 B).
+        assert layout.subgroups[0].optimizer_state_bytes == pytest.approx(1.2e9, rel=0.05)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            build_shard_layout(0, 1, 10)
+        with pytest.raises(ValueError):
+            build_shard_layout(10, 0, 10)
+        with pytest.raises(ValueError):
+            build_shard_layout(10, 1, 0)
+
+
+class TestSubgroup:
+    def test_key_is_stable_and_unique(self):
+        layout = build_shard_layout(1000, num_ranks=2, subgroup_size=100)
+        keys = [sg.key for sg in layout.subgroups]
+        assert len(set(keys)) == len(keys)
+        assert keys[0] == "rank0-sg00000"
+
+    def test_byte_accounting(self):
+        sg = Subgroup(rank=0, index=0, global_start=0, global_stop=1000)
+        assert sg.optimizer_state_bytes == 1000 * OPTIMIZER_STATE_BYTES
+        assert sg.fp16_gradient_bytes == 2000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Subgroup(rank=0, index=0, global_start=10, global_stop=10)
+        with pytest.raises(ValueError):
+            Subgroup(rank=-1, index=0, global_start=0, global_stop=1)
+
+
+class TestFlatViews:
+    def test_views_cover_rank_array_exactly(self):
+        layout = build_shard_layout(1050, num_ranks=2, subgroup_size=100)
+        for rank in range(2):
+            views = flat_views(None, layout, rank)
+            rank_size = layout.rank_params(rank)
+            covered = np.zeros(rank_size, dtype=bool)
+            for view in views.values():
+                assert not covered[view].any()  # no overlap
+                covered[view] = True
+            assert covered.all()
+
+    def test_views_address_correct_data(self, rng):
+        layout = build_shard_layout(300, num_ranks=1, subgroup_size=100)
+        flat = rng.standard_normal(300).astype(np.float32)
+        views = flat_views(flat, layout, 0)
+        np.testing.assert_array_equal(flat[views[1]], flat[100:200])

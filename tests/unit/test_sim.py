@@ -1,0 +1,241 @@
+"""Unit tests for the discrete-event simulator (resources, workload, pipeline, iteration)."""
+
+import pytest
+
+from repro.sim.iteration import IterationModel, simulate_iteration
+from repro.sim.metrics import IterationResult, UpdatePhaseResult, speedup
+from repro.sim.pipeline import simulate_update_phase
+from repro.sim.resources import FluidResource, FluidSimulation, Transfer
+from repro.sim.workload import EngineKnobs, build_workload
+from repro.tiers.spec import TESTBED_1, TESTBED_2
+from repro.train.model_zoo import model_by_name
+from repro.train.parallelism import ParallelTopology
+
+
+class TestFluidSimulation:
+    def test_single_transfer_takes_units_over_capacity(self):
+        sim = FluidSimulation()
+        resource = FluidResource("disk", capacity=10.0)
+        done = []
+        sim.submit(Transfer(resource, units=50.0, owner="a", on_complete=lambda t, now: done.append(now)))
+        assert sim.run() == pytest.approx(5.0)
+        assert done == [pytest.approx(5.0)]
+
+    def test_processor_sharing_halves_the_rate(self):
+        sim = FluidSimulation()
+        resource = FluidResource("disk", capacity=10.0)
+        t1 = sim.submit(Transfer(resource, units=50.0, owner="a"))
+        t2 = sim.submit(Transfer(resource, units=50.0, owner="b"))
+        sim.run()
+        assert t1.completed_at == pytest.approx(10.0)
+        assert t2.completed_at == pytest.approx(10.0)
+
+    def test_contention_penalty_reduces_aggregate(self):
+        sim = FluidSimulation()
+        resource = FluidResource("disk", capacity=10.0, contention_penalty=1.0)
+        sim.submit(Transfer(resource, units=50.0, owner="a"))
+        sim.submit(Transfer(resource, units=50.0, owner="b"))
+        # Two owners -> aggregate capacity 10/(1+1) = 5 -> 100 units take 20 s.
+        assert sim.run() == pytest.approx(20.0)
+
+    def test_same_owner_does_not_trigger_contention(self):
+        sim = FluidSimulation()
+        resource = FluidResource("disk", capacity=10.0, contention_penalty=1.0)
+        sim.submit(Transfer(resource, units=50.0, owner="a"))
+        sim.submit(Transfer(resource, units=50.0, owner="a"))
+        assert sim.run() == pytest.approx(10.0)
+
+    def test_exclusive_resource_serializes_owners(self):
+        sim = FluidSimulation()
+        resource = FluidResource("tier", capacity=10.0, exclusive=True)
+        t1 = sim.submit(Transfer(resource, units=50.0, owner="a"))
+        t2 = sim.submit(Transfer(resource, units=50.0, owner="b"))
+        sim.run()
+        assert t1.completed_at == pytest.approx(5.0)
+        assert t2.completed_at == pytest.approx(10.0)
+        assert t2.started_at >= t1.completed_at - 1e-9
+
+    def test_callbacks_can_chain_new_transfers(self):
+        sim = FluidSimulation()
+        resource = FluidResource("disk", capacity=1.0)
+        completions = []
+
+        def chain(transfer, now):
+            completions.append(now)
+            if len(completions) < 3:
+                sim.submit(Transfer(resource, units=1.0, owner="a", on_complete=chain))
+
+        sim.submit(Transfer(resource, units=1.0, owner="a", on_complete=chain))
+        assert sim.run() == pytest.approx(3.0)
+        assert completions == [pytest.approx(1.0), pytest.approx(2.0), pytest.approx(3.0)]
+
+    def test_zero_unit_transfer_completes_immediately(self):
+        sim = FluidSimulation()
+        resource = FluidResource("disk", capacity=1.0)
+        t = sim.submit(Transfer(resource, units=0.0, owner="a"))
+        assert t.done and t.duration == 0.0
+        assert sim.run() == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FluidResource("bad", capacity=0.0)
+        with pytest.raises(ValueError):
+            FluidResource("bad", capacity=1.0, contention_penalty=-1.0)
+        with pytest.raises(ValueError):
+            Transfer(FluidResource("ok", capacity=1.0), units=-1.0, owner="a")
+
+
+class TestWorkload:
+    def test_baseline_moves_more_bytes_than_mlp_offload(self):
+        model = model_by_name("40B")
+        ours = build_workload(model, TESTBED_1, EngineKnobs.mlp_offload())
+        baseline = build_workload(model, TESTBED_1, EngineKnobs.zero3_baseline())
+        assert baseline.fetch_bytes_per_subgroup > ours.fetch_bytes_per_subgroup
+        assert baseline.backward_grad_flush_bytes_per_worker > 0
+        assert ours.backward_grad_flush_bytes_per_worker == 0
+
+    def test_multipath_uses_both_tiers_and_respects_eq1(self):
+        workload = build_workload(model_by_name("70B"), TESTBED_1, EngineKnobs.mlp_offload())
+        assert set(workload.tier_allocation) == {"nvme", "pfs"}
+        assert workload.tier_allocation["nvme"] > workload.tier_allocation["pfs"]
+        assert sum(workload.tier_allocation.values()) == workload.subgroups_per_worker
+
+    def test_single_path_puts_everything_on_nvme(self):
+        workload = build_workload(model_by_name("70B"), TESTBED_1, EngineKnobs.zero3_baseline())
+        assert list(workload.tier_allocation) == ["nvme"]
+
+    def test_cache_hits_only_with_reordering(self):
+        model = model_by_name("40B")
+        ours = build_workload(model, TESTBED_1, EngineKnobs.mlp_offload())
+        baseline = build_workload(model, TESTBED_1, EngineKnobs.zero3_baseline())
+        assert ours.cache_hit_count() > 0
+        assert baseline.cache_hit_count() == 0
+        assert ours.skipped_flush_count() > 0
+        assert baseline.skipped_flush_count() == 0
+
+    def test_larger_models_cache_smaller_fractions(self):
+        small = build_workload(model_by_name("40B"), TESTBED_1, EngineKnobs.mlp_offload())
+        large = build_workload(model_by_name("120B"), TESTBED_1, EngineKnobs.mlp_offload())
+        frac_small = small.cache_hit_count() / small.subgroups_per_worker
+        frac_large = large.cache_hit_count() / large.subgroups_per_worker
+        assert frac_large < frac_small
+
+    def test_tier_distribution_covers_whole_state(self):
+        workload = build_workload(model_by_name("40B"), TESTBED_1, EngineKnobs.mlp_offload())
+        distribution = workload.tier_distribution_bytes()
+        total = sum(distribution.values())
+        assert total == pytest.approx(
+            workload.workers * workload.optimizer_state_bytes_per_worker, rel=0.02
+        )
+
+    def test_pfs_bandwidth_scaled_across_nodes(self):
+        model = model_by_name("280B")
+        topo = ParallelTopology.weak_scaling(8, 4)
+        workload = build_workload(model, TESTBED_2, EngineKnobs.mlp_offload(), topology=topo)
+        assert workload.tiers["pfs"].read_bw == pytest.approx(TESTBED_2.tier("pfs").read_bw / 8)
+        assert workload.tiers["nvme"].read_bw == pytest.approx(TESTBED_2.tier("nvme").read_bw)
+
+
+class TestUpdatePipeline:
+    def test_counters_are_consistent(self):
+        workload = build_workload(model_by_name("40B"), TESTBED_1, EngineKnobs.mlp_offload())
+        result = simulate_update_phase(workload)
+        total = workload.workers * workload.subgroups_per_worker
+        assert result.cache_hits + result.cache_misses == total
+        assert result.cache_hits == workload.workers * workload.cache_hit_count()
+        assert result.skipped_flushes == workload.workers * workload.skipped_flush_count()
+        assert result.fetch_bytes == pytest.approx(
+            result.cache_misses * workload.fetch_bytes_per_subgroup
+        )
+        assert result.wall_seconds > 0
+
+    def test_mlp_offload_update_is_faster_than_baseline(self):
+        model = model_by_name("40B")
+        ours = simulate_update_phase(build_workload(model, TESTBED_1, EngineKnobs.mlp_offload()))
+        baseline = simulate_update_phase(
+            build_workload(model, TESTBED_1, EngineKnobs.zero3_baseline())
+        )
+        assert baseline.wall_seconds / ours.wall_seconds > 1.5
+
+    def test_update_phase_is_io_dominated_when_offloaded(self):
+        workload = build_workload(model_by_name("70B"), TESTBED_1, EngineKnobs.zero3_baseline())
+        result = simulate_update_phase(workload)
+        assert result.io_fraction > 0.9
+
+    def test_tier_traffic_split_roughly_follows_allocation(self):
+        workload = build_workload(model_by_name("70B"), TESTBED_1, EngineKnobs.mlp_offload())
+        result = simulate_update_phase(workload)
+        assert result.tier_read_bytes["nvme"] > result.tier_read_bytes["pfs"] > 0
+
+    def test_prefetch_validation(self):
+        workload = build_workload(model_by_name("40B"), TESTBED_1, EngineKnobs.mlp_offload())
+        with pytest.raises(ValueError):
+            simulate_update_phase(workload, prefetch_ahead=0)
+
+
+class TestIterationSimulation:
+    def test_mlp_offload_wins_end_to_end(self):
+        model = model_by_name("40B")
+        baseline = simulate_iteration(
+            IterationModel(model=model, node=TESTBED_1, knobs=EngineKnobs.zero3_baseline(), label="DS")
+        )
+        ours = simulate_iteration(
+            IterationModel(model=model, node=TESTBED_1, knobs=EngineKnobs.mlp_offload(), label="ours")
+        )
+        gain = speedup(baseline, ours)
+        assert 1.5 < gain < 8.0
+        # Backward acceleration: the paper reports ~13.5x; require a large factor.
+        assert baseline.backward_seconds / ours.backward_seconds > 5.0
+        # Forward is tiny compared to the update phase for both engines.
+        assert baseline.forward_seconds < 0.05 * baseline.iteration_seconds
+
+    def test_update_dominates_the_baseline_iteration(self):
+        result = simulate_iteration(
+            IterationModel(
+                model=model_by_name("40B"),
+                node=TESTBED_1,
+                knobs=EngineKnobs.zero3_baseline(),
+                label="DS",
+            )
+        )
+        assert result.update_seconds / result.iteration_seconds > 0.7
+
+    def test_gradient_accumulation_scales_fwd_bwd_not_update(self):
+        base = IterationModel(
+            model=model_by_name("40B"), node=TESTBED_1, knobs=EngineKnobs.mlp_offload()
+        )
+        one = simulate_iteration(base)
+        four = simulate_iteration(
+            IterationModel(
+                model=model_by_name("40B"),
+                node=TESTBED_1,
+                knobs=EngineKnobs.mlp_offload(),
+                gradient_accumulation_steps=4,
+            )
+        )
+        assert four.forward_seconds == pytest.approx(4 * one.forward_seconds, rel=0.01)
+        assert four.update_seconds == pytest.approx(one.update_seconds, rel=0.05)
+
+    def test_metrics_record(self):
+        result = simulate_iteration(
+            IterationModel(model=model_by_name("40B"), node=TESTBED_1, knobs=EngineKnobs.mlp_offload())
+        )
+        assert isinstance(result, IterationResult)
+        assert isinstance(result.update, UpdatePhaseResult)
+        assert result.update_throughput_mparams > 0
+        assert result.effective_io_throughput_gbps > 0
+        assert set(result.breakdown()) == {"forward", "backward", "update"}
+        zero_update = UpdatePhaseResult(
+            wall_seconds=0.0,
+            fetch_bytes=0.0,
+            flush_bytes=0.0,
+            fetch_seconds=0.0,
+            flush_seconds=0.0,
+            compute_seconds=0.0,
+            cache_hits=0,
+            cache_misses=0,
+            params_updated=0.0,
+            skipped_flushes=0,
+        )
+        with pytest.raises(ValueError):
+            speedup(result, IterationResult("x", "40B", 0.0, 0.0, zero_update, 4))

@@ -1,0 +1,81 @@
+"""Unit tests for tier and testbed specifications (Table 1)."""
+
+import pytest
+
+from repro.tiers.spec import TESTBED_1, TESTBED_2, StorageTierSpec, TierKind
+from repro.tiers.spec import testbed_by_name as lookup_testbed
+from repro.util.bytesize import GB
+
+
+class TestStorageTierSpec:
+    def test_effective_bw_is_min_of_read_write(self):
+        tier = TESTBED_1.tier("nvme")
+        assert tier.effective_bw == pytest.approx(5.3 * GB)
+        pfs = TESTBED_1.tier("pfs")
+        assert pfs.effective_bw == pytest.approx(3.6 * GB)
+
+    def test_round_trip_bw_is_harmonic_mean(self):
+        tier = StorageTierSpec("x", TierKind.NVME, read_bw=4.0, write_bw=4.0, capacity=10)
+        assert tier.round_trip_bw == pytest.approx(4.0)
+        asym = StorageTierSpec("y", TierKind.NVME, read_bw=6.0, write_bw=3.0, capacity=10)
+        assert asym.round_trip_bw == pytest.approx(4.0)
+
+    def test_scaled_preserves_everything_else(self):
+        tier = TESTBED_1.tier("pfs").scaled(0.5)
+        assert tier.read_bw == pytest.approx(1.8 * GB)
+        assert tier.write_bw == pytest.approx(1.8 * GB)
+        assert tier.name == "pfs"
+        assert tier.shared_across_nodes
+
+    def test_invalid_specs_raise(self):
+        with pytest.raises(ValueError):
+            StorageTierSpec("bad", TierKind.NVME, read_bw=0, write_bw=1, capacity=1)
+        with pytest.raises(ValueError):
+            StorageTierSpec("bad", TierKind.NVME, read_bw=1, write_bw=1, capacity=0)
+        with pytest.raises(ValueError):
+            TESTBED_1.tier("pfs").scaled(0)
+
+    def test_tier_kind_classification(self):
+        assert TierKind.NVME.is_third_level and TierKind.NVME.is_node_local
+        assert TierKind.PFS.is_third_level and not TierKind.PFS.is_node_local
+        assert not TierKind.HOST.is_third_level and TierKind.HOST.is_node_local
+
+
+class TestTestbeds:
+    def test_table1_testbed1_values(self):
+        node = TESTBED_1
+        assert node.gpus_per_node == 4
+        assert node.cpu_cores == 96
+        assert node.tier("nvme").read_bw == pytest.approx(6.9 * GB)
+        assert node.tier("pfs").write_bw == pytest.approx(3.6 * GB)
+        assert node.d2h_bw == pytest.approx(55 * GB)
+
+    def test_table1_testbed2_values(self):
+        node = TESTBED_2
+        assert node.cpu_cores == 32
+        assert node.tier("nvme").read_bw == pytest.approx(13.5 * GB)
+        assert node.tier("pfs").write_bw == pytest.approx(13.7 * GB)
+
+    def test_host_to_gpu_memory_ratios_match_paper(self):
+        # 1.6:1 on Testbed-1 and 3.2:1 on Testbed-2 (§4.1).
+        assert TESTBED_1.host_to_gpu_memory_ratio == pytest.approx(1.6, rel=0.05)
+        assert TESTBED_2.host_to_gpu_memory_ratio == pytest.approx(3.2, rel=0.05)
+
+    def test_local_and_shared_tier_partition(self):
+        local = [t.name for t in TESTBED_1.local_tiers()]
+        shared = [t.name for t in TESTBED_1.shared_tiers()]
+        assert local == ["nvme"]
+        assert shared == ["pfs"]
+
+    def test_lookup_helpers(self):
+        assert lookup_testbed("Testbed-1") is TESTBED_1
+        assert lookup_testbed("testbed-2") is TESTBED_2
+        with pytest.raises(KeyError):
+            lookup_testbed("testbed-3")
+        with pytest.raises(KeyError):
+            TESTBED_1.tier("tape")
+
+    def test_with_storage_replaces_tiers(self):
+        only_nvme = TESTBED_1.with_storage(TESTBED_1.tier("nvme"))
+        assert list(only_nvme.storage) == ["nvme"]
+        assert TESTBED_1.storage.keys() == {"nvme", "pfs"}

@@ -1,0 +1,127 @@
+"""Unit tests for the functional NumPy transformer (forward + manual backward)."""
+
+import numpy as np
+import pytest
+
+from repro.train.data import SyntheticTokenDataset
+from repro.train.model_zoo import tiny_test_model
+from repro.train.transformer import TransformerLM
+
+
+@pytest.fixture
+def model_and_batch():
+    config = tiny_test_model(num_layers=2, hidden_dim=32, num_heads=4, vocab_size=64, sequence_length=12)
+    model = TransformerLM(config)
+    data = SyntheticTokenDataset(vocab_size=64, sequence_length=12, seed=3)
+    batch = data.batch(0, micro_batch_size=2)
+    return model, batch
+
+
+class TestLayoutAndInit:
+    def test_parameter_count_matches_model_zoo_formula(self):
+        config = tiny_test_model(num_layers=3, hidden_dim=48, num_heads=4, vocab_size=96, sequence_length=20)
+        model = TransformerLM(config)
+        assert model.num_params == config.total_params
+
+    def test_views_are_aliases_into_the_flat_vector(self):
+        config = tiny_test_model()
+        model = TransformerLM(config)
+        flat = model.init_params(seed=0)
+        view = model.view(flat, "tok_emb")
+        view[0, 0] = 123.0
+        assert flat[model.spec("tok_emb").offset] == 123.0
+
+    def test_init_is_deterministic_per_seed(self):
+        config = tiny_test_model()
+        model = TransformerLM(config)
+        np.testing.assert_array_equal(model.init_params(seed=5), model.init_params(seed=5))
+        assert not np.array_equal(model.init_params(seed=5), model.init_params(seed=6))
+
+    def test_layernorm_gains_start_at_one(self):
+        config = tiny_test_model()
+        model = TransformerLM(config)
+        flat = model.init_params(seed=0)
+        np.testing.assert_array_equal(model.view(flat, "lnf_g"), np.ones(config.hidden_dim, dtype=np.float32))
+
+
+class TestForward:
+    def test_loss_is_finite_and_near_uniform_at_init(self, model_and_batch):
+        model, batch = model_and_batch
+        params = model.init_params(seed=0)
+        loss, _ = model.forward(params, batch.tokens, batch.targets)
+        assert np.isfinite(loss)
+        # Random init ⇒ roughly uniform predictions ⇒ loss ≈ ln(vocab).
+        assert loss == pytest.approx(np.log(model.config.vocab_size), rel=0.25)
+
+    def test_fp16_params_accepted(self, model_and_batch):
+        model, batch = model_and_batch
+        params = model.init_params(seed=0)
+        loss32, _ = model.forward(params, batch.tokens, batch.targets)
+        loss16, _ = model.forward(params.astype(np.float16), batch.tokens, batch.targets)
+        assert loss16 == pytest.approx(loss32, rel=1e-2)
+
+    def test_input_validation(self, model_and_batch):
+        model, batch = model_and_batch
+        params = model.init_params(seed=0)
+        with pytest.raises(ValueError):
+            model.forward(params, batch.tokens[0], batch.targets[0])
+        with pytest.raises(ValueError):
+            model.forward(params, batch.tokens, batch.targets[:, :-1])
+        too_long = np.zeros((1, model.config.sequence_length + 1), dtype=np.int64)
+        with pytest.raises(ValueError):
+            model.forward(params, too_long, too_long)
+
+    def test_causality(self):
+        """Changing a future token must not change earlier-position logits' loss contribution."""
+        config = tiny_test_model(num_layers=1, hidden_dim=16, num_heads=2, vocab_size=32, sequence_length=8)
+        model = TransformerLM(config)
+        params = model.init_params(seed=0)
+        tokens = np.arange(8, dtype=np.int64)[None, :] % 32
+        targets = np.roll(tokens, -1, axis=1)
+        _, cache_a = model.forward(params, tokens, targets)
+        tokens_b = tokens.copy()
+        tokens_b[0, -1] = (tokens_b[0, -1] + 5) % 32
+        _, cache_b = model.forward(params, tokens_b, targets)
+        # Probabilities at positions before the change are identical.
+        np.testing.assert_allclose(cache_a["probs"][0, :-1], cache_b["probs"][0, :-1], atol=1e-6)
+
+
+class TestBackward:
+    def test_gradient_matches_finite_differences(self):
+        config = tiny_test_model(num_layers=1, hidden_dim=16, num_heads=2, vocab_size=24, sequence_length=6)
+        model = TransformerLM(config)
+        params = model.init_params(seed=1).astype(np.float64).astype(np.float32)
+        data = SyntheticTokenDataset(vocab_size=24, sequence_length=6, seed=11)
+        batch = data.batch(0, 1)
+        loss, grads = model.loss_and_grad(params, batch.tokens, batch.targets)
+        rng = np.random.default_rng(0)
+        # Spot-check a sample of coordinates across all parameter tensors.
+        indices = rng.choice(model.num_params, size=25, replace=False)
+        eps = 1e-3
+        for idx in indices:
+            perturbed = params.copy()
+            perturbed[idx] += eps
+            loss_plus = model.loss(perturbed, batch.tokens, batch.targets)
+            perturbed[idx] -= 2 * eps
+            loss_minus = model.loss(perturbed, batch.tokens, batch.targets)
+            numeric = (loss_plus - loss_minus) / (2 * eps)
+            assert grads[idx] == pytest.approx(numeric, rel=0.08, abs=2e-3)
+
+    def test_gradients_cover_every_parameter_tensor(self, model_and_batch):
+        model, batch = model_and_batch
+        params = model.init_params(seed=0)
+        _, grads = model.loss_and_grad(params, batch.tokens, batch.targets)
+        assert grads.shape == params.shape
+        for spec in model.parameter_specs:
+            tensor_grad = grads[spec.offset : spec.stop]
+            assert np.isfinite(tensor_grad).all(), spec.name
+
+    def test_training_reduces_loss(self, model_and_batch):
+        model, batch = model_and_batch
+        params = model.init_params(seed=0)
+        first_loss, grads = model.loss_and_grad(params, batch.tokens, batch.targets)
+        for _ in range(10):
+            loss, grads = model.loss_and_grad(params, batch.tokens, batch.targets)
+            params = params - 0.5 * grads
+        final_loss = model.loss(params, batch.tokens, batch.targets)
+        assert final_loss < first_loss

@@ -1,0 +1,123 @@
+"""Unit tests for repro.util (byte sizes, timers, logging)."""
+
+import time
+
+import pytest
+
+from repro.util import GiB, KiB, MiB, PhaseTimer, Stopwatch, format_bytes, parse_bytes
+from repro.util.bytesize import GB, format_bandwidth
+from repro.util.logging import get_logger, kv
+
+
+class TestParseBytes:
+    def test_plain_numbers_pass_through(self):
+        assert parse_bytes(1024) == 1024
+        assert parse_bytes(1.5) == 1
+
+    def test_binary_units(self):
+        assert parse_bytes("1KiB") == KiB
+        assert parse_bytes("2 MiB") == 2 * MiB
+        assert parse_bytes("3GiB") == 3 * GiB
+
+    def test_decimal_units(self):
+        assert parse_bytes("1GB") == 10**9
+        assert parse_bytes("1.6 TB") == int(1.6e12)
+
+    def test_unitless_string_is_bytes(self):
+        assert parse_bytes("512") == 512
+
+    def test_invalid_inputs_raise(self):
+        with pytest.raises(ValueError):
+            parse_bytes("abc")
+        with pytest.raises(ValueError):
+            parse_bytes("12 parsecs")
+        with pytest.raises(ValueError):
+            parse_bytes(-5)
+
+
+class TestFormatBytes:
+    def test_small_values_are_bytes(self):
+        assert format_bytes(0) == "0B"
+        assert format_bytes(512) == "512B"
+
+    def test_binary_scaling(self):
+        assert format_bytes(1536) == "1.5KiB"
+        assert format_bytes(3 * GiB, precision=0) == "3GiB"
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            format_bytes(-1)
+
+    def test_bandwidth_formatting(self):
+        assert format_bandwidth(5.3 * GB) == "5.30GB/s"
+        with pytest.raises(ValueError):
+            format_bandwidth(-1.0)
+
+
+class TestStopwatch:
+    def test_accumulates_across_runs(self):
+        sw = Stopwatch()
+        with sw.measure():
+            time.sleep(0.01)
+        first = sw.elapsed
+        with sw.measure():
+            time.sleep(0.01)
+        assert sw.elapsed > first >= 0.01
+
+    def test_double_start_raises(self):
+        sw = Stopwatch()
+        sw.start()
+        with pytest.raises(RuntimeError):
+            sw.start()
+        sw.stop()
+        with pytest.raises(RuntimeError):
+            sw.stop()
+
+    def test_reset(self):
+        sw = Stopwatch()
+        with sw.measure():
+            pass
+        sw.reset()
+        assert sw.elapsed == 0.0
+        assert not sw.running
+
+
+class TestPhaseTimer:
+    def test_phase_accumulation_and_counts(self):
+        timer = PhaseTimer()
+        with timer.phase("update"):
+            time.sleep(0.005)
+        with timer.phase("update"):
+            time.sleep(0.005)
+        assert timer.count("update") == 2
+        assert timer.total("update") >= 0.01
+        assert timer.mean("update") == pytest.approx(timer.total("update") / 2)
+
+    def test_manual_add_and_reset(self):
+        timer = PhaseTimer()
+        timer.add("forward", 1.5)
+        timer.add("forward", 0.5)
+        assert timer.total("forward") == pytest.approx(2.0)
+        assert timer.totals() == {"forward": pytest.approx(2.0)}
+        timer.reset()
+        assert timer.total("forward") == 0.0
+
+    def test_negative_add_rejected(self):
+        timer = PhaseTimer()
+        with pytest.raises(ValueError):
+            timer.add("x", -1.0)
+
+    def test_unknown_phase_is_zero(self):
+        timer = PhaseTimer()
+        assert timer.total("nope") == 0.0
+        assert timer.mean("nope") == 0.0
+
+
+class TestLogging:
+    def test_namespacing(self):
+        assert get_logger().name == "repro"
+        assert get_logger("core.engine").name == "repro.core.engine"
+        assert get_logger("repro.sim").name == "repro.sim"
+
+    def test_kv_is_sorted_and_stable(self):
+        assert kv(b=2, a=1) == "a=1 b=2"

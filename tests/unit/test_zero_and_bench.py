@@ -1,0 +1,85 @@
+"""Unit tests for the baseline/ablation variants and the benchmark harness."""
+
+import pytest
+
+from repro.bench.harness import ExperimentResult, format_table, paper_vs_measured
+from repro.core.config import MLPOffloadConfig, TierConfig
+from repro.zero.variants import (
+    ABLATION_LADDER_MULTIPATH,
+    ABLATION_LADDER_NVME,
+    variant_config,
+)
+from repro.zero.zero3_engine import zero3_config
+
+
+@pytest.fixture
+def full_config(tier_dirs):
+    return MLPOffloadConfig(
+        tiers=(
+            TierConfig("nvme", str(tier_dirs["nvme"]), read_bw=6.9e9, write_bw=5.3e9),
+            TierConfig("pfs", str(tier_dirs["pfs"]), read_bw=3.6e9, write_bw=3.6e9),
+        ),
+        subgroup_size=100,
+    )
+
+
+class TestZero3Config:
+    def test_baseline_disables_all_principles_but_keeps_shared_knobs(self, full_config):
+        base = zero3_config(full_config)
+        assert base.tier_names == ["nvme"]
+        assert not (
+            base.enable_multipath
+            or base.enable_tier_locks
+            or base.enable_cache_reorder
+            or base.enable_delayed_grad_conversion
+        )
+        assert base.subgroup_size == full_config.subgroup_size
+
+
+class TestAblationLadders:
+    def test_nvme_ladder_is_progressive(self):
+        ladder = ABLATION_LADDER_NVME
+        assert [v.name for v in ladder] == ["zero3", "caching", "skip_gradients", "atomic_rw"]
+        enabled_counts = [
+            sum([v.multipath, v.cache_reorder, v.delayed_grads, v.tier_locks]) for v in ladder
+        ]
+        assert enabled_counts == sorted(enabled_counts)
+        assert not any(v.multipath for v in ladder)
+
+    def test_multipath_ladder_ends_with_full_mlp_offload(self):
+        final = ABLATION_LADDER_MULTIPATH[-1]
+        assert final.multipath and final.cache_reorder and final.delayed_grads and final.tier_locks
+        assert all(v.multipath for v in ABLATION_LADDER_MULTIPATH)
+
+    def test_variant_config_applies_switches(self, full_config):
+        caching = variant_config("caching", full_config)
+        assert caching.enable_cache_reorder
+        assert not caching.enable_delayed_grad_conversion
+        assert caching.tier_names == ["nvme"]
+        ours = variant_config("mlp_offload", full_config)
+        assert ours.tier_names == ["nvme", "pfs"]
+        with pytest.raises(KeyError):
+            variant_config("nonsense", full_config)
+
+
+class TestHarness:
+    def test_experiment_result_rows_and_lookup(self):
+        result = ExperimentResult("figX", "demo")
+        result.add_row(model="40B", engine="DS", value=1.0)
+        result.add_row(model="40B", engine="MLP", value=2.0)
+        assert result.column("value") == [1.0, 2.0]
+        assert result.row_for(engine="MLP")["value"] == 2.0
+        with pytest.raises(KeyError):
+            result.row_for(engine="missing")
+        result.add_note("a note")
+        assert "figX" in str(result)
+
+    def test_format_table_handles_mixed_columns(self):
+        text = format_table([{"a": 1.0, "b": "x"}, {"a": 20000.0, "c": 3}], title="T")
+        assert "T" in text and "a" in text and "c" in text
+        assert format_table([], title="empty").startswith("empty")
+
+    def test_paper_vs_measured_row(self):
+        row = paper_vs_measured("speedup", 2.5, 3.0, unit="x")
+        assert row["measured/paper"] == pytest.approx(1.2)
+        assert row["unit"] == "x"
