@@ -6,6 +6,9 @@ It mirrors the properties of the paper's DeepNVMe/libaio layer that matter to
 the offloading engines:
 
 * asynchronous submission with completion futures (prefetch / lazy flush);
+* zero-copy reads: a request may carry a caller-supplied destination array
+  (``read_into``), which the store deserializes into directly —
+  the pinned-buffer discipline of DeepNVMe's ``aio_handle`` reads;
 * bounded queue depth per engine (submission back-pressure);
 * optional integration with the node-level tier lock manager so that requests
   against a locked tier are deferred rather than issued concurrently;
@@ -47,6 +50,10 @@ class IORequest:
     array: Optional[np.ndarray] = None
     #: Worker identity on whose behalf the request is issued (for tier locks).
     worker: str = "worker0"
+    #: Zero-copy destination for reads: when set, the store deserializes
+    #: directly into this array (``FileStore.load_into``) instead of
+    #: allocating a fresh one.  ``None`` for writes.
+    out: Optional[np.ndarray] = None
 
 
 @dataclass
@@ -160,6 +167,14 @@ class AsyncIOEngine:
         """Convenience wrapper submitting an asynchronous read."""
         return self.submit(IORequest(kind=IOKind.READ, tier=tier, key=key, worker=worker))
 
+    def read_into(
+        self, tier: str, key: str, out: np.ndarray, *, worker: str = "worker0"
+    ) -> "concurrent.futures.Future[IOResult]":
+        """Submit a zero-copy read that deserializes directly into ``out``."""
+        return self.submit(
+            IORequest(kind=IOKind.READ, tier=tier, key=key, worker=worker, out=out)
+        )
+
     def write(
         self, tier: str, key: str, array: np.ndarray, *, worker: str = "worker0"
     ) -> "concurrent.futures.Future[IOResult]":
@@ -178,7 +193,10 @@ class AsyncIOEngine:
                 lease = self.lock_manager.acquire(request.tier, request.worker)
             store = self.stores[request.tier]
             if request.kind is IOKind.READ:
-                array = store.read(request.key)
+                if request.out is not None:
+                    array = store.load_into(request.key, request.out)
+                else:
+                    array = store.read(request.key)
                 nbytes = int(array.nbytes)
                 result = IOResult(
                     request=request,

@@ -13,6 +13,10 @@ Two modes are supported:
   meaningful.
 * ``simulate=False``: the throttle actually sleeps, pacing real I/O.  Useful
   for demonstrations where wall-clock behaviour should match the model.
+  Concurrent transfers are *serialized* against the device's timeline: each
+  transfer reserves the next free slot and sleeps until its slot ends, so N
+  parallel requests share the configured bandwidth instead of each enjoying
+  it in full — the aggregate throughput cap of a real NVMe/PFS (Figure 4).
 """
 
 from __future__ import annotations
@@ -34,9 +38,22 @@ class BandwidthThrottle:
     latency:
         Fixed per-operation latency (seconds) added to every transfer,
         modelling submission + device latency.
+    duplex:
+        When ``True`` (pacing mode only), reads and writes are serialized on
+        *independent* device timelines — the full-duplex behaviour of NVMe
+        and PFS links, whose read and write bandwidths Table 1 lists
+        separately.  When ``False`` (default, conservative), one shared
+        timeline serializes all transfers regardless of direction.
     """
 
-    def __init__(self, bytes_per_second: float, *, simulate: bool = True, latency: float = 0.0) -> None:
+    def __init__(
+        self,
+        bytes_per_second: float,
+        *,
+        simulate: bool = True,
+        latency: float = 0.0,
+        duplex: bool = False,
+    ) -> None:
         if bytes_per_second <= 0:
             raise ValueError("bytes_per_second must be positive")
         if latency < 0:
@@ -44,9 +61,13 @@ class BandwidthThrottle:
         self.bytes_per_second = float(bytes_per_second)
         self.simulate = simulate
         self.latency = float(latency)
+        self.duplex = duplex
         self._lock = threading.Lock()
         self._consumed_bytes = 0
         self._charged_seconds = 0.0
+        #: Monotonic timestamp when each modelled device channel next becomes
+        #: free (pacing mode only); half-duplex throttles use one channel.
+        self._busy_until: dict = {}
 
     def transfer_time(self, nbytes: int) -> float:
         """Modelled time to move ``nbytes`` at the configured bandwidth."""
@@ -54,14 +75,28 @@ class BandwidthThrottle:
             raise ValueError("nbytes must be non-negative")
         return self.latency + nbytes / self.bytes_per_second
 
-    def consume(self, nbytes: int) -> float:
-        """Charge a transfer of ``nbytes`` and return the time charged (seconds)."""
+    def consume(self, nbytes: int, *, direction: str = "read") -> float:
+        """Charge a transfer of ``nbytes`` and return the time charged (seconds).
+
+        In pacing mode (``simulate=False``) the transfer is queued on the
+        device timeline: it starts when the device (or, for duplex throttles,
+        the per-direction channel) frees up, so concurrent consumers split
+        the configured bandwidth rather than multiplying it.  ``direction``
+        ("read"/"write") picks the channel and is ignored for half-duplex.
+        """
         cost = self.transfer_time(nbytes)
+        wait = 0.0
         with self._lock:
             self._consumed_bytes += nbytes
             self._charged_seconds += cost
-        if not self.simulate and cost > 0:
-            time.sleep(cost)
+            if not self.simulate and cost > 0:
+                channel = direction if self.duplex else "shared"
+                now = time.monotonic()
+                start = max(now, self._busy_until.get(channel, 0.0))
+                self._busy_until[channel] = start + cost
+                wait = self._busy_until[channel] - now
+        if wait > 0:
+            time.sleep(wait)
         return cost
 
     @property

@@ -424,6 +424,129 @@ def fig15_ablation_multipath(
 
 
 # ---------------------------------------------------------------------------
+# Update-phase pipelining — sequential vs double-buffered prefetch/flush
+# ---------------------------------------------------------------------------
+
+def update_pipeline_comparison(
+    *,
+    total_params: int = 160_000,
+    subgroup_params: int = 20_000,
+    iterations: int = 3,
+    nvme_bw: float = 40e6,
+    pfs_bw: float = 25e6,
+    latency: float = 0.002,
+    prefetch_depth: int = 4,
+    io_threads: int = 8,
+    workdir: Optional[Path] = None,
+) -> ExperimentResult:
+    """Sequential vs pipelined update phase on a throttled-tier workload.
+
+    Runs the *functional* engine twice on identical inputs and storage
+    layouts — once with ``pipeline_update_phase`` off (the single-buffered
+    Algorithm-1 loop: one prefetch ahead, synchronous flushes) and once with
+    the windowed prefetch/flush pipeline — over file tiers throttled with
+    real sleeping (``simulate=False``).  Each tier's throttle serializes
+    concurrent transfers on a per-direction device timeline (``duplex=True``:
+    independent read and write channels, matching Table 1's separate
+    read/write bandwidth columns), so N parallel requests *share* the
+    configured bandwidth instead of multiplying it — the measured speedup is
+    genuine overlap (reads with writes, NVMe with PFS, I/O with compute),
+    not modelling artefact.  The host cache is disabled to put every
+    subgroup through the tier round-trip, the regime in which the paper
+    reports the update phase is ~99% I/O (Figure 3).
+
+    Emits one row per (engine, iteration) with the measured phase wall time,
+    summary rows with the mean wall times and their ratio (``speedup``), a
+    ``bitwise_identical`` correctness row, and the pipelined engine's
+    buffer-pool counters (hit rate ≈ 1 once warm ⇒ the steady-state I/O path
+    allocates nothing).
+    """
+    from repro.core.config import MLPOffloadConfig, TierConfig
+    from repro.core.engine import MLPOffloadEngine
+    from repro.train.adam import AdamConfig
+    from repro.train.sharding import build_shard_layout, flat_views
+
+    result = ExperimentResult(
+        experiment="update-pipeline",
+        description="Sequential vs pipelined update phase (throttled tiers)",
+    )
+    base = Path(workdir) if workdir is not None else Path(tempfile.mkdtemp(prefix="repro-pipe-"))
+    layout = build_shard_layout(total_params, num_ranks=1, subgroup_size=subgroup_params)
+    views = flat_views(None, layout, 0)
+    rng = np.random.default_rng(2025)
+    initial = rng.standard_normal(total_params).astype(np.float32)
+    grads = [
+        rng.standard_normal(total_params).astype(np.float32) * 0.1 for _ in range(iterations)
+    ]
+
+    def run(label: str, pipelined: bool):
+        root = base / label
+        (root / "nvme").mkdir(parents=True, exist_ok=True)
+        (root / "pfs").mkdir(parents=True, exist_ok=True)
+        config = MLPOffloadConfig(
+            tiers=(
+                TierConfig("nvme", str(root / "nvme"), read_bw=nvme_bw, write_bw=nvme_bw),
+                TierConfig("pfs", str(root / "pfs"), read_bw=pfs_bw, write_bw=pfs_bw),
+            ),
+            subgroup_size=subgroup_params,
+            host_cache_bytes=0.0,
+            adam=AdamConfig(lr=1e-3),
+            pipeline_update_phase=pipelined,
+            prefetch_depth=prefetch_depth,
+        )
+        throttles = {
+            "nvme": BandwidthThrottle(nvme_bw, simulate=False, latency=latency, duplex=True),
+            "pfs": BandwidthThrottle(pfs_bw, simulate=False, latency=latency, duplex=True),
+        }
+        phase_seconds = []
+        with MLPOffloadEngine(config, layout, rank=0, throttles=throttles, io_threads=io_threads) as engine:
+            engine.initialize(initial.copy())
+            fp16 = initial.astype(np.float16)
+            for grad in grads:
+                for index, view in views.items():
+                    engine.on_backward_gradient(index, grad[view].astype(np.float16))
+                engine.on_microbatch_complete()
+                report = engine.run_update(fp16)
+                phase_seconds.append(report.stats.wall_seconds)
+            master = engine.fetch_master_params()
+            pool_stats = engine.pool.stats
+        return fp16, master, phase_seconds, pool_stats
+
+    fp16_seq, master_seq, seconds_seq, _ = run("sequential", pipelined=False)
+    fp16_pipe, master_pipe, seconds_pipe, pool_stats = run("pipelined", pipelined=True)
+
+    for iteration, (seq_s, pipe_s) in enumerate(zip(seconds_seq, seconds_pipe)):
+        result.add_row(series="trajectory", engine="sequential", iteration=iteration, update_s=seq_s)
+        result.add_row(series="trajectory", engine="pipelined", iteration=iteration, update_s=pipe_s)
+
+    mean_seq = float(np.mean(seconds_seq))
+    mean_pipe = float(np.mean(seconds_pipe))
+    speedup = mean_seq / mean_pipe if mean_pipe > 0 else float("inf")
+    bitwise = bool(
+        np.array_equal(fp16_seq, fp16_pipe) and np.array_equal(master_seq, master_pipe)
+    )
+    result.add_row(series="summary", engine="sequential", mean_update_s=mean_seq)
+    result.add_row(series="summary", engine="pipelined", mean_update_s=mean_pipe)
+    result.add_row(series="summary", engine="speedup", value=speedup)
+    result.add_row(series="check", bitwise_identical=bitwise)
+    result.add_row(
+        series="pool",
+        hits=pool_stats.hits,
+        misses=pool_stats.misses,
+        hit_rate=pool_stats.hit_rate,
+    )
+    result.add_note(
+        f"pipelined update phase is {speedup:.2f}x faster than sequential "
+        f"({mean_pipe * 1e3:.0f} ms vs {mean_seq * 1e3:.0f} ms per phase)"
+    )
+    result.add_note(
+        "paper §3.2: overlapping tier I/O with the CPU Adam compute recovers most "
+        "of the throughput the synchronous baseline loses to the storage tiers"
+    )
+    return result
+
+
+# ---------------------------------------------------------------------------
 # §4.4 — cost effectiveness of offloaded vs GPU-only training
 # ---------------------------------------------------------------------------
 

@@ -85,6 +85,16 @@ class MLPOffloadConfig:
     enable_cache_reorder: bool = True
     #: Design principle 4: keep FP16 grads on host, convert at update time.
     enable_delayed_grad_conversion: bool = True
+    #: Overlap tier I/O with the CPU Adam compute during the update phase:
+    #: prefetch the next ``prefetch_depth`` subgroups asynchronously while the
+    #: current one is updated, and drain flushes lazily at phase end.  Turning
+    #: this off yields the single-buffered Algorithm-1 loop — one subgroup
+    #: prefetched ahead, synchronous flushes — as the sequential ablation
+    #: baseline.
+    pipeline_update_phase: bool = True
+    #: Lookahead window (in subgroups) of the pipelined update phase; only
+    #: meaningful when ``pipeline_update_phase`` is on.
+    prefetch_depth: int = 2
     #: Adam hyper-parameters for the CPU update.
     adam: AdamConfig = field(default_factory=AdamConfig)
     #: Re-estimate tier bandwidths from observed I/O after each iteration.
@@ -104,6 +114,8 @@ class MLPOffloadConfig:
             raise ValueError("pinned_buffers must be >= 1")
         if self.host_cache_bytes < 0:
             raise ValueError("host_cache_bytes must be non-negative")
+        if self.prefetch_depth < 1:
+            raise ValueError("prefetch_depth must be >= 1")
         if not 0.0 < self.bandwidth_smoothing <= 1.0:
             raise ValueError("bandwidth_smoothing must be in (0, 1]")
 
@@ -155,6 +167,8 @@ class MLPOffloadConfig:
                 "tier_locks": self.enable_tier_locks,
                 "cache_reorder": self.enable_cache_reorder,
                 "delayed_grad_conversion": self.enable_delayed_grad_conversion,
+                "pipeline_update_phase": self.pipeline_update_phase,
+                "prefetch_depth": self.prefetch_depth,
                 "adaptive_bandwidth": self.adaptive_bandwidth,
                 "bandwidth_smoothing": self.bandwidth_smoothing,
                 "adam": asdict(self.adam),
@@ -180,6 +194,8 @@ class MLPOffloadConfig:
             enable_tier_locks=bool(block.get("tier_locks", True)),
             enable_cache_reorder=bool(block.get("cache_reorder", True)),
             enable_delayed_grad_conversion=bool(block.get("delayed_grad_conversion", True)),
+            pipeline_update_phase=bool(block.get("pipeline_update_phase", True)),
+            prefetch_depth=int(block.get("prefetch_depth", 2)),
             adam=adam,
             adaptive_bandwidth=bool(block.get("adaptive_bandwidth", True)),
             bandwidth_smoothing=float(block.get("bandwidth_smoothing", 0.5)),

@@ -12,6 +12,33 @@ against real file-backed tiers:
   run the vectorized CPU Adam, push the refreshed FP16 parameters to the
   rank's working copy, and lazily flush the updated state.
 
+The update phase runs in one of two modes, selected by
+:attr:`~repro.core.config.MLPOffloadConfig.pipeline_update_phase`:
+
+* **pipelined** (default) — a double-buffered lookahead window: asynchronous
+  prefetches for the next :attr:`~repro.core.config.MLPOffloadConfig.prefetch_depth`
+  subgroups are in flight while Adam runs on the current one, and post-update
+  flushes are issued asynchronously and drained at phase end.  Tier I/O thus
+  overlaps the CPU compute (the paper's multi-level pipelining), while the
+  tier-exclusive lock manager keeps multi-path semantics intact — async
+  requests acquire the tier lease on the I/O threads, re-entrantly per
+  worker.
+* **sequential** — the single-buffered Algorithm-1 loop (one subgroup
+  prefetched ahead, every flush synchronous), kept as the ablation baseline;
+  this matches the engine's behaviour before pipelining was introduced.
+
+Both modes produce bitwise-identical optimizer state, parameters and tier
+contents: they perform the same updates in the same order and differ only in
+when the I/O is issued.
+
+All subgroup transfers are zero-copy: fetches deserialize straight into
+scratch arrays leased from a per-engine :class:`~repro.tiers.array_pool.ArrayPool`
+(``FileStore.load_into``), flushes stream from the same arrays
+(``FileStore.save_from``), and buffers return to the pool when the host
+cache evicts them or their flush completes.  After warm-up the update loop
+therefore performs zero per-subgroup ndarray allocations on the I/O path —
+the pool's hit rate measures exactly that.
+
 Every design principle is an independent switch on
 :class:`~repro.core.config.MLPOffloadConfig`, so the same code path serves
 MLP-Offload, the DeepSpeed-ZeRO-3-style baseline and all ablation variants.
@@ -22,7 +49,9 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import concurrent.futures
 
 import numpy as np
 
@@ -37,13 +66,21 @@ from repro.core.gradient_policy import (
 from repro.core.ordering import OrderingPolicy, update_order
 from repro.core.stats import UpdatePhaseStats
 from repro.core.virtual_tier import GRAD_FIELD, STATE_FIELDS, VirtualTier
+from repro.tiers.array_pool import ArrayPool
 from repro.tiers.host_cache import HostSubgroupCache
-from repro.train.adam import AdamState, adam_update
+from repro.train.adam import AdamScratch, AdamState, adam_update
 from repro.train.gradients import GradientAccumulator
 from repro.train.sharding import ShardLayout, Subgroup, flat_views
 from repro.util.logging import get_logger
 
 _LOG = get_logger("core.engine")
+
+#: A prefetch in flight: per-field completion futures plus the pooled
+#: destination arrays the reads deserialize into.
+_PendingFetch = Tuple[Dict[str, "concurrent.futures.Future"], Dict[str, np.ndarray]]
+#: A lazy flush in flight: the write futures plus the pooled arrays to
+#: recycle once they complete.
+_PendingFlush = Tuple[int, List["concurrent.futures.Future"], List[np.ndarray]]
 
 
 @dataclass
@@ -87,10 +124,18 @@ class OffloadEngineBase:
             worker=self.worker,
             lock_manager=self.concurrency.lock_manager,
             io_threads=io_threads,
+            # Size the submission queue to the prefetch window (up to four
+            # field reads per subgroup plus a flushed subgroup's writes), so
+            # filling the window never blocks on queue back-pressure.
+            queue_depth=max(16, 4 * (config.prefetch_depth + 2)),
             throttles=throttles,
         )
+        #: Pool of reusable fetch/flush scratch arrays (zero-copy tier I/O).
+        self.pool = ArrayPool()
         self.cache = HostSubgroupCache(
-            capacity_bytes=config.host_cache_bytes, writeback=self._writeback
+            capacity_bytes=config.host_cache_bytes,
+            writeback=self._writeback,
+            on_evict=self._release_evicted,
         )
         self.accumulator = GradientAccumulator(layout, rank)
         self.gradient_policy = (
@@ -101,6 +146,12 @@ class OffloadEngineBase:
         self.ordering_policy = (
             OrderingPolicy.ALTERNATING if config.enable_cache_reorder else OrderingPolicy.SEQUENTIAL
         )
+        max_params = max(sg.num_params for sg in self.subgroups)
+        #: Preallocated FP32 scratch for the gradient up-convert of the
+        #: subgroup currently being updated.
+        self._grad_scratch = np.empty(max_params, dtype=np.float32)
+        #: Preallocated FP32 temporaries for the vectorized Adam math.
+        self._adam_scratch = AdamScratch(max_params)
         self._steps: Dict[int, int] = {sg.index: 0 for sg in self.subgroups}
         self._initialized = False
         self._update_count = 0
@@ -116,7 +167,8 @@ class OffloadEngineBase:
         start at zero, and everything is flushed to the virtual tier per the
         initial performance-model placement (§3.4: "Initially, the subgroups
         are created on the host memory and flushed to either the NVMe or
-        PFS").
+        PFS").  The state arrays are leased from the engine's buffer pool so
+        the very first update phase already recycles them.
         """
         if self._initialized:
             raise RuntimeError("engine already initialized")
@@ -129,15 +181,18 @@ class OffloadEngineBase:
         flat = initial_params_fp32.astype(np.float32, copy=False).reshape(-1)
         for sg in self.subgroups:
             view = flat[self._views[sg.index]]
-            arrays = {
-                "params": view.astype(np.float32),
-                "exp_avg": np.zeros(sg.num_params, dtype=np.float32),
-                "exp_avg_sq": np.zeros(sg.num_params, dtype=np.float32),
+            arrays: Dict[str, np.ndarray] = {
+                name: self.pool.acquire(sg.num_params, np.float32) for name in STATE_FIELDS
             }
+            np.copyto(arrays["params"], view)
+            arrays["exp_avg"].fill(0.0)
+            arrays["exp_avg_sq"].fill(0.0)
             self.tier.flush_subgroup(sg.key, sg.index, arrays, wait=True)
             # Populate the host cache with as many (clean) subgroups as fit,
-            # so the very first update phase already benefits from caching.
-            self.cache.put(sg.index, arrays, dirty=False)
+            # so the very first update phase already benefits from caching;
+            # subgroups that do not fit return their buffers to the pool.
+            if not self.cache.put(sg.index, arrays, dirty=False):
+                self.pool.release_all(arrays.values())
         self._initialized = True
 
     # -- backward-pass hook --------------------------------------------------
@@ -177,6 +232,12 @@ class OffloadEngineBase:
         refreshed parameters of every subgroup are written into it (the
         functional counterpart of the asynchronous H2D push in line 8 of
         Algorithm 1).
+
+        With :attr:`~repro.core.config.MLPOffloadConfig.pipeline_update_phase`
+        on, fetches run ``prefetch_depth`` subgroups ahead of the Adam compute
+        and flushes drain lazily at phase end; off, one fetch is overlapped
+        and every flush is synchronous (the single-buffered baseline).
+        Results are bitwise-identical either way.
         """
         if not self._initialized:
             raise RuntimeError("engine not initialized")
@@ -202,72 +263,29 @@ class OffloadEngineBase:
         if self.gradient_policy is GradientConversionPolicy.FLUSH_FP32:
             fetch_fields.append(GRAD_FIELD)
 
-        pending: Dict[int, Dict[str, object]] = {}
-        self._maybe_prefetch(order, 0, pending, fetch_fields)
+        pipelined = self.config.pipeline_update_phase
+        # Lookahead: ``prefetch_depth`` subgroups beyond the current one when
+        # pipelined; the single-buffered one-ahead prefetch of Algorithm 1
+        # otherwise (the sequential baseline keeps the seed engine's shape —
+        # one fetch overlapped, every flush synchronous).
+        slide = self.config.prefetch_depth if pipelined else 1
+        initial = slide + 1 if pipelined else 1
 
-        for position, subgroup_index in enumerate(order):
-            sg = self._by_index[subgroup_index]
-            arrays = self.cache.get(subgroup_index)
-            if arrays is not None and self._has_required_fields(arrays, fetch_fields):
-                stats.cache_hits += 1
-                fetch_seconds = 0.0
-            else:
-                stats.cache_misses += 1
-                fetch_start = time.perf_counter()
-                arrays = self._complete_fetch(sg, pending, fetch_fields)
-                fetch_seconds = time.perf_counter() - fetch_start
-                stats.fetch_seconds += fetch_seconds
-                stats.fetch_bytes += int(sum(a.nbytes for a in arrays.values()))
-            # Start prefetching the next subgroup before computing this one
-            # (line 11 of Algorithm 1).
-            self._maybe_prefetch(order, position + 1, pending, fetch_fields)
-
-            # Delayed (or stored) gradient conversion.
-            conv_start = time.perf_counter()
-            stored = arrays.get(GRAD_FIELD)
-            grad = update_time_gradient(
-                self.gradient_policy,
-                self.accumulator,
-                subgroup_index,
-                stored_fp32=stored,  # type: ignore[arg-type]
+        pending: Dict[int, _PendingFetch] = {}
+        inflight_flushes: List[_PendingFlush] = []
+        try:
+            self._run_update_loop(
+                order, fetch_fields, slide, initial, pending, inflight_flushes,
+                fp16_params_out, pipelined, stats,
             )
-            stats.conversion_seconds += time.perf_counter() - conv_start
+        except BaseException:
+            # Leave no I/O in flight and no buffer stranded: a failed phase
+            # must still restore pool/tier quiescence before propagating.
+            self._quiesce_io(pending, inflight_flushes)
+            raise
 
-            # CPU Adam update.
-            compute_start = time.perf_counter()
-            state = AdamState(
-                params=np.asarray(arrays["params"], dtype=np.float32),
-                exp_avg=np.asarray(arrays["exp_avg"], dtype=np.float32),
-                exp_avg_sq=np.asarray(arrays["exp_avg_sq"], dtype=np.float32),
-                step=self._steps[subgroup_index],
-            )
-            adam_update(state, grad, self.config.adam)
-            self._steps[subgroup_index] = state.step
-            # Push the refreshed FP16 parameters to the working copy.
-            view = fp16_params_out[self._views[subgroup_index]]
-            np.copyto(view, state.params.astype(np.float16))
-            stats.compute_seconds += time.perf_counter() - compute_start
-
-            # Lazy flush: keep the updated subgroup in the host cache and let
-            # eviction write it back; if the cache cannot hold it, flush now.
-            updated = {
-                "params": state.params,
-                "exp_avg": state.exp_avg,
-                "exp_avg_sq": state.exp_avg_sq,
-            }
-            if not self.cache.put(subgroup_index, updated, dirty=True):
-                flush_start = time.perf_counter()
-                self._flush_now(sg, updated)
-                stats.flush_seconds += time.perf_counter() - flush_start
-                stats.flush_bytes += int(sum(a.nbytes for a in updated.values()))
-            else:
-                stats.skipped_flushes += 1
-
-            stats.subgroups_processed += 1
-            stats.params_updated += sg.num_params
-
-        # Account I/O performed through cache write-backs (evictions) that the
-        # per-subgroup timers above did not see.
+        # Account I/O performed through cache write-backs (evictions) and
+        # asynchronous flushes that the per-subgroup timers above did not see.
         io_after = self.tier.io_summary()
         extra_write_bytes = sum(t["bytes_written"] for t in io_after.values()) - sum(
             t["bytes_written"] for t in io_before.values()
@@ -293,17 +311,131 @@ class OffloadEngineBase:
         )
         return report
 
+    def _run_update_loop(
+        self,
+        order: List[int],
+        fetch_fields: List[str],
+        slide: int,
+        initial: int,
+        pending: Dict[int, _PendingFetch],
+        inflight_flushes: List[_PendingFlush],
+        fp16_params_out: np.ndarray,
+        pipelined: bool,
+        stats: UpdatePhaseStats,
+    ) -> None:
+        """The fetch → convert → Adam → flush walk over ``order`` (both modes)."""
+        self._fill_prefetch_window(order, 0, initial, pending, fetch_fields)
+
+        for position, subgroup_index in enumerate(order):
+            sg = self._by_index[subgroup_index]
+            arrays = self.cache.get(subgroup_index)
+            if arrays is not None and self._has_required_fields(arrays, fetch_fields):
+                stats.cache_hits += 1
+            else:
+                stats.cache_misses += 1
+                fetch_start = time.perf_counter()
+                arrays = self._complete_fetch(sg, pending, fetch_fields)
+                stats.fetch_seconds += time.perf_counter() - fetch_start
+                stats.fetch_bytes += int(sum(a.nbytes for a in arrays.values()))
+            # Slide the lookahead window before computing this subgroup
+            # (line 11 of Algorithm 1).
+            self._fill_prefetch_window(order, position + 1, slide, pending, fetch_fields)
+
+            # Delayed (or stored) gradient conversion, into pooled scratch.
+            conv_start = time.perf_counter()
+            stored = arrays.get(GRAD_FIELD)
+            grad = update_time_gradient(
+                self.gradient_policy,
+                self.accumulator,
+                subgroup_index,
+                stored_fp32=stored,  # type: ignore[arg-type]
+                out=self._grad_scratch[: sg.num_params],
+            )
+            stats.conversion_seconds += time.perf_counter() - conv_start
+
+            # CPU Adam update, in place on the fetched/cached arrays.
+            compute_start = time.perf_counter()
+            state = AdamState(
+                params=np.asarray(arrays["params"], dtype=np.float32),
+                exp_avg=np.asarray(arrays["exp_avg"], dtype=np.float32),
+                exp_avg_sq=np.asarray(arrays["exp_avg_sq"], dtype=np.float32),
+                step=self._steps[subgroup_index],
+            )
+            adam_update(state, grad, self.config.adam, scratch=self._adam_scratch)
+            self._steps[subgroup_index] = state.step
+            # Push the refreshed FP16 parameters to the working copy: a
+            # direct casting copy, no intermediate FP16 allocation.
+            view = fp16_params_out[self._views[subgroup_index]]
+            np.copyto(view, state.params, casting="same_kind")
+            stats.compute_seconds += time.perf_counter() - compute_start
+
+            # The fetched FP32 gradient (baseline policy) is consumed; recycle it.
+            if stored is not None:
+                self.pool.release(stored)
+
+            # Lazy flush: keep the updated subgroup in the host cache and let
+            # eviction write it back; if the cache cannot hold it, flush —
+            # asynchronously in pipelined mode, synchronously otherwise.
+            updated = {
+                "params": state.params,
+                "exp_avg": state.exp_avg,
+                "exp_avg_sq": state.exp_avg_sq,
+            }
+            if not self.cache.put(subgroup_index, updated, dirty=True):
+                if pipelined:
+                    futures = self.tier.flush_subgroup(
+                        sg.key, sg.index, updated, tier=self._flush_target(sg), wait=False
+                    )
+                    inflight_flushes.append((sg.index, list(futures), list(updated.values())))
+                else:
+                    flush_start = time.perf_counter()
+                    self._flush_now(sg, updated)
+                    stats.flush_seconds += time.perf_counter() - flush_start
+                    stats.flush_bytes += int(sum(a.nbytes for a in updated.values()))
+                    self.pool.release_all(updated.values())
+            else:
+                stats.skipped_flushes += 1
+
+            stats.subgroups_processed += 1
+            stats.params_updated += sg.num_params
+            if inflight_flushes:
+                self._reap_flushes(inflight_flushes, stats, block=False)
+
+        # Correctness barrier: every lazy flush must land before the phase
+        # (and therefore the iteration) completes.
+        if inflight_flushes:
+            flush_start = time.perf_counter()
+            self._reap_flushes(inflight_flushes, stats, block=True)
+            stats.flush_seconds += time.perf_counter() - flush_start
+        self._abandon_pending(pending)
+
     # -- helpers -----------------------------------------------------------
 
     @staticmethod
     def _has_required_fields(arrays: Mapping[str, np.ndarray], fields: List[str]) -> bool:
         return all(f in arrays for f in fields if f != GRAD_FIELD)
 
+    def _acquire_fetch_buffers(self, sg: Subgroup, fields: List[str]) -> Dict[str, np.ndarray]:
+        """Lease one pooled FP32 destination per field for a subgroup fetch."""
+        return {f: self.pool.acquire(sg.num_params, np.float32) for f in fields}
+
+    def _fill_prefetch_window(
+        self,
+        order: List[int],
+        position: int,
+        depth: int,
+        pending: Dict[int, _PendingFetch],
+        fields: List[str],
+    ) -> None:
+        """Issue async prefetches for ``order[position : position + depth]``."""
+        for ahead in range(position, min(position + depth, len(order))):
+            self._maybe_prefetch(order, ahead, pending, fields)
+
     def _maybe_prefetch(
         self,
         order: List[int],
         position: int,
-        pending: Dict[int, Dict[str, object]],
+        pending: Dict[int, _PendingFetch],
         fields: List[str],
     ) -> None:
         """Start the asynchronous prefetch of the subgroup at ``position`` in ``order``."""
@@ -319,31 +451,103 @@ class OffloadEngineBase:
             # The tier is busy with another worker; defer (the fetch will be
             # issued synchronously when the subgroup's turn comes).
             return
-        try:
-            pending[subgroup_index] = self.tier.prefetch_subgroup(sg.key, sg.index, fields)
-        finally:
-            lease.release()
+        # The probe above only checks the tier is currently available to this
+        # worker; actual exclusion is enforced per request by the I/O engine's
+        # own lease acquisition.  Release before submitting so a full
+        # submission queue can never block while we hold the lease (which
+        # could deadlock two workers waiting on each other's tiers).
+        lease.release()
+        outs = self._acquire_fetch_buffers(sg, fields)
+        futures = self.tier.prefetch_subgroup(sg.key, sg.index, fields, out_arrays=outs)
+        pending[subgroup_index] = (futures, outs)
 
     def _complete_fetch(
-        self, sg: Subgroup, pending: Dict[int, Dict[str, object]], fields: List[str]
+        self, sg: Subgroup, pending: Dict[int, _PendingFetch], fields: List[str]
     ) -> Dict[str, np.ndarray]:
-        futures = pending.pop(sg.index, None)
-        if futures is None:
+        entry = pending.pop(sg.index, None)
+        if entry is None:
             tier_name = self.tier.placement.tier_of(sg.index)
+            outs = self._acquire_fetch_buffers(sg, fields)
             with self.concurrency.exclusive(tier_name, self.worker):
-                futures = self.tier.prefetch_subgroup(sg.key, sg.index, fields)
+                futures = self.tier.prefetch_subgroup(sg.key, sg.index, fields, out_arrays=outs)
+        else:
+            futures, outs = entry
         arrays: Dict[str, np.ndarray] = {}
-        for fieldname, future in futures.items():  # type: ignore[union-attr]
-            result = future.result()
-            if not result.ok:
-                # A missing FP32 gradient blob simply means this is the first
-                # iteration for the baseline policy; fall back to the host
-                # accumulator.  Anything else is a genuine failure.
-                if fieldname == GRAD_FIELD:
-                    continue
-                raise result.error
-            arrays[fieldname] = result.array
+        try:
+            for fieldname, future in futures.items():
+                result = future.result()
+                if not result.ok:
+                    # A missing FP32 gradient blob simply means this is the first
+                    # iteration for the baseline policy; fall back to the host
+                    # accumulator.  Anything else is a genuine failure.
+                    if fieldname == GRAD_FIELD:
+                        self.pool.release(outs[fieldname])
+                        continue
+                    raise result.error
+                arrays[fieldname] = result.array
+        except BaseException:
+            # Buffers may only return to the pool once no read can still
+            # deserialize into them: await every sibling future first.
+            for future in futures.values():
+                try:
+                    future.result()
+                except BaseException:  # noqa: BLE001 - already failing
+                    pass
+            self.pool.release_all(outs.values())
+            raise
         return arrays
+
+    def _reap_flushes(
+        self, inflight: List[_PendingFlush], stats: UpdatePhaseStats, *, block: bool
+    ) -> None:
+        """Retire completed lazy flushes, recycling their buffers.
+
+        With ``block=True`` every in-flight flush is awaited (the phase-end
+        barrier); otherwise only flushes that already finished are reaped.
+        Errors surface here, so a failed lazy write cannot be silently lost.
+        """
+        remaining: List[_PendingFlush] = []
+        for subgroup_index, futures, arrays in inflight:
+            if not block and not all(f.done() for f in futures):
+                remaining.append((subgroup_index, futures, arrays))
+                continue
+            for future in futures:
+                result = future.result()
+                if not result.ok:
+                    raise result.error
+            self.pool.release_all(arrays)
+        inflight[:] = remaining
+
+    def _abandon_pending(self, pending: Dict[int, _PendingFetch]) -> None:
+        """Drain and recycle prefetches that were never consumed (safety net)."""
+        for futures, outs in pending.values():
+            for future in futures.values():
+                future.result()
+            self.pool.release_all(outs.values())
+        pending.clear()
+
+    def _quiesce_io(
+        self, pending: Dict[int, _PendingFetch], inflight: List[_PendingFlush]
+    ) -> None:
+        """Best-effort teardown after a failed phase: await all in-flight I/O
+        and recycle every buffer, swallowing secondary errors so the original
+        exception propagates."""
+        for futures, outs in pending.values():
+            for future in futures.values():
+                try:
+                    future.result()
+                except BaseException:  # noqa: BLE001 - already failing
+                    pass
+            self.pool.release_all(outs.values())
+        pending.clear()
+        for _, futures, arrays in inflight:
+            for future in futures:
+                try:
+                    future.result()
+                except BaseException:  # noqa: BLE001 - already failing
+                    pass
+            self.pool.release_all(arrays)
+        inflight.clear()
 
     def _flush_now(self, sg: Subgroup, arrays: Mapping[str, np.ndarray]) -> None:
         tier_name = self._flush_target(sg)
@@ -377,6 +581,10 @@ class OffloadEngineBase:
         """Cache-eviction callback: flush a dirty subgroup to its tier."""
         sg = self._by_index[subgroup_index]
         self._flush_now(sg, arrays)
+
+    def _release_evicted(self, subgroup_index: int, arrays: Mapping[str, np.ndarray]) -> None:
+        """Cache-departure callback: recycle pooled buffers that left the cache."""
+        self.pool.release_all(arrays.values())
 
     # -- introspection ------------------------------------------------------
 

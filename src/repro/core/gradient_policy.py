@@ -84,6 +84,7 @@ def update_time_gradient(
     *,
     stored_fp32: Optional[np.ndarray] = None,
     average: bool = True,
+    out: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Produce the FP32 gradient consumed by the Adam update of one subgroup.
 
@@ -93,16 +94,26 @@ def update_time_gradient(
     :attr:`GradientConversionPolicy.FLUSH_FP32` the caller passes the FP32
     gradient it fetched from storage (``stored_fp32``); the accumulator is
     only used to fall back when the stored copy is missing (first iteration).
+
+    ``out`` is an optional preallocated FP32 destination (the engine's pooled
+    conversion scratch); when usable it makes the call allocation-free with
+    bitwise-identical values.  The returned array may be ``out``,
+    ``stored_fp32`` or a fresh array — callers must treat it as read-only
+    input to the Adam step.
     """
     if policy is GradientConversionPolicy.DELAYED_FP16:
-        return accumulator.gradient_fp32(subgroup_index, average=average)
+        return accumulator.gradient_fp32(subgroup_index, average=average, out=out)
     if policy is GradientConversionPolicy.FLUSH_FP32:
         if stored_fp32 is not None:
             grad = stored_fp32.astype(np.float32, copy=False)
             if average and accumulator.accumulated_steps > 1:
-                grad = grad / float(accumulator.accumulated_steps)
+                steps = float(accumulator.accumulated_steps)
+                if out is not None and out.shape == grad.shape:
+                    np.divide(grad, steps, out=out)
+                    return out
+                grad = grad / steps
             return grad
-        return accumulator.gradient_fp32(subgroup_index, average=average)
+        return accumulator.gradient_fp32(subgroup_index, average=average, out=out)
     raise ValueError(f"unknown policy {policy!r}")
 
 

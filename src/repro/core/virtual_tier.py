@@ -154,17 +154,30 @@ class VirtualTier:
         return futures
 
     def prefetch_subgroup(
-        self, subgroup_key: str, subgroup_id: int, fields: Iterable[str]
+        self,
+        subgroup_key: str,
+        subgroup_id: int,
+        fields: Iterable[str],
+        *,
+        out_arrays: Optional[Mapping[str, np.ndarray]] = None,
     ) -> Dict[str, concurrent.futures.Future]:
-        """Start asynchronous reads of the subgroup's arrays; returns field→future."""
+        """Start asynchronous reads of the subgroup's arrays; returns field→future.
+
+        When ``out_arrays`` supplies a destination for a field, the read is
+        zero-copy: the store deserializes directly into the caller's (pooled)
+        array instead of allocating a fresh one.
+        """
         if self.placement is None:
             raise RuntimeError("placement not built; call build_placement() first")
         tier = self.placement.tier_of(subgroup_id)
         futures: Dict[str, concurrent.futures.Future] = {}
         for fieldname in fields:
-            futures[fieldname] = self.engine.read(
-                tier, self._field_key(subgroup_key, fieldname), worker=self.worker
-            )
+            key = self._field_key(subgroup_key, fieldname)
+            out = out_arrays.get(fieldname) if out_arrays is not None else None
+            if out is not None:
+                futures[fieldname] = self.engine.read_into(tier, key, out, worker=self.worker)
+            else:
+                futures[fieldname] = self.engine.read(tier, key, worker=self.worker)
         return futures
 
     def fetch_subgroup(

@@ -20,12 +20,16 @@ from repro.tiers.spec import (
     TierKind,
     testbed_by_name,
 )
+from repro.tiers.array_pool import ArrayPool, ArrayPoolStats
 from repro.tiers.device import DeviceMemory, MemoryAccountant, OutOfMemoryError
-from repro.tiers.file_store import FileStore, StoreError
+from repro.tiers.file_store import FileStore, StoreError, blob_nbytes
 from repro.tiers.host_buffer import BufferPool, BufferPoolExhausted, PinnedBuffer
 from repro.tiers.host_cache import CacheEntry, HostSubgroupCache
 
 __all__ = [
+    "ArrayPool",
+    "ArrayPoolStats",
+    "blob_nbytes",
     "TierKind",
     "StorageTierSpec",
     "NodeSpec",

@@ -1,0 +1,152 @@
+"""Size-classed pool of reusable ndarray scratch buffers (zero-copy I/O).
+
+The hot path of the update phase moves three FP32 arrays per subgroup in and
+three out, every iteration, forever.  Allocating fresh ndarrays for each
+transfer costs an allocation, a page-fault sweep on first touch and garbage
+churn — exactly the overheads DeepSpeed avoids by pinning a fixed set of host
+buffers.  :class:`ArrayPool` is the functional substrate's equivalent: it
+hands out 1-D ndarray views over pooled page-aligned ``bytearray`` storage,
+keyed by power-of-two size class, so that steady-state fetch/flush traffic
+performs **zero** new allocations.
+
+Unlike :class:`repro.tiers.host_buffer.BufferPool` (a fixed-capacity pool with
+blocking semantics modelling the *pinned-memory budget*), this pool is
+elastic: a miss allocates, a release recycles.  Its hit rate is therefore a
+direct measurement of allocation-freeness — the pipelined engine asserts it
+approaches 1.0 after warm-up.
+
+Ownership contract: arrays returned by :meth:`acquire` remain valid until
+passed to :meth:`release`; releasing makes the storage eligible for reuse, so
+callers must not touch an array after releasing it.  :meth:`release` is a
+safe no-op for arrays the pool does not own, which lets engine code release
+uniformly without tracking provenance.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+#: Buffers are rounded up to multiples of this (typical page size), so many
+#: nearby subgroup sizes share one size class.
+_ALIGN = 4096
+
+
+def _size_class(nbytes: int) -> int:
+    """Smallest power-of-two multiple of the alignment covering ``nbytes``."""
+    if nbytes <= _ALIGN:
+        return _ALIGN
+    cls = _ALIGN
+    while cls < nbytes:
+        cls <<= 1
+    return cls
+
+
+@dataclass
+class ArrayPoolStats:
+    """Counters describing pool efficiency."""
+
+    hits: int = 0
+    misses: int = 0
+    releases: int = 0
+    foreign_releases: int = 0
+
+    @property
+    def allocations(self) -> int:
+        """Number of fresh backing buffers ever allocated (== misses)."""
+        return self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class ArrayPool:
+    """Recycling pool of flat ndarray scratch buffers, keyed by size class.
+
+    Parameters
+    ----------
+    max_free_per_class:
+        Upper bound on retained free buffers per size class; releases beyond
+        it drop the storage instead of growing the pool without bound.
+    """
+
+    def __init__(self, *, max_free_per_class: int = 32) -> None:
+        if max_free_per_class < 1:
+            raise ValueError("max_free_per_class must be >= 1")
+        self.max_free_per_class = int(max_free_per_class)
+        self._free: Dict[int, List[bytearray]] = {}
+        #: id(array) -> (array, backing storage, size class) for live handouts.
+        self._outstanding: Dict[int, Tuple[np.ndarray, bytearray, int]] = {}
+        self._lock = threading.Lock()
+        self.stats = ArrayPoolStats()
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def outstanding_count(self) -> int:
+        with self._lock:
+            return len(self._outstanding)
+
+    @property
+    def free_count(self) -> int:
+        with self._lock:
+            return sum(len(v) for v in self._free.values())
+
+    def owns(self, array: np.ndarray) -> bool:
+        """Whether ``array`` is a live handout of this pool."""
+        with self._lock:
+            return id(array) in self._outstanding
+
+    # -- core operations -------------------------------------------------
+
+    def acquire(self, num_elements: int, dtype: "np.dtype | str" = np.float32) -> np.ndarray:
+        """Return a writable 1-D array of ``num_elements`` of ``dtype``.
+
+        The array is a view over pooled storage; contents are undefined (it
+        is a scratch destination, typically filled by ``readinto``).
+        """
+        if num_elements < 0:
+            raise ValueError("num_elements must be non-negative")
+        dt = np.dtype(dtype)
+        nbytes = int(num_elements) * dt.itemsize
+        cls = _size_class(nbytes)
+        with self._lock:
+            bucket = self._free.get(cls)
+            if bucket:
+                storage = bucket.pop()
+                self.stats.hits += 1
+            else:
+                storage = bytearray(cls)
+                self.stats.misses += 1
+            array = np.frombuffer(storage, dtype=dt, count=num_elements)
+            self._outstanding[id(array)] = (array, storage, cls)
+        return array
+
+    def release(self, array: np.ndarray) -> bool:
+        """Recycle a pooled array; no-op (``False``) for foreign arrays."""
+        with self._lock:
+            entry = self._outstanding.pop(id(array), None)
+            if entry is None:
+                self.stats.foreign_releases += 1
+                return False
+            _, storage, cls = entry
+            bucket = self._free.setdefault(cls, [])
+            if len(bucket) < self.max_free_per_class:
+                bucket.append(storage)
+            self.stats.releases += 1
+            return True
+
+    def release_all(self, arrays) -> int:
+        """Release every pooled array in ``arrays``; returns how many were pooled."""
+        return sum(1 for a in arrays if self.release(a))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ArrayPool(outstanding={self.outstanding_count}, free={self.free_count}, "
+            f"hit_rate={self.stats.hit_rate:.2f})"
+        )

@@ -7,6 +7,22 @@ manifest.  The store optionally throttles its reads and writes to a
 configured bandwidth, which lets small functional runs reproduce the relative
 NVMe/PFS speeds of Table 1 without terabytes of real I/O.
 
+Two I/O disciplines are offered over the same on-disk format:
+
+* the legacy value-returning API (:meth:`FileStore.read` /
+  :meth:`FileStore.write`), which now performs exactly one allocation per
+  read (the destination array, filled via ``readinto``) and zero
+  serialization copies per write (header + payload streamed from a
+  ``memoryview``);
+* the zero-copy API (:meth:`FileStore.load_into` /
+  :meth:`FileStore.save_from`), where the caller supplies the destination —
+  typically a buffer leased from :class:`repro.tiers.array_pool.ArrayPool` —
+  so steady-state traffic allocates nothing at all.
+
+Both paths keep byte accounting (stats, capacity, throttle charges)
+byte-for-byte identical: every operation is charged the full blob size,
+header included.
+
 The store is the stand-in for DeepNVMe's swap files; the asynchronous
 pipelining on top of it lives in :mod:`repro.aio.engine`.
 """
@@ -18,7 +34,7 @@ import struct
 import threading
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterator, Optional
+from typing import BinaryIO, Dict, Iterator, Optional, Tuple
 
 import numpy as np
 
@@ -62,6 +78,22 @@ class StoreStats:
     def write_bandwidth(self) -> float:
         """Observed write bandwidth in bytes/second (0 when nothing was written)."""
         return self.bytes_written / self.write_seconds if self.write_seconds > 0 else 0.0
+
+
+def _pack_meta(array: np.ndarray) -> bytes:
+    """The blob prefix (header + dtype name + shape dims) for ``array``."""
+    dtype_name = array.dtype.name
+    if dtype_name not in _SUPPORTED_DTYPES:
+        raise StoreError(f"unsupported dtype {dtype_name!r}")
+    dtype_bytes = dtype_name.encode("ascii")
+    header = struct.pack(_HEADER_FMT, _MAGIC, 1, len(dtype_bytes), array.ndim)
+    shape = struct.pack(f"<{array.ndim}Q", *array.shape) if array.ndim else b""
+    return header + dtype_bytes + shape
+
+
+def blob_nbytes(array: np.ndarray) -> int:
+    """Total on-store size (header included) of ``array`` once serialized."""
+    return len(_pack_meta(array)) + int(array.nbytes)
 
 
 class FileStore:
@@ -120,18 +152,12 @@ class FileStore:
 
     @staticmethod
     def _encode(array: np.ndarray) -> bytes:
-        dtype_name = array.dtype.name
-        if dtype_name not in _SUPPORTED_DTYPES:
-            raise StoreError(f"unsupported dtype {dtype_name!r}")
-        dtype_bytes = dtype_name.encode("ascii")
-        header = struct.pack(
-            _HEADER_FMT, _MAGIC, 1, len(dtype_bytes), array.ndim
-        )
-        shape = struct.pack(f"<{array.ndim}Q", *array.shape) if array.ndim else b""
-        return header + dtype_bytes + shape + np.ascontiguousarray(array).tobytes()
+        """Serialize ``array`` into one contiguous blob (legacy/test helper)."""
+        return _pack_meta(array) + np.ascontiguousarray(array).tobytes()
 
     @staticmethod
     def _decode(blob: bytes, key: str) -> np.ndarray:
+        """Deserialize a full blob (legacy/test helper; the hot path streams)."""
         header_size = struct.calcsize(_HEADER_FMT)
         if len(blob) < header_size:
             raise StoreError(f"blob for {key!r} is truncated")
@@ -157,57 +183,175 @@ class FileStore:
         array = np.frombuffer(payload, dtype=dtype)
         return array.reshape(shape).copy() if ndim else array.copy()
 
+    @staticmethod
+    def _read_meta(handle: BinaryIO, key: str) -> Tuple[np.dtype, Tuple[int, ...], int, int]:
+        """Parse the blob prefix from ``handle``.
+
+        Returns ``(dtype, shape, ndim, meta_len)``; ``shape`` is ``()`` for
+        0-d blobs.  Raises :class:`StoreError` with the same messages as
+        :meth:`_decode` for malformed prefixes.
+        """
+        header_size = struct.calcsize(_HEADER_FMT)
+        head = handle.read(header_size)
+        if len(head) < header_size:
+            raise StoreError(f"blob for {key!r} is truncated")
+        magic, version, dtype_len, ndim = struct.unpack(_HEADER_FMT, head)
+        if magic != _MAGIC:
+            raise StoreError(f"blob for {key!r} has invalid magic {magic!r}")
+        if version != 1:
+            raise StoreError(f"blob for {key!r} has unsupported version {version}")
+        extra_len = dtype_len + 8 * ndim
+        extra = handle.read(extra_len)
+        if len(extra) < extra_len:
+            raise StoreError(f"blob for {key!r} is truncated")
+        dtype_name = extra[:dtype_len].decode("ascii", errors="replace")
+        if dtype_name not in _SUPPORTED_DTYPES:
+            raise StoreError(f"blob for {key!r} has unsupported dtype {dtype_name!r}")
+        shape = struct.unpack(f"<{ndim}Q", extra[dtype_len:]) if ndim else ()
+        return np.dtype(dtype_name), shape, ndim, header_size + extra_len
+
+    def _open_for_read(self, key: str) -> BinaryIO:
+        path = self._path(key)
+        if not path.exists():
+            raise StoreError(f"store {self.name!r} has no key {key!r}")
+        return open(path, "rb")
+
+    @classmethod
+    def _read_validated_meta(
+        cls, handle: BinaryIO, key: str, total: int
+    ) -> Tuple[np.dtype, Tuple[int, ...], int, int, int]:
+        """Parse and validate the prefix of an open blob of ``total`` bytes.
+
+        Returns ``(dtype, shape, ndim, count, expected_payload_bytes)``,
+        raising :class:`StoreError` when the payload size implied by the
+        header disagrees with the file size.
+        """
+        dtype, shape, ndim, meta_len = cls._read_meta(handle, key)
+        count = int(np.prod(shape, dtype=np.int64)) if ndim else 1
+        expected = count * dtype.itemsize
+        if total - meta_len != expected:
+            raise StoreError(
+                f"blob for {key!r} has {total - meta_len} payload bytes, expected {expected}"
+            )
+        return dtype, shape, ndim, count, expected
+
+    @staticmethod
+    def _readinto_checked(handle: BinaryIO, key: str, flat: np.ndarray, expected: int) -> None:
+        """Fill ``flat`` (a flat contiguous array) from ``handle``; verify length."""
+        got = handle.readinto(memoryview(flat))
+        if got != expected:
+            raise StoreError(f"blob for {key!r} is truncated")
+
+    def _account_read(self, total: int, elapsed: float) -> None:
+        if self.throttle is not None:
+            elapsed += self.throttle.consume(total, direction="read")
+        with self._lock:
+            self._bytes_read += total
+            self._read_ops += 1
+            self._read_seconds += elapsed
+
     # -- public API ------------------------------------------------------
 
     def write(self, key: str, array: np.ndarray) -> int:
         """Serialize ``array`` under ``key`` and return the number of bytes written."""
-        blob = self._encode(array)
+        return self.save_from(key, array)
+
+    def save_from(self, key: str, array: np.ndarray) -> int:
+        """Zero-copy write: stream header + ``array``'s buffer to the tier.
+
+        Identical on-disk format and byte accounting to the legacy
+        :meth:`write` — the payload is simply written from a ``memoryview``
+        of the caller's array instead of an intermediate ``tobytes()`` blob.
+        """
+        contiguous = np.ascontiguousarray(array)
+        meta = _pack_meta(contiguous)
+        total = len(meta) + int(contiguous.nbytes)
         path = self._path(key)
         with self._lock:
-            projected = self.used_bytes - self._sizes.get(key, 0) + len(blob)
+            projected = self.used_bytes - self._sizes.get(key, 0) + total
             if self.capacity is not None and projected > self.capacity:
                 raise StoreError(
                     f"store {self.name!r} capacity exceeded: {projected} > {self.capacity}"
                 )
         elapsed = 0.0
         if self.throttle is not None:
-            elapsed += self.throttle.consume(len(blob))
+            elapsed += self.throttle.consume(total, direction="write")
         tmp = path.with_suffix(".tmp")
         import time
 
         start = time.perf_counter()
         with open(tmp, "wb") as handle:
-            handle.write(blob)
+            handle.write(meta)
+            handle.write(memoryview(contiguous.reshape(-1)))
             if self.fsync:
                 handle.flush()
                 os.fsync(handle.fileno())
         os.replace(tmp, path)
         elapsed += time.perf_counter() - start
         with self._lock:
-            self._sizes[key] = len(blob)
-            self._bytes_written += len(blob)
+            self._sizes[key] = total
+            self._bytes_written += total
             self._write_ops += 1
             self._write_seconds += elapsed
-        return len(blob)
+        return total
 
     def read(self, key: str) -> np.ndarray:
-        """Read and deserialize the array stored under ``key``."""
-        path = self._path(key)
-        if not path.exists():
-            raise StoreError(f"store {self.name!r} has no key {key!r}")
+        """Read and deserialize the array stored under ``key``.
+
+        Performs exactly one allocation (the returned array); the payload is
+        read directly into it with ``readinto``.
+        """
         import time
 
         start = time.perf_counter()
-        blob = path.read_bytes()
+        with self._open_for_read(key) as handle:
+            total = os.fstat(handle.fileno()).st_size
+            dtype, shape, ndim, count, expected = self._read_validated_meta(handle, key, total)
+            array = np.empty(count, dtype=dtype)
+            self._readinto_checked(handle, key, array, expected)
         elapsed = time.perf_counter() - start
-        if self.throttle is not None:
-            elapsed += self.throttle.consume(len(blob))
-        array = self._decode(blob, key)
-        with self._lock:
-            self._bytes_read += len(blob)
-            self._read_ops += 1
-            self._read_seconds += elapsed
-        return array
+        self._account_read(total, elapsed)
+        return array.reshape(shape) if ndim else array
+
+    def load_into(self, key: str, out: np.ndarray) -> np.ndarray:
+        """Zero-copy read: deserialize ``key`` directly into ``out``.
+
+        ``out`` must be a writable C-contiguous array whose dtype matches the
+        stored blob and whose total element count matches the stored shape
+        (the stored shape itself is *not* imposed on ``out`` — subgroup blobs
+        are flat, and pooled scratch buffers are flat views).  Byte
+        accounting is identical to :meth:`read`.
+        """
+        if not out.flags.c_contiguous:
+            raise StoreError(f"load_into destination for {key!r} must be C-contiguous")
+        if not out.flags.writeable:
+            raise StoreError(f"load_into destination for {key!r} must be writable")
+        import time
+
+        start = time.perf_counter()
+        with self._open_for_read(key) as handle:
+            total = os.fstat(handle.fileno()).st_size
+            dtype, _, _, count, expected = self._read_validated_meta(handle, key, total)
+            if out.dtype != dtype:
+                raise StoreError(
+                    f"load_into dtype mismatch for {key!r}: blob is {dtype.name}, "
+                    f"destination is {out.dtype.name}"
+                )
+            if int(out.size) != count:
+                raise StoreError(
+                    f"load_into size mismatch for {key!r}: blob has {count} elements, "
+                    f"destination has {out.size}"
+                )
+            self._readinto_checked(handle, key, out.reshape(-1), expected)
+        elapsed = time.perf_counter() - start
+        self._account_read(total, elapsed)
+        return out
+
+    def meta_of(self, key: str) -> Tuple[np.dtype, Tuple[int, ...]]:
+        """The dtype and shape of the blob under ``key`` (header-only read)."""
+        with self._open_for_read(key) as handle:
+            dtype, shape, ndim, _ = self._read_meta(handle, key)
+        return dtype, shape if ndim else ()
 
     def delete(self, key: str) -> None:
         """Remove ``key`` from the store (missing keys raise :class:`StoreError`)."""

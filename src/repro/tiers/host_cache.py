@@ -62,13 +62,20 @@ class HostSubgroupCache:
         Callable invoked with ``(subgroup_id, arrays)`` when a *dirty* entry
         is evicted; the offloading engine uses it to flush the evicted
         subgroup to its storage tier.  If ``None``, dirty evictions raise.
+    on_evict:
+        Callable invoked with ``(subgroup_id, arrays)`` whenever an entry
+        *leaves* the cache (eviction or :meth:`clear` — not
+        :meth:`flush_dirty`, which keeps entries resident), after any dirty
+        writeback has completed.  The offloading engine uses it to return
+        pooled scratch buffers to their :class:`~repro.tiers.array_pool.ArrayPool`.
     """
 
-    def __init__(self, capacity_bytes: float, writeback=None) -> None:
+    def __init__(self, capacity_bytes: float, writeback=None, *, on_evict=None) -> None:
         if capacity_bytes < 0:
             raise ValueError("capacity_bytes must be non-negative")
         self.capacity_bytes = float(capacity_bytes)
         self.writeback = writeback
+        self.on_evict = on_evict
         self._entries: Dict[int, CacheEntry] = {}
         self._lock = threading.RLock()
         self._clock = 0
@@ -146,6 +153,9 @@ class HostSubgroupCache:
             )
             self._entries[subgroup_id] = entry
             self.stats.insertions += 1
+            if existing is not None:
+                # Arrays replaced (not carried over) have left the cache.
+                self._notify_evict(existing, keep=arrays)
             return True
 
     def mark_dirty(self, subgroup_id: int) -> None:
@@ -169,6 +179,7 @@ class HostSubgroupCache:
             if entry is None:
                 return False
             self._writeback_if_dirty(entry)
+            self._notify_evict(entry)
             self.stats.evictions += 1
             return True
 
@@ -188,10 +199,27 @@ class HostSubgroupCache:
         with self._lock:
             for entry in list(self._entries.values()):
                 self._writeback_if_dirty(entry)
+                self._notify_evict(entry)
                 self.stats.evictions += 1
             self._entries.clear()
 
     # -- internals -------------------------------------------------------
+
+    def _notify_evict(self, entry: CacheEntry, keep: Optional[Dict[str, np.ndarray]] = None) -> None:
+        """Tell the owner that ``entry``'s arrays left the cache.
+
+        ``keep`` names arrays that remain resident under a refreshed entry;
+        those are filtered out (by identity) so buffer owners never recycle
+        storage that is still cached.
+        """
+        if self.on_evict is None:
+            return
+        arrays = entry.arrays
+        if keep is not None:
+            keep_ids = {id(a) for a in keep.values()}
+            arrays = {k: a for k, a in arrays.items() if id(a) not in keep_ids}
+        if arrays:
+            self.on_evict(entry.subgroup_id, arrays)
 
     def _writeback_if_dirty(self, entry: CacheEntry) -> None:
         if not entry.dirty:
@@ -212,6 +240,7 @@ class HostSubgroupCache:
         for entry in sorted(self._entries.values(), key=lambda e: e.stamp):
             self._writeback_if_dirty(entry)
             del self._entries[entry.subgroup_id]
+            self._notify_evict(entry)
             self.stats.evictions += 1
             used -= entry.nbytes
             if used + incoming_bytes <= self.capacity_bytes:

@@ -96,12 +96,37 @@ class AdamState:
         )
 
 
+class AdamScratch:
+    """Reusable FP32 scratch for allocation-free :func:`adam_update` calls.
+
+    Two buffers sized to the largest subgroup cover every temporary the
+    vectorized update needs; :meth:`views` hands out zero-copy prefixes so
+    one scratch serves subgroups of any (smaller) size.  Sharing one
+    instance per engine removes all per-step temporaries from the hot loop.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._a = np.empty(self.capacity, dtype=np.float32)
+        self._b = np.empty(self.capacity, dtype=np.float32)
+
+    def views(self, num_params: int) -> "tuple[np.ndarray, np.ndarray]":
+        if num_params > self.capacity:
+            raise ValueError(
+                f"subgroup of {num_params} params exceeds scratch capacity {self.capacity}"
+            )
+        return self._a[:num_params], self._b[:num_params]
+
+
 def adam_update(
     state: AdamState,
     grad: np.ndarray,
     config: AdamConfig,
     *,
     out_fp16: Optional[np.ndarray] = None,
+    scratch: Optional[AdamScratch] = None,
 ) -> np.ndarray:
     """Apply one Adam step to ``state`` in place and return the updated FP32 params.
 
@@ -117,43 +142,62 @@ def adam_update(
     out_fp16:
         Optional pre-allocated FP16 array receiving the down-converted
         updated parameters (the copy that is pushed back to the GPU).
-
-    Returns
-    -------
-    numpy.ndarray
-        ``state.params`` (the in-place-updated FP32 master copy).
+    scratch:
+        Optional :class:`AdamScratch` providing the two FP32 temporaries the
+        update needs; with it the call performs zero array allocations.  All
+        math is routed through ``out=``-style ufuncs either way, in an order
+        that is bitwise-identical to the historical expression-based form.
     """
     if grad.shape != state.params.shape:
         raise ValueError(f"gradient shape {grad.shape} != params shape {state.params.shape}")
     if grad.dtype != np.float32:
         grad = grad.astype(np.float32)
 
+    if scratch is not None:
+        t1, t2 = scratch.views(state.params.size)
+        t1 = t1.reshape(state.params.shape)
+        t2 = t2.reshape(state.params.shape)
+    else:
+        t1 = np.empty_like(state.params)
+        t2 = np.empty_like(state.params)
+
     state.step += 1
     beta1, beta2 = config.beta1, config.beta2
 
     if config.weight_decay != 0.0:
         # L2-regularization formulation (as in torch.optim.Adam).
-        grad = grad + config.weight_decay * state.params
+        np.multiply(state.params, config.weight_decay, out=t2)
+        t2 += grad
+        grad = t2
 
     # exp_avg = beta1 * exp_avg + (1 - beta1) * grad
     state.exp_avg *= beta1
-    state.exp_avg += (1.0 - beta1) * grad
+    np.multiply(grad, 1.0 - beta1, out=t1)
+    state.exp_avg += t1
     # exp_avg_sq = beta2 * exp_avg_sq + (1 - beta2) * grad^2
     state.exp_avg_sq *= beta2
-    state.exp_avg_sq += (1.0 - beta2) * np.square(grad)
+    np.square(grad, out=t1)
+    t1 *= 1.0 - beta2
+    state.exp_avg_sq += t1
 
     bias_correction1 = 1.0 - beta1**state.step
     bias_correction2 = 1.0 - beta2**state.step
 
-    denom = np.sqrt(state.exp_avg_sq / bias_correction2)
-    denom += config.eps
+    # denom = sqrt(exp_avg_sq / bias_correction2) + eps
+    np.divide(state.exp_avg_sq, bias_correction2, out=t1)
+    np.sqrt(t1, out=t1)
+    t1 += config.eps
     step_size = config.lr / bias_correction1
-    state.params -= step_size * (state.exp_avg / denom)
+    # params -= step_size * (exp_avg / denom); t2 may alias grad, which is
+    # no longer needed at this point.
+    np.divide(state.exp_avg, t1, out=t2)
+    t2 *= step_size
+    state.params -= t2
 
     if out_fp16 is not None:
         if out_fp16.shape != state.params.shape:
             raise ValueError("out_fp16 shape mismatch")
-        np.copyto(out_fp16, state.params.astype(np.float16))
+        np.copyto(out_fp16, state.params, casting="same_kind")
     return state.params
 
 

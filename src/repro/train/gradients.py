@@ -76,9 +76,21 @@ class GradientAccumulator:
         """The accumulated gradient of one subgroup, in FP16 (host storage format)."""
         return self._buffer(subgroup_index).astype(np.float16)
 
-    def gradient_fp32(self, subgroup_index: int, *, average: bool = True) -> np.ndarray:
-        """The accumulated gradient in FP32, optionally averaged over micro-batches."""
-        grad = self._buffer(subgroup_index).copy()
+    def gradient_fp32(
+        self, subgroup_index: int, *, average: bool = True, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """The accumulated gradient in FP32, optionally averaged over micro-batches.
+
+        ``out`` (a preallocated FP32 array of the subgroup's size) makes the
+        call allocation-free: the buffer is copied into it instead of into a
+        fresh array, with bitwise-identical results.
+        """
+        buffer = self._buffer(subgroup_index)
+        if out is None:
+            grad = buffer.copy()
+        else:
+            np.copyto(out, buffer)
+            grad = out
         if average and self._accumulated_steps > 1:
             grad /= float(self._accumulated_steps)
         return grad

@@ -34,6 +34,41 @@ class TestBandwidthThrottle:
         throttle.consume(50_000)  # 50 ms
         assert time.perf_counter() - start >= 0.04
 
+    def test_concurrent_consumers_share_bandwidth(self):
+        """Parallel transfers serialize on the device timeline (no N-fold bandwidth)."""
+        import threading
+
+        throttle = BandwidthThrottle(1e6, simulate=False)
+        start = time.perf_counter()
+        threads = [
+            threading.Thread(target=throttle.consume, args=(25_000,)) for _ in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # 4 x 25 ms must take ~100 ms in aggregate, not ~25 ms.
+        assert time.perf_counter() - start >= 0.08
+
+    def test_duplex_reads_and_writes_overlap(self):
+        """Duplex mode serializes per direction: a read and a write run concurrently."""
+        import threading
+
+        throttle = BandwidthThrottle(1e6, simulate=False, duplex=True)
+        start = time.perf_counter()
+        threads = [
+            threading.Thread(target=throttle.consume, args=(150_000,), kwargs={"direction": d})
+            for d in ("read", "write")
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        elapsed = time.perf_counter() - start
+        # Two 150 ms transfers on independent channels: ~150 ms, well under
+        # the ~300 ms a shared timeline would take (generous slack for CI).
+        assert elapsed < 0.25
+
     def test_reset_and_validation(self):
         throttle = BandwidthThrottle(10.0)
         throttle.consume(10)

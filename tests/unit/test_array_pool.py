@@ -1,0 +1,132 @@
+"""Unit tests for the size-classed scratch-array pool behind zero-copy I/O."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.tiers.array_pool import ArrayPool, _size_class
+
+
+class TestSizeClasses:
+    def test_rounds_up_to_alignment_and_powers_of_two(self):
+        assert _size_class(1) == 4096
+        assert _size_class(4096) == 4096
+        assert _size_class(4097) == 8192
+        assert _size_class(100_000) == 131072
+
+    def test_nearby_sizes_share_storage(self):
+        pool = ArrayPool()
+        a = pool.acquire(1000, np.float32)
+        pool.release(a)
+        # 1001 floats still fit the same 4 KiB class: the storage is reused.
+        b = pool.acquire(1001, np.float32)
+        assert pool.stats.hits == 1
+        assert pool.stats.misses == 1
+
+
+class TestAcquireRelease:
+    def test_acquire_returns_writable_flat_array(self):
+        pool = ArrayPool()
+        array = pool.acquire(257, np.float32)
+        assert array.shape == (257,)
+        assert array.dtype == np.float32
+        assert array.flags.c_contiguous and array.flags.writeable
+        array[:] = 1.5  # must not raise
+
+    def test_release_and_reuse(self):
+        pool = ArrayPool()
+        first = pool.acquire(100, np.float32)
+        assert pool.outstanding_count == 1
+        assert pool.release(first)
+        assert pool.outstanding_count == 0 and pool.free_count == 1
+        second = pool.acquire(100, np.float32)
+        assert pool.stats.hits == 1
+        assert pool.free_count == 0
+        assert second.size == 100
+
+    def test_release_foreign_array_is_noop(self):
+        pool = ArrayPool()
+        assert not pool.release(np.zeros(4, dtype=np.float32))
+        assert pool.stats.foreign_releases == 1
+
+    def test_double_release_is_noop(self):
+        pool = ArrayPool()
+        array = pool.acquire(10)
+        assert pool.release(array)
+        assert not pool.release(array)
+        assert pool.free_count == 1
+
+    def test_owns_tracks_live_handouts(self):
+        pool = ArrayPool()
+        array = pool.acquire(10)
+        assert pool.owns(array)
+        pool.release(array)
+        assert not pool.owns(array)
+
+    def test_release_all_counts_pooled_only(self):
+        pool = ArrayPool()
+        mine = pool.acquire(10)
+        foreign = np.zeros(10, dtype=np.float32)
+        assert pool.release_all([mine, foreign]) == 1
+
+    def test_dtypes_respected(self):
+        pool = ArrayPool()
+        for dtype in ("float16", "float32", "float64", "int64", "uint8"):
+            array = pool.acquire(33, dtype)
+            assert array.dtype == np.dtype(dtype)
+            pool.release(array)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            ArrayPool().acquire(-1)
+
+    def test_free_list_bounded(self):
+        pool = ArrayPool(max_free_per_class=2)
+        arrays = [pool.acquire(10) for _ in range(4)]
+        for a in arrays:
+            pool.release(a)
+        assert pool.free_count == 2
+
+
+class TestStats:
+    def test_hit_rate(self):
+        pool = ArrayPool()
+        a = pool.acquire(10)
+        pool.release(a)
+        pool.acquire(10)
+        assert pool.stats.hits == 1 and pool.stats.misses == 1
+        assert pool.stats.hit_rate == pytest.approx(0.5)
+        assert pool.stats.allocations == 1
+
+    def test_steady_state_allocates_nothing(self):
+        pool = ArrayPool()
+        for _ in range(3):
+            leased = [pool.acquire(100) for _ in range(4)]
+            for a in leased:
+                pool.release(a)
+        assert pool.stats.misses == 4  # only the first round allocated
+        assert pool.stats.hits == 8
+
+
+class TestThreadSafety:
+    def test_concurrent_acquire_release(self):
+        pool = ArrayPool()
+        errors = []
+
+        def worker():
+            try:
+                for _ in range(200):
+                    a = pool.acquire(64)
+                    a[0] = 1.0
+                    pool.release(a)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert pool.outstanding_count == 0

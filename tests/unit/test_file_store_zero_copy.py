@@ -1,0 +1,174 @@
+"""Property-style tests: the zero-copy store paths match the legacy format.
+
+``save_from``/``load_into`` must be bitwise-compatible with the historical
+``_encode``/``_decode`` blob format — same on-disk bytes, same throttle and
+stats accounting — and the fallback ``read`` must return a writable array
+from a single allocation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.aio.throttle import BandwidthThrottle
+from repro.tiers.file_store import FileStore, StoreError, blob_nbytes
+
+ALL_DTYPES = ["float16", "float32", "float64", "int32", "int64", "uint8"]
+
+
+def _random_array(rng, dtype, shape):
+    return (rng.standard_normal(shape) * 100).astype(dtype)
+
+
+class TestOnDiskCompatibility:
+    @pytest.mark.parametrize("dtype", ALL_DTYPES)
+    @pytest.mark.parametrize("shape", [(1,), (257,), (3, 5, 7)])
+    def test_save_from_writes_legacy_blob_bytes(self, tmp_path, rng, dtype, shape):
+        store = FileStore(tmp_path / "tier")
+        array = _random_array(rng, dtype, shape)
+        store.save_from("k", array)
+        on_disk = (tmp_path / "tier" / "k.bin").read_bytes()
+        assert on_disk == FileStore._encode(array)
+
+    @pytest.mark.parametrize("dtype", ALL_DTYPES)
+    def test_load_into_reads_legacy_blobs(self, tmp_path, rng, dtype):
+        store = FileStore(tmp_path / "tier")
+        array = _random_array(rng, dtype, (129,))
+        # Write through the legacy encoder directly, bypassing save_from.
+        (tmp_path / "tier" / "legacy.bin").write_bytes(FileStore._encode(array))
+        out = np.empty(129, dtype=dtype)
+        restored = store.load_into("legacy", out)
+        assert restored is out
+        np.testing.assert_array_equal(out, array)
+
+    @pytest.mark.parametrize("dtype", ALL_DTYPES)
+    def test_round_trip_matches_legacy_decode_bitwise(self, tmp_path, rng, dtype):
+        store = FileStore(tmp_path / "tier")
+        array = _random_array(rng, dtype, (513,))
+        store.save_from("k", array)
+        blob = (tmp_path / "tier" / "k.bin").read_bytes()
+        legacy = FileStore._decode(blob, "k")
+        out = np.empty_like(array)
+        store.load_into("k", out)
+        assert out.tobytes() == legacy.tobytes() == array.tobytes()
+
+    def test_noncontiguous_source_serialized_correctly(self, tmp_path, rng):
+        store = FileStore(tmp_path / "tier")
+        base = _random_array(rng, "float32", (64,))
+        strided = base[::2]
+        store.save_from("s", strided)
+        np.testing.assert_array_equal(store.read("s"), strided)
+
+    def test_blob_nbytes_matches_on_disk_size(self, tmp_path, rng):
+        store = FileStore(tmp_path / "tier")
+        array = _random_array(rng, "float32", (100,))
+        written = store.save_from("k", array)
+        assert written == blob_nbytes(array) == store.size_of("k")
+
+
+class TestByteAccounting:
+    def test_write_and_save_from_account_identically(self, tmp_path, rng):
+        array = _random_array(rng, "float32", (1000,))
+        a = FileStore(tmp_path / "a")
+        b = FileStore(tmp_path / "b")
+        assert a.write("k", array) == b.save_from("k", array)
+        assert a.stats().bytes_written == b.stats().bytes_written
+        assert a.used_bytes == b.used_bytes
+
+    def test_read_and_load_into_account_identically(self, tmp_path, rng):
+        array = _random_array(rng, "float32", (1000,))
+        store = FileStore(tmp_path / "tier")
+        store.save_from("k", array)
+        store.read("k")
+        value_bytes = store.stats().bytes_read
+        store.load_into("k", np.empty_like(array))
+        assert store.stats().bytes_read == 2 * value_bytes
+        assert store.stats().read_ops == 2
+
+    def test_throttle_charges_full_blob_both_paths(self, tmp_path, rng):
+        array = _random_array(rng, "float32", (1000,))
+        throttle_a = BandwidthThrottle(1e9, simulate=True)
+        throttle_b = BandwidthThrottle(1e9, simulate=True)
+        a = FileStore(tmp_path / "a", throttle=throttle_a)
+        b = FileStore(tmp_path / "b", throttle=throttle_b)
+        a.write("k", array)
+        a.read("k")
+        b.save_from("k", array)
+        b.load_into("k", np.empty_like(array))
+        assert throttle_a.consumed_bytes == throttle_b.consumed_bytes
+        assert throttle_a.consumed_bytes == 2 * blob_nbytes(array)
+
+    def test_capacity_enforced_on_save_from(self, tmp_path):
+        store = FileStore(tmp_path / "tier", capacity=200)
+        store.save_from("a", np.zeros(16, dtype=np.float32))
+        with pytest.raises(StoreError):
+            store.save_from("b", np.zeros(64, dtype=np.float32))
+
+
+class TestSingleAllocationRead:
+    def test_read_returns_writable_owned_array(self, tmp_path, rng):
+        store = FileStore(tmp_path / "tier")
+        array = _random_array(rng, "float32", (100,))
+        store.write("k", array)
+        restored = store.read("k")
+        assert restored.flags.writeable
+        restored[:] = 0.0  # a frombuffer(...) result would raise here
+        np.testing.assert_array_equal(store.read("k"), array)
+
+    def test_multidimensional_read_shape(self, tmp_path, rng):
+        store = FileStore(tmp_path / "tier")
+        array = _random_array(rng, "float32", (3, 5, 7))
+        store.write("nd", array)
+        restored = store.read("nd")
+        assert restored.shape == (3, 5, 7)
+        np.testing.assert_array_equal(restored, array)
+
+
+class TestLoadIntoValidation:
+    def test_missing_key(self, tmp_path):
+        store = FileStore(tmp_path / "tier")
+        with pytest.raises(StoreError):
+            store.load_into("missing", np.empty(4, dtype=np.float32))
+
+    def test_dtype_mismatch(self, tmp_path, rng):
+        store = FileStore(tmp_path / "tier")
+        store.write("k", _random_array(rng, "float32", (16,)))
+        with pytest.raises(StoreError, match="dtype mismatch"):
+            store.load_into("k", np.empty(16, dtype=np.float64))
+
+    def test_size_mismatch(self, tmp_path, rng):
+        store = FileStore(tmp_path / "tier")
+        store.write("k", _random_array(rng, "float32", (16,)))
+        with pytest.raises(StoreError, match="size mismatch"):
+            store.load_into("k", np.empty(17, dtype=np.float32))
+
+    def test_flat_destination_accepts_nd_blob(self, tmp_path, rng):
+        store = FileStore(tmp_path / "tier")
+        array = _random_array(rng, "float32", (4, 8))
+        store.write("k", array)
+        out = np.empty(32, dtype=np.float32)
+        store.load_into("k", out)
+        np.testing.assert_array_equal(out, array.reshape(-1))
+
+    def test_noncontiguous_destination_rejected(self, tmp_path, rng):
+        store = FileStore(tmp_path / "tier")
+        store.write("k", _random_array(rng, "float32", (16,)))
+        out = np.empty(32, dtype=np.float32)[::2]
+        with pytest.raises(StoreError, match="contiguous"):
+            store.load_into("k", out)
+
+    def test_truncated_blob_detected(self, tmp_path, rng):
+        store = FileStore(tmp_path / "tier")
+        store.write("k", _random_array(rng, "float32", (16,)))
+        path = tmp_path / "tier" / "k.bin"
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(StoreError):
+            store.load_into("k", np.empty(16, dtype=np.float32))
+
+    def test_meta_of_reads_header_only(self, tmp_path, rng):
+        store = FileStore(tmp_path / "tier")
+        array = _random_array(rng, "float16", (3, 4))
+        store.write("k", array)
+        dtype, shape = store.meta_of("k")
+        assert dtype == np.float16
+        assert shape == (3, 4)
