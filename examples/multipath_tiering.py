@@ -1,11 +1,15 @@
 #!/usr/bin/env python
 """Multi-path virtual-tier planning with the Equation 1 performance model.
 
-Shows how MLP-Offload decides where each optimizer-state subgroup lives:
+Shows how MLP-Offload decides where each optimizer-state subgroup lives and
+how striped reads keep every path busy:
 
 1. probe (or declare) the bandwidth of every storage path,
 2. split the subgroups proportionally to bandwidth (Equation 1),
-3. adapt the split when a shared tier slows down under external load.
+3. adapt the split when a shared tier slows down under external load,
+4. stripe each subgroup's fields across NVMe *and* PFS so both paths stream
+   simultaneously during every fetch — with the per-path byte accounting to
+   prove it.
 
 Run with::
 
@@ -14,7 +18,14 @@ Run with::
 
 from __future__ import annotations
 
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
 from repro.bench.harness import format_table
+from repro.core.config import MLPOffloadConfig, TierConfig
+from repro.core.engine import MLPOffloadEngine
 from repro.core.performance_model import (
     BandwidthEstimator,
     allocate_subgroups,
@@ -22,8 +33,10 @@ from repro.core.performance_model import (
 )
 from repro.core.placement import PlacementMap
 from repro.tiers.spec import TESTBED_1, TESTBED_2
+from repro.train.adam import AdamConfig
 from repro.train.model_zoo import model_by_name
-from repro.train.sharding import PAPER_SUBGROUP_SIZE, build_shard_layout
+from repro.train.sharding import PAPER_SUBGROUP_SIZE, build_shard_layout, flat_views
+from repro.util.bytesize import format_bytes
 
 
 def main() -> None:
@@ -67,6 +80,66 @@ def main() -> None:
     estimator.observe("pfs", nbytes=degraded * 10, seconds=10.0)
     moves = placement.rebalance(estimator.allocate(per_worker))
     print(f"  after : {placement.counts()}  ({len(moves)} subgroups re-homed)")
+
+    striped_reads_demo()
+
+
+def striped_reads_demo() -> None:
+    """Drive the functional engine with striped reads and show the per-path split."""
+    print("\nstriped multi-path reads (fields split across nvme+pfs per fetch):")
+    workdir = Path(tempfile.mkdtemp(prefix="mlp-offload-striped-"))
+    total_params, subgroup_params = 120_000, 20_000
+    layout = build_shard_layout(total_params, num_ranks=1, subgroup_size=subgroup_params)
+    views = flat_views(None, layout, 0)
+    config = MLPOffloadConfig(
+        tiers=(
+            TierConfig("nvme", str(workdir / "nvme"), read_bw=6.9e9, write_bw=5.3e9),
+            TierConfig("pfs", str(workdir / "pfs"), read_bw=3.6e9, write_bw=3.6e9),
+        ),
+        subgroup_size=subgroup_params,
+        host_cache_bytes=0.0,  # force every fetch through the tiers
+        adam=AdamConfig(lr=1e-3),
+        enable_striped_reads=True,
+        stripe_threshold_bytes=4096.0,
+        adaptive_bandwidth=False,  # keep the read-hint split stable for the printout
+    )
+    rng = np.random.default_rng(11)
+    initial = rng.standard_normal(total_params).astype(np.float32)
+    with MLPOffloadEngine(config, layout, rank=0) as engine:
+        engine.initialize(initial.copy())
+        fp16 = initial.astype(np.float16)
+        for _ in range(3):
+            grad = rng.standard_normal(total_params).astype(np.float32) * 0.1
+            for index, view in views.items():
+                engine.on_backward_gradient(index, grad[view].astype(np.float16))
+            engine.on_microbatch_complete()
+            engine.run_update(fp16)
+        rows = []
+        total_read = total_written = 0
+        for name in engine.tier.tier_names:
+            stats = engine.tier.engine.tier_stats(name)
+            total_read += stats.bytes_read
+            total_written += stats.bytes_written
+            rows.append(
+                {
+                    "path": name,
+                    "raw_read": stats.bytes_read,
+                    "bytes_read": format_bytes(stats.bytes_read),
+                    "bytes_written": format_bytes(stats.bytes_written),
+                    "read_ops": stats.read_ops,
+                    "write_ops": stats.write_ops,
+                }
+            )
+        for row in rows:
+            raw_read = row.pop("raw_read")
+            row["read_share"] = f"{raw_read / total_read:.0%}" if total_read else "-"
+        print(format_table(rows, title="per-path byte accounting (striped reads)"))
+        print(
+            f"  every fetch streamed from both paths at once: "
+            f"{format_bytes(total_read)} read / {format_bytes(total_written)} written in total,\n"
+            f"  split ≈ proportionally to the 6.9:3.6 GB/s *read* bandwidth hints "
+            f"(Equation 1 applied within each field)"
+        )
 
 
 if __name__ == "__main__":

@@ -9,6 +9,9 @@ the offloading engines:
 * zero-copy reads: a request may carry a caller-supplied destination array
   (``read_into``), which the store deserializes into directly —
   the pinned-buffer discipline of DeepNVMe's ``aio_handle`` reads;
+* multi-path striped reads: ``read_into_multi`` fans one logical read out
+  into per-stripe requests against different tiers, each throttled on its
+  own path's bandwidth channel, aggregated behind a single future;
 * bounded queue depth per engine (submission back-pressure);
 * optional integration with the node-level tier lock manager so that requests
   against a locked tier are deferred rather than issued concurrently;
@@ -23,7 +26,7 @@ import enum
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -170,10 +173,91 @@ class AsyncIOEngine:
     def read_into(
         self, tier: str, key: str, out: np.ndarray, *, worker: str = "worker0"
     ) -> "concurrent.futures.Future[IOResult]":
-        """Submit a zero-copy read that deserializes directly into ``out``."""
+        """Submit a zero-copy read that deserializes directly into ``out``.
+
+        Buffer ownership: ``out`` is lent to the engine until the returned
+        future completes — the caller must not write to it, release it to a
+        pool, or let it go out of scope before then.  On success the result's
+        ``array`` *is* ``out``; on failure ``out``'s contents are undefined.
+        Thread-safe: may be called from any thread, and the read executes on
+        an I/O pool thread.
+        """
         return self.submit(
             IORequest(kind=IOKind.READ, tier=tier, key=key, worker=worker, out=out)
         )
+
+    def read_into_multi(
+        self,
+        parts: "Sequence[Tuple[str, str, np.ndarray]]",
+        out: np.ndarray,
+        *,
+        key: str = "",
+        tier_label: str = "striped",
+        worker: str = "worker0",
+    ) -> "concurrent.futures.Future[IOResult]":
+        """Fan one logical zero-copy read out across multiple paths at once.
+
+        ``parts`` is a sequence of ``(tier, key, destination)`` triples —
+        typically one stripe per physical path, with each destination a
+        contiguous slice of ``out`` (see
+        :meth:`repro.tiers.striped_store.StripedStore.plan_load`).  Every
+        part is submitted as its own request, so stripes run concurrently on
+        the I/O threads, each path throttled by its own store's bandwidth
+        channel, and per-tier statistics account each stripe against the
+        tier that served it.
+
+        Returns a single aggregate future that completes when *all* parts
+        have: ``nbytes`` sums the stripes, ``seconds`` is the slowest
+        stripe's latency (the paths run in parallel), ``array`` is ``out``,
+        and ``error`` is the first failing part's error, if any.
+
+        Buffer ownership: ``out`` (and therefore every slice in ``parts``)
+        is lent to the engine until the aggregate future completes; releasing
+        the buffer earlier races the in-flight ``readinto`` calls.
+        """
+        part_list = list(parts)
+        if not part_list:
+            raise ValueError("read_into_multi requires at least one part")
+        futures = [
+            self.submit(IORequest(kind=IOKind.READ, tier=tier, key=part_key, worker=worker, out=dest))
+            for tier, part_key, dest in part_list
+        ]
+        aggregate: "concurrent.futures.Future[IOResult]" = concurrent.futures.Future()
+        remaining = [len(futures)]
+        remaining_lock = threading.Lock()
+
+        def _on_part_done(_future: "concurrent.futures.Future[IOResult]") -> None:
+            with remaining_lock:
+                remaining[0] -= 1
+                if remaining[0]:
+                    return
+            nbytes = 0
+            seconds = 0.0
+            error: Optional[BaseException] = None
+            for future in futures:  # part order => deterministic first error
+                try:
+                    result = future.result()
+                except BaseException as exc:  # noqa: BLE001 - surfaced via aggregate
+                    error = error or exc
+                    continue
+                nbytes += result.nbytes
+                seconds = max(seconds, result.seconds)
+                if error is None and not result.ok:
+                    error = result.error
+            request = IORequest(kind=IOKind.READ, tier=tier_label, key=key, worker=worker, out=out)
+            aggregate.set_result(
+                IOResult(
+                    request=request,
+                    nbytes=nbytes,
+                    seconds=seconds,
+                    array=None if error is not None else out,
+                    error=error,
+                )
+            )
+
+        for future in futures:
+            future.add_done_callback(_on_part_done)
+        return aggregate
 
     def write(
         self, tier: str, key: str, array: np.ndarray, *, worker: str = "worker0"

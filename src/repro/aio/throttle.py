@@ -44,6 +44,12 @@ class BandwidthThrottle:
         and PFS links, whose read and write bandwidths Table 1 lists
         separately.  When ``False`` (default, conservative), one shared
         timeline serializes all transfers regardless of direction.
+    write_bytes_per_second:
+        Optional separate write bandwidth.  When given, reads are charged at
+        ``bytes_per_second`` and writes at this rate — matching Table 1's
+        asymmetric read/write columns (e.g. Testbed-2's NVMe reads 13.5 GB/s
+        but writes 4.8 GB/s).  When omitted, both directions share
+        ``bytes_per_second``.
     """
 
     def __init__(
@@ -53,12 +59,18 @@ class BandwidthThrottle:
         simulate: bool = True,
         latency: float = 0.0,
         duplex: bool = False,
+        write_bytes_per_second: "float | None" = None,
     ) -> None:
         if bytes_per_second <= 0:
             raise ValueError("bytes_per_second must be positive")
+        if write_bytes_per_second is not None and write_bytes_per_second <= 0:
+            raise ValueError("write_bytes_per_second must be positive when given")
         if latency < 0:
             raise ValueError("latency must be non-negative")
         self.bytes_per_second = float(bytes_per_second)
+        self.write_bytes_per_second = (
+            float(write_bytes_per_second) if write_bytes_per_second is not None else None
+        )
         self.simulate = simulate
         self.latency = float(latency)
         self.duplex = duplex
@@ -69,11 +81,19 @@ class BandwidthThrottle:
         #: free (pacing mode only); half-duplex throttles use one channel.
         self._busy_until: dict = {}
 
-    def transfer_time(self, nbytes: int) -> float:
-        """Modelled time to move ``nbytes`` at the configured bandwidth."""
+    def transfer_time(self, nbytes: int, *, direction: str = "read") -> float:
+        """Modelled time to move ``nbytes`` at the configured bandwidth.
+
+        ``direction`` picks the write rate when a separate
+        ``write_bytes_per_second`` was configured; otherwise both directions
+        use the shared rate.
+        """
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
-        return self.latency + nbytes / self.bytes_per_second
+        rate = self.bytes_per_second
+        if direction == "write" and self.write_bytes_per_second is not None:
+            rate = self.write_bytes_per_second
+        return self.latency + nbytes / rate
 
     def consume(self, nbytes: int, *, direction: str = "read") -> float:
         """Charge a transfer of ``nbytes`` and return the time charged (seconds).
@@ -84,7 +104,7 @@ class BandwidthThrottle:
         the configured bandwidth rather than multiplying it.  ``direction``
         ("read"/"write") picks the channel and is ignored for half-duplex.
         """
-        cost = self.transfer_time(nbytes)
+        cost = self.transfer_time(nbytes, direction=direction)
         wait = 0.0
         with self._lock:
             self._consumed_bytes += nbytes

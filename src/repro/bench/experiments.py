@@ -547,6 +547,172 @@ def update_pipeline_comparison(
 
 
 # ---------------------------------------------------------------------------
+# Striped multi-path reads — single-path vs striped subgroup fetches
+# ---------------------------------------------------------------------------
+
+def striped_read_comparison(
+    *,
+    total_params: int = 480_000,
+    subgroup_params: int = 40_000,
+    iterations: int = 3,
+    nvme_read_bw: float = 40e6,
+    pfs_read_bw: float = 25e6,
+    write_bw: float = 160e6,
+    latency: float = 0.0005,
+    io_threads: int = 8,
+    workdir: Optional[Path] = None,
+) -> ExperimentResult:
+    """Single-path vs striped multi-path subgroup reads on throttled dual tiers.
+
+    Runs the *functional* engine twice on identical inputs — once with
+    ``enable_striped_reads`` off (every field lives whole on its placed tier,
+    so each fetch streams from exactly one path while the other sits idle)
+    and once with striping on (each large field is split across NVMe and PFS
+    proportionally to their bandwidth and fetched from both paths
+    *simultaneously* via ``read_into_multi``).  Both runs use the
+    single-buffered sequential update loop, the regime in which per-fetch
+    latency sits on the critical path (the windowed pipeline already hides
+    fetch latency *across* subgroups; striping attacks the latency of each
+    individual fetch, which is what remains).
+
+    The tiers are throttled with real sleeping (``simulate=False``) on
+    per-direction device timelines, with asymmetric rates: reads at the
+    configured NVMe/PFS speeds, writes much faster — making the update phase
+    read-bound so the measured difference isolates the read path.  Concurrent
+    transfers on one path *share* that path's bandwidth (the throttle
+    serializes them on its device timeline), so the striped run's gain is
+    genuine multi-path aggregation, not modelling artefact.
+
+    Emits one row per (engine, iteration) with measured phase wall times,
+    summary rows (mean wall times, ``speedup``, aggregate fetch bandwidth), a
+    ``bitwise_identical`` correctness row comparing FP16 working params and
+    FP32 master state across the two runs, and per-path byte-accounting rows
+    showing both paths pulling their bandwidth-proportional share of every
+    striped fetch.
+    """
+    from repro.core.config import MLPOffloadConfig, TierConfig
+    from repro.core.engine import MLPOffloadEngine
+    from repro.train.adam import AdamConfig
+    from repro.train.sharding import build_shard_layout, flat_views
+
+    result = ExperimentResult(
+        experiment="striped-reads",
+        description="Single-path vs striped multi-path subgroup reads (throttled tiers)",
+    )
+    base = Path(workdir) if workdir is not None else Path(tempfile.mkdtemp(prefix="repro-stripe-"))
+    layout = build_shard_layout(total_params, num_ranks=1, subgroup_size=subgroup_params)
+    views = flat_views(None, layout, 0)
+    rng = np.random.default_rng(2026)
+    initial = rng.standard_normal(total_params).astype(np.float32)
+    grads = [
+        rng.standard_normal(total_params).astype(np.float32) * 0.1 for _ in range(iterations)
+    ]
+    field_bytes = subgroup_params * 4  # one FP32 state field
+
+    def run(label: str, striped: bool):
+        root = base / label
+        (root / "nvme").mkdir(parents=True, exist_ok=True)
+        (root / "pfs").mkdir(parents=True, exist_ok=True)
+        config = MLPOffloadConfig(
+            tiers=(
+                TierConfig("nvme", str(root / "nvme"), read_bw=nvme_read_bw, write_bw=write_bw),
+                TierConfig("pfs", str(root / "pfs"), read_bw=pfs_read_bw, write_bw=write_bw),
+            ),
+            subgroup_size=subgroup_params,
+            host_cache_bytes=0.0,
+            adam=AdamConfig(lr=1e-3),
+            pipeline_update_phase=False,
+            enable_striped_reads=striped,
+            stripe_threshold_bytes=float(field_bytes // 2),
+        )
+        throttles = {
+            "nvme": BandwidthThrottle(
+                nvme_read_bw, simulate=False, latency=latency, duplex=True,
+                write_bytes_per_second=write_bw,
+            ),
+            "pfs": BandwidthThrottle(
+                pfs_read_bw, simulate=False, latency=latency, duplex=True,
+                write_bytes_per_second=write_bw,
+            ),
+        }
+        phase_seconds = []
+        fetch_bytes = fetch_seconds = 0.0
+        with MLPOffloadEngine(
+            config, layout, rank=0, throttles=throttles, io_threads=io_threads
+        ) as engine:
+            engine.initialize(initial.copy())
+            fp16 = initial.astype(np.float16)
+            for grad in grads:
+                for index, view in views.items():
+                    engine.on_backward_gradient(index, grad[view].astype(np.float16))
+                engine.on_microbatch_complete()
+                report = engine.run_update(fp16)
+                phase_seconds.append(report.stats.wall_seconds)
+                fetch_bytes += report.stats.fetch_bytes
+                fetch_seconds += report.stats.fetch_seconds
+            master = engine.fetch_master_params()
+            per_path = {
+                name: engine.tier.engine.tier_stats(name) for name in engine.tier.tier_names
+            }
+        fetch_bw = fetch_bytes / fetch_seconds if fetch_seconds > 0 else 0.0
+        return fp16, master, phase_seconds, fetch_bw, per_path
+
+    fp16_single, master_single, seconds_single, bw_single, paths_single = run(
+        "single-path", striped=False
+    )
+    fp16_striped, master_striped, seconds_striped, bw_striped, paths_striped = run(
+        "striped", striped=True
+    )
+
+    for iteration, (single_s, striped_s) in enumerate(zip(seconds_single, seconds_striped)):
+        result.add_row(
+            series="trajectory", engine="single-path", iteration=iteration, update_s=single_s
+        )
+        result.add_row(
+            series="trajectory", engine="striped", iteration=iteration, update_s=striped_s
+        )
+
+    mean_single = float(np.mean(seconds_single))
+    mean_striped = float(np.mean(seconds_striped))
+    speedup = mean_single / mean_striped if mean_striped > 0 else float("inf")
+    bitwise = bool(
+        np.array_equal(fp16_single, fp16_striped)
+        and np.array_equal(master_single, master_striped)
+    )
+    result.add_row(series="summary", engine="single-path", mean_update_s=mean_single)
+    result.add_row(series="summary", engine="striped", mean_update_s=mean_striped)
+    result.add_row(series="summary", engine="speedup", value=speedup)
+    result.add_row(
+        series="summary", engine="fetch_bandwidth", single_path=bw_single, striped=bw_striped
+    )
+    result.add_row(series="check", bitwise_identical=bitwise)
+    for label, paths in (("single-path", paths_single), ("striped", paths_striped)):
+        for name, stats in paths.items():
+            result.add_row(
+                series="path_bytes",
+                engine=label,
+                tier=name,
+                bytes_read=stats.bytes_read,
+                bytes_written=stats.bytes_written,
+                read_ops=stats.read_ops,
+                write_ops=stats.write_ops,
+            )
+    result.add_note(
+        f"striped multi-path reads are {speedup:.2f}x faster per update phase "
+        f"({mean_striped * 1e3:.0f} ms vs {mean_single * 1e3:.0f} ms); aggregate fetch "
+        f"bandwidth {bw_striped / 1e6:.1f} MB/s vs {bw_single / 1e6:.1f} MB/s single-path "
+        "(fetch bytes over *exposed* fetch wait — prefetch overlap already hides part "
+        "of the single-buffered loop's read time)"
+    )
+    result.add_note(
+        "paper §3.2/§3.3: the aggregate bandwidth of all tiers — not any single "
+        "device — bounds the offloaded update phase; striping each field across "
+        "NVMe+PFS keeps both paths busy during every fetch"
+    )
+    return result
+
+
+# ---------------------------------------------------------------------------
 # §4.4 — cost effectiveness of offloaded vs GPU-only training
 # ---------------------------------------------------------------------------
 

@@ -95,6 +95,19 @@ class MLPOffloadConfig:
     #: Lookahead window (in subgroups) of the pipelined update phase; only
     #: meaningful when ``pipeline_update_phase`` is on.
     prefetch_depth: int = 2
+    #: Stripe large fields across the physical paths so one fetch streams
+    #: from NVMe and PFS *simultaneously*, aggregating their read bandwidth
+    #: (the multi-path ablation flag; off = every field lives whole on its
+    #: placed tier).  Requires ``enable_multipath`` and >= 2 tiers to have
+    #: any effect; results are bitwise-identical either way.
+    enable_striped_reads: bool = True
+    #: Fields with payloads below this many bytes are never striped — the
+    #: per-stripe operation latency would outweigh the bandwidth gain.
+    stripe_threshold_bytes: float = float(1 << 20)
+    #: Number of paths to stripe across (``0`` = all configured tiers).  A
+    #: value of 1 degenerates striping into the unstriped baseline
+    #: byte-for-byte.
+    stripe_paths: int = 0
     #: Adam hyper-parameters for the CPU update.
     adam: AdamConfig = field(default_factory=AdamConfig)
     #: Re-estimate tier bandwidths from observed I/O after each iteration.
@@ -116,6 +129,10 @@ class MLPOffloadConfig:
             raise ValueError("host_cache_bytes must be non-negative")
         if self.prefetch_depth < 1:
             raise ValueError("prefetch_depth must be >= 1")
+        if self.stripe_threshold_bytes < 0:
+            raise ValueError("stripe_threshold_bytes must be non-negative")
+        if self.stripe_paths < 0:
+            raise ValueError("stripe_paths must be non-negative (0 = all tiers)")
         if not 0.0 < self.bandwidth_smoothing <= 1.0:
             raise ValueError("bandwidth_smoothing must be in (0, 1]")
 
@@ -135,6 +152,19 @@ class MLPOffloadConfig:
             if tier.name == name:
                 return tier
         raise KeyError(f"no tier named {name!r}; known: {self.tier_names}")
+
+    def stripe_fanout(self) -> int:
+        """Number of paths striped reads will fan out across (1 = no striping).
+
+        Used both by the virtual tier (which paths to stripe over) and by the
+        engine to size the submission queue so a full prefetch window of
+        per-stripe requests never blocks on back-pressure.
+        """
+        if not (self.enable_striped_reads and self.enable_multipath):
+            return 1
+        available = len(self.tiers)
+        paths = available if self.stripe_paths == 0 else min(self.stripe_paths, available)
+        return max(1, paths)
 
     def explicit_ratios(self) -> Optional[Dict[str, float]]:
         """User-specified split ratios if *every* tier declares one, else ``None``."""
@@ -169,6 +199,9 @@ class MLPOffloadConfig:
                 "delayed_grad_conversion": self.enable_delayed_grad_conversion,
                 "pipeline_update_phase": self.pipeline_update_phase,
                 "prefetch_depth": self.prefetch_depth,
+                "striped_reads": self.enable_striped_reads,
+                "stripe_threshold_bytes": self.stripe_threshold_bytes,
+                "stripe_paths": self.stripe_paths,
                 "adaptive_bandwidth": self.adaptive_bandwidth,
                 "bandwidth_smoothing": self.bandwidth_smoothing,
                 "adam": asdict(self.adam),
@@ -196,6 +229,9 @@ class MLPOffloadConfig:
             enable_delayed_grad_conversion=bool(block.get("delayed_grad_conversion", True)),
             pipeline_update_phase=bool(block.get("pipeline_update_phase", True)),
             prefetch_depth=int(block.get("prefetch_depth", 2)),
+            enable_striped_reads=bool(block.get("striped_reads", True)),
+            stripe_threshold_bytes=parse_bytes(block.get("stripe_threshold_bytes", float(1 << 20))),
+            stripe_paths=int(block.get("stripe_paths", 0)),
             adam=adam,
             adaptive_bandwidth=bool(block.get("adaptive_bandwidth", True)),
             bandwidth_smoothing=float(block.get("bandwidth_smoothing", 0.5)),

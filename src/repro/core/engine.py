@@ -125,9 +125,10 @@ class OffloadEngineBase:
             lock_manager=self.concurrency.lock_manager,
             io_threads=io_threads,
             # Size the submission queue to the prefetch window (up to four
-            # field reads per subgroup plus a flushed subgroup's writes), so
-            # filling the window never blocks on queue back-pressure.
-            queue_depth=max(16, 4 * (config.prefetch_depth + 2)),
+            # field reads per subgroup plus a flushed subgroup's writes,
+            # each multiplied by the stripe fan-out when striped reads are
+            # on), so filling the window never blocks on queue back-pressure.
+            queue_depth=max(16, 4 * (config.prefetch_depth + 2) * config.stripe_fanout()),
             throttles=throttles,
         )
         #: Pool of reusable fetch/flush scratch arrays (zero-copy tier I/O).
@@ -213,8 +214,14 @@ class OffloadEngineBase:
         payload = backward_flush_payload(self.gradient_policy, self.accumulator, subgroup_index)
         assert payload is not None
         sg = self._by_index[subgroup_index]
-        with self.concurrency.exclusive(self.tier.placement.tier_of(sg.index), self.worker):
-            self.tier.flush_subgroup(sg.key, sg.index, {GRAD_FIELD: payload}, wait=True)
+        payload_map = {GRAD_FIELD: payload}
+        if self.tier.will_stripe(payload_map):
+            # A striped flush spans every stripe path; waiting on it while
+            # holding one tier's lease can deadlock two workers (ABBA).
+            self.tier.flush_subgroup(sg.key, sg.index, payload_map, wait=True)
+        else:
+            with self.concurrency.exclusive(self.tier.placement.tier_of(sg.index), self.worker):
+                self.tier.flush_subgroup(sg.key, sg.index, payload_map, wait=True)
         elapsed = time.perf_counter() - start
         self.backward_flush_seconds += elapsed
         return elapsed
@@ -384,7 +391,7 @@ class OffloadEngineBase:
             if not self.cache.put(subgroup_index, updated, dirty=True):
                 if pipelined:
                     futures = self.tier.flush_subgroup(
-                        sg.key, sg.index, updated, tier=self._flush_target(sg), wait=False
+                        sg.key, sg.index, updated, tier=self._flush_target(sg, updated), wait=False
                     )
                     inflight_flushes.append((sg.index, list(futures), list(updated.values())))
                 else:
@@ -466,10 +473,16 @@ class OffloadEngineBase:
     ) -> Dict[str, np.ndarray]:
         entry = pending.pop(sg.index, None)
         if entry is None:
-            tier_name = self.tier.placement.tier_of(sg.index)
             outs = self._acquire_fetch_buffers(sg, fields)
-            with self.concurrency.exclusive(tier_name, self.worker):
+            if self.tier.is_striped_subgroup(sg.key):
+                # Striped reads span every stripe path — submit without a
+                # single tier's lease (deadlock note on flush_subgroup); the
+                # engine's per-request leases still arbitrate each stripe.
                 futures = self.tier.prefetch_subgroup(sg.key, sg.index, fields, out_arrays=outs)
+            else:
+                tier_name = self.tier.placement.tier_of(sg.index)
+                with self.concurrency.exclusive(tier_name, self.worker):
+                    futures = self.tier.prefetch_subgroup(sg.key, sg.index, fields, out_arrays=outs)
         else:
             futures, outs = entry
         arrays: Dict[str, np.ndarray] = {}
@@ -550,11 +563,16 @@ class OffloadEngineBase:
         inflight.clear()
 
     def _flush_now(self, sg: Subgroup, arrays: Mapping[str, np.ndarray]) -> None:
-        tier_name = self._flush_target(sg)
+        tier_name = self._flush_target(sg, arrays)
+        if self.tier.will_stripe(arrays):
+            # Multi-path flush: no single-tier lease (deadlock note on
+            # flush_subgroup); per-request leases serialize each stripe.
+            self.tier.flush_subgroup(sg.key, sg.index, arrays, tier=tier_name, wait=True)
+            return
         with self.concurrency.exclusive(tier_name, self.worker):
             self.tier.flush_subgroup(sg.key, sg.index, arrays, tier=tier_name, wait=True)
 
-    def _flush_target(self, sg: Subgroup) -> str:
+    def _flush_target(self, sg: Subgroup, arrays: Mapping[str, np.ndarray]) -> str:
         """Pick the tier the subgroup should be flushed to (line 9 of Algorithm 1).
 
         The performance-model placement is respected by default; only when
@@ -563,6 +581,10 @@ class OffloadEngineBase:
         idle tier — the "natural interleaving" of §3.2.
         """
         current = self.tier.placement.tier_of(sg.index)
+        if self.tier.will_stripe(arrays):
+            # Striped fields live at fixed stripe homes spanning every path;
+            # the idle-tier redirect only applies to whole-blob flushes.
+            return current
         if not self.config.enable_multipath or len(self.tier.tier_names) == 1:
             return current
         if not self.config.enable_tier_locks:
@@ -589,13 +611,23 @@ class OffloadEngineBase:
     # -- introspection ------------------------------------------------------
 
     def tier_distribution(self) -> Dict[str, float]:
-        """Bytes of optimizer state per location (host cache vs physical tiers)."""
+        """Bytes of optimizer state per location (host cache vs physical tiers).
+
+        Striped subgroups are apportioned across their stripe paths according
+        to the recorded extents (the bytes physically live there), not
+        attributed whole to the placement map's tier.
+        """
         distribution: Dict[str, float] = {name: 0.0 for name in self.tier.tier_names}
         distribution["host"] = 0.0
         for sg in self.subgroups:
             nbytes = float(sg.optimizer_state_bytes)
             if sg.index in self.cache:
                 distribution["host"] += nbytes
+                continue
+            shares = self.tier.stripe_shares(sg.key)
+            if shares:
+                for name, fraction in shares.items():
+                    distribution[name] = distribution.get(name, 0.0) + nbytes * fraction
             else:
                 distribution[self.tier.placement.tier_of(sg.index)] += nbytes
         return distribution

@@ -6,6 +6,19 @@ bandwidth estimator and the placement map.  The offloading engines interact
 only with subgroup-level operations (``fetch``, ``flush``, ``prefetch``) and
 never see individual files or tiers directly — exactly the "unified
 multi-level, multi-path asynchronous offloading using virtual tiers" of §3.2.
+
+With :attr:`~repro.core.config.MLPOffloadConfig.enable_striped_reads` on (and
+at least two active paths), fields whose payload exceeds
+``stripe_threshold_bytes`` are striped across the paths through a
+:class:`~repro.tiers.striped_store.StripedStore`: flushes write one blob per
+stripe (each write still single-path), and prefetches fan the stripes out
+through :meth:`AsyncIOEngine.read_into_multi` so NVMe and PFS stream into
+disjoint slices of the same pooled destination array *simultaneously* —
+aggregating read bandwidth while preserving the zero-copy invariant.  The
+stripe split follows the adaptive bandwidth estimates (Equation 1 applied
+within a field); the per-key manifest makes reads self-describing, so the
+split may drift between iterations.  Fields below the threshold keep the
+whole-blob single-tier layout governed by the placement map.
 """
 
 from __future__ import annotations
@@ -23,6 +36,7 @@ from repro.core.config import MLPOffloadConfig
 from repro.core.performance_model import BandwidthEstimator, allocation_from_ratios
 from repro.core.placement import PlacementMap
 from repro.tiers.file_store import FileStore
+from repro.tiers.striped_store import StripedStore
 from repro.util.logging import get_logger
 
 _LOG = get_logger("core.virtual_tier")
@@ -81,6 +95,17 @@ class VirtualTier:
         self.estimator = self._build_estimator(active_tiers)
         self.placement: Optional[PlacementMap] = None
         self._pending: Dict[str, concurrent.futures.Future] = {}
+        # Striped multi-path reads: fields above the threshold are striped
+        # across the first ``stripe_fanout()`` active paths.
+        fanout = config.stripe_fanout()
+        self.striped: Optional[StripedStore] = None
+        self.stripe_tier_names: List[str] = []
+        if fanout >= 2 and len(self.tier_names) >= 2:
+            self.stripe_tier_names = self.tier_names[: min(fanout, len(self.tier_names))]
+            self.striped = StripedStore(
+                [self.stores[name] for name in self.stripe_tier_names],
+                threshold_bytes=config.stripe_threshold_bytes,
+            )
 
     # -- construction helpers ---------------------------------------------
 
@@ -133,18 +158,45 @@ class VirtualTier:
 
         The target tier defaults to the placement map's current assignment;
         passing ``tier`` overrides it (lazy flush to an idle tier) and the
-        placement map is updated accordingly.
+        placement map is updated accordingly.  The override governs *whole*
+        (unstriped) fields only: striped fields always write to their fixed
+        stripe paths, since their bytes span every path by construction.
+
+        Deadlock note: a striped flush submits writes against multiple
+        tiers.  Callers must therefore NOT invoke it while holding one
+        tier's exclusive lease (two workers doing so from different tiers
+        deadlock ABBA-style); use :meth:`will_stripe` to decide whether to
+        take a lease first.  The I/O engine's per-request lease acquisition
+        still serializes each stripe write per tier.
         """
         if self.placement is None:
             raise RuntimeError("placement not built; call build_placement() first")
         target = tier if tier is not None else self.placement.tier_of(subgroup_id)
         futures = []
         for name, array in arrays.items():
-            futures.append(
-                self.engine.write(
-                    target, self._field_key(subgroup_key, name), array, worker=self.worker
-                )
-            )
+            key = self._field_key(subgroup_key, name)
+            if self.striped is not None and array.nbytes >= self.config.stripe_threshold_bytes:
+                # Stripe the field across the paths; each stripe is written
+                # through the engine as an ordinary single-path write.
+                if not self.striped.is_striped(key):
+                    # First striped write of this key: a stale whole blob may
+                    # sit on a tier outside the stripe set (plan_save sweeps
+                    # only its own backends); remove it so no reader can ever
+                    # observe the outdated representation.
+                    for name in self.tier_names:
+                        if name not in self.stripe_tier_names and self.stores[name].contains(key):
+                            self.stores[name].delete(key)
+                parts = self.striped.plan_save(key, array, weights=self._stripe_weights())
+                for part in parts:
+                    futures.append(
+                        self.engine.write(part.tier, part.key, part.array, worker=self.worker)
+                    )
+            else:
+                if self.striped is not None:
+                    # The field shrank below the threshold (or striping policy
+                    # changed): drop any stale striped representation first.
+                    self.striped.drop_stripes(key)
+                futures.append(self.engine.write(target, key, array, worker=self.worker))
         self.placement.assign(subgroup_id, target)
         if wait:
             for future in futures:
@@ -165,7 +217,10 @@ class VirtualTier:
 
         When ``out_arrays`` supplies a destination for a field, the read is
         zero-copy: the store deserializes directly into the caller's (pooled)
-        array instead of allocating a fresh one.
+        array instead of allocating a fresh one.  Striped fields fan out as
+        one concurrent read per stripe — all paths stream into disjoint
+        slices of the destination simultaneously — behind a single
+        per-field aggregate future.
         """
         if self.placement is None:
             raise RuntimeError("placement not built; call build_placement() first")
@@ -174,7 +229,19 @@ class VirtualTier:
         for fieldname in fields:
             key = self._field_key(subgroup_key, fieldname)
             out = out_arrays.get(fieldname) if out_arrays is not None else None
-            if out is not None:
+            if self.striped is not None and self.striped.is_striped(key):
+                if out is None:
+                    dtype, shape = self.striped.meta_of(key)
+                    count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+                    out = np.empty(count, dtype=dtype)
+                parts = self.striped.plan_load(key, out)
+                futures[fieldname] = self.engine.read_into_multi(
+                    [(p.tier, p.key, p.array) for p in parts],
+                    out,
+                    key=key,
+                    worker=self.worker,
+                )
+            elif out is not None:
                 futures[fieldname] = self.engine.read_into(tier, key, out, worker=self.worker)
             else:
                 futures[fieldname] = self.engine.read(tier, key, worker=self.worker)
@@ -203,11 +270,80 @@ class VirtualTier:
         """Remove one field of a subgroup from its tier (ignoring missing files)."""
         if self.placement is None:
             raise RuntimeError("placement not built")
+        key = self._field_key(subgroup_key, fieldname)
+        if self.striped is not None and self.striped.is_striped(key):
+            self.striped.delete(key)
+            # Whole blobs on tiers outside the stripe set are beyond the
+            # striped store's reach; sweep them here too.
+            for store in self.stores.values():
+                if store.contains(key):
+                    store.delete(key)
+            return
         tier = self.placement.tier_of(subgroup_id)
         store = self.stores[tier]
-        key = self._field_key(subgroup_key, fieldname)
         if store.contains(key):
             store.delete(key)
+
+    def will_stripe(self, arrays: Mapping[str, np.ndarray]) -> bool:
+        """Whether flushing ``arrays`` would route any field through striping.
+
+        Callers holding tier-exclusive leases use this to avoid wrapping a
+        multi-path flush in a single tier's lease (see the deadlock note on
+        :meth:`flush_subgroup`).
+        """
+        return self.striped is not None and any(
+            array.nbytes >= self.config.stripe_threshold_bytes for array in arrays.values()
+        )
+
+    def is_striped_subgroup(self, subgroup_key: str) -> bool:
+        """Whether the subgroup's state fields are currently stored striped."""
+        return self.striped is not None and self.striped.is_striped(
+            self._field_key(subgroup_key, STATE_FIELDS[0])
+        )
+
+    def stripe_shares(self, subgroup_key: str) -> Optional[Dict[str, float]]:
+        """Fraction of a striped subgroup's bytes per physical path.
+
+        Derived from the ``params`` field's manifest (all state fields of a
+        subgroup share one geometry, so one manifest represents them all).
+        Returns ``None`` when the subgroup is not striped — its bytes then
+        live whole on the placement map's tier.
+        """
+        if self.striped is None:
+            return None
+        extents = self.striped.extents_of(self._field_key(subgroup_key, STATE_FIELDS[0]))
+        if extents is None:
+            return None
+        total = sum(ext.count for ext in extents)
+        if total <= 0:
+            return None
+        shares: Dict[str, float] = {}
+        for ext in extents:
+            if ext.path < len(self.stripe_tier_names):
+                name = self.stripe_tier_names[ext.path]
+                shares[name] = shares.get(name, 0.0) + ext.count / total
+        return shares
+
+    def _stripe_weights(self) -> "Optional[List[float]]":
+        """Per-path stripe weights sizing the *read* side of each field.
+
+        Only reads fan out concurrently across the stripes, so the split
+        should equalize per-path *read* time: a tier's declared ``read_bw``
+        hint is preferred over the estimator's min(read, write)-blended
+        estimate (which undersizes asymmetric paths like an NVMe that reads
+        much faster than it writes).  Tiers without a read hint fall back to
+        the adaptive estimate; an equal split (``None``) is used when no
+        positive weight is available.
+        """
+        bandwidths = self.estimator.bandwidths
+        weights = []
+        for name in self.stripe_tier_names:
+            hint = self.config.tier(name).read_bw
+            if hint is not None:
+                weights.append(float(hint))
+            else:
+                weights.append(max(float(bandwidths.get(name, 0.0)), 0.0))
+        return weights if sum(weights) > 0 else None
 
     # -- feedback & accounting ---------------------------------------------
 

@@ -17,10 +17,13 @@ from repro.tiers.spec import (
     TESTBED_2,
     NodeSpec,
     StorageTierSpec,
+    StripeExtent,
     TierKind,
+    plan_stripes,
     testbed_by_name,
 )
-from repro.tiers.array_pool import ArrayPool, ArrayPoolStats
+from repro.tiers.array_pool import ArrayPool, ArrayPoolStats, scatter_views
+from repro.tiers.striped_store import StripedStore, StripePart
 from repro.tiers.device import DeviceMemory, MemoryAccountant, OutOfMemoryError
 from repro.tiers.file_store import FileStore, StoreError, blob_nbytes
 from repro.tiers.host_buffer import BufferPool, BufferPoolExhausted, PinnedBuffer
@@ -29,6 +32,11 @@ from repro.tiers.host_cache import CacheEntry, HostSubgroupCache
 __all__ = [
     "ArrayPool",
     "ArrayPoolStats",
+    "scatter_views",
+    "StripedStore",
+    "StripePart",
+    "StripeExtent",
+    "plan_stripes",
     "blob_nbytes",
     "TierKind",
     "StorageTierSpec",

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 import numpy as np
 
@@ -43,6 +43,38 @@ def _size_class(nbytes: int) -> int:
     while cls < nbytes:
         cls <<= 1
     return cls
+
+
+def scatter_views(array: np.ndarray, extents: Iterable) -> List[np.ndarray]:
+    """Contiguous flat views of ``array``, one per ``(start, count)`` extent.
+
+    This is the scatter side of striped multi-path reads: each returned view
+    aliases ``array``'s storage over ``[start, start + count)`` elements, so
+    a per-stripe ``load_into`` lands directly in the right extent of the
+    pooled buffer with zero intermediate copies.  ``extents`` is any iterable
+    of objects with ``start`` / ``count`` attributes (e.g.
+    :class:`~repro.tiers.spec.StripeExtent`).
+
+    Ownership: the views borrow the buffer — they are only valid while
+    ``array`` itself is (for pooled arrays: until it is passed back to
+    :meth:`ArrayPool.release`), and the caller must not release the buffer
+    while any view is still the destination of in-flight I/O.  ``array``
+    must be 1-D C-contiguous, writable, and large enough to cover every
+    extent.
+    """
+    if array.ndim != 1 or not array.flags.c_contiguous:
+        raise ValueError("scatter target must be a 1-D C-contiguous array")
+    if not array.flags.writeable:
+        raise ValueError("scatter target must be writable")
+    views: List[np.ndarray] = []
+    for extent in extents:
+        start, count = int(extent.start), int(extent.count)
+        if start < 0 or count < 0 or start + count > array.size:
+            raise ValueError(
+                f"extent [{start}, {start + count}) exceeds array of {array.size} elements"
+            )
+        views.append(array[start : start + count])
+    return views
 
 
 @dataclass
@@ -67,6 +99,13 @@ class ArrayPoolStats:
 
 class ArrayPool:
     """Recycling pool of flat ndarray scratch buffers, keyed by size class.
+
+    Thread-safety: all methods are safe to call from any thread (one internal
+    lock guards the free lists and the outstanding map); the *arrays* handed
+    out are not synchronized — each buffer must have a single owner at a
+    time, which is whoever holds it between :meth:`acquire` and
+    :meth:`release` (or the I/O engine, while a read/write against it is in
+    flight).
 
     Parameters
     ----------
@@ -109,6 +148,11 @@ class ArrayPool:
 
         The array is a view over pooled storage; contents are undefined (it
         is a scratch destination, typically filled by ``readinto``).
+
+        Ownership: the caller owns the array — and any
+        :func:`scatter_views` slices of it — until it is passed back to
+        :meth:`release`; do not release while I/O into the buffer is still
+        in flight.
         """
         if num_elements < 0:
             raise ValueError("num_elements must be non-negative")
@@ -128,7 +172,12 @@ class ArrayPool:
         return array
 
     def release(self, array: np.ndarray) -> bool:
-        """Recycle a pooled array; no-op (``False``) for foreign arrays."""
+        """Recycle a pooled array; no-op (``False``) for foreign arrays.
+
+        After release the storage may be handed to another caller at any
+        moment — the array (and every view over it) must not be touched
+        again.  Safe from any thread.
+        """
         with self._lock:
             entry = self._outstanding.pop(id(array), None)
             if entry is None:

@@ -262,6 +262,12 @@ class FileStore:
         Identical on-disk format and byte accounting to the legacy
         :meth:`write` — the payload is simply written from a ``memoryview``
         of the caller's array instead of an intermediate ``tobytes()`` blob.
+
+        Buffer ownership: ``array`` is only borrowed for the duration of the
+        call (no reference is retained), but the caller must not mutate it
+        concurrently — the bytes on disk would be torn.  Thread-safe:
+        concurrent writes to *different* keys are fine; concurrent writes to
+        the same key last-writer-wins atomically (``os.replace``).
         """
         contiguous = np.ascontiguousarray(array)
         meta = _pack_meta(contiguous)
@@ -321,6 +327,13 @@ class FileStore:
         (the stored shape itself is *not* imposed on ``out`` — subgroup blobs
         are flat, and pooled scratch buffers are flat views).  Byte
         accounting is identical to :meth:`read`.
+
+        Buffer ownership: ``out`` is borrowed for the duration of the call
+        and written through ``readinto``; the caller must not read, mutate or
+        recycle it until the call returns (for pooled buffers: do not
+        ``release`` mid-read).  On error ``out``'s contents are undefined.
+        Thread-safe: any number of concurrent reads may target the same key,
+        each with its own destination.
         """
         if not out.flags.c_contiguous:
             raise StoreError(f"load_into destination for {key!r} must be C-contiguous")

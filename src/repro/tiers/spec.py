@@ -17,8 +17,9 @@ The two testbeds of the paper (Table 1) are provided as module constants:
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass, field, replace
-from typing import Dict, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.util.bytesize import GB, GiB
 
@@ -199,6 +200,140 @@ class NodeSpec:
     def with_storage(self, *tiers: StorageTierSpec) -> "NodeSpec":
         """Return a copy of this node with ``storage`` replaced by ``tiers``."""
         return replace(self, storage={t.name: t for t in tiers})
+
+
+@dataclass(frozen=True)
+class StripeExtent:
+    """One contiguous element range of a striped field, bound to one path.
+
+    Attributes
+    ----------
+    index:
+        Stripe ordinal within the field (``0 .. nstripes-1``); stripes are
+        contiguous and ordered, so concatenating them in index order
+        reconstructs the field.
+    path:
+        Index of the physical path (tier) that holds this stripe.
+    start:
+        Element offset of the stripe within the flat field.
+    count:
+        Number of elements in the stripe (always positive — zero-length
+        stripes are never emitted).
+    """
+
+    index: int
+    path: int
+    start: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.index < 0 or self.path < 0 or self.start < 0:
+            raise ValueError("stripe index/path/start must be non-negative")
+        if self.count < 0:
+            raise ValueError("stripe count must be non-negative")
+
+    @property
+    def stop(self) -> int:
+        """Exclusive end offset (``start + count``)."""
+        return self.start + self.count
+
+
+def plan_stripes(
+    num_elements: int,
+    itemsize: int,
+    *,
+    num_paths: int,
+    threshold_bytes: float = 0.0,
+    stripe_bytes: Optional[int] = None,
+    weights: Optional[Sequence[float]] = None,
+) -> Tuple[StripeExtent, ...]:
+    """Split a flat field of ``num_elements`` into per-path stripe extents.
+
+    The returned extents are contiguous, ordered, cover exactly
+    ``[0, num_elements)`` and never include a zero-length stripe.  A plan of
+    length 1 means "do not stripe" — the field stays a single whole blob.
+
+    Parameters
+    ----------
+    num_elements / itemsize:
+        Geometry of the flat field (its payload is ``num_elements * itemsize``
+        bytes).
+    num_paths:
+        Number of physical paths available for striping.  With a single path
+        the plan degenerates to one whole-field extent, which callers store
+        byte-for-byte identically to the unstriped baseline.
+    threshold_bytes:
+        Fields whose payload is *below* this size are not worth the extra
+        per-stripe latency; they yield a single whole-field extent.
+    stripe_bytes:
+        Optional stripe granularity.  When given, the field is chopped into
+        fixed-size chunks (rounded down to whole elements, minimum one
+        element) assigned round-robin to paths — the stripe count may then
+        exceed the path count.  When omitted, exactly one stripe per path is
+        produced (equal split, or bandwidth-proportional with ``weights``).
+    weights:
+        Optional per-path bandwidth weights (e.g. the adaptive estimator's
+        current estimates).  Stripe sizes are made proportional to the
+        weights via largest-remainder rounding, so all paths are expected to
+        finish their stripe at the same time (the Equation 1 principle
+        applied *within* a field).  Paths whose share rounds to zero receive
+        no stripe.  Mutually exclusive with ``stripe_bytes``.
+    """
+    if num_elements < 0:
+        raise ValueError("num_elements must be non-negative")
+    if itemsize < 1:
+        raise ValueError("itemsize must be >= 1")
+    if num_paths < 1:
+        raise ValueError("num_paths must be >= 1")
+    if threshold_bytes < 0:
+        raise ValueError("threshold_bytes must be non-negative")
+    if stripe_bytes is not None and weights is not None:
+        raise ValueError("stripe_bytes and weights are mutually exclusive")
+    if stripe_bytes is not None and stripe_bytes < 1:
+        raise ValueError("stripe_bytes must be >= 1 when given")
+
+    nbytes = num_elements * itemsize
+    if num_paths == 1 or num_elements == 0 or nbytes < threshold_bytes:
+        return (StripeExtent(index=0, path=0, start=0, count=num_elements),)
+
+    if weights is not None:
+        if len(weights) != num_paths:
+            raise ValueError(f"expected {num_paths} weights, got {len(weights)}")
+        if any(w < 0 for w in weights):
+            raise ValueError("weights must be non-negative")
+        total = float(sum(weights))
+        if total <= 0:
+            raise ValueError("at least one weight must be positive")
+        # Largest-remainder apportionment of the element count.
+        exact = [num_elements * w / total for w in weights]
+        counts = [int(x) for x in exact]
+        remainders = sorted(
+            range(num_paths), key=lambda i: (exact[i] - counts[i], weights[i]), reverse=True
+        )
+        for i in range(num_elements - sum(counts)):
+            counts[remainders[i % num_paths]] += 1
+        extents = []
+        start = 0
+        for path, count in enumerate(counts):
+            if count == 0:
+                continue  # a path with (near-)zero weight gets no stripe
+            extents.append(StripeExtent(index=len(extents), path=path, start=start, count=count))
+            start += count
+        return tuple(extents)
+
+    if stripe_bytes is None:
+        chunk = math.ceil(num_elements / num_paths)
+    else:
+        chunk = max(1, stripe_bytes // itemsize)
+    extents = []
+    start = 0
+    while start < num_elements:
+        count = min(chunk, num_elements - start)
+        extents.append(
+            StripeExtent(index=len(extents), path=len(extents) % num_paths, start=start, count=count)
+        )
+        start += count
+    return tuple(extents)
 
 
 def _make_testbed_1() -> NodeSpec:

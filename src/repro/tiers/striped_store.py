@@ -1,0 +1,545 @@
+"""Striped composite over multiple :class:`~repro.tiers.file_store.FileStore` paths.
+
+After PR 1 every subgroup fetch ran against exactly one physical tier, so the
+second path (and its bandwidth) sat idle during that fetch.  The paper's core
+claim is that the *aggregate* tier bandwidth bounds the offloaded update
+phase — :class:`StripedStore` realizes that for reads by splitting a large
+field into contiguous element extents (one per path by default, sized
+proportionally to per-path bandwidth weights) and storing each extent as its
+own blob on its assigned path.  A striped read then scatters every stripe
+directly into a slice of the caller's destination array, so the zero-copy
+``load_into`` invariant holds end to end and NVMe and PFS stream
+simultaneously.
+
+On-store layout for a striped key ``k``::
+
+    <primary>/k.stripemeta.bin      int64 manifest (dtype, shape, extents)
+    <path p of stripe i>/k.stripe<i>.bin   one plain FileStore blob per stripe
+
+Fields below the striping threshold (or plans that degenerate to one extent
+because only one path is configured) are stored as a single whole blob under
+``k`` on the primary backend — byte-for-byte identical to an unstriped
+:class:`FileStore`, which is what the degenerate-config equivalence tests
+assert.
+
+The manifest makes striped keys self-describing: reads follow the layout
+recorded at write time, so the stripe split may change between writes (the
+adaptive bandwidth estimator re-weights it every iteration) without any
+coordination.
+
+Concurrency is deliberately *not* this class's job: the synchronous
+:meth:`load_into` / :meth:`save_from` walk stripes sequentially (writes stay
+single-path, per the roadmap), while :meth:`plan_load` / :meth:`plan_save`
+expose the per-stripe work items so the
+:class:`~repro.aio.engine.AsyncIOEngine` can fan the reads out across its
+I/O threads (``read_into_multi``) with each path throttled on its own
+channel.
+
+Thread-safety: all public methods may be called from any thread.  The
+manifest cache and the per-path byte counters are guarded by an internal
+lock; the heavy lifting delegates to the backend ``FileStore`` objects,
+which are themselves thread-safe.  Buffer ownership follows the backend
+contract — the caller owns ``out`` / ``array`` for the duration of the call
+(or, for planned parts, until the submitted I/O completes), and the store
+never retains a reference afterwards.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.tiers.array_pool import scatter_views
+from repro.tiers.file_store import _SUPPORTED_DTYPES, FileStore, StoreError
+from repro.tiers.spec import StripeExtent, plan_stripes
+from repro.util.logging import get_logger
+
+_LOG = get_logger("tiers.striped_store")
+
+#: Key suffix of the manifest blob (stored on the primary backend).
+MANIFEST_SUFFIX = ".stripemeta"
+#: Magic first element guarding manifest blobs against foreign int64 arrays.
+_MANIFEST_MAGIC = 0x53545250  # "STRP"
+_MANIFEST_VERSION = 1
+
+#: Stable dtype <-> code mapping for the int64 manifest encoding.
+_DTYPE_CODES: Dict[str, int] = {name: i for i, name in enumerate(sorted(_SUPPORTED_DTYPES))}
+_CODE_DTYPES: Dict[int, str] = {code: name for name, code in _DTYPE_CODES.items()}
+
+
+@dataclass(frozen=True)
+class StripePart:
+    """One stripe's worth of I/O: which backend, which blob key, which slice.
+
+    ``array`` is a contiguous 1-D view into the caller's full field buffer
+    (for loads, typically an :class:`~repro.tiers.array_pool.ArrayPool`
+    lease) — reading into it scatters directly into the right extent with no
+    intermediate copy.  The view stays valid only as long as the underlying
+    buffer; callers must keep the full buffer alive until every part's I/O
+    has completed.
+    """
+
+    tier: str
+    key: str
+    array: np.ndarray
+    extent: StripeExtent
+
+
+@dataclass(frozen=True)
+class _Manifest:
+    dtype: np.dtype
+    shape: Tuple[int, ...]
+    extents: Tuple[StripeExtent, ...]
+
+    @property
+    def num_elements(self) -> int:
+        return int(np.prod(self.shape, dtype=np.int64)) if self.shape else 1
+
+
+def _encode_manifest(manifest: _Manifest) -> np.ndarray:
+    head = [
+        _MANIFEST_MAGIC,
+        _MANIFEST_VERSION,
+        _DTYPE_CODES[manifest.dtype.name],
+        len(manifest.shape),
+        *manifest.shape,
+        len(manifest.extents),
+    ]
+    body: List[int] = []
+    for ext in manifest.extents:
+        body.extend((ext.path, ext.start, ext.count))
+    return np.asarray(head + body, dtype=np.int64)
+
+
+def _decode_manifest(blob: np.ndarray, key: str) -> _Manifest:
+    data = np.asarray(blob, dtype=np.int64).reshape(-1)
+    if data.size < 5 or int(data[0]) != _MANIFEST_MAGIC:
+        raise StoreError(f"stripe manifest for {key!r} is malformed")
+    if int(data[1]) != _MANIFEST_VERSION:
+        raise StoreError(f"stripe manifest for {key!r} has unsupported version {int(data[1])}")
+    dtype_name = _CODE_DTYPES.get(int(data[2]))
+    if dtype_name is None:
+        raise StoreError(f"stripe manifest for {key!r} has unknown dtype code {int(data[2])}")
+    ndim = int(data[3])
+    if ndim < 0 or data.size < 4 + ndim + 1:
+        raise StoreError(f"stripe manifest for {key!r} is truncated")
+    shape = tuple(int(x) for x in data[4 : 4 + ndim])
+    offset = 4 + ndim
+    nstripes = int(data[offset])
+    offset += 1
+    if nstripes < 0 or data.size != offset + 3 * nstripes:
+        raise StoreError(f"stripe manifest for {key!r} is truncated")
+    extents = tuple(
+        StripeExtent(
+            index=i,
+            path=int(data[offset + 3 * i]),
+            start=int(data[offset + 3 * i + 1]),
+            count=int(data[offset + 3 * i + 2]),
+        )
+        for i in range(nstripes)
+    )
+    return _Manifest(dtype=np.dtype(dtype_name), shape=shape, extents=extents)
+
+
+class StripedStore:
+    """Multi-path striped key→array store over ordered ``FileStore`` backends.
+
+    Parameters
+    ----------
+    backends:
+        Ordered physical paths.  ``backends[0]`` is the *primary*: it holds
+        whole blobs for unstriped keys and the manifests of striped ones.
+        Stripe ``i`` of a plan lives on ``backends[extent.path]``.
+    threshold_bytes:
+        Payloads below this size are stored whole on the primary (striping
+        small fields costs more in per-operation latency than it recovers in
+        bandwidth).
+    stripe_bytes:
+        Optional fixed stripe granularity forwarded to
+        :func:`~repro.tiers.spec.plan_stripes`; default is one
+        (weight-proportional) stripe per path.
+    replan_tolerance:
+        Maximum per-stripe share drift (fraction of the field) tolerated
+        before a re-flush records a new layout.  Within the tolerance the
+        previously recorded extents are reused, so steady-state flushes
+        skip the synchronous manifest rewrite even as the adaptive
+        bandwidth weights wobble.
+    name:
+        Diagnostic name.
+    """
+
+    def __init__(
+        self,
+        backends: Sequence[FileStore],
+        *,
+        threshold_bytes: float = 1 << 20,
+        stripe_bytes: Optional[int] = None,
+        replan_tolerance: float = 0.02,
+        name: str = "striped",
+    ) -> None:
+        if not backends:
+            raise ValueError("at least one backend is required")
+        names = [b.name for b in backends]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate backend names in {names}")
+        if threshold_bytes < 0:
+            raise ValueError("threshold_bytes must be non-negative")
+        if replan_tolerance < 0:
+            raise ValueError("replan_tolerance must be non-negative")
+        self.backends: Tuple[FileStore, ...] = tuple(backends)
+        self.threshold_bytes = float(threshold_bytes)
+        self.stripe_bytes = stripe_bytes
+        self.replan_tolerance = float(replan_tolerance)
+        self.name = name
+        self._lock = threading.Lock()
+        self._manifests: Dict[str, _Manifest] = {}
+        #: Bytes routed per backend name (planned or executed through this
+        #: store), split by direction — the per-path accounting the examples
+        #: print.  Engine-level stats remain authoritative for executed I/O.
+        self._path_bytes: Dict[str, Dict[str, int]] = {
+            b.name: {"read": 0, "written": 0} for b in self.backends
+        }
+
+    # -- helpers ---------------------------------------------------------
+
+    @property
+    def primary(self) -> FileStore:
+        """The backend holding whole blobs and manifests."""
+        return self.backends[0]
+
+    @property
+    def num_paths(self) -> int:
+        return len(self.backends)
+
+    @staticmethod
+    def manifest_key(key: str) -> str:
+        return f"{key}{MANIFEST_SUFFIX}"
+
+    @staticmethod
+    def stripe_key(key: str, index: int) -> str:
+        return f"{key}.stripe{index}"
+
+    def _account(self, tier: str, direction: str, nbytes: int) -> None:
+        with self._lock:
+            self._path_bytes[tier][direction] += int(nbytes)
+
+    def _plans_close(self, old: "_Manifest", new: "_Manifest") -> bool:
+        """Whether ``new``'s layout is within the re-plan tolerance of ``old``."""
+        if old.dtype != new.dtype or old.shape != new.shape:
+            return False
+        if len(old.extents) != len(new.extents):
+            return False
+        total = max(1, new.num_elements)
+        for old_ext, new_ext in zip(old.extents, new.extents):
+            if old_ext.path != new_ext.path:
+                return False
+            if abs(old_ext.count - new_ext.count) / total > self.replan_tolerance:
+                return False
+        return True
+
+    def _backend_for(self, extent: StripeExtent, key: str) -> FileStore:
+        """The backend holding ``extent``, or a clean error for narrowed configs."""
+        if extent.path >= self.num_paths:
+            raise StoreError(
+                f"striped key {key!r} references path {extent.path} but only "
+                f"{self.num_paths} backends are configured"
+            )
+        return self.backends[extent.path]
+
+    def _load_manifest(self, key: str) -> Optional[_Manifest]:
+        """The manifest for ``key`` from cache or, after a restart, from disk.
+
+        Negative results are cached too (``None`` entries), so the hot
+        prefetch path does not re-stat the manifest file of a never-striped
+        key on every fetch; :meth:`plan_save` and :meth:`drop_stripes` own
+        the cache and keep it coherent with the store's own writes.
+        """
+        with self._lock:
+            if key in self._manifests:
+                return self._manifests[key]
+        mkey = self.manifest_key(key)
+        manifest = None
+        if self.primary.contains(mkey):
+            manifest = _decode_manifest(self.primary.read(mkey), key)
+        with self._lock:
+            self._manifests[key] = manifest
+        return manifest
+
+    def _forget_manifest(self, key: str) -> None:
+        with self._lock:
+            self._manifests[key] = None
+
+    # -- planning (the engine's fan-out entry points) --------------------
+
+    def plan_save(
+        self, key: str, array: np.ndarray, *, weights: Optional[Sequence[float]] = None
+    ) -> List[StripePart]:
+        """Write ``key``'s manifest and return the per-stripe write work items.
+
+        The caller (typically :class:`~repro.core.virtual_tier.VirtualTier`)
+        executes the returned parts — sequentially or through the async
+        engine; writes are single-path per stripe either way.  ``array`` must
+        be C-contiguous; each part's ``array`` is a flat view into it, so the
+        caller must keep ``array`` alive until all part writes complete.
+        ``weights`` (per backend, same order) sizes the stripes
+        proportionally to path bandwidth.
+
+        A stale whole blob under ``key`` (from an earlier unstriped write) is
+        removed from every backend so readers cannot observe both
+        representations, and stripe blobs orphaned by an extent change are
+        swept.
+
+        Crash-consistency caveat: the manifest is durable before the stripe
+        writes land, so a crash mid-flush can leave a manifest referencing a
+        mix of old and new stripe blobs (the same exposure a crash
+        mid-*phase* has across fields).  A crash-safe striped flush
+        (stripe-epoch keys + manifest commit after the write barrier) rides
+        with the striped-write fan-out item on the roadmap.
+        """
+        contiguous = np.ascontiguousarray(array)
+        flat = contiguous.reshape(-1)
+        extents = plan_stripes(
+            int(flat.size),
+            int(flat.itemsize),
+            num_paths=self.num_paths,
+            threshold_bytes=0.0,  # the caller already applied the threshold policy
+            stripe_bytes=self.stripe_bytes,
+            weights=weights,
+        )
+        manifest = _Manifest(dtype=contiguous.dtype, shape=contiguous.shape, extents=extents)
+        # Steady state re-flushes a key with unchanged geometry and nearly
+        # unchanged weights (the adaptive estimator drifts a little every
+        # iteration): reuse the recorded layout when the split moved less
+        # than the re-plan tolerance, so the synchronous (throttled)
+        # manifest rewrite and stale-blob sweep stay off the hot path.
+        old = self._load_manifest(key)
+        if old is not None and self._plans_close(old, manifest):
+            manifest = old
+            extents = old.extents
+        if old != manifest:
+            self.primary.save_from(self.manifest_key(key), _encode_manifest(manifest))
+            for backend in self.backends:
+                # A whole blob from an earlier unstriped write may live on
+                # *any* backend (the placement map chose it); remove every
+                # copy so readers cannot observe both representations.
+                if backend.contains(key):
+                    backend.delete(key)
+            if old is not None:
+                # Extents moved (e.g. the bandwidth weights drifted): drop
+                # old stripe blobs the new plan will not overwrite in place.
+                new_locations = {(e.index, e.path) for e in extents}
+                for ext in old.extents:
+                    if (ext.index, ext.path) in new_locations or ext.path >= self.num_paths:
+                        continue
+                    backend = self.backends[ext.path]
+                    stale = self.stripe_key(key, ext.index)
+                    if backend.contains(stale):
+                        backend.delete(stale)
+            with self._lock:
+                self._manifests[key] = manifest
+        parts = []
+        for ext in extents:
+            backend = self.backends[ext.path]
+            part = StripePart(
+                tier=backend.name,
+                key=self.stripe_key(key, ext.index),
+                array=flat[ext.start : ext.stop],
+                extent=ext,
+            )
+            self._account(backend.name, "written", part.array.nbytes)
+            parts.append(part)
+        return parts
+
+    def plan_load(self, key: str, out: np.ndarray) -> List[StripePart]:
+        """Return the per-stripe read work items scattering ``key`` into ``out``.
+
+        ``out`` must be a writable C-contiguous array whose dtype and element
+        count match the manifest recorded at write time.  Each part's
+        ``array`` is a contiguous flat view of ``out`` covering one extent —
+        issuing every part as a concurrent zero-copy ``load_into`` (e.g. via
+        :meth:`AsyncIOEngine.read_into_multi`) reads all paths
+        simultaneously.  ``out`` must stay alive (and unreleased, if pooled)
+        until every part's read has completed.
+        """
+        manifest = self._load_manifest(key)
+        if manifest is None:
+            raise StoreError(f"store {self.name!r} has no striped key {key!r}")
+        if not out.flags.c_contiguous or not out.flags.writeable:
+            raise StoreError(f"striped load destination for {key!r} must be writable C-contiguous")
+        if out.dtype != manifest.dtype:
+            raise StoreError(
+                f"striped load dtype mismatch for {key!r}: blob is {manifest.dtype.name}, "
+                f"destination is {out.dtype.name}"
+            )
+        if int(out.size) != manifest.num_elements:
+            raise StoreError(
+                f"striped load size mismatch for {key!r}: blob has {manifest.num_elements} "
+                f"elements, destination has {out.size}"
+            )
+        views = scatter_views(out.reshape(-1), manifest.extents)
+        parts = []
+        for ext, view in zip(manifest.extents, views):
+            backend = self._backend_for(ext, key)
+            part = StripePart(
+                tier=backend.name,
+                key=self.stripe_key(key, ext.index),
+                array=view,
+                extent=ext,
+            )
+            self._account(backend.name, "read", part.array.nbytes)
+            parts.append(part)
+        return parts
+
+    # -- synchronous FileStore-shaped API --------------------------------
+
+    def save_from(
+        self, key: str, array: np.ndarray, *, weights: Optional[Sequence[float]] = None
+    ) -> int:
+        """Store ``array`` under ``key``, striping it when above the threshold.
+
+        Below the threshold (or with a single backend) the array is written
+        whole to the primary — producing exactly the bytes a plain
+        :class:`FileStore` would.  Above it, the manifest plus one blob per
+        stripe are written *sequentially* (single-path writes; concurrent
+        write fan-out is future work).  Returns the total payload+header
+        bytes written, stripes and manifest included.
+
+        The caller keeps ownership of ``array``; it is never retained.
+        """
+        contiguous = np.ascontiguousarray(array)
+        if self.num_paths == 1 or contiguous.nbytes < self.threshold_bytes:
+            self.drop_stripes(key)
+            self._account(self.primary.name, "written", contiguous.nbytes)
+            return self.primary.save_from(key, contiguous)
+        parts = self.plan_save(key, contiguous, weights=weights)
+        total = self.primary.size_of(self.manifest_key(key))
+        for part in parts:
+            total += self._backend_by_name(part.tier).save_from(part.key, part.array)
+        return total
+
+    def load_into(self, key: str, out: np.ndarray) -> np.ndarray:
+        """Zero-copy read of ``key`` into the caller-owned ``out``.
+
+        Striped keys are reassembled by sequential per-stripe ``load_into``
+        calls scattering into slices of ``out`` (use :meth:`plan_load` with
+        the async engine for concurrent multi-path reads).  Unstriped keys
+        delegate to the primary backend.  Same ownership rule as
+        :meth:`FileStore.load_into`: ``out`` is yours, the store writes into
+        it during this call only.
+        """
+        manifest = self._load_manifest(key)
+        if manifest is None:
+            self._account(self.primary.name, "read", out.nbytes)
+            return self.primary.load_into(key, out)
+        for part in self.plan_load(key, out):
+            self._backend_by_name(part.tier).load_into(part.key, part.array)
+        return out
+
+    def read(self, key: str) -> np.ndarray:
+        """Allocate and return the array stored under ``key`` (striped or not)."""
+        manifest = self._load_manifest(key)
+        if manifest is None:
+            array = self.primary.read(key)
+            self._account(self.primary.name, "read", array.nbytes)
+            return array
+        out = np.empty(manifest.num_elements, dtype=manifest.dtype)
+        self.load_into(key, out)
+        return out.reshape(manifest.shape) if manifest.shape else out.reshape(())
+
+    def write(self, key: str, array: np.ndarray) -> int:
+        """Alias of :meth:`save_from` (FileStore API parity)."""
+        return self.save_from(key, array)
+
+    def meta_of(self, key: str) -> Tuple[np.dtype, Tuple[int, ...]]:
+        """The dtype and shape recorded for ``key`` (manifest or whole blob)."""
+        manifest = self._load_manifest(key)
+        if manifest is not None:
+            return manifest.dtype, manifest.shape
+        return self.primary.meta_of(key)
+
+    def is_striped(self, key: str) -> bool:
+        """Whether ``key`` is currently stored as stripes (cheap: cached manifest)."""
+        return self._load_manifest(key) is not None
+
+    def extents_of(self, key: str) -> Optional[Tuple[StripeExtent, ...]]:
+        """The stripe extents recorded for ``key``, or ``None`` if unstriped.
+
+        Lets callers account where a striped key's bytes physically live
+        (e.g. the engine's per-tier distribution report) without touching
+        the payload.
+        """
+        manifest = self._load_manifest(key)
+        return manifest.extents if manifest is not None else None
+
+    def contains(self, key: str) -> bool:
+        return self.primary.contains(key) or self.is_striped(key)
+
+    def delete(self, key: str) -> None:
+        """Remove ``key`` — whole blobs (on any backend), manifest and stripes."""
+        found = False
+        for backend in self.backends:
+            if backend.contains(key):
+                backend.delete(key)
+                found = True
+        found = self.drop_stripes(key) or found
+        if not found:
+            raise StoreError(f"store {self.name!r} has no key {key!r}")
+
+    def drop_stripes(self, key: str) -> bool:
+        """Remove ``key``'s striped representation (manifest + stripe blobs).
+
+        Returns whether a striped representation existed.  Used both by
+        :meth:`delete` and by callers downgrading a key to a whole blob
+        (e.g. a field that shrank below the striping threshold)."""
+        manifest = self._load_manifest(key)
+        if manifest is None:
+            return False
+        for ext in manifest.extents:
+            if ext.path >= self.num_paths:
+                continue  # backend no longer configured; nothing reachable to delete
+            backend = self.backends[ext.path]
+            skey = self.stripe_key(key, ext.index)
+            if backend.contains(skey):
+                backend.delete(skey)
+        mkey = self.manifest_key(key)
+        if self.primary.contains(mkey):
+            self.primary.delete(mkey)
+        self._forget_manifest(key)
+        return True
+
+    def keys(self) -> Iterator[str]:
+        """Logical keys (whole blobs and striped keys; stripe blobs are hidden)."""
+        logical = set()
+        for key in self.primary.keys():
+            if key.endswith(MANIFEST_SUFFIX):
+                logical.add(key[: -len(MANIFEST_SUFFIX)])
+            elif ".stripe" not in key:
+                logical.add(key)
+        return iter(sorted(logical))
+
+    def _backend_by_name(self, name: str) -> FileStore:
+        for backend in self.backends:
+            if backend.name == name:
+                return backend
+        raise KeyError(f"striped store has no backend {name!r}")
+
+    # -- accounting ------------------------------------------------------
+
+    def path_bytes(self) -> Dict[str, Dict[str, int]]:
+        """Per-path bytes routed through this store, by direction.
+
+        Counts payload bytes of stripes (and whole blobs) planned or executed
+        via this store — the split the benchmark and example print to show
+        both paths pulling their bandwidth-proportional share.
+        """
+        with self._lock:
+            return {name: dict(counts) for name, counts in self._path_bytes.items()}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"StripedStore(name={self.name!r}, paths={[b.name for b in self.backends]}, "
+            f"threshold={int(self.threshold_bytes)})"
+        )

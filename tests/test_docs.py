@@ -1,0 +1,39 @@
+"""Documentation sanity checks (no markers, always run with tier-1).
+
+The repo promises a real user-facing README and an architecture guide; this
+test keeps them from silently rotting: both files must exist, be non-trivial,
+and the README must reference every example script so new examples cannot be
+added without documenting them.
+"""
+
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def test_readme_exists_and_is_substantial():
+    readme = REPO_ROOT / "README.md"
+    assert readme.is_file(), "top-level README.md is missing"
+    text = readme.read_text(encoding="utf-8")
+    assert len(text) > 1000, "README.md looks like a stub"
+    assert "quickstart" in text.lower()
+    assert "pytest" in text, "README must say how to run the tests"
+    assert "perf_smoke" in text, "README must mention the perf-smoke benchmarks"
+    assert "BENCH_" in text, "README must point at the BENCH_*.json artifacts"
+
+
+def test_architecture_guide_exists():
+    guide = REPO_ROOT / "docs" / "architecture.md"
+    assert guide.is_file(), "docs/architecture.md is missing"
+    text = guide.read_text(encoding="utf-8")
+    assert len(text) > 1000, "architecture guide looks like a stub"
+    for anchor in ("FileStore", "VirtualTier", "load_into", "save_from", "StripedStore"):
+        assert anchor in text, f"architecture guide does not mention {anchor}"
+
+
+def test_every_example_is_referenced_from_readme():
+    text = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    examples = sorted((REPO_ROOT / "examples").glob("*.py"))
+    assert examples, "examples/ directory is empty?"
+    missing = [e.name for e in examples if f"examples/{e.name}" not in text]
+    assert not missing, f"README.md does not reference: {missing}"
