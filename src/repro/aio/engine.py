@@ -222,6 +222,69 @@ class AsyncIOEngine:
             self.submit(IORequest(kind=IOKind.READ, tier=tier, key=part_key, worker=worker, out=dest))
             for tier, part_key, dest in part_list
         ]
+        request = IORequest(kind=IOKind.READ, tier=tier_label, key=key, worker=worker, out=out)
+        return self._aggregate_parts(futures, request, array_on_success=out)
+
+    def write(
+        self, tier: str, key: str, array: np.ndarray, *, worker: str = "worker0"
+    ) -> "concurrent.futures.Future[IOResult]":
+        """Convenience wrapper submitting an asynchronous write."""
+        return self.submit(
+            IORequest(kind=IOKind.WRITE, tier=tier, key=key, array=array, worker=worker)
+        )
+
+    def write_multi(
+        self,
+        parts: "Sequence[Tuple[str, str, np.ndarray]]",
+        *,
+        key: str = "",
+        tier_label: str = "striped",
+        worker: str = "worker0",
+    ) -> "concurrent.futures.Future[IOResult]":
+        """Fan one logical write out across multiple paths concurrently.
+
+        The write-side mirror of :meth:`read_into_multi`: ``parts`` is a
+        sequence of ``(tier, key, payload)`` triples — typically one stripe
+        per physical path (see
+        :meth:`repro.tiers.striped_store.StripedStore.plan_save`) — each
+        submitted as its own request so the paths absorb their stripes
+        simultaneously, each charged on its own store's bandwidth channel.
+
+        Returns one aggregate future completing when *all* parts have:
+        ``nbytes`` sums the stripes, ``seconds`` is the slowest stripe's
+        latency, and ``error`` is the first failing part's error, if any.
+
+        Buffer ownership: every payload in ``parts`` is lent to the engine
+        until the aggregate future completes; callers must not mutate or
+        recycle the backing buffer before then.
+        """
+        part_list = list(parts)
+        if not part_list:
+            raise ValueError("write_multi requires at least one part")
+        futures = [
+            self.submit(
+                IORequest(kind=IOKind.WRITE, tier=tier, key=part_key, worker=worker, array=payload)
+            )
+            for tier, part_key, payload in part_list
+        ]
+        request = IORequest(kind=IOKind.WRITE, tier=tier_label, key=key, worker=worker)
+        return self._aggregate_parts(futures, request)
+
+    @staticmethod
+    def _aggregate_parts(
+        futures: "Sequence[concurrent.futures.Future[IOResult]]",
+        request: IORequest,
+        *,
+        array_on_success: Optional[np.ndarray] = None,
+    ) -> "concurrent.futures.Future[IOResult]":
+        """One future over many part requests (shared by the multi fan-outs).
+
+        Completes when every part has: ``nbytes`` sums the parts,
+        ``seconds`` is the slowest part's latency (the paths run in
+        parallel), ``error`` is the first failing part's error in part
+        order (deterministic), and ``array`` is ``array_on_success`` only
+        when every part succeeded.
+        """
         aggregate: "concurrent.futures.Future[IOResult]" = concurrent.futures.Future()
         remaining = [len(futures)]
         remaining_lock = threading.Lock()
@@ -244,13 +307,12 @@ class AsyncIOEngine:
                 seconds = max(seconds, result.seconds)
                 if error is None and not result.ok:
                     error = result.error
-            request = IORequest(kind=IOKind.READ, tier=tier_label, key=key, worker=worker, out=out)
             aggregate.set_result(
                 IOResult(
                     request=request,
                     nbytes=nbytes,
                     seconds=seconds,
-                    array=None if error is not None else out,
+                    array=None if error is not None else array_on_success,
                     error=error,
                 )
             )
@@ -258,14 +320,6 @@ class AsyncIOEngine:
         for future in futures:
             future.add_done_callback(_on_part_done)
         return aggregate
-
-    def write(
-        self, tier: str, key: str, array: np.ndarray, *, worker: str = "worker0"
-    ) -> "concurrent.futures.Future[IOResult]":
-        """Convenience wrapper submitting an asynchronous write."""
-        return self.submit(
-            IORequest(kind=IOKind.WRITE, tier=tier, key=key, array=array, worker=worker)
-        )
 
     # -- execution -------------------------------------------------------
 

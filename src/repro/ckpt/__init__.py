@@ -1,0 +1,51 @@
+"""Asynchronous multi-tier checkpoint/restart subsystem.
+
+The offload engine keeps the authoritative FP32 optimizer state on the
+storage tiers already, so a checkpoint costs little more than a manifest
+plus the dirty residue: tier-resident subgroup blobs are *referenced by
+content* (hard-linked into per-tier content-addressed stores — no data
+movement), only dirty host-cached subgroups and the FP16 working parameters
+are staged through pooled scratch buffers, and the staged writes drain
+asynchronously, overlapped with the next training iteration.
+
+Layout on disk::
+
+    <checkpoint_dir>/ckpt-<worker>-<version>.json   committed manifests
+    <tier.path>/_ckpt/cas<digest>-<nbytes>.bin      content-addressed blobs
+
+Public surface: :class:`CheckpointWriter` / :class:`CheckpointReader` for
+direct use, :class:`CheckpointManifest` for the metadata model, and the
+engine-level hooks ``save_checkpoint`` / ``maybe_checkpoint`` /
+``restore_checkpoint`` on :class:`repro.core.engine.OffloadEngineBase`,
+which most callers should prefer.
+"""
+
+from repro.ckpt.manifest import (
+    BlobRef,
+    BlobSegment,
+    CheckpointError,
+    CheckpointManifest,
+    ManifestStore,
+    cas_key,
+    payload_digest,
+)
+from repro.ckpt.restore import CheckpointReader, RestoredCheckpoint
+from repro.ckpt.store import build_blob_stores, blob_store_roots
+from repro.ckpt.writer import CheckpointWriter, PendingCheckpoint, SubgroupSource
+
+__all__ = [
+    "BlobRef",
+    "BlobSegment",
+    "CheckpointError",
+    "CheckpointManifest",
+    "CheckpointReader",
+    "CheckpointWriter",
+    "ManifestStore",
+    "PendingCheckpoint",
+    "RestoredCheckpoint",
+    "SubgroupSource",
+    "blob_store_roots",
+    "build_blob_stores",
+    "cas_key",
+    "payload_digest",
+]

@@ -1,0 +1,354 @@
+"""Versioned checkpoint manifests (the `repro.ckpt` metadata model).
+
+A checkpoint is a *manifest* — one small JSON document — plus the
+content-addressed blobs it references.  The manifest records, per subgroup
+and per optimizer-state field, an ordered list of blob segments (one for a
+whole blob, one per stripe for striped fields), each with its payload digest,
+together with the engine bookkeeping needed to resume: per-subgroup Adam step
+counts, the placement map, the iteration number and caller-supplied user
+data.
+
+Manifests are committed atomically (written to a temp file and
+``os.replace``\\ d into place), so a manifest either exists completely or not
+at all; a crash mid-drain leaves at most ``*.tmp`` files and orphan blobs,
+all of which restart ignores.  The next commit's garbage collection sweeps
+the orphan blobs and this worker's stale manifest temps, and each blob
+store removes dead writers' temp files when it is (re)constructed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.tiers.file_store import payload_digest as _buffer_digest
+
+#: Manifest schema version (bump on incompatible layout changes).
+MANIFEST_FORMAT = 1
+
+
+class CheckpointError(RuntimeError):
+    """Raised for malformed manifests, missing or corrupt blobs, and misuse."""
+
+
+def payload_digest(array: np.ndarray) -> int:
+    """64-bit digest of an array's payload bytes (the on-store convention).
+
+    Delegates to :func:`repro.tiers.file_store.payload_digest` so manifests,
+    the write-time registry and the restore-time verification all agree on
+    one hash.
+    """
+    contiguous = np.ascontiguousarray(array)
+    return _buffer_digest(memoryview(contiguous.reshape(-1)))
+
+
+def cas_key(digest: int, nbytes: int) -> str:
+    """Content-addressed blob key: 64-bit payload digest plus size."""
+    return f"cas{digest & 0xFFFFFFFFFFFFFFFF:016x}-{int(nbytes)}"
+
+
+@dataclass(frozen=True)
+class BlobSegment:
+    """One stored blob covering ``[start, start + count)`` elements of a field."""
+
+    tier: str
+    key: str
+    start: int
+    count: int
+    nbytes: int
+    digest: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "tier": self.tier,
+            "key": self.key,
+            "start": self.start,
+            "count": self.count,
+            "nbytes": self.nbytes,
+            "digest": self.digest,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "BlobSegment":
+        try:
+            return cls(
+                tier=str(data["tier"]),
+                key=str(data["key"]),
+                start=int(data["start"]),
+                count=int(data["count"]),
+                nbytes=int(data["nbytes"]),
+                digest=int(data["digest"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(f"malformed blob segment: {data!r}") from exc
+
+
+@dataclass(frozen=True)
+class BlobRef:
+    """One logical field blob: its geometry plus the segments storing it.
+
+    ``source`` records how the blob entered the checkpoint — ``"linked"``
+    (hard-linked tier-resident bytes, no data movement) or ``"staged"``
+    (copied through a pooled scratch buffer and drained asynchronously) —
+    which the overhead benchmark and the docs surface.
+    """
+
+    dtype: str
+    count: int
+    source: str
+    segments: Tuple[BlobSegment, ...]
+
+    def __post_init__(self) -> None:
+        if self.source not in ("linked", "staged"):
+            raise CheckpointError(f"unknown blob source {self.source!r}")
+        covered = sum(seg.count for seg in self.segments)
+        if covered != self.count:
+            raise CheckpointError(
+                f"blob segments cover {covered} elements, expected {self.count}"
+            )
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        try:
+            return np.dtype(self.dtype)
+        except TypeError as exc:
+            raise CheckpointError(f"unknown blob dtype {self.dtype!r}") from exc
+
+    @property
+    def nbytes(self) -> int:
+        return sum(seg.nbytes for seg in self.segments)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "dtype": self.dtype,
+            "count": self.count,
+            "source": self.source,
+            "segments": [seg.to_dict() for seg in self.segments],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "BlobRef":
+        try:
+            segments = tuple(BlobSegment.from_dict(seg) for seg in data["segments"])
+            return cls(
+                dtype=str(data["dtype"]),
+                count=int(data["count"]),
+                source=str(data["source"]),
+                segments=segments,
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(f"malformed blob ref: {data!r}") from exc
+
+
+@dataclass(frozen=True)
+class CheckpointManifest:
+    """One committed checkpoint version of one worker."""
+
+    version: int
+    worker: str
+    #: Engine ``update_count`` at the snapshot (the iteration boundary).
+    iteration: int
+    #: Shard-layout echo used to reject restores into mismatched engines.
+    layout: Dict[str, int]
+    #: Per-subgroup Adam step counters.
+    steps: Dict[int, int]
+    #: Subgroup → tier assignment recorded at snapshot time.
+    placement: Dict[int, str]
+    #: Subgroup → field → blob reference for the FP32 optimizer state.
+    subgroups: Dict[int, Dict[str, BlobRef]]
+    #: The model's FP16 working parameters.
+    fp16_params: BlobRef
+    created_unix: float = 0.0
+    user_data: Dict[str, Any] = field(default_factory=dict)
+
+    def blob_keys(self) -> Set[Tuple[str, str]]:
+        """Every ``(tier, key)`` this manifest references (for GC refcounting)."""
+        keys: Set[Tuple[str, str]] = set()
+        for fields in self.subgroups.values():
+            for ref in fields.values():
+                for seg in ref.segments:
+                    keys.add((seg.tier, seg.key))
+        for seg in self.fp16_params.segments:
+            keys.add((seg.tier, seg.key))
+        return keys
+
+    def to_json(self) -> str:
+        payload = {
+            "format": MANIFEST_FORMAT,
+            "version": self.version,
+            "worker": self.worker,
+            "iteration": self.iteration,
+            "created_unix": self.created_unix,
+            "layout": dict(self.layout),
+            "steps": {str(k): v for k, v in self.steps.items()},
+            "placement": {str(k): v for k, v in self.placement.items()},
+            "subgroups": {
+                str(index): {name: ref.to_dict() for name, ref in fields.items()}
+                for index, fields in self.subgroups.items()
+            },
+            "fp16_params": self.fp16_params.to_dict(),
+            "user_data": self.user_data,
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CheckpointManifest":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise CheckpointError(f"manifest is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise CheckpointError("manifest must be a JSON object")
+        fmt = payload.get("format")
+        if fmt != MANIFEST_FORMAT:
+            raise CheckpointError(f"unsupported manifest format {fmt!r}")
+        try:
+            return cls(
+                version=int(payload["version"]),
+                worker=str(payload["worker"]),
+                iteration=int(payload["iteration"]),
+                created_unix=float(payload.get("created_unix", 0.0)),
+                layout={str(k): int(v) for k, v in payload["layout"].items()},
+                steps={int(k): int(v) for k, v in payload["steps"].items()},
+                placement={int(k): str(v) for k, v in payload["placement"].items()},
+                subgroups={
+                    int(index): {
+                        str(name): BlobRef.from_dict(ref) for name, ref in fields.items()
+                    }
+                    for index, fields in payload["subgroups"].items()
+                },
+                fp16_params=BlobRef.from_dict(payload["fp16_params"]),
+                user_data=dict(payload.get("user_data", {})),
+            )
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            raise CheckpointError(f"malformed manifest: {exc}") from exc
+
+
+#: Committed manifest filename pattern: ``ckpt-<worker>-<version>.json``.
+_MANIFEST_RE = re.compile(r"^ckpt-(?P<worker>.+)-(?P<version>\d{6})\.json$")
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Flush a directory's entries (making a rename durable); best-effort."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir fds
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - filesystem without dir fsync
+        pass
+    finally:
+        os.close(fd)
+
+
+class ManifestStore:
+    """The manifest directory: committed versions of every worker.
+
+    One directory may hold manifests of several workers (sharing one set of
+    blob stores); versions are tracked per worker, while garbage collection
+    considers every worker's references.
+    """
+
+    def __init__(self, directory: "str | os.PathLike[str]", worker: str) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        if not worker or "/" in worker:
+            raise CheckpointError(f"invalid worker name {worker!r}")
+        self.worker = worker
+
+    def path_for(self, version: int) -> Path:
+        return self.directory / f"ckpt-{self.worker}-{version:06d}.json"
+
+    def committed_versions(self) -> List[int]:
+        """This worker's committed versions, ascending."""
+        versions = []
+        for path in self.directory.glob("ckpt-*.json"):
+            match = _MANIFEST_RE.match(path.name)
+            if match and match.group("worker") == self.worker:
+                versions.append(int(match.group("version")))
+        return sorted(versions)
+
+    def load(self, version: int) -> CheckpointManifest:
+        path = self.path_for(version)
+        if not path.exists():
+            raise CheckpointError(
+                f"no committed checkpoint version {version} for worker {self.worker!r} "
+                f"in {str(self.directory)!r}"
+            )
+        manifest = CheckpointManifest.from_json(path.read_text(encoding="utf-8"))
+        if manifest.version != version or manifest.worker != self.worker:
+            raise CheckpointError(
+                f"manifest {path.name} claims version {manifest.version} / worker "
+                f"{manifest.worker!r}"
+            )
+        return manifest
+
+    def latest(self) -> Optional[CheckpointManifest]:
+        versions = self.committed_versions()
+        return self.load(versions[-1]) if versions else None
+
+    def commit(self, manifest: CheckpointManifest) -> Path:
+        """Atomically and durably publish ``manifest``.
+
+        The temp file's data is fsynced before the rename and the directory
+        entry after it, so a power failure cannot leave a torn manifest
+        under a committed name — the commit point is the rename itself.
+        """
+        path = self.path_for(manifest.version)
+        tmp = path.with_suffix(".json.tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(manifest.to_json() + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        _fsync_directory(self.directory)
+        return path
+
+    def delete(self, version: int) -> None:
+        path = self.path_for(version)
+        if path.exists():
+            path.unlink()
+
+    def workers_present(self) -> Set[str]:
+        """Every worker with a committed manifest in this directory."""
+        workers: Set[str] = set()
+        for path in self.directory.glob("ckpt-*.json"):
+            match = _MANIFEST_RE.match(path.name)
+            if match:
+                workers.add(match.group("worker"))
+        return workers
+
+    def sweep_stale_tmp(self) -> None:
+        """Remove *this worker's* uncommitted manifest temp files.
+
+        Safe whenever no commit of this worker is in flight (commits are
+        serialized per writer); other workers' temp files are left alone.
+        """
+        for tmp in self.directory.glob(f"ckpt-{self.worker}-*.json.tmp"):
+            try:
+                tmp.unlink()
+            except OSError:  # pragma: no cover - lost a race with another sweep
+                pass
+
+    def all_referenced_blobs(self) -> Set[Tuple[str, str]]:
+        """Blob keys referenced by *any* worker's committed manifests.
+
+        A damaged manifest raises :class:`CheckpointError` — callers doing
+        blob GC must treat that as "reference set unknown" and skip the
+        sweep (see ``CheckpointWriter._collect_garbage``) rather than delete
+        blobs the unreadable manifest might still reference.
+        """
+        referenced: Set[Tuple[str, str]] = set()
+        for path in sorted(self.directory.glob("ckpt-*.json")):
+            if _MANIFEST_RE.match(path.name) is None:
+                continue
+            manifest = CheckpointManifest.from_json(path.read_text(encoding="utf-8"))
+            referenced |= manifest.blob_keys()
+        return referenced

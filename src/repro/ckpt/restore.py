@@ -1,0 +1,129 @@
+"""Checkpoint restart path: manifest selection, blob reads, integrity checks.
+
+Restoring is the writer's mirror image: pick a committed manifest (the
+latest, or an explicit version), read every referenced blob segment straight
+into caller-supplied arrays (the same zero-copy ``load_into`` discipline as
+tier fetches), and verify each segment's digest against the manifest before
+trusting it.  The engine then rebuilds its virtual-tier placement from the
+recorded assignments and flushes the restored state back to the tiers — see
+:meth:`repro.core.engine.OffloadEngineBase.restore_checkpoint`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.ckpt.manifest import (
+    BlobRef,
+    CheckpointError,
+    CheckpointManifest,
+    ManifestStore,
+    payload_digest,
+)
+from repro.ckpt.store import build_blob_stores
+from repro.tiers.file_store import StoreError
+
+if TYPE_CHECKING:  # pragma: no cover - break the core <-> ckpt import cycle
+    from repro.core.config import MLPOffloadConfig
+
+
+@dataclass
+class RestoredCheckpoint:
+    """What a successful restore hands back to the caller."""
+
+    version: int
+    #: Engine ``update_count`` the checkpoint was taken at.
+    iteration: int
+    #: The model's FP16 working parameters at the snapshot.
+    fp16_params: np.ndarray
+    user_data: Dict[str, Any] = field(default_factory=dict)
+
+
+class CheckpointReader:
+    """Reads committed checkpoints of one worker back into memory."""
+
+    def __init__(self, config: MLPOffloadConfig, *, worker: str = "rank0") -> None:
+        if not config.checkpoint_enabled:
+            raise CheckpointError("checkpoint_dir is not configured")
+        self.config = config
+        self.worker = worker
+        self.stores = build_blob_stores(config)
+        self.manifests = ManifestStore(config.checkpoint_dir, worker)
+
+    # -- manifest selection ------------------------------------------------
+
+    def versions(self) -> List[int]:
+        """Committed versions available for this worker, ascending."""
+        return self.manifests.committed_versions()
+
+    def load_manifest(self, version: Optional[int] = None) -> CheckpointManifest:
+        """The chosen (or latest) committed manifest; raises if none exists."""
+        if version is not None:
+            return self.manifests.load(version)
+        manifest = self.manifests.latest()
+        if manifest is None:
+            raise CheckpointError(
+                f"no committed checkpoints for worker {self.worker!r} in "
+                f"{str(self.manifests.directory)!r}"
+            )
+        return manifest
+
+    # -- blob reads --------------------------------------------------------
+
+    def read_blob(self, ref: BlobRef, out: np.ndarray, *, verify: bool = True) -> np.ndarray:
+        """Read one logical blob into ``out`` (flat, segment by segment).
+
+        ``out`` must be 1-D C-contiguous with the ref's dtype and element
+        count.  With ``verify`` on, every segment's payload digest is
+        checked against the manifest; a mismatch (bit rot, truncated drain,
+        manual tampering) raises :class:`CheckpointError` — corrupt state is
+        never silently restored.
+        """
+        dtype = ref.numpy_dtype
+        if out.dtype != dtype:
+            raise CheckpointError(
+                f"restore dtype mismatch: blob is {dtype.name}, destination is {out.dtype.name}"
+            )
+        flat = out.reshape(-1)
+        if int(flat.size) != ref.count:
+            raise CheckpointError(
+                f"restore size mismatch: blob has {ref.count} elements, destination has "
+                f"{flat.size}"
+            )
+        for seg in ref.segments:
+            store = self.stores.get(seg.tier)
+            if store is None:
+                raise CheckpointError(f"no checkpoint store for tier {seg.tier!r}")
+            view = flat[seg.start : seg.start + seg.count]
+            try:
+                store.load_into(seg.key, view)
+            except StoreError as exc:
+                raise CheckpointError(
+                    f"checkpoint blob {seg.key!r} on tier {seg.tier!r} is unreadable: {exc}"
+                ) from exc
+            if verify:
+                observed = payload_digest(view)
+                if observed != seg.digest:
+                    raise CheckpointError(
+                        f"checkpoint blob {seg.key!r} on tier {seg.tier!r} failed its "
+                        f"integrity check (digest {observed:#018x} != manifest "
+                        f"{seg.digest:#018x})"
+                    )
+        return out
+
+    def check_blobs(self, manifest: CheckpointManifest) -> None:
+        """Cheap existence/size audit of every blob a manifest references."""
+        refs: List[BlobRef] = [manifest.fp16_params]
+        for fields in manifest.subgroups.values():
+            refs.extend(fields.values())
+        for ref in refs:
+            for seg in ref.segments:
+                store = self.stores.get(seg.tier)
+                if store is None or not store.contains(seg.key):
+                    raise CheckpointError(
+                        f"checkpoint v{manifest.version} references missing blob "
+                        f"{seg.key!r} on tier {seg.tier!r}"
+                    )

@@ -1,0 +1,460 @@
+"""Asynchronous checkpoint snapshot planner and writer.
+
+The writer turns one consistent iteration-boundary view of an offload
+engine's state into a committed checkpoint version in two phases:
+
+**Synchronous snapshot** (inside :meth:`CheckpointWriter.snapshot`, on the
+caller's thread — the "stall" the benchmark measures for the sync mode):
+
+* *linked* fields — subgroups whose authoritative copy already sits on a
+  storage tier — are referenced by content: their payload digest comes from
+  the tier store's write-time registry (or one fallback read), and the blob
+  file is hard-linked into the tier's content-addressed checkpoint store.
+  No payload bytes move; cost is a metadata operation per blob.
+* *staged* fields — subgroups whose newest state lives dirty in the host
+  cache, plus the FP16 working parameters — have already been copied by the
+  engine into private pooled scratch buffers; the writer only records them
+  for the drain.
+
+**Asynchronous drain** (a background thread per snapshot): staged buffers
+are checksummed, striped across the checkpoint stores when large
+(:func:`repro.tiers.spec.plan_stripes` — the same extent math the striped
+tier reads use), written through a dedicated
+:class:`~repro.aio.engine.AsyncIOEngine` (multi-part payloads fan out via
+``write_multi``), and — once every write has landed — the versioned manifest
+is committed atomically and retention GC sweeps manifests and unreferenced
+blobs.  Training's next iteration runs concurrently with the drain; the
+hard-linked inodes are immune to the tier overwrites it performs, and the
+staged buffers are private copies.
+
+One snapshot may be in flight at a time; starting the next one (or closing
+the writer) waits for the previous commit and re-raises its error, so a
+failed checkpoint can never be silently lost.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.aio.engine import AsyncIOEngine
+from repro.ckpt.manifest import (
+    BlobRef,
+    BlobSegment,
+    CheckpointError,
+    CheckpointManifest,
+    ManifestStore,
+    cas_key,
+    payload_digest,
+)
+from repro.ckpt.store import CAS_PREFIX, build_blob_stores
+from repro.tiers.array_pool import ArrayPool
+
+if TYPE_CHECKING:  # pragma: no cover - break the core <-> ckpt import cycle
+    from repro.core.config import MLPOffloadConfig
+    from repro.core.virtual_tier import TierBlobRef, VirtualTier
+from repro.tiers.spec import plan_stripes
+from repro.util.logging import get_logger
+
+_LOG = get_logger("ckpt.writer")
+
+
+@dataclass
+class SubgroupSource:
+    """One subgroup's contribution to a snapshot: staged copies or tier refs."""
+
+    index: int
+    #: Field → private pooled copy of the newest state (dirty residue).
+    staged: Optional[Dict[str, np.ndarray]] = None
+    #: Field → tier-resident blob references (content, not bytes).
+    linked: Optional[Dict[str, List[TierBlobRef]]] = None
+
+    def __post_init__(self) -> None:
+        if (self.staged is None) == (self.linked is None):
+            raise CheckpointError(
+                f"subgroup {self.index}: exactly one of staged/linked must be given"
+            )
+
+
+class PendingCheckpoint:
+    """Handle on one in-flight snapshot: its version plus a completion barrier."""
+
+    def __init__(self, version: int) -> None:
+        self.version = version
+        self._done = threading.Event()
+        self._error: Optional[BaseException] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> int:
+        """Block until the version is committed; re-raise any drain error."""
+        if not self._done.wait(timeout):
+            raise TimeoutError(f"checkpoint version {self.version} still draining")
+        if self._thread is not None:
+            self._thread.join()
+        if self._error is not None:
+            raise self._error
+        return self.version
+
+    def _finish(self, error: Optional[BaseException] = None) -> None:
+        self._error = error
+        self._done.set()
+
+
+@dataclass
+class _StagedItem:
+    """One staged array awaiting drain, addressed by its manifest slot."""
+
+    slot: Tuple  # ("sg", index, field) or ("fp16",)
+    array: np.ndarray
+
+
+class CheckpointWriter:
+    """Writes versioned checkpoints of one worker's engine state.
+
+    Parameters
+    ----------
+    config:
+        Engine configuration; ``checkpoint_dir`` must be set.  The striping
+        switches govern whether large staged blobs are split across the
+        checkpoint stores.
+    worker:
+        Worker identity — namespaces the manifest files.
+    pool:
+        The engine's :class:`ArrayPool`; staged buffers are returned to it
+        once their writes complete.
+    tier:
+        The engine's :class:`VirtualTier` — source of hard-link paths and
+        fallback checksums for linked blobs.
+    throttles:
+        Per-tier bandwidth throttles shared with the tier stores (checkpoint
+        traffic contends with training I/O on the same device timelines).
+    """
+
+    def __init__(
+        self,
+        config: MLPOffloadConfig,
+        *,
+        worker: str,
+        pool: ArrayPool,
+        tier: VirtualTier,
+        throttles: Optional[Mapping[str, object]] = None,
+        io_threads: int = 2,
+    ) -> None:
+        if not config.checkpoint_enabled:
+            raise CheckpointError("checkpoint_dir is not configured")
+        self.config = config
+        self.worker = worker
+        self.pool = pool
+        self.tier = tier
+        self.stores = build_blob_stores(config, throttles=throttles)
+        self.store_names: List[str] = list(self.stores)
+        self.engine = AsyncIOEngine(self.stores, num_threads=io_threads, queue_depth=32)
+        self.manifests = ManifestStore(config.checkpoint_dir, worker)
+        self._pending: Optional[PendingCheckpoint] = None
+        self._last_version = max(self.manifests.committed_versions(), default=0)
+        self._closed = False
+        #: Cumulative accounting across snapshots (introspection / benches).
+        self.linked_blobs = 0
+        self.linked_bytes = 0
+        self.reused_blobs = 0
+        self.staged_blobs = 0
+        self.staged_bytes = 0
+
+    # -- public API --------------------------------------------------------
+
+    def wait(self) -> Optional[int]:
+        """Block until the in-flight snapshot (if any) commits; return its version."""
+        pending, self._pending = self._pending, None
+        if pending is None:
+            return None
+        return pending.wait()
+
+    def snapshot(
+        self,
+        *,
+        iteration: int,
+        layout: Dict[str, int],
+        steps: Dict[int, int],
+        placement: Dict[int, str],
+        subgroups: Sequence[SubgroupSource],
+        fp16_params: np.ndarray,
+        user_data: Optional[Dict[str, Any]] = None,
+    ) -> PendingCheckpoint:
+        """Capture one snapshot and start its asynchronous drain.
+
+        ``fp16_params`` and every ``staged`` array in ``subgroups`` must be
+        private copies owned by the writer from this call on (typically
+        pooled buffers); they are released back to the pool when the drain
+        finishes, successfully or not — including when this call itself
+        fails (e.g. a previous drain's error re-raised by the pre-snapshot
+        wait).  Linked references must describe quiescent tier blobs (no
+        flush of those subgroups in flight).
+        """
+        staged_items: List[_StagedItem] = [_StagedItem(("fp16",), fp16_params)]
+        linked_refs: Dict[int, Dict[str, BlobRef]] = {}
+        try:
+            # Take ownership of every staged buffer first, so any failure
+            # below — including a re-raised previous drain error — releases
+            # all of them, not just the ones already walked.
+            for source in subgroups:
+                if source.staged is not None:
+                    for name, array in source.staged.items():
+                        staged_items.append(_StagedItem(("sg", source.index, name), array))
+            if self._closed:
+                raise CheckpointError("checkpoint writer is closed")
+            self.wait()
+            for source in subgroups:
+                if source.staged is not None:
+                    continue
+                assert source.linked is not None
+                fields: Dict[str, BlobRef] = {}
+                for name, refs in source.linked.items():
+                    fields[name] = self._link_field(refs)
+                linked_refs[source.index] = fields
+        except BaseException:
+            self._release([item.array for item in staged_items])
+            raise
+        version = self._last_version + 1
+        self._last_version = version
+
+        pending = PendingCheckpoint(version)
+        manifest_base = dict(
+            version=version,
+            worker=self.worker,
+            iteration=iteration,
+            layout=dict(layout),
+            steps=dict(steps),
+            placement=dict(placement),
+            created_unix=time.time(),
+            user_data=dict(user_data or {}),
+        )
+        thread = threading.Thread(
+            target=self._drain,
+            args=(pending, manifest_base, linked_refs, staged_items),
+            name=f"repro-ckpt-{self.worker}-v{version}",
+            daemon=True,
+        )
+        pending._thread = thread
+        self._pending = pending
+        thread.start()
+        return pending
+
+    def close(self) -> None:
+        """Wait for the in-flight snapshot and shut the blob I/O engine down."""
+        if self._closed:
+            return
+        try:
+            self.wait()
+        finally:
+            self._closed = True
+            self.engine.close()
+
+    def __enter__(self) -> "CheckpointWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- synchronous phase: content references ------------------------------
+
+    def _link_field(self, refs: Sequence[TierBlobRef]) -> BlobRef:
+        """Bring one linked field into the checkpoint store (links, no copies)."""
+        if not refs:
+            raise CheckpointError("linked field has no tier blob references")
+        segments: List[BlobSegment] = []
+        for ref in refs:
+            store = self.stores.get(ref.tier)
+            tier_store = self.tier.stores.get(ref.tier)
+            if store is None or tier_store is None:
+                raise CheckpointError(f"no checkpoint store for tier {ref.tier!r}")
+            checksum = ref.checksum
+            if checksum is None:
+                # Blob written before checksum tracking (e.g. by a previous
+                # process): one maintenance read fills the registry.
+                checksum = tier_store.compute_checksum(ref.key)
+            key = cas_key(checksum, ref.nbytes)
+            if store.contains(key):
+                self.reused_blobs += 1
+            else:
+                store.adopt(key, self.tier.blob_path(ref.tier, ref.key), checksum=checksum)
+                self.linked_blobs += 1
+                self.linked_bytes += ref.nbytes
+            segments.append(
+                BlobSegment(
+                    tier=ref.tier,
+                    key=key,
+                    start=ref.start,
+                    count=ref.count,
+                    nbytes=ref.nbytes,
+                    digest=checksum,
+                )
+            )
+        total = sum(seg.count for seg in segments)
+        return BlobRef(
+            dtype="float32", count=total, source="linked", segments=tuple(segments)
+        )
+
+    # -- asynchronous phase: staged drain + commit + GC ----------------------
+
+    def _stage_weights(self, targets: Sequence[str]) -> Optional[List[float]]:
+        """Write-bandwidth weights for striping staged blobs (None = equal)."""
+        weights = []
+        for name in targets:
+            hint = self.config.tier(name).write_bw
+            if hint is None:
+                return None
+            weights.append(float(hint))
+        return weights if sum(weights) > 0 else None
+
+    def _plan_staged(
+        self, item: _StagedItem, queued: "set[Tuple[str, str]]"
+    ) -> Tuple[BlobRef, List[Tuple[str, str, np.ndarray]]]:
+        """Checksum + stripe one staged array; returns its ref and write parts.
+
+        ``queued`` tracks CAS keys already scheduled earlier in the same
+        drain, so identical payloads (e.g. several all-zero fields) are
+        written exactly once per snapshot.
+        """
+        flat = np.ascontiguousarray(item.array).reshape(-1)
+        # Stripe across the first ``stripe_fanout()`` checkpoint stores only,
+        # with weights trimmed to the same set (mirrors the virtual tier's
+        # stripe_tier_names handling for stripe_paths < tier count).
+        fanout = max(1, min(self.config.stripe_fanout(), len(self.store_names)))
+        targets = self.store_names[:fanout]
+        extents = plan_stripes(
+            int(flat.size),
+            int(flat.itemsize),
+            num_paths=len(targets),
+            threshold_bytes=self.config.stripe_threshold_bytes,
+            weights=self._stage_weights(targets) if len(targets) >= 2 else None,
+        )
+        segments: List[BlobSegment] = []
+        parts: List[Tuple[str, str, np.ndarray]] = []
+        for ext in extents:
+            view = flat[ext.start : ext.stop]
+            checksum = payload_digest(view)
+            key = cas_key(checksum, view.nbytes)
+            tier = targets[ext.path]
+            if (tier, key) in queued or self.stores[tier].contains(key):
+                self.reused_blobs += 1
+            else:
+                queued.add((tier, key))
+                parts.append((tier, key, view))
+                self.staged_blobs += 1
+                self.staged_bytes += int(view.nbytes)
+            segments.append(
+                BlobSegment(
+                    tier=tier,
+                    key=key,
+                    start=int(ext.start),
+                    count=int(ext.count),
+                    nbytes=int(view.nbytes),
+                    digest=checksum,
+                )
+            )
+        ref = BlobRef(
+            dtype=flat.dtype.name,
+            count=int(flat.size),
+            source="staged",
+            segments=tuple(segments),
+        )
+        return ref, parts
+
+    def _drain(
+        self,
+        pending: PendingCheckpoint,
+        manifest_base: Dict[str, Any],
+        linked_refs: Dict[int, Dict[str, BlobRef]],
+        staged_items: List[_StagedItem],
+    ) -> None:
+        try:
+            staged_refs: Dict[Tuple, BlobRef] = {}
+            futures = []
+            queued: "set[Tuple[str, str]]" = set()
+            for item in staged_items:
+                ref, parts = self._plan_staged(item, queued)
+                staged_refs[item.slot] = ref
+                if len(parts) > 1:
+                    futures.append(
+                        self.engine.write_multi(parts, key=ref.segments[0].key, worker=self.worker)
+                    )
+                elif parts:
+                    tier, key, payload = parts[0]
+                    futures.append(self.engine.write(tier, key, payload, worker=self.worker))
+            # Await EVERY write before judging any: a buffer may only go back
+            # to the pool (the finally below) once no write can still be
+            # streaming it, and an early raise on the first failure would
+            # release siblings mid-serialization — committing torn bytes
+            # under a content-addressed key.
+            first_error: Optional[BaseException] = None
+            for future in futures:
+                result = future.result()
+                if not result.ok and first_error is None:
+                    first_error = result.error
+            if first_error is not None:
+                raise first_error
+
+            subgroups: Dict[int, Dict[str, BlobRef]] = {k: dict(v) for k, v in linked_refs.items()}
+            fp16_ref: Optional[BlobRef] = None
+            for slot, ref in staged_refs.items():
+                if slot[0] == "fp16":
+                    fp16_ref = ref
+                else:
+                    _, index, name = slot
+                    subgroups.setdefault(index, {})[name] = ref
+            assert fp16_ref is not None
+            manifest = CheckpointManifest(
+                subgroups=subgroups, fp16_params=fp16_ref, **manifest_base
+            )
+            self.manifests.commit(manifest)
+            self._collect_garbage()
+            pending._finish(None)
+        except BaseException as exc:  # noqa: BLE001 - surfaced via wait()
+            _LOG.error("checkpoint v%d drain failed: %s", pending.version, exc)
+            pending._finish(exc)
+        finally:
+            self._release([item.array for item in staged_items])
+
+    def _collect_garbage(self) -> None:
+        """Drop versions beyond the retention window and sweep orphans.
+
+        Runs on the drain thread right after a commit, so no commit of this
+        worker is in flight — its stale manifest temp files (from a crashed
+        predecessor) are safe to remove.  Blob stores sweep their own dead
+        writers' temp files at construction (`FileStore._sweep_stale_tmp`).
+        """
+        self.manifests.sweep_stale_tmp()
+        committed = self.manifests.committed_versions()
+        for version in committed[: -self.config.checkpoint_retention]:
+            self.manifests.delete(version)
+        if self.manifests.workers_present() - {self.worker}:
+            # Another worker shares these blob stores and may be mid-drain:
+            # its staged blobs are referenced by no *committed* manifest yet,
+            # so an unreferenced-key sweep here could delete them out from
+            # under its commit.  Leave blob GC to a future job-level
+            # coordinator (ROADMAP: multi-rank checkpoint coordination);
+            # per-worker manifest retention above is always safe.
+            _LOG.debug("skipping blob sweep: multiple workers share %s", self.manifests.directory)
+            return
+        try:
+            referenced = self.manifests.all_referenced_blobs()
+        except CheckpointError as exc:
+            # A damaged/foreign manifest in the directory: skip the sweep
+            # rather than risk deleting blobs it might still reference.
+            _LOG.warning("skipping checkpoint blob GC: %s", exc)
+            return
+        for tier, store in self.stores.items():
+            for key in list(store.keys()):
+                if key.startswith(CAS_PREFIX) and (tier, key) not in referenced:
+                    store.delete(key)
+
+    def _release(self, arrays) -> None:
+        self.pool.release_all(arrays)

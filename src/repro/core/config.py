@@ -95,6 +95,28 @@ class MLPOffloadConfig:
     #: Lookahead window (in subgroups) of the pipelined update phase; only
     #: meaningful when ``pipeline_update_phase`` is on.
     prefetch_depth: int = 2
+    #: Derive the lookahead window per iteration from the adaptive bandwidth
+    #: estimator (window ≈ per-subgroup fetch time / per-subgroup compute
+    #: time) instead of the static ``prefetch_depth``.  Off by default: the
+    #: static window is the paper's configuration and serves as the ablation
+    #: baseline.  Results are bitwise-identical either way — the window only
+    #: changes *when* I/O is issued.
+    adaptive_prefetch_depth: bool = False
+    #: Upper bound on the adaptive lookahead window (also sizes the I/O
+    #: submission queue when ``adaptive_prefetch_depth`` is on).
+    max_prefetch_depth: int = 8
+    #: Drain the FLUSH_FP32 baseline's backward-phase gradient flushes
+    #: asynchronously (same treatment as the update-phase lazy flushes): the
+    #: backward hook submits the write and returns; all writes are drained
+    #: before the next update phase fetches gradients.  Off = the seed's
+    #: synchronous per-subgroup flush as the ablation baseline.  No effect on
+    #: the delayed-FP16 policy (which flushes nothing during backward).
+    pipeline_backward_flush: bool = True
+    #: Serve tier reads through ``mmap`` (:class:`~repro.tiers.mmap_store.MmapFileStore`)
+    #: instead of ``readinto``: hot blobs are copied straight out of the page
+    #: cache mapping, skipping the per-read open/readinto syscalls.  Opt-in;
+    #: on-disk format and byte accounting are identical.
+    mmap_tier_reads: bool = False
     #: Stripe large fields across the physical paths so one fetch streams
     #: from NVMe and PFS *simultaneously*, aggregating their read bandwidth
     #: (the multi-path ablation flag; off = every field lives whole on its
@@ -108,6 +130,25 @@ class MLPOffloadConfig:
     #: value of 1 degenerates striping into the unstriped baseline
     #: byte-for-byte.
     stripe_paths: int = 0
+    #: Directory receiving checkpoint manifests; ``None`` disables the
+    #: :mod:`repro.ckpt` subsystem.  Blob payloads live in per-tier
+    #: content-addressed stores next to the offloaded state (see
+    #: ``docs/architecture.md``), so tier-resident subgroups checkpoint by
+    #: hard link instead of by copy.
+    checkpoint_dir: Optional[str] = None
+    #: Take a checkpoint every N update phases (used by
+    #: :meth:`~repro.core.engine.OffloadEngineBase.maybe_checkpoint`).
+    checkpoint_interval: int = 1
+    #: Number of committed checkpoint versions retained per worker; older
+    #: versions (and blobs no manifest references) are garbage-collected
+    #: after each commit.
+    checkpoint_retention: int = 2
+    #: Reference tier-resident subgroup blobs by content (hard link into the
+    #: checkpoint store — no data movement) instead of staging a full copy.
+    #: Off = every subgroup is read back from its tier and re-written, the
+    #: classic copy-out checkpoint (the sync-stall contrast in the
+    #: ``checkpoint_overhead_comparison`` benchmark).
+    checkpoint_link_tier_blobs: bool = True
     #: Adam hyper-parameters for the CPU update.
     adam: AdamConfig = field(default_factory=AdamConfig)
     #: Re-estimate tier bandwidths from observed I/O after each iteration.
@@ -129,6 +170,12 @@ class MLPOffloadConfig:
             raise ValueError("host_cache_bytes must be non-negative")
         if self.prefetch_depth < 1:
             raise ValueError("prefetch_depth must be >= 1")
+        if self.max_prefetch_depth < 1:
+            raise ValueError("max_prefetch_depth must be >= 1")
+        if self.checkpoint_interval < 1:
+            raise ValueError("checkpoint_interval must be >= 1")
+        if self.checkpoint_retention < 1:
+            raise ValueError("checkpoint_retention must be >= 1")
         if self.stripe_threshold_bytes < 0:
             raise ValueError("stripe_threshold_bytes must be non-negative")
         if self.stripe_paths < 0:
@@ -152,6 +199,23 @@ class MLPOffloadConfig:
             if tier.name == name:
                 return tier
         raise KeyError(f"no tier named {name!r}; known: {self.tier_names}")
+
+    @property
+    def checkpoint_enabled(self) -> bool:
+        """Whether the :mod:`repro.ckpt` subsystem is configured."""
+        return self.checkpoint_dir is not None
+
+    def effective_prefetch_ceiling(self) -> int:
+        """Largest lookahead window the engine may use this configuration with.
+
+        The static ``prefetch_depth`` normally bounds the window; with
+        ``adaptive_prefetch_depth`` on, the per-iteration window may grow up
+        to ``max_prefetch_depth``.  Used to size the I/O submission queue so
+        a full window never blocks on back-pressure.
+        """
+        if self.adaptive_prefetch_depth:
+            return max(self.prefetch_depth, self.max_prefetch_depth)
+        return self.prefetch_depth
 
     def stripe_fanout(self) -> int:
         """Number of paths striped reads will fan out across (1 = no striping).
@@ -199,6 +263,14 @@ class MLPOffloadConfig:
                 "delayed_grad_conversion": self.enable_delayed_grad_conversion,
                 "pipeline_update_phase": self.pipeline_update_phase,
                 "prefetch_depth": self.prefetch_depth,
+                "adaptive_prefetch_depth": self.adaptive_prefetch_depth,
+                "max_prefetch_depth": self.max_prefetch_depth,
+                "pipeline_backward_flush": self.pipeline_backward_flush,
+                "mmap_tier_reads": self.mmap_tier_reads,
+                "checkpoint_dir": self.checkpoint_dir,
+                "checkpoint_interval": self.checkpoint_interval,
+                "checkpoint_retention": self.checkpoint_retention,
+                "checkpoint_link_tier_blobs": self.checkpoint_link_tier_blobs,
                 "striped_reads": self.enable_striped_reads,
                 "stripe_threshold_bytes": self.stripe_threshold_bytes,
                 "stripe_paths": self.stripe_paths,
@@ -229,6 +301,14 @@ class MLPOffloadConfig:
             enable_delayed_grad_conversion=bool(block.get("delayed_grad_conversion", True)),
             pipeline_update_phase=bool(block.get("pipeline_update_phase", True)),
             prefetch_depth=int(block.get("prefetch_depth", 2)),
+            adaptive_prefetch_depth=bool(block.get("adaptive_prefetch_depth", False)),
+            max_prefetch_depth=int(block.get("max_prefetch_depth", 8)),
+            pipeline_backward_flush=bool(block.get("pipeline_backward_flush", True)),
+            mmap_tier_reads=bool(block.get("mmap_tier_reads", False)),
+            checkpoint_dir=block.get("checkpoint_dir"),
+            checkpoint_interval=int(block.get("checkpoint_interval", 1)),
+            checkpoint_retention=int(block.get("checkpoint_retention", 2)),
+            checkpoint_link_tier_blobs=bool(block.get("checkpoint_link_tier_blobs", True)),
             enable_striped_reads=bool(block.get("striped_reads", True)),
             stripe_threshold_bytes=parse_bytes(block.get("stripe_threshold_bytes", float(1 << 20))),
             stripe_paths=int(block.get("stripe_paths", 0)),
@@ -275,4 +355,8 @@ class MLPOffloadConfig:
             enable_tier_locks=False,
             enable_cache_reorder=False,
             enable_delayed_grad_conversion=False,
+            # The paper's baseline flushes FP32 gradients synchronously in
+            # the backward pass; the async drain is an MLP-Offload-side
+            # improvement and must not leak into the comparison.
+            pipeline_backward_flush=False,
         )

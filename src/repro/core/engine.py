@@ -56,6 +56,9 @@ import concurrent.futures
 import numpy as np
 
 from repro.aio.locks import TierLockManager
+from repro.ckpt.manifest import CheckpointError
+from repro.ckpt.restore import CheckpointReader, RestoredCheckpoint
+from repro.ckpt.writer import CheckpointWriter, SubgroupSource
 from repro.core.concurrency import NodeConcurrencyController
 from repro.core.config import MLPOffloadConfig
 from repro.core.gradient_policy import (
@@ -124,11 +127,15 @@ class OffloadEngineBase:
             worker=self.worker,
             lock_manager=self.concurrency.lock_manager,
             io_threads=io_threads,
-            # Size the submission queue to the prefetch window (up to four
-            # field reads per subgroup plus a flushed subgroup's writes,
-            # each multiplied by the stripe fan-out when striped reads are
-            # on), so filling the window never blocks on queue back-pressure.
-            queue_depth=max(16, 4 * (config.prefetch_depth + 2) * config.stripe_fanout()),
+            # Size the submission queue to the largest possible prefetch
+            # window (up to four field reads per subgroup plus a flushed
+            # subgroup's writes, each multiplied by the stripe fan-out when
+            # striped reads are on), so filling the window never blocks on
+            # queue back-pressure — including when the adaptive policy grows
+            # the window up to ``max_prefetch_depth``.
+            queue_depth=max(
+                16, 4 * (config.effective_prefetch_ceiling() + 2) * config.stripe_fanout()
+            ),
             throttles=throttles,
         )
         #: Pool of reusable fetch/flush scratch arrays (zero-copy tier I/O).
@@ -157,6 +164,22 @@ class OffloadEngineBase:
         self._initialized = False
         self._update_count = 0
         self.backward_flush_seconds = 0.0
+        #: Async backward-phase gradient flushes in flight, by subgroup:
+        #: the write futures plus the pooled FP32 payload to recycle.
+        self._grad_flushes: Dict[int, Tuple[List["concurrent.futures.Future"], np.ndarray]] = {}
+        #: Stats of the previous update phase (adaptive prefetch-depth input).
+        self._last_stats: Optional[UpdatePhaseStats] = None
+        #: Checkpoint writer, when ``config.checkpoint_dir`` is set.
+        self.checkpointer: Optional[CheckpointWriter] = None
+        if config.checkpoint_enabled:
+            self.checkpointer = CheckpointWriter(
+                config,
+                worker=self.worker,
+                pool=self.pool,
+                tier=self.tier,
+                throttles=throttles,
+                io_threads=max(2, io_threads // 2),
+            )
 
     # -- initialization ----------------------------------------------------
 
@@ -214,6 +237,27 @@ class OffloadEngineBase:
         payload = backward_flush_payload(self.gradient_policy, self.accumulator, subgroup_index)
         assert payload is not None
         sg = self._by_index[subgroup_index]
+        if self.config.pipeline_backward_flush:
+            # Async drain (same treatment as the update phase's lazy
+            # flushes): copy the payload into a pooled buffer, submit the
+            # write and return — the backward pass no longer waits on the
+            # tier.  Writes to the same subgroup are chained (the previous
+            # in-flight flush is awaited first) so re-flushes across
+            # micro-batches land in accumulation order; everything is
+            # drained before the next update phase fetches gradients.
+            # Await the previous in-flight flush of this subgroup *before*
+            # leasing the staging buffer — if it failed, nothing newly
+            # acquired is stranded by the re-raise.
+            self._await_grad_flush(subgroup_index)
+            staged = self.pool.acquire(sg.num_params, np.float32)
+            np.copyto(staged, payload)
+            futures = self.tier.flush_subgroup(
+                sg.key, sg.index, {GRAD_FIELD: staged}, wait=False
+            )
+            self._grad_flushes[subgroup_index] = (list(futures), staged)
+            elapsed = time.perf_counter() - start
+            self.backward_flush_seconds += elapsed
+            return elapsed
         payload_map = {GRAD_FIELD: payload}
         if self.tier.will_stripe(payload_map):
             # A striped flush spans every stripe path; waiting on it while
@@ -229,6 +273,29 @@ class OffloadEngineBase:
     def on_microbatch_complete(self) -> None:
         """Record that one micro-batch's gradients have been fully accumulated."""
         self.accumulator.mark_microbatch_done()
+
+    def _await_grad_flush(self, subgroup_index: int) -> None:
+        """Complete the in-flight backward gradient flush of one subgroup."""
+        entry = self._grad_flushes.pop(subgroup_index, None)
+        if entry is None:
+            return
+        futures, staged = entry
+        try:
+            for future in futures:
+                result = future.result()
+                if not result.ok:
+                    raise result.error
+        finally:
+            self.pool.release(staged)
+
+    def _drain_grad_flushes(self, *, swallow_errors: bool = False) -> None:
+        """Barrier: every async backward gradient flush has landed."""
+        for subgroup_index in list(self._grad_flushes):
+            try:
+                self._await_grad_flush(subgroup_index)
+            except BaseException:  # noqa: BLE001 - teardown path only
+                if not swallow_errors:
+                    raise
 
     # -- update phase ----------------------------------------------------------
 
@@ -255,6 +322,21 @@ class OffloadEngineBase:
 
         stats = UpdatePhaseStats()
         wall_start = time.perf_counter()
+        if self.checkpointer is not None:
+            # Hash write payloads only when this phase's boundary will
+            # snapshot on the configured interval; off-interval blobs are
+            # overwritten before any checkpoint could link them.  A manual
+            # off-interval save_checkpoint still works — its linked blobs
+            # just fall back to one maintenance read each for the digest.
+            self.tier.track_writes = (
+                (self._update_count + 1) % self.config.checkpoint_interval == 0
+            )
+        if self._grad_flushes:
+            # Correctness barrier for the pipelined backward flush: every
+            # FP32 gradient must be durable before this phase fetches it.
+            drain_start = time.perf_counter()
+            self._drain_grad_flushes()
+            stats.grad_drain_seconds = time.perf_counter() - drain_start
         io_before = self.tier.io_summary()
 
         indices = [sg.index for sg in self.subgroups]
@@ -272,11 +354,13 @@ class OffloadEngineBase:
 
         pipelined = self.config.pipeline_update_phase
         # Lookahead: ``prefetch_depth`` subgroups beyond the current one when
-        # pipelined; the single-buffered one-ahead prefetch of Algorithm 1
-        # otherwise (the sequential baseline keeps the seed engine's shape —
-        # one fetch overlapped, every flush synchronous).
-        slide = self.config.prefetch_depth if pipelined else 1
+        # pipelined (derived per iteration from the bandwidth estimator when
+        # the adaptive policy is on); the single-buffered one-ahead prefetch
+        # of Algorithm 1 otherwise (the sequential baseline keeps the seed
+        # engine's shape — one fetch overlapped, every flush synchronous).
+        slide = self._choose_prefetch_depth(fetch_fields) if pipelined else 1
         initial = slide + 1 if pipelined else 1
+        stats.prefetch_depth = slide
 
         pending: Dict[int, _PendingFetch] = {}
         inflight_flushes: List[_PendingFlush] = []
@@ -308,6 +392,7 @@ class OffloadEngineBase:
         stats.wall_seconds = time.perf_counter() - wall_start
         self.accumulator.reset()
         self._update_count += 1
+        self._last_stats = stats
 
         estimates = self.tier.observe_iteration()
         report = UpdateReport(
@@ -417,6 +502,39 @@ class OffloadEngineBase:
         self._abandon_pending(pending)
 
     # -- helpers -----------------------------------------------------------
+
+    def _choose_prefetch_depth(self, fetch_fields: List[str]) -> int:
+        """The lookahead window for this update phase.
+
+        With :attr:`~repro.core.config.MLPOffloadConfig.adaptive_prefetch_depth`
+        off, the static configured depth.  On, the window that just hides
+        fetch latency behind compute: the estimated per-subgroup fetch time
+        (subgroup bytes over the estimator's aggregate tier bandwidth,
+        §3.3's Equation 1 inputs) divided by the previous phase's observed
+        per-subgroup compute+conversion time, clamped to
+        ``[1, max_prefetch_depth]``.  A deeper window than that only ties up
+        pooled buffers; a shallower one re-exposes fetch stalls.  The choice
+        affects scheduling only — results are bitwise-identical at any depth.
+        """
+        if not self.config.adaptive_prefetch_depth:
+            return self.config.prefetch_depth
+        last = self._last_stats
+        if last is None or last.subgroups_processed == 0:
+            return self.config.prefetch_depth
+        bandwidths = self.tier.estimator.bandwidths
+        aggregate_bw = sum(max(bw, 0.0) for bw in bandwidths.values())
+        if aggregate_bw <= 0:
+            return self.config.prefetch_depth
+        mean_params = self.layout.rank_params(self.rank) / len(self.subgroups)
+        bytes_per_subgroup = mean_params * 4.0 * len(fetch_fields)
+        fetch_seconds = bytes_per_subgroup / aggregate_bw
+        compute_seconds = (
+            last.compute_seconds + last.conversion_seconds
+        ) / last.subgroups_processed
+        if compute_seconds <= 0:
+            return self.config.max_prefetch_depth
+        depth = int(np.ceil(fetch_seconds / compute_seconds))
+        return max(1, min(depth, self.config.max_prefetch_depth))
 
     @staticmethod
     def _has_required_fields(arrays: Mapping[str, np.ndarray], fields: List[str]) -> bool:
@@ -644,12 +762,236 @@ class OffloadEngineBase:
                 flat[self._views[sg.index]] = arrays["params"]
         return flat
 
+    # -- checkpoint / restart ------------------------------------------------
+
+    def _require_checkpointer(self) -> CheckpointWriter:
+        if self.checkpointer is None:
+            raise CheckpointError(
+                "checkpointing is not configured (set MLPOffloadConfig.checkpoint_dir)"
+            )
+        return self.checkpointer
+
+    def _layout_echo(self) -> Dict[str, int]:
+        return {
+            "total_params": int(self.layout.total_params),
+            "num_ranks": int(self.layout.num_ranks),
+            "subgroup_size": int(self.layout.subgroup_size),
+            "rank": int(self.rank),
+            "num_subgroups": len(self.subgroups),
+        }
+
+    def save_checkpoint(
+        self,
+        fp16_params: np.ndarray,
+        *,
+        user_data: Optional[Dict[str, object]] = None,
+        wait: bool = False,
+    ) -> int:
+        """Snapshot the engine state (plus ``fp16_params``) as a new version.
+
+        Must be called at an iteration boundary (right after
+        :meth:`run_update` returned — every lazy flush has drained, so tier
+        blobs are the authoritative copy of uncached subgroups).  Tier-
+        resident subgroups are referenced by content (hard links, no data
+        movement); dirty host-cached subgroups and the FP16 working copy are
+        staged through pooled buffers and drained asynchronously, overlapped
+        with whatever the caller does next — typically the next training
+        iteration.  ``wait=True`` blocks until the version is committed (the
+        synchronous-stall mode the overhead benchmark contrasts).
+
+        Returns the new checkpoint version number.
+        """
+        writer = self._require_checkpointer()
+        if not self._initialized:
+            raise RuntimeError("engine not initialized")
+        if self._grad_flushes:
+            self._drain_grad_flushes()
+        sources: List[SubgroupSource] = []
+        fp16_staged: Optional[np.ndarray] = None
+        try:
+            for sg in self.subgroups:
+                entry = self.cache.entry(sg.index)
+                if entry is not None and entry.dirty:
+                    # Dirty residue: the newest state lives only in the host
+                    # cache — stage a private copy so the drain (and the next
+                    # iteration's updates) cannot race it.
+                    staged = {}
+                    for name in STATE_FIELDS:
+                        buf = self.pool.acquire(sg.num_params, np.float32)
+                        np.copyto(buf, np.asarray(entry.arrays[name]).reshape(-1))
+                        staged[name] = buf
+                    sources.append(SubgroupSource(index=sg.index, staged=staged))
+                elif not self.config.checkpoint_link_tier_blobs:
+                    # Copy-out contrast mode: read the subgroup back from its
+                    # tier and stage a full copy (the classic checkpoint).
+                    outs = {}
+                    futures = {}
+                    try:
+                        for name in STATE_FIELDS:
+                            outs[name] = self.pool.acquire(sg.num_params, np.float32)
+                        futures = self.tier.prefetch_subgroup(
+                            sg.key, sg.index, list(STATE_FIELDS), out_arrays=outs
+                        )
+                        self.tier.wait_fetch(futures)
+                    except BaseException:
+                        # Buffers may only return to the pool once no read
+                        # can still deserialize into them.
+                        for future in futures.values():
+                            try:
+                                future.result()
+                            except BaseException:  # noqa: BLE001 - already failing
+                                pass
+                        self.pool.release_all(outs.values())
+                        raise
+                    sources.append(SubgroupSource(index=sg.index, staged=outs))
+                else:
+                    linked = {
+                        name: self.tier.export_field_blobs(
+                            sg.key, sg.index, name, dtype=np.float32
+                        )
+                        for name in STATE_FIELDS
+                    }
+                    sources.append(SubgroupSource(index=sg.index, linked=linked))
+            fp16_flat = np.ascontiguousarray(fp16_params, dtype=np.float16).reshape(-1)
+            fp16_staged = self.pool.acquire(fp16_flat.size, np.float16)
+            np.copyto(fp16_staged, fp16_flat)
+            placement = {
+                sg.index: self.tier.placement.tier_of(sg.index) for sg in self.subgroups
+            }
+        except BaseException:
+            # Strand no pooled buffer: a failed staging pass hands nothing
+            # to the writer, so everything staged so far goes back now.
+            for source in sources:
+                if source.staged is not None:
+                    self.pool.release_all(source.staged.values())
+            if fp16_staged is not None:
+                self.pool.release(fp16_staged)
+            raise
+        pending = writer.snapshot(
+            iteration=self._update_count,
+            layout=self._layout_echo(),
+            steps=dict(self._steps),
+            placement=placement,
+            subgroups=sources,
+            fp16_params=fp16_staged,
+            user_data=dict(user_data or {}),
+        )
+        if wait:
+            pending.wait()
+        return pending.version
+
+    def maybe_checkpoint(
+        self,
+        fp16_params: np.ndarray,
+        *,
+        user_data: Optional[Dict[str, object]] = None,
+        wait: bool = False,
+    ) -> Optional[int]:
+        """Checkpoint every ``checkpoint_interval`` update phases (else no-op).
+
+        Returns the new version number, or ``None`` when checkpointing is
+        not configured or this iteration is off the interval.
+        """
+        if self.checkpointer is None:
+            return None
+        if self._update_count == 0 or self._update_count % self.config.checkpoint_interval:
+            return None
+        return self.save_checkpoint(fp16_params, user_data=user_data, wait=wait)
+
+    def checkpoint_wait(self) -> Optional[int]:
+        """Block until the in-flight checkpoint (if any) commits."""
+        if self.checkpointer is None:
+            return None
+        return self.checkpointer.wait()
+
+    def restore_checkpoint(
+        self, version: Optional[int] = None, *, verify: bool = True
+    ) -> RestoredCheckpoint:
+        """Rebuild the engine from a committed checkpoint version.
+
+        Must be called on a *fresh* (uninitialized) engine over the same
+        storage configuration.  The restart sequence: load the chosen (or
+        latest) manifest, validate its layout echo against this engine,
+        rebuild the virtual-tier placement from the recorded assignments,
+        read every subgroup's state out of the checkpoint stores into pooled
+        buffers (each segment digest-verified when ``verify`` is on), flush it
+        back to the tiers, and restore the Adam step counters and iteration
+        count.  Returns the restored FP16 working parameters and user data;
+        training can resume exactly where the snapshot was taken — the
+        crash-restart tests assert the resumed trajectory is bitwise
+        identical to an uninterrupted run.
+        """
+        self._require_checkpointer()
+        if self._initialized:
+            raise RuntimeError("restore_checkpoint requires a fresh engine")
+        reader = CheckpointReader(self.config, worker=self.worker)
+        manifest = reader.load_manifest(version)
+        echo = self._layout_echo()
+        if manifest.layout != echo:
+            raise CheckpointError(
+                f"checkpoint v{manifest.version} was taken with layout {manifest.layout}, "
+                f"this engine has {echo}"
+            )
+        missing = [sg.index for sg in self.subgroups if sg.index not in manifest.subgroups]
+        if missing:
+            raise CheckpointError(
+                f"checkpoint v{manifest.version} lacks subgroups {missing}"
+            )
+        # Read (and verify) the FP16 working copy before touching any engine
+        # state, so a corrupt blob fails while the engine is still fresh and
+        # a retry against an older version remains possible.
+        fp16 = np.empty(self.layout.rank_params(self.rank), dtype=np.float16)
+        reader.read_blob(manifest.fp16_params, fp16, verify=verify)
+        self.tier.build_placement([sg.index for sg in self.subgroups])
+        for sg in self.subgroups:
+            fields = manifest.subgroups[sg.index]
+            arrays: Dict[str, np.ndarray] = {}
+            try:
+                for name in STATE_FIELDS:
+                    if name not in fields:
+                        raise CheckpointError(
+                            f"checkpoint v{manifest.version} lacks field {name!r} of "
+                            f"subgroup {sg.index}"
+                        )
+                    buf = self.pool.acquire(sg.num_params, np.float32)
+                    arrays[name] = buf
+                    reader.read_blob(fields[name], buf, verify=verify)
+            except BaseException:
+                self.pool.release_all(arrays.values())
+                raise
+            target = manifest.placement.get(sg.index)
+            if target not in self.tier.tier_names:
+                target = None  # tier set changed since the snapshot
+            self.tier.flush_subgroup(sg.key, sg.index, arrays, tier=target, wait=True)
+            # A crashed run may have left a newer FP32 gradient blob behind;
+            # it belongs to a discarded iteration, so drop it.
+            self.tier.delete_subgroup_field(sg.key, sg.index, GRAD_FIELD)
+            if not self.cache.put(sg.index, arrays, dirty=False):
+                self.pool.release_all(arrays.values())
+        self._steps = {
+            sg.index: int(manifest.steps.get(sg.index, 0)) for sg in self.subgroups
+        }
+        self._update_count = int(manifest.iteration)
+        self._last_stats = None
+        self._initialized = True
+        return RestoredCheckpoint(
+            version=manifest.version,
+            iteration=manifest.iteration,
+            fp16_params=fp16,
+            user_data=manifest.user_data,
+        )
+
     @property
     def update_count(self) -> int:
         return self._update_count
 
     def close(self) -> None:
-        self.tier.close()
+        self._drain_grad_flushes(swallow_errors=True)
+        try:
+            if self.checkpointer is not None:
+                self.checkpointer.close()
+        finally:
+            self.tier.close()
 
     def __enter__(self) -> "OffloadEngineBase":
         return self

@@ -28,6 +28,11 @@ class UpdatePhaseStats:
     conversion_seconds: float = 0.0
     wall_seconds: float = 0.0
     skipped_flushes: int = 0
+    #: Lookahead window the phase actually ran with (static or adaptive).
+    prefetch_depth: int = 0
+    #: Time spent draining async backward-phase gradient flushes at the
+    #: start of the update phase (FLUSH_FP32 policy with pipelining on).
+    grad_drain_seconds: float = 0.0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -70,6 +75,8 @@ class UpdatePhaseStats:
             conversion_seconds=self.conversion_seconds + other.conversion_seconds,
             wall_seconds=max(self.wall_seconds, other.wall_seconds),
             skipped_flushes=self.skipped_flushes + other.skipped_flushes,
+            prefetch_depth=max(self.prefetch_depth, other.prefetch_depth),
+            grad_drain_seconds=self.grad_drain_seconds + other.grad_drain_seconds,
         )
 
 

@@ -24,6 +24,7 @@ whole-blob single-tier layout governed by the placement map.
 from __future__ import annotations
 
 import concurrent.futures
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterable, List, Mapping, Optional
 
@@ -35,7 +36,8 @@ from repro.aio.microbench import probe_tiers
 from repro.core.config import MLPOffloadConfig
 from repro.core.performance_model import BandwidthEstimator, allocation_from_ratios
 from repro.core.placement import PlacementMap
-from repro.tiers.file_store import FileStore
+from repro.tiers.file_store import FileStore, StoreError
+from repro.tiers.mmap_store import MmapFileStore
 from repro.tiers.striped_store import StripedStore
 from repro.util.logging import get_logger
 
@@ -45,6 +47,28 @@ _LOG = get_logger("core.virtual_tier")
 STATE_FIELDS = ("params", "exp_avg", "exp_avg_sq")
 #: Additional field carried by the baseline policy (FP32 gradients on disk).
 GRAD_FIELD = "grad_fp32"
+
+
+
+
+@dataclass(frozen=True)
+class TierBlobRef:
+    """One tier-resident blob segment of an offloaded field.
+
+    The checkpoint planner consumes these to reference a field's bytes
+    *where they already live* (one segment for a whole blob, one per stripe
+    for striped fields) instead of copying them.  ``start``/``count`` locate
+    the segment's elements within the flat field; ``checksum`` is the
+    payload CRC-32 when the store recorded one at write time (``None``
+    otherwise — the checkpoint writer then computes it lazily).
+    """
+
+    tier: str
+    key: str
+    start: int
+    count: int
+    nbytes: int
+    checksum: Optional[int]
 
 
 class VirtualTier:
@@ -76,15 +100,34 @@ class VirtualTier:
     ) -> None:
         self.config = config
         self.worker = worker
+        #: When checkpointing is configured, whether state-field writes
+        #: record their payload digest.  The engine narrows this to the
+        #: iterations whose boundary actually snapshots (with
+        #: ``checkpoint_interval`` N, hashing the other N-1 iterations'
+        #: blobs would be wasted — they are overwritten before any snapshot
+        #: can link them); an untracked blob that does get exported falls
+        #: back to one maintenance read (`FileStore.compute_checksum`).
+        self.track_writes = config.checkpoint_enabled
         active_tiers = config.tiers if config.enable_multipath else (config.primary_tier,)
         self.tier_names: List[str] = [t.name for t in active_tiers]
         self.stores: Dict[str, FileStore] = {}
+        store_cls = MmapFileStore if config.mmap_tier_reads else FileStore
         for tier in active_tiers:
             throttle = None
             if throttles is not None:
                 throttle = throttles.get(tier.name)  # type: ignore[assignment]
-            self.stores[tier.name] = FileStore(
-                Path(tier.path), name=tier.name, throttle=throttle
+            self.stores[tier.name] = store_cls(
+                Path(tier.path),
+                name=tier.name,
+                throttle=throttle,
+                # The checkpoint planner references tier-resident blobs by
+                # content; recording the digest at write time keeps snapshots
+                # from ever re-reading those blobs just to checksum them.
+                # Gradient blobs are re-written every micro-batch and never
+                # checkpointed, so they always skip the hashing cost.
+                track_checksums=(
+                    self._should_track_write if config.checkpoint_enabled else False
+                ),
             )
         self.engine = AsyncIOEngine(
             self.stores,
@@ -108,6 +151,10 @@ class VirtualTier:
             )
 
     # -- construction helpers ---------------------------------------------
+
+    def _should_track_write(self, key: str) -> bool:
+        """Checksum-tracking predicate: state blobs, in tracked phases only."""
+        return self.track_writes and GRAD_FIELD not in key
 
     def _build_estimator(self, active_tiers) -> BandwidthEstimator:
         hints = {
@@ -187,10 +234,11 @@ class VirtualTier:
                         if name not in self.stripe_tier_names and self.stores[name].contains(key):
                             self.stores[name].delete(key)
                 parts = self.striped.plan_save(key, array, weights=self._stripe_weights())
-                for part in parts:
-                    futures.append(
-                        self.engine.write(part.tier, part.key, part.array, worker=self.worker)
+                futures.append(
+                    self.engine.write_multi(
+                        [(p.tier, p.key, p.array) for p in parts], key=key, worker=self.worker
                     )
+                )
             else:
                 if self.striped is not None:
                     # The field shrank below the threshold (or striping policy
@@ -283,6 +331,71 @@ class VirtualTier:
         store = self.stores[tier]
         if store.contains(key):
             store.delete(key)
+
+    def export_field_blobs(
+        self, subgroup_key: str, subgroup_id: int, fieldname: str, *, dtype: np.dtype
+    ) -> List[TierBlobRef]:
+        """Reference one field's tier-resident bytes for the checkpoint planner.
+
+        Returns one :class:`TierBlobRef` per physical blob holding the field
+        — a single whole-blob segment, or one segment per stripe for striped
+        fields — without touching the payload.  The caller must only invoke
+        this at a quiescent iteration boundary (no flush of the subgroup in
+        flight), which is when the referenced blobs are the authoritative
+        copy of the field.
+        """
+        if self.placement is None:
+            raise RuntimeError("placement not built")
+        key = self._field_key(subgroup_key, fieldname)
+        itemsize = int(np.dtype(dtype).itemsize)
+        if self.striped is not None and self.striped.is_striped(key):
+            extents = self.striped.extents_of(key)
+            assert extents is not None
+            refs = []
+            for ext in extents:
+                if ext.path >= len(self.stripe_tier_names):
+                    raise StoreError(
+                        f"striped key {key!r} references path {ext.path} outside the "
+                        f"configured stripe set"
+                    )
+                tier = self.stripe_tier_names[ext.path]
+                skey = self.striped.stripe_key(key, ext.index)
+                refs.append(
+                    TierBlobRef(
+                        tier=tier,
+                        key=skey,
+                        start=ext.start,
+                        count=ext.count,
+                        nbytes=ext.count * itemsize,
+                        checksum=self.stores[tier].checksum_of(skey),
+                    )
+                )
+            return refs
+        tier = self.placement.tier_of(subgroup_id)
+        store = self.stores[tier]
+        if not store.contains(key):
+            raise StoreError(f"subgroup field {key!r} is not resident on tier {tier!r}")
+        dtype_meta, shape = store.meta_of(key)
+        if dtype_meta != np.dtype(dtype):
+            raise StoreError(
+                f"field {key!r} on tier {tier!r} has dtype {dtype_meta.name}, "
+                f"expected {np.dtype(dtype).name}"
+            )
+        count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        return [
+            TierBlobRef(
+                tier=tier,
+                key=key,
+                start=0,
+                count=count,
+                nbytes=count * itemsize,
+                checksum=store.checksum_of(key),
+            )
+        ]
+
+    def blob_path(self, tier: str, key: str) -> Path:
+        """Filesystem path of a tier blob (for hard-link checkpoint references)."""
+        return self.stores[tier].path_of(key)
 
     def will_stripe(self, arrays: Mapping[str, np.ndarray]) -> bool:
         """Whether flushing ``arrays`` would route any field through striping.

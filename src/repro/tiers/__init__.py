@@ -27,6 +27,7 @@ from repro.tiers.striped_store import StripedStore, StripePart
 from repro.tiers.device import DeviceMemory, MemoryAccountant, OutOfMemoryError
 from repro.tiers.file_store import FileStore, StoreError, blob_nbytes
 from repro.tiers.host_buffer import BufferPool, BufferPoolExhausted, PinnedBuffer
+from repro.tiers.mmap_store import MmapFileStore
 from repro.tiers.host_cache import CacheEntry, HostSubgroupCache
 
 __all__ = [
@@ -48,6 +49,7 @@ __all__ = [
     "MemoryAccountant",
     "OutOfMemoryError",
     "FileStore",
+    "MmapFileStore",
     "StoreError",
     "BufferPool",
     "PinnedBuffer",

@@ -29,7 +29,10 @@ pipelining on top of it lives in :mod:`repro.aio.engine`.
 
 from __future__ import annotations
 
+import hashlib
+import itertools
 import os
+import shutil
 import struct
 import threading
 from dataclasses import dataclass
@@ -49,6 +52,19 @@ _LOG = get_logger("tiers.file_store")
 
 #: Magic prefix guarding against reading foreign files as subgroup blobs.
 _MAGIC = b"MLPO"
+#: Process-wide counter making every in-flight temp file unique, so
+#: concurrent writes to the same key cannot rename each other's temp away.
+_TMP_COUNTER = itertools.count()
+
+
+def payload_digest(buffer) -> int:
+    """64-bit BLAKE2b digest of a payload buffer (the store checksum).
+
+    Strong enough for content addressing (collisions are negligible at any
+    realistic blob count, unlike CRC-32's birthday bound) while staying fast
+    enough to compute inline on every tracked write.
+    """
+    return int.from_bytes(hashlib.blake2b(buffer, digest_size=8).digest(), "big")
 #: Header: magic, version, dtype code length, ndim, then shape dims (uint64 each).
 _HEADER_FMT = "<4sBBB"
 _SUPPORTED_DTYPES = {"float16", "float32", "float64", "int32", "int64", "uint8"}
@@ -114,6 +130,13 @@ class FileStore:
     fsync:
         Whether to ``fsync`` after each write.  Functional tests leave this
         off for speed; durability-sensitive callers may enable it.
+    track_checksums:
+        Record a 64-bit BLAKE2b digest of every written payload in an
+        in-memory registry (:meth:`checksum_of`).  The checkpoint subsystem
+        uses it to reference tier-resident blobs by content without
+        re-reading them; the per-write CPU cost is why it is off by default.
+        May also be a ``key -> bool`` predicate to track selectively (e.g.
+        skip transient blobs checkpoints never reference).
     """
 
     def __init__(
@@ -124,6 +147,7 @@ class FileStore:
         throttle: "Optional[BandwidthThrottle]" = None,
         capacity: Optional[float] = None,
         fsync: bool = False,
+        track_checksums: bool = False,
     ) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
@@ -131,6 +155,9 @@ class FileStore:
         self.throttle = throttle
         self.capacity = capacity
         self.fsync = fsync
+        self.track_checksums = track_checksums
+        #: key -> payload digest (header excluded), when known.
+        self._checksums: Dict[str, int] = {}
         self._lock = threading.Lock()
         self._bytes_read = 0
         self._bytes_written = 0
@@ -142,6 +169,7 @@ class FileStore:
         # Re-discover any pre-existing blobs (e.g. the store survived a restart).
         for path in self.root.glob("*.bin"):
             self._sizes[path.stem] = path.stat().st_size
+        self._sweep_stale_tmp()
 
     # -- helpers ---------------------------------------------------------
 
@@ -149,6 +177,39 @@ class FileStore:
         if not key or "/" in key or key.startswith("."):
             raise StoreError(f"invalid store key {key!r}")
         return self.root / f"{key}.bin"
+
+    @staticmethod
+    def _tmp_path(path: Path) -> Path:
+        """A unique temp-file sibling of ``path`` (one per in-flight write)."""
+        return path.with_name(f"{path.name}.{os.getpid()}.{next(_TMP_COUNTER)}.tmp")
+
+    def _sweep_stale_tmp(self) -> None:
+        """Remove temp files orphaned by dead writers (crash hygiene).
+
+        Temp names embed the writing pid (``<key>.bin.<pid>.<n>.tmp``), so a
+        temp whose process is gone can never be renamed into place — it is
+        garbage.  Temps of live processes (another worker sharing this
+        directory, or this process itself) are left alone.
+        """
+        for tmp in self.root.glob("*.tmp"):
+            parts = tmp.name.split(".")
+            if len(parts) < 4:
+                continue  # not one of ours
+            try:
+                pid = int(parts[-3])
+            except ValueError:
+                continue
+            if pid == os.getpid():
+                continue
+            try:
+                os.kill(pid, 0)
+            except ProcessLookupError:
+                try:
+                    tmp.unlink()
+                except OSError:  # pragma: no cover - lost a race with another sweep
+                    pass
+            except PermissionError:  # pragma: no cover - pid alive, other user
+                continue
 
     @staticmethod
     def _encode(array: np.ndarray) -> bytes:
@@ -272,6 +333,10 @@ class FileStore:
         contiguous = np.ascontiguousarray(array)
         meta = _pack_meta(contiguous)
         total = len(meta) + int(contiguous.nbytes)
+        track = (
+            self.track_checksums(key) if callable(self.track_checksums) else self.track_checksums
+        )
+        checksum = payload_digest(memoryview(contiguous.reshape(-1))) if track else None
         path = self._path(key)
         with self._lock:
             projected = self.used_bytes - self._sizes.get(key, 0) + total
@@ -282,7 +347,7 @@ class FileStore:
         elapsed = 0.0
         if self.throttle is not None:
             elapsed += self.throttle.consume(total, direction="write")
-        tmp = path.with_suffix(".tmp")
+        tmp = self._tmp_path(path)
         import time
 
         start = time.perf_counter()
@@ -296,6 +361,10 @@ class FileStore:
         elapsed += time.perf_counter() - start
         with self._lock:
             self._sizes[key] = total
+            if checksum is not None:
+                self._checksums[key] = checksum
+            else:
+                self._checksums.pop(key, None)
             self._bytes_written += total
             self._write_ops += 1
             self._write_seconds += elapsed
@@ -366,6 +435,111 @@ class FileStore:
             dtype, shape, ndim, _ = self._read_meta(handle, key)
         return dtype, shape if ndim else ()
 
+    def path_of(self, key: str) -> Path:
+        """Filesystem path of ``key``'s blob (missing keys raise :class:`StoreError`).
+
+        The returned path names an *immutable* file: the store never writes a
+        blob in place (every write lands in a temp file and ``os.replace``\\ s
+        it), so the inode behind this path keeps its content even after the
+        key is overwritten — the property the checkpoint subsystem's
+        hard-link references rely on.
+        """
+        path = self._path(key)
+        if not path.exists():
+            raise StoreError(f"store {self.name!r} has no key {key!r}")
+        return path
+
+    def checksum_of(self, key: str) -> Optional[int]:
+        """Digest of ``key``'s payload, if recorded at write time (else ``None``)."""
+        with self._lock:
+            return self._checksums.get(key)
+
+    def compute_checksum(self, key: str) -> int:
+        """Digest of ``key``'s payload, reading the blob if not yet recorded.
+
+        The fallback for blobs written before checksum tracking was enabled
+        (e.g. by a previous process).  The read is a maintenance operation
+        and is not charged to the store's I/O counters or throttle.
+        """
+        cached = self.checksum_of(key)
+        if cached is not None:
+            return cached
+        with self._open_for_read(key) as handle:
+            total = os.fstat(handle.fileno()).st_size
+            self._read_validated_meta(handle, key, total)
+            digest = hashlib.blake2b(digest_size=8)
+            while True:
+                chunk = handle.read(1 << 20)
+                if not chunk:
+                    break
+                digest.update(chunk)
+        checksum = int.from_bytes(digest.digest(), "big")
+        with self._lock:
+            self._checksums[key] = checksum
+        return checksum
+
+    def adopt(
+        self, key: str, source_path: "str | os.PathLike[str]", *, checksum: Optional[int] = None
+    ) -> int:
+        """Bring an existing blob file into the store under ``key`` by hard link.
+
+        The source must be a complete blob in this store's on-disk format
+        (typically :meth:`path_of` of another store on the same filesystem).
+        A hard link moves no data — the store merely gains a name for the
+        source's immutable inode — so nothing is charged to the throttle;
+        when the link fails (cross-device source), the file is copied instead
+        and the copy *is* charged as an ordinary write.  Returns the blob's
+        total on-store size.  ``checksum`` records the payload digest in the
+        registry when the caller already knows it.
+        """
+        source = Path(source_path)
+        if not source.exists():
+            raise StoreError(f"adopt source {str(source)!r} does not exist")
+        path = self._path(key)
+        total = int(source.stat().st_size)
+        with self._lock:
+            projected = self.used_bytes - self._sizes.get(key, 0) + total
+            if self.capacity is not None and projected > self.capacity:
+                raise StoreError(
+                    f"store {self.name!r} capacity exceeded: {projected} > {self.capacity}"
+                )
+        tmp = self._tmp_path(path)
+        copied = False
+        try:
+            os.link(source, tmp)
+        except OSError:
+            shutil.copyfile(source, tmp)
+            copied = True
+        if self.fsync and copied:
+            with open(tmp, "rb") as handle:
+                os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        if self.fsync:
+            # Make the new directory entry durable (the linked inode's data
+            # is already on disk; only the name is new).
+            try:
+                fd = os.open(self.root, os.O_RDONLY)
+                try:
+                    os.fsync(fd)
+                finally:
+                    os.close(fd)
+            except OSError:  # pragma: no cover - fs without dir fsync
+                pass
+        elapsed = 0.0
+        if copied and self.throttle is not None:
+            elapsed += self.throttle.consume(total, direction="write")
+        with self._lock:
+            self._sizes[key] = total
+            if checksum is not None:
+                self._checksums[key] = checksum
+            else:
+                self._checksums.pop(key, None)
+            if copied:
+                self._bytes_written += total
+                self._write_ops += 1
+                self._write_seconds += elapsed
+        return total
+
     def delete(self, key: str) -> None:
         """Remove ``key`` from the store (missing keys raise :class:`StoreError`)."""
         path = self._path(key)
@@ -374,6 +548,7 @@ class FileStore:
         path.unlink()
         with self._lock:
             self._sizes.pop(key, None)
+            self._checksums.pop(key, None)
 
     def contains(self, key: str) -> bool:
         return self._path(key).exists()
@@ -399,6 +574,7 @@ class FileStore:
             path.unlink()
         with self._lock:
             self._sizes.clear()
+            self._checksums.clear()
 
     def stats(self) -> StoreStats:
         with self._lock:

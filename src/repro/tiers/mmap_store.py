@@ -1,0 +1,175 @@
+"""mmap-backed variant of :class:`~repro.tiers.file_store.FileStore`.
+
+``FileStore.load_into`` pays one ``open`` + ``fstat`` + ``readinto`` syscall
+round per read.  For hot blobs that are re-fetched every iteration (the
+steady state of the offloaded update phase) the payload is already in the
+page cache, so those syscalls are pure overhead.  :class:`MmapFileStore`
+keeps a bounded cache of memory-mapped blobs: a hot read becomes a single
+``os.stat`` (to detect overwrites) plus a ``memcpy`` out of the mapping into
+the caller's destination array — the ``readinto`` syscall disappears.
+
+The store is a drop-in replacement behind the same ``load_into`` /
+``save_from`` boundary: on-disk format, validation errors and byte
+accounting (stats, throttle charges — the full blob size, header included)
+are identical to the plain :class:`FileStore`, which the round-trip tests
+assert.  Writes are inherited unchanged — every write still lands in a temp
+file and ``os.replace``\\ s the blob, which is exactly why cached mappings
+stay valid: a mapping pins the *old* inode, and the stat signature check
+remaps on the next read of an overwritten key.
+
+Opt in per tier via
+:attr:`~repro.core.config.MLPOffloadConfig.mmap_tier_reads`.
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.tiers.file_store import FileStore, StoreError
+
+
+@dataclass
+class _MappedBlob:
+    """One cached mapping: the mmap object plus the parsed blob geometry."""
+
+    #: (st_ino, st_mtime_ns, st_size) of the mapped inode — invalidation key.
+    signature: Tuple[int, int, int]
+    mapping: mmap.mmap
+    #: Flat payload view over the mapping (dtype/count from the blob header).
+    payload: np.ndarray
+    dtype: np.dtype
+    shape: Tuple[int, ...]
+    ndim: int
+    count: int
+    total_bytes: int
+
+
+class MmapFileStore(FileStore):
+    """A :class:`FileStore` whose reads are served from cached memory maps.
+
+    Parameters
+    ----------
+    max_mapped:
+        Maximum number of blobs kept mapped at once (LRU-evicted beyond it).
+        Each mapping holds one file descriptor's worth of address space, not
+        a data copy.
+    """
+
+    def __init__(self, root, *, max_mapped: int = 64, **kwargs) -> None:
+        super().__init__(root, **kwargs)
+        if max_mapped < 1:
+            raise ValueError("max_mapped must be >= 1")
+        self.max_mapped = int(max_mapped)
+        self._maps: "OrderedDict[str, _MappedBlob]" = OrderedDict()
+        #: Guards the mapping cache only.  Dropped entries are *not* closed
+        #: explicitly: a concurrent reader may still be copying out of the
+        #: mapping, so the mmap is finalized by refcounting once the last
+        #: holder lets go — eviction can therefore never pull the buffer out
+        #: from under an in-flight ``np.copyto``.
+        self._maps_lock = threading.Lock()
+
+    # -- mapping management ----------------------------------------------
+
+    def _drop_map(self, key: str) -> None:
+        with self._maps_lock:
+            self._maps.pop(key, None)
+
+    def _mapped(self, key: str) -> _MappedBlob:
+        """Return a current mapping of ``key``, (re)mapping when stale.
+
+        Thread-safe: concurrent readers of one key may both map it on a cold
+        miss (last insert wins; the loser's mapping is finalized when its
+        reader finishes), and eviction only drops cache references — an
+        entry returned here stays valid for as long as the caller holds it.
+        """
+        path = self._path(key)
+        try:
+            st = os.stat(path)
+        except FileNotFoundError:
+            self._drop_map(key)
+            raise StoreError(f"store {self.name!r} has no key {key!r}") from None
+        signature = (st.st_ino, st.st_mtime_ns, st.st_size)
+        with self._maps_lock:
+            entry = self._maps.get(key)
+            if entry is not None and entry.signature == signature:
+                self._maps.move_to_end(key)
+                return entry
+        with open(path, "rb") as handle:
+            total = os.fstat(handle.fileno()).st_size
+            dtype, shape, ndim, count, expected = self._read_validated_meta(handle, key, total)
+            meta_len = total - expected
+            mapping = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        payload = np.frombuffer(mapping, dtype=dtype, count=count, offset=meta_len)
+        entry = _MappedBlob(
+            signature=signature,
+            mapping=mapping,
+            payload=payload,
+            dtype=dtype,
+            shape=shape if ndim else (),
+            ndim=ndim,
+            count=count,
+            total_bytes=total,
+        )
+        with self._maps_lock:
+            self._maps[key] = entry
+            while len(self._maps) > self.max_mapped:
+                self._maps.popitem(last=False)
+        return entry
+
+    # -- read API (mmap-served) -------------------------------------------
+
+    def load_into(self, key: str, out: np.ndarray) -> np.ndarray:
+        if not out.flags.c_contiguous:
+            raise StoreError(f"load_into destination for {key!r} must be C-contiguous")
+        if not out.flags.writeable:
+            raise StoreError(f"load_into destination for {key!r} must be writable")
+        start = time.perf_counter()
+        entry = self._mapped(key)
+        if out.dtype != entry.dtype:
+            raise StoreError(
+                f"load_into dtype mismatch for {key!r}: blob is {entry.dtype.name}, "
+                f"destination is {out.dtype.name}"
+            )
+        if int(out.size) != entry.count:
+            raise StoreError(
+                f"load_into size mismatch for {key!r}: blob has {entry.count} elements, "
+                f"destination has {out.size}"
+            )
+        np.copyto(out.reshape(-1), entry.payload)
+        elapsed = time.perf_counter() - start
+        self._account_read(entry.total_bytes, elapsed)
+        return out
+
+    def read(self, key: str) -> np.ndarray:
+        start = time.perf_counter()
+        entry = self._mapped(key)
+        array = np.empty(entry.count, dtype=entry.dtype)
+        np.copyto(array, entry.payload)
+        elapsed = time.perf_counter() - start
+        self._account_read(entry.total_bytes, elapsed)
+        return array.reshape(entry.shape) if entry.ndim else array
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Drop every cached mapping (the store remains usable).
+
+        Mappings are finalized by refcounting, so any read still in flight
+        completes safely and releases its mapping when done.
+        """
+        with self._maps_lock:
+            self._maps.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MmapFileStore(name={self.name!r}, root={str(self.root)!r}, "
+            f"mapped={len(self._maps)}/{self.max_mapped})"
+        )

@@ -64,6 +64,9 @@ class IterationReport:
     forward_seconds: float
     backward_seconds: float
     update_report: UpdateReport
+    #: Version committed (or started) by this iteration's checkpoint hook,
+    #: ``None`` when checkpointing is off or the interval skipped it.
+    checkpoint_version: Optional[int] = None
 
     @property
     def mean_loss(self) -> float:
@@ -84,6 +87,8 @@ class FunctionalTrainer:
         *,
         trainer_config: Optional[TrainerConfig] = None,
         dataset: Optional[SyntheticTokenDataset] = None,
+        resume: bool = False,
+        checkpoint_version: Optional[int] = None,
     ) -> None:
         self.model_config = model_config
         self.config = trainer_config if trainer_config is not None else TrainerConfig()
@@ -103,11 +108,20 @@ class FunctionalTrainer:
             seed=self.config.seed,
         )
         self._views = flat_views(None, engine.layout, rank=0)
-        # FP16 working copy of the full (single-rank) parameter vector.
-        master = self.model.init_params(seed=self.config.seed)
-        self.params_fp16 = master.astype(np.float16)
-        engine.initialize(master)
-        self._step = 0
+        if resume or checkpoint_version is not None:
+            # Restart path: rebuild the engine (and this trainer's working
+            # copy and dataset position) from a committed checkpoint, so the
+            # resumed trajectory continues bit-for-bit where the snapshot
+            # was taken.
+            restored = engine.restore_checkpoint(checkpoint_version)
+            self.params_fp16 = restored.fp16_params
+            self._step = int(restored.user_data.get("trainer_step", 0))
+        else:
+            # FP16 working copy of the full (single-rank) parameter vector.
+            master = self.model.init_params(seed=self.config.seed)
+            self.params_fp16 = master.astype(np.float16)
+            engine.initialize(master)
+            self._step = 0
 
     # -- one iteration -------------------------------------------------------
 
@@ -134,12 +148,19 @@ class FunctionalTrainer:
             backward_seconds += time.perf_counter() - start
 
         update_report = self.engine.run_update(self.params_fp16)
+        # Iteration-boundary checkpoint hook: the snapshot is captured here
+        # (links plus staged copies) and drains concurrently with the next
+        # iteration's forward/backward/update.
+        checkpoint_version = self.engine.maybe_checkpoint(
+            self.params_fp16, user_data={"trainer_step": self._step}
+        )
         report = IterationReport(
             iteration=self.engine.update_count - 1,
             losses=losses,
             forward_seconds=forward_seconds,
             backward_seconds=backward_seconds,
             update_report=update_report,
+            checkpoint_version=checkpoint_version,
         )
         return report
 

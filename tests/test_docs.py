@@ -31,6 +31,26 @@ def test_architecture_guide_exists():
         assert anchor in text, f"architecture guide does not mention {anchor}"
 
 
+def test_architecture_guide_documents_checkpointing():
+    text = (REPO_ROOT / "docs" / "architecture.md").read_text(encoding="utf-8")
+    for anchor in (
+        "repro.ckpt",
+        "restore_checkpoint",
+        "Commit protocol",
+        "Restart sequence",
+        "checkpoint_dir",
+        "checkpoint_retention",
+    ):
+        assert anchor in text, f"checkpoint data-flow section does not mention {anchor}"
+
+
+def test_readme_documents_checkpointing():
+    text = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    assert "checkpoint/restart" in text.lower(), "README lacks the checkpoint feature bullet"
+    assert "examples/checkpoint_restart.py" in text
+    assert "BENCH_checkpoint.json" in text
+
+
 def test_every_example_is_referenced_from_readme():
     text = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
     examples = sorted((REPO_ROOT / "examples").glob("*.py"))

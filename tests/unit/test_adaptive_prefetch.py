@@ -1,0 +1,110 @@
+"""Adaptive prefetch-depth derivation: policy behaviour and equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import MLPOffloadConfig, TierConfig
+from repro.core.engine import MLPOffloadEngine
+from repro.core.stats import UpdatePhaseStats
+from repro.train.adam import AdamConfig
+from repro.train.sharding import build_shard_layout, flat_views
+
+TOTAL_PARAMS = 6_000
+SUBGROUP = 750
+
+
+def make_engine(root, **overrides):
+    (root / "nvme").mkdir(parents=True, exist_ok=True)
+    (root / "pfs").mkdir(parents=True, exist_ok=True)
+    config = MLPOffloadConfig(
+        tiers=(
+            TierConfig("nvme", str(root / "nvme"), read_bw=6.9e9, write_bw=5.3e9),
+            TierConfig("pfs", str(root / "pfs"), read_bw=3.6e9, write_bw=3.6e9),
+        ),
+        subgroup_size=SUBGROUP,
+        adam=AdamConfig(lr=1e-3),
+        **overrides,
+    )
+    layout = build_shard_layout(TOTAL_PARAMS, num_ranks=1, subgroup_size=SUBGROUP)
+    return MLPOffloadEngine(config, layout, rank=0), layout
+
+
+def synthetic_stats(compute_seconds, subgroups=8):
+    stats = UpdatePhaseStats()
+    stats.subgroups_processed = subgroups
+    stats.compute_seconds = compute_seconds
+    return stats
+
+
+def test_static_policy_uses_configured_depth(tmp_path):
+    engine, _ = make_engine(tmp_path, prefetch_depth=3)
+    with engine:
+        assert engine._choose_prefetch_depth(["params"]) == 3
+
+
+def test_first_adaptive_iteration_falls_back_to_static(tmp_path):
+    engine, _ = make_engine(tmp_path, adaptive_prefetch_depth=True, prefetch_depth=3)
+    with engine:
+        assert engine._last_stats is None
+        assert engine._choose_prefetch_depth(["params"]) == 3
+
+
+def test_adaptive_depth_tracks_fetch_to_compute_ratio(tmp_path):
+    engine, _ = make_engine(
+        tmp_path, adaptive_prefetch_depth=True, prefetch_depth=2, max_prefetch_depth=8
+    )
+    with engine:
+        fields = ["params", "exp_avg", "exp_avg_sq"]
+        # Slow compute => shallow window: fetches hide behind one subgroup.
+        engine._last_stats = synthetic_stats(compute_seconds=80.0)
+        slow_compute = engine._choose_prefetch_depth(fields)
+        # Fast compute => deep window: many fetches must be in flight.
+        engine._last_stats = synthetic_stats(compute_seconds=1e-7)
+        fast_compute = engine._choose_prefetch_depth(fields)
+        assert slow_compute == 1
+        assert fast_compute == 8  # clamped at max_prefetch_depth
+        assert slow_compute <= fast_compute
+        # Zero compute time degenerates to the ceiling, never a crash.
+        engine._last_stats = synthetic_stats(compute_seconds=0.0)
+        assert engine._choose_prefetch_depth(fields) == 8
+
+
+def run_training(root, **overrides):
+    engine, layout = make_engine(root, **overrides)
+    views = flat_views(None, layout, 0)
+    rng = np.random.default_rng(5)
+    initial = rng.standard_normal(TOTAL_PARAMS).astype(np.float32)
+    depths = []
+    with engine:
+        engine.initialize(initial.copy())
+        fp16 = initial.astype(np.float16)
+        for _ in range(3):
+            grad = rng.standard_normal(TOTAL_PARAMS).astype(np.float32) * 0.1
+            for index, view in views.items():
+                engine.on_backward_gradient(index, grad[view].astype(np.float16))
+            engine.on_microbatch_complete()
+            report = engine.run_update(fp16)
+            depths.append(report.stats.prefetch_depth)
+        master = engine.fetch_master_params()
+    return fp16, master, depths
+
+
+def test_adaptive_and_static_results_are_bitwise_identical(tmp_path):
+    fp16_static, master_static, depths_static = run_training(
+        tmp_path / "static", adaptive_prefetch_depth=False
+    )
+    fp16_adaptive, master_adaptive, depths_adaptive = run_training(
+        tmp_path / "adaptive", adaptive_prefetch_depth=True
+    )
+    assert np.array_equal(fp16_static, fp16_adaptive)
+    assert np.array_equal(master_static, master_adaptive)
+    # Both report the window they actually ran with.
+    assert all(d >= 1 for d in depths_static + depths_adaptive)
+    assert depths_static == [2, 2, 2]
+
+
+def test_adaptive_depth_validation():
+    with pytest.raises(ValueError):
+        MLPOffloadConfig(
+            tiers=(TierConfig("nvme", "/tmp/x"),), max_prefetch_depth=0
+        )

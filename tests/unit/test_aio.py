@@ -205,6 +205,33 @@ class TestAsyncIOEngine:
             assert all(f.result().ok for f in futures)
             assert manager.stats("nvme").acquisitions == 8
 
+    def test_write_multi_fans_out_and_aggregates(self, stores, rng):
+        with AsyncIOEngine(stores, num_threads=4) as engine:
+            payload = rng.standard_normal(256).astype(np.float32)
+            parts = [
+                ("nvme", "k.stripe0", payload[:100]),
+                ("pfs", "k.stripe1", payload[100:]),
+            ]
+            result = engine.write_multi(parts, key="k").result()
+            assert result.ok
+            assert result.nbytes == payload.nbytes
+            assert engine.tier_stats("nvme").write_ops == 1
+            assert engine.tier_stats("pfs").write_ops == 1
+            np.testing.assert_array_equal(stores["nvme"].read("k.stripe0"), payload[:100])
+            np.testing.assert_array_equal(stores["pfs"].read("k.stripe1"), payload[100:])
+
+    def test_write_multi_reports_first_part_error(self, stores, rng, tier_dirs):
+        capped = FileStore(tier_dirs["nvme"] / "capped", name="capped", capacity=8)
+        with AsyncIOEngine({**stores, "capped": capped}, num_threads=2) as engine:
+            payload = rng.standard_normal(64).astype(np.float32)
+            result = engine.write_multi(
+                [("nvme", "ok", payload), ("capped", "too-big", payload)], key="k"
+            ).result()
+            assert not result.ok
+            assert "capacity" in str(result.error)
+            with pytest.raises(ValueError):
+                engine.write_multi([])
+
     def test_submit_after_close_raises(self, stores):
         engine = AsyncIOEngine(stores)
         engine.close()

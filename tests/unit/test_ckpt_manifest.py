@@ -1,0 +1,129 @@
+"""Unit tests for the checkpoint manifest model and the manifest store."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ckpt.manifest import (
+    BlobRef,
+    BlobSegment,
+    CheckpointError,
+    CheckpointManifest,
+    ManifestStore,
+    cas_key,
+    payload_digest,
+)
+
+
+def seg(tier="nvme", key="cas00000001-12", start=0, count=3, nbytes=12, digest=1):
+    return BlobSegment(tier=tier, key=key, start=start, count=count, nbytes=nbytes, digest=digest)
+
+
+def ref(count=3, source="staged", segments=None):
+    return BlobRef(
+        dtype="float32",
+        count=count,
+        source=source,
+        segments=tuple(segments if segments is not None else [seg(count=count)]),
+    )
+
+
+def manifest(version=1, worker="rank0"):
+    return CheckpointManifest(
+        version=version,
+        worker=worker,
+        iteration=7,
+        layout={"total_params": 6, "num_ranks": 1, "subgroup_size": 3, "rank": 0, "num_subgroups": 2},
+        steps={0: 7, 1: 7},
+        placement={0: "nvme", 1: "pfs"},
+        subgroups={
+            0: {"params": ref(), "exp_avg": ref(), "exp_avg_sq": ref()},
+            1: {
+                "params": ref(
+                    count=3,
+                    source="linked",
+                    segments=[seg(count=2, nbytes=8), seg(tier="pfs", start=2, count=1, nbytes=4)],
+                ),
+                "exp_avg": ref(),
+                "exp_avg_sq": ref(),
+            },
+        },
+        fp16_params=BlobRef(dtype="float16", count=6, source="staged", segments=(seg(count=6),)),
+        user_data={"trainer_step": 14},
+    )
+
+
+def test_cas_key_and_payload_digest_are_stable():
+    array = np.arange(5, dtype=np.float32)
+    digest = payload_digest(array)
+    assert digest == payload_digest(array.copy())
+    assert cas_key(digest, array.nbytes) == f"cas{digest:016x}-20"
+    assert cas_key(digest, array.nbytes) != cas_key(digest, 24)
+
+
+def test_manifest_json_round_trip():
+    original = manifest()
+    restored = CheckpointManifest.from_json(original.to_json())
+    assert restored == original
+    # int keys survive the str round-trip
+    assert 0 in restored.subgroups and 1 in restored.steps
+    assert restored.user_data["trainer_step"] == 14
+
+
+def test_blob_keys_cover_every_segment():
+    keys = manifest().blob_keys()
+    assert ("nvme", "cas00000001-12") in keys
+    assert ("pfs", "cas00000001-12") in keys
+
+
+@pytest.mark.parametrize(
+    "mutate",
+    [
+        lambda text: text.replace('"format": 1', '"format": 99'),
+        lambda text: text[: len(text) // 2],
+        lambda text: text.replace('"segments"', '"segmentz"'),
+        lambda text: "[]",
+    ],
+)
+def test_malformed_manifests_raise_checkpoint_error(mutate):
+    with pytest.raises(CheckpointError):
+        CheckpointManifest.from_json(mutate(manifest().to_json()))
+
+
+def test_blob_ref_validates_coverage_and_source():
+    with pytest.raises(CheckpointError):
+        BlobRef(dtype="float32", count=5, source="staged", segments=(seg(count=3),))
+    with pytest.raises(CheckpointError):
+        BlobRef(dtype="float32", count=3, source="teleported", segments=(seg(count=3),))
+
+
+def test_manifest_store_commit_load_latest(tmp_path):
+    store = ManifestStore(tmp_path, "rank0")
+    assert store.committed_versions() == []
+    assert store.latest() is None
+    store.commit(manifest(version=1))
+    store.commit(manifest(version=2))
+    assert store.committed_versions() == [1, 2]
+    assert store.latest().version == 2
+    assert store.load(1).version == 1
+    with pytest.raises(CheckpointError):
+        store.load(3)
+
+
+def test_manifest_store_ignores_tmp_and_foreign_workers(tmp_path):
+    store = ManifestStore(tmp_path, "rank0")
+    store.commit(manifest(version=1))
+    (tmp_path / "ckpt-rank0-000002.json.tmp").write_text('{"version": 2')
+    ManifestStore(tmp_path, "rank1").commit(manifest(version=5, worker="rank1"))
+    assert store.committed_versions() == [1]
+    # GC reference set spans every worker's manifests.
+    assert store.all_referenced_blobs() == manifest().blob_keys()
+
+
+def test_manifest_store_rejects_lying_files(tmp_path):
+    store = ManifestStore(tmp_path, "rank0")
+    path = store.path_for(3)
+    path.write_text(manifest(version=4).to_json())
+    with pytest.raises(CheckpointError, match="claims"):
+        store.load(3)

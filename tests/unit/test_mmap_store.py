@@ -1,0 +1,170 @@
+"""Round-trip and invalidation tests for :class:`MmapFileStore`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tiers.file_store import FileStore, StoreError
+from repro.tiers.mmap_store import MmapFileStore
+
+
+@pytest.fixture
+def stores(tmp_path):
+    plain = FileStore(tmp_path / "plain", name="plain")
+    mapped = MmapFileStore(tmp_path / "mapped", name="mapped")
+    yield plain, mapped
+    mapped.close()
+
+
+def test_round_trip_matches_file_store(stores, rng):
+    plain, mapped = stores
+    for dtype in (np.float32, np.float16, np.int64):
+        array = rng.standard_normal(257).astype(dtype)
+        plain.save_from("blob", array)
+        mapped.save_from("blob", array)
+        assert np.array_equal(plain.read("blob"), mapped.read("blob"))
+        out_plain = np.empty(257, dtype=dtype)
+        out_mapped = np.empty(257, dtype=dtype)
+        plain.load_into("blob", out_plain)
+        mapped.load_into("blob", out_mapped)
+        assert np.array_equal(out_plain, out_mapped)
+
+
+def test_byte_accounting_matches_file_store(stores, rng):
+    plain, mapped = stores
+    array = rng.standard_normal(1000).astype(np.float32)
+    out = np.empty(1000, dtype=np.float32)
+    plain.save_from("k", array)
+    mapped.save_from("k", array)
+    for _ in range(3):
+        plain.load_into("k", out)
+        mapped.load_into("k", out)
+    sp, sm = plain.stats(), mapped.stats()
+    assert sp.bytes_read == sm.bytes_read  # header included, identical charges
+    assert sp.bytes_written == sm.bytes_written
+    assert sp.read_ops == sm.read_ops
+
+
+def test_hot_read_reuses_mapping_and_overwrite_remaps(tmp_path, rng):
+    store = MmapFileStore(tmp_path, name="m")
+    first = rng.standard_normal(64).astype(np.float32)
+    second = rng.standard_normal(64).astype(np.float32)
+    out = np.empty(64, dtype=np.float32)
+    store.save_from("k", first)
+    store.load_into("k", out)
+    assert len(store._maps) == 1
+    mapping = store._maps["k"].mapping
+    store.load_into("k", out)
+    assert store._maps["k"].mapping is mapping, "hot read re-mapped needlessly"
+    # Overwrite replaces the inode; the stat signature must trigger a remap.
+    store.save_from("k", second)
+    store.load_into("k", out)
+    assert np.array_equal(out, second)
+    store.close()
+
+
+def test_mapping_cache_is_bounded(tmp_path, rng):
+    store = MmapFileStore(tmp_path, name="m", max_mapped=2)
+    out = np.empty(8, dtype=np.float32)
+    for i in range(5):
+        store.save_from(f"k{i}", rng.standard_normal(8).astype(np.float32))
+        store.load_into(f"k{i}", out)
+    assert len(store._maps) == 2
+    store.close()
+
+
+def test_concurrent_reads_with_eviction_are_safe(tmp_path, rng):
+    """Readers racing the LRU eviction must never lose a mapping mid-copy.
+
+    Regression test: the engine's I/O thread pool serves several reads of
+    one store at once, so eviction must only drop cache references (the
+    mapping is finalized when the last in-flight reader lets go), never
+    close a buffer another thread is copying from.
+    """
+    import threading
+
+    store = MmapFileStore(tmp_path, name="m", max_mapped=2)
+    arrays = {f"k{i}": rng.standard_normal(512).astype(np.float32) for i in range(6)}
+    for key, array in arrays.items():
+        store.save_from(key, array)
+
+    errors = []
+
+    def reader(seed):
+        out = np.empty(512, dtype=np.float32)
+        local = np.random.default_rng(seed)
+        try:
+            for _ in range(200):
+                key = f"k{int(local.integers(6))}"
+                store.load_into(key, out)
+                assert np.array_equal(out, arrays[key])
+        except BaseException as exc:  # noqa: BLE001 - surfaced via the main thread
+            errors.append(exc)
+
+    threads = [threading.Thread(target=reader, args=(i,)) for i in range(6)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors, errors
+    store.close()
+
+
+def test_validation_errors_match_file_store(tmp_path, rng):
+    store = MmapFileStore(tmp_path, name="m")
+    store.save_from("k", rng.standard_normal(16).astype(np.float32))
+    with pytest.raises(StoreError, match="dtype mismatch"):
+        store.load_into("k", np.empty(16, dtype=np.float64))
+    with pytest.raises(StoreError, match="size mismatch"):
+        store.load_into("k", np.empty(8, dtype=np.float32))
+    with pytest.raises(StoreError, match="no key"):
+        store.load_into("missing", np.empty(16, dtype=np.float32))
+    store.delete("k")
+    with pytest.raises(StoreError, match="no key"):
+        store.read("k")
+    store.close()
+
+
+def test_engine_results_identical_with_mmap_reads(tmp_path, rng):
+    """The mmap store is a behavioural drop-in for the offload engine."""
+    from repro.core.config import MLPOffloadConfig, TierConfig
+    from repro.core.engine import MLPOffloadEngine
+    from repro.tiers.mmap_store import MmapFileStore as Mmap
+    from repro.train.adam import AdamConfig
+    from repro.train.sharding import build_shard_layout, flat_views
+
+    layout = build_shard_layout(4000, num_ranks=1, subgroup_size=1000)
+    views = flat_views(None, layout, 0)
+    initial = rng.standard_normal(4000).astype(np.float32)
+    grads = [rng.standard_normal(4000).astype(np.float32) * 0.1 for _ in range(2)]
+
+    results = {}
+    for label, use_mmap in (("plain", False), ("mmap", True)):
+        base = tmp_path / label
+        (base / "nvme").mkdir(parents=True)
+        (base / "pfs").mkdir(parents=True)
+        config = MLPOffloadConfig(
+            tiers=(
+                TierConfig("nvme", str(base / "nvme"), read_bw=6.9e9, write_bw=5.3e9),
+                TierConfig("pfs", str(base / "pfs"), read_bw=3.6e9, write_bw=3.6e9),
+            ),
+            subgroup_size=1000,
+            stripe_threshold_bytes=2000.0,
+            mmap_tier_reads=use_mmap,
+            adam=AdamConfig(lr=1e-3),
+        )
+        with MLPOffloadEngine(config, layout, rank=0) as engine:
+            if use_mmap:
+                assert all(isinstance(s, Mmap) for s in engine.tier.stores.values())
+            engine.initialize(initial.copy())
+            fp16 = initial.astype(np.float16)
+            for grad in grads:
+                for index, view in views.items():
+                    engine.on_backward_gradient(index, grad[view].astype(np.float16))
+                engine.on_microbatch_complete()
+                engine.run_update(fp16)
+            results[label] = (fp16, engine.fetch_master_params())
+
+    assert np.array_equal(results["plain"][0], results["mmap"][0])
+    assert np.array_equal(results["plain"][1], results["mmap"][1])
