@@ -19,6 +19,7 @@ from pathlib import Path
 import pytest
 
 from repro.bench.experiments import checkpoint_overhead_comparison
+from repro.bench.harness import trajectory_payload
 
 #: Trajectory file consumed by later PRs to compare checkpoint overhead.
 TRAJECTORY_PATH = Path(__file__).resolve().parents[1] / "BENCH_checkpoint.json"
@@ -55,21 +56,19 @@ def test_async_checkpoint_overhead_under_ten_percent(tmp_path, show):
         "copy-out mode should stage every subgroup, the lazy snapshot only the residue"
     )
 
-    trajectory = {
-        "experiment": result.experiment,
-        "description": result.description,
-        "mean_step_s": {
-            row["mode"]: row["mean_step_s"]
-            for row in result.rows
-            if row.get("series") == "summary"
-        },
-        "overhead_pct": overhead,
-        "blobs": {
-            row["mode"]: {k: row[k] for k in row if k not in ("series", "mode")}
-            for row in result.rows
-            if row.get("series") == "blobs"
-        },
-        "checks": {k: check[k] for k in check if k != "series"},
-        "trajectory": [row for row in result.rows if row.get("series") == "trajectory"],
-    }
-    TRAJECTORY_PATH.write_text(json.dumps(trajectory, indent=2, sort_keys=True) + "\n")
+    restore_rows = [row for row in result.rows if row.get("series") == "restore"]
+    assert restore_rows, "no restore latencies were recorded"
+    TRAJECTORY_PATH.write_text(
+        json.dumps(
+            trajectory_payload(
+                result,
+                restore_latency_s={
+                    f"v{row['version']}": row["restore_s"] for row in restore_rows
+                },
+                overhead_pct=overhead,
+            ),
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )

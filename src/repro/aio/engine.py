@@ -95,6 +95,61 @@ class TierIOStats:
         return self.bytes_written / self.write_seconds if self.write_seconds else 0.0
 
 
+def chain_io_result(
+    future: "concurrent.futures.Future[IOResult]",
+    epilogue: "Callable[[IOResult], None]",
+    *,
+    on_error: "Optional[Callable[[IOResult], None]]" = None,
+) -> "concurrent.futures.Future[IOResult]":
+    """A future that runs ``epilogue`` after ``future`` succeeds, then resolves.
+
+    The returned future completes only once the epilogue has run, so a
+    caller awaiting it observes the epilogue's effects (e.g. a striped
+    flush's manifest commit) with a proper happens-before edge — unlike a
+    bare ``add_done_callback``, whose effects can race the awaiting thread.
+    When the upstream result already carries an error, the epilogue is
+    skipped and ``on_error`` (if given) runs instead — the cleanup hook for
+    state the caller staged for the epilogue (e.g. abandoning an
+    uncommitted striped plan); its own exceptions are swallowed so the
+    original error propagates.  An epilogue that raises converts the result
+    into a failure.  Both run on whichever I/O thread completed ``future``,
+    so they must be short and non-blocking with respect to that engine's
+    own queue.
+    """
+    chained: "concurrent.futures.Future[IOResult]" = concurrent.futures.Future()
+
+    def _after(done: "concurrent.futures.Future[IOResult]") -> None:
+        try:
+            result = done.result()
+        except BaseException as exc:  # noqa: BLE001 - surfaced via the result
+            result = IOResult(
+                request=IORequest(kind=IOKind.WRITE, tier="chained", key=""),
+                nbytes=0,
+                seconds=0.0,
+                error=exc,
+            )
+        if result.error is None:
+            try:
+                epilogue(result)
+            except BaseException as exc:  # noqa: BLE001 - surfaced via the result
+                result = IOResult(
+                    request=result.request,
+                    nbytes=result.nbytes,
+                    seconds=result.seconds,
+                    array=result.array,
+                    error=exc,
+                )
+        elif on_error is not None:
+            try:
+                on_error(result)
+            except BaseException:  # noqa: BLE001 - keep the original error
+                pass
+        chained.set_result(result)
+
+    future.add_done_callback(_after)
+    return chained
+
+
 class AsyncIOEngine:
     """Asynchronous read/write engine over a set of named tiers.
 

@@ -80,6 +80,42 @@ def format_table(rows: Sequence[Mapping[str, Any]], *, title: Optional[str] = No
     return "\n".join(lines)
 
 
+def trajectory_payload(
+    result: ExperimentResult,
+    *,
+    compression_ratio: Optional[float] = None,
+    restore_latency_s: Optional[Mapping[str, float]] = None,
+    **extra: Any,
+) -> Dict[str, Any]:
+    """The standard ``BENCH_*.json`` trajectory record of one experiment.
+
+    Collects the experiment identity, every row grouped by its ``series``
+    column, and the notes — plus the cross-PR comparison metrics the
+    checkpoint benchmarks track: ``compression_ratio`` (raw staged bytes
+    over stored bytes) and ``restore_latency_s`` (seconds per restore mode).
+    ``extra`` keys are merged verbatim, so individual benchmarks can attach
+    their own headline numbers without inventing new layouts.
+    """
+    by_series: Dict[str, List[Dict[str, Any]]] = {}
+    for row in result.rows:
+        series = str(row.get("series", "rows"))
+        by_series.setdefault(series, []).append(
+            {k: v for k, v in row.items() if k != "series"}
+        )
+    payload: Dict[str, Any] = {
+        "experiment": result.experiment,
+        "description": result.description,
+        "series": by_series,
+        "notes": list(result.notes),
+    }
+    if compression_ratio is not None:
+        payload["compression_ratio"] = float(compression_ratio)
+    if restore_latency_s is not None:
+        payload["restore_latency_s"] = {k: float(v) for k, v in restore_latency_s.items()}
+    payload.update(extra)
+    return payload
+
+
 def paper_vs_measured(
     label: str, paper_value: float, measured_value: float, unit: str = ""
 ) -> Dict[str, Any]:

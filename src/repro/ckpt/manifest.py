@@ -48,14 +48,31 @@ def payload_digest(array: np.ndarray) -> int:
     return _buffer_digest(memoryview(contiguous.reshape(-1)))
 
 
-def cas_key(digest: int, nbytes: int) -> str:
-    """Content-addressed blob key: 64-bit payload digest plus size."""
-    return f"cas{digest & 0xFFFFFFFFFFFFFFFF:016x}-{int(nbytes)}"
+def cas_key(digest: int, nbytes: int, codec: str = "raw") -> str:
+    """Content-addressed blob key: 64-bit payload digest plus size.
+
+    ``digest`` and ``nbytes`` always describe the *uncompressed* payload —
+    that is what deduplication keys on, so a delta checkpoint pays nothing
+    for unchanged subgroups no matter how they were encoded.  Non-``"raw"``
+    codecs are suffixed into the key because their on-store bytes differ:
+    the same content stored raw and stored framed must not collide.
+    """
+    base = f"cas{digest & 0xFFFFFFFFFFFFFFFF:016x}-{int(nbytes)}"
+    return base if codec == "raw" else f"{base}-{codec}"
 
 
 @dataclass(frozen=True)
 class BlobSegment:
-    """One stored blob covering ``[start, start + count)`` elements of a field."""
+    """One stored blob covering ``[start, start + count)`` elements of a field.
+
+    ``nbytes`` and ``digest`` always describe the segment's *raw*
+    (uncompressed) payload — the bytes that land back in memory on restore.
+    ``codec`` records how the payload is stored (``"raw"`` = a plain tier
+    blob, anything else = a :mod:`repro.codec` frame stream), and
+    ``stored_nbytes`` the on-store payload size of that encoding (``None``
+    means "same as raw", which is what ``"raw"`` segments and manifests
+    written before compression existed carry).
+    """
 
     tier: str
     key: str
@@ -63,9 +80,16 @@ class BlobSegment:
     count: int
     nbytes: int
     digest: int
+    codec: str = "raw"
+    stored_nbytes: Optional[int] = None
+
+    @property
+    def on_store_nbytes(self) -> int:
+        """Payload bytes the segment occupies on its store (post-codec)."""
+        return self.nbytes if self.stored_nbytes is None else self.stored_nbytes
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        payload = {
             "tier": self.tier,
             "key": self.key,
             "start": self.start,
@@ -73,10 +97,15 @@ class BlobSegment:
             "nbytes": self.nbytes,
             "digest": self.digest,
         }
+        if self.codec != "raw":
+            payload["codec"] = self.codec
+            payload["stored_nbytes"] = self.on_store_nbytes
+        return payload
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "BlobSegment":
         try:
+            stored = data.get("stored_nbytes")
             return cls(
                 tier=str(data["tier"]),
                 key=str(data["key"]),
@@ -84,6 +113,8 @@ class BlobSegment:
                 count=int(data["count"]),
                 nbytes=int(data["nbytes"]),
                 digest=int(data["digest"]),
+                codec=str(data.get("codec", "raw")),
+                stored_nbytes=None if stored is None else int(stored),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise CheckpointError(f"malformed blob segment: {data!r}") from exc
@@ -123,6 +154,11 @@ class BlobRef:
     @property
     def nbytes(self) -> int:
         return sum(seg.nbytes for seg in self.segments)
+
+    @property
+    def stored_nbytes(self) -> int:
+        """On-store payload bytes across segments (post-codec; == raw for raw)."""
+        return sum(seg.on_store_nbytes for seg in self.segments)
 
     def to_dict(self) -> Dict[str, Any]:
         return {

@@ -1,30 +1,42 @@
 """Checkpoint restart path: manifest selection, blob reads, integrity checks.
 
 Restoring is the writer's mirror image: pick a committed manifest (the
-latest, or an explicit version), read every referenced blob segment straight
-into caller-supplied arrays (the same zero-copy ``load_into`` discipline as
-tier fetches), and verify each segment's digest against the manifest before
-trusting it.  The engine then rebuilds its virtual-tier placement from the
-recorded assignments and flushes the restored state back to the tiers — see
-:meth:`repro.core.engine.OffloadEngineBase.restore_checkpoint`.
+latest, or an explicit version) and read referenced blob segments back into
+caller-supplied arrays.  Raw segments stream straight into the destination
+(the same zero-copy ``load_into`` discipline as tier fetches) with their
+digest computed chunk by chunk *while* reading; encoded segments
+(:mod:`repro.codec`) are fetched into a pooled scratch buffer and decoded
+chunk by chunk, each chunk's recorded digest verified as it lands.  Either
+way a mismatch against the manifest digest (bit rot, truncated drain, manual
+tampering) raises :class:`CheckpointError` — corrupt state is never silently
+restored, and nothing is ever materialized whole beyond the destination
+buffer itself.
+
+The engine layers two restore strategies on top of this reader
+(:meth:`repro.core.engine.OffloadEngineBase.restore_checkpoint`): the eager
+mode reads and re-flushes every subgroup up front, while the streaming mode
+hard-links clean tier-resident blobs straight back into the tier stores and
+restores staged residue lazily on first fetch.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional
 
 import numpy as np
 
 from repro.ckpt.manifest import (
     BlobRef,
+    BlobSegment,
     CheckpointError,
     CheckpointManifest,
     ManifestStore,
-    payload_digest,
 )
 from repro.ckpt.store import build_blob_stores
-from repro.tiers.file_store import StoreError
+from repro.codec import CodecError, decode_frame_into
+from repro.tiers.array_pool import ArrayPool
+from repro.tiers.file_store import StoreError, finish_digest, streaming_digest
 
 if TYPE_CHECKING:  # pragma: no cover - break the core <-> ckpt import cycle
     from repro.core.config import MLPOffloadConfig
@@ -40,17 +52,35 @@ class RestoredCheckpoint:
     #: The model's FP16 working parameters at the snapshot.
     fp16_params: np.ndarray
     user_data: Dict[str, Any] = field(default_factory=dict)
+    #: How the engine brought the state back: ``"eager"`` (read + re-flush
+    #: everything up front) or ``"streaming"`` (hard links + lazy residue).
+    mode: str = "eager"
+    #: Subgroups whose blobs were hard-linked back into the tier stores.
+    linked_subgroups: int = 0
+    #: Subgroups left pending for lazy restore on first fetch.
+    lazy_subgroups: int = 0
 
 
 class CheckpointReader:
-    """Reads committed checkpoints of one worker back into memory."""
+    """Reads committed checkpoints of one worker back into memory.
 
-    def __init__(self, config: MLPOffloadConfig, *, worker: str = "rank0") -> None:
+    ``throttles`` (per-tier, the same objects driving the tier stores) make
+    restore traffic contend with whatever else is using the paths — the
+    engine passes its own so restore timings are honest.
+    """
+
+    def __init__(
+        self,
+        config: MLPOffloadConfig,
+        *,
+        worker: str = "rank0",
+        throttles: Optional[Mapping[str, object]] = None,
+    ) -> None:
         if not config.checkpoint_enabled:
             raise CheckpointError("checkpoint_dir is not configured")
         self.config = config
         self.worker = worker
-        self.stores = build_blob_stores(config)
+        self.stores = build_blob_stores(config, throttles=throttles)
         self.manifests = ManifestStore(config.checkpoint_dir, worker)
 
     # -- manifest selection ------------------------------------------------
@@ -73,14 +103,77 @@ class CheckpointReader:
 
     # -- blob reads --------------------------------------------------------
 
-    def read_blob(self, ref: BlobRef, out: np.ndarray, *, verify: bool = True) -> np.ndarray:
+    def _store_for(self, seg: BlobSegment):
+        store = self.stores.get(seg.tier)
+        if store is None:
+            raise CheckpointError(f"no checkpoint store for tier {seg.tier!r}")
+        return store
+
+    def _read_segment(
+        self,
+        seg: BlobSegment,
+        view: np.ndarray,
+        *,
+        verify: bool,
+        pool: Optional[ArrayPool],
+    ) -> None:
+        """Fill ``view`` (flat, the segment's extent) from one stored segment."""
+        store = self._store_for(seg)
+        try:
+            if seg.codec == "raw":
+                hasher = streaming_digest() if verify else None
+                store.load_into_chunks(seg.key, view, hasher=hasher)
+                observed = finish_digest(hasher) if hasher is not None else None
+            else:
+                frame = (
+                    pool.acquire(seg.on_store_nbytes, np.uint8)
+                    if pool is not None
+                    else np.empty(seg.on_store_nbytes, np.uint8)
+                )
+                try:
+                    store.load_into(seg.key, frame)
+                    # Decode verifies every chunk's recorded digest as it
+                    # streams; the aggregate digest comes back for the
+                    # manifest comparison below.
+                    observed = decode_frame_into(frame, view)
+                finally:
+                    if pool is not None:
+                        pool.release(frame)
+        except StoreError as exc:
+            # Missing file, bad permissions, truncated blob: an I/O problem,
+            # not (necessarily) corruption — keep the triage distinction.
+            raise CheckpointError(
+                f"checkpoint blob {seg.key!r} on tier {seg.tier!r} is unreadable: {exc}"
+            ) from exc
+        except CodecError as exc:
+            raise CheckpointError(
+                f"checkpoint blob {seg.key!r} on tier {seg.tier!r} failed its "
+                f"integrity check: {exc}"
+            ) from exc
+        if verify and observed is not None and observed != seg.digest:
+            raise CheckpointError(
+                f"checkpoint blob {seg.key!r} on tier {seg.tier!r} failed its "
+                f"integrity check (digest {observed:#018x} != manifest "
+                f"{seg.digest:#018x})"
+            )
+
+    def read_blob(
+        self,
+        ref: BlobRef,
+        out: np.ndarray,
+        *,
+        verify: bool = True,
+        pool: Optional[ArrayPool] = None,
+    ) -> np.ndarray:
         """Read one logical blob into ``out`` (flat, segment by segment).
 
         ``out`` must be 1-D C-contiguous with the ref's dtype and element
-        count.  With ``verify`` on, every segment's payload digest is
-        checked against the manifest; a mismatch (bit rot, truncated drain,
-        manual tampering) raises :class:`CheckpointError` — corrupt state is
-        never silently restored.
+        count.  Raw segments stream with a chunked read (digest computed on
+        the fly when ``verify`` is on); encoded segments are fetched into a
+        ``pool``-leased frame buffer (a plain allocation when no pool is
+        given) and decoded chunk by chunk into the destination, with
+        per-chunk digests always enforced.  A digest mismatch raises
+        :class:`CheckpointError` — corrupt state is never silently restored.
         """
         dtype = ref.numpy_dtype
         if out.dtype != dtype:
@@ -94,32 +187,14 @@ class CheckpointReader:
                 f"{flat.size}"
             )
         for seg in ref.segments:
-            store = self.stores.get(seg.tier)
-            if store is None:
-                raise CheckpointError(f"no checkpoint store for tier {seg.tier!r}")
-            view = flat[seg.start : seg.start + seg.count]
-            try:
-                store.load_into(seg.key, view)
-            except StoreError as exc:
-                raise CheckpointError(
-                    f"checkpoint blob {seg.key!r} on tier {seg.tier!r} is unreadable: {exc}"
-                ) from exc
-            if verify:
-                observed = payload_digest(view)
-                if observed != seg.digest:
-                    raise CheckpointError(
-                        f"checkpoint blob {seg.key!r} on tier {seg.tier!r} failed its "
-                        f"integrity check (digest {observed:#018x} != manifest "
-                        f"{seg.digest:#018x})"
-                    )
+            self._read_segment(
+                seg, flat[seg.start : seg.start + seg.count], verify=verify, pool=pool
+            )
         return out
 
     def check_blobs(self, manifest: CheckpointManifest) -> None:
         """Cheap existence/size audit of every blob a manifest references."""
-        refs: List[BlobRef] = [manifest.fp16_params]
-        for fields in manifest.subgroups.values():
-            refs.extend(fields.values())
-        for ref in refs:
+        for ref in self._all_refs(manifest):
             for seg in ref.segments:
                 store = self.stores.get(seg.tier)
                 if store is None or not store.contains(seg.key):
@@ -127,3 +202,35 @@ class CheckpointReader:
                         f"checkpoint v{manifest.version} references missing blob "
                         f"{seg.key!r} on tier {seg.tier!r}"
                     )
+
+    def verify_blobs(
+        self, manifest: CheckpointManifest, *, pool: Optional[ArrayPool] = None
+    ) -> int:
+        """Full streamed digest audit of every blob a manifest references.
+
+        The deep counterpart of :meth:`check_blobs` — reads every segment
+        through the same chunked paths a restore uses (scratch destinations
+        leased from ``pool``) and verifies every digest, without keeping any
+        state.  Returns the number of segments verified.  Use it to vet a
+        checkpoint *before* trusting a zero-copy hard-link restore, which by
+        design never touches the linked payloads.
+        """
+        own_pool = pool if pool is not None else ArrayPool()
+        verified = 0
+        for ref in self._all_refs(manifest):
+            dtype = ref.numpy_dtype
+            for seg in ref.segments:
+                scratch = own_pool.acquire(seg.count, dtype)
+                try:
+                    self._read_segment(seg, scratch, verify=True, pool=own_pool)
+                finally:
+                    own_pool.release(scratch)
+                verified += 1
+        return verified
+
+    @staticmethod
+    def _all_refs(manifest: CheckpointManifest) -> List[BlobRef]:
+        refs: List[BlobRef] = [manifest.fp16_params]
+        for fields in manifest.subgroups.values():
+            refs.extend(fields.values())
+        return refs

@@ -19,7 +19,10 @@ caller's thread — the "stall" the benchmark measures for the sync mode):
 **Asynchronous drain** (a background thread per snapshot): staged buffers
 are checksummed, striped across the checkpoint stores when large
 (:func:`repro.tiers.spec.plan_stripes` — the same extent math the striped
-tier reads use), written through a dedicated
+tier reads use), encoded through the configured codec
+(:mod:`repro.codec`: byte-shuffle + LZ4-class DEFLATE by default; content
+addressing keys on the *uncompressed* digest, so an unchanged payload is
+deduplicated before it is ever encoded), written through a dedicated
 :class:`~repro.aio.engine.AsyncIOEngine` (multi-part payloads fan out via
 ``write_multi``), and — once every write has landed — the versioned manifest
 is committed atomically and retention GC sweeps manifests and unreferenced
@@ -52,7 +55,9 @@ from repro.ckpt.manifest import (
     payload_digest,
 )
 from repro.ckpt.store import CAS_PREFIX, build_blob_stores
+from repro.codec import RAW_CODEC, encoded_frame, get_codec
 from repro.tiers.array_pool import ArrayPool
+from repro.tiers.file_store import element_count
 
 if TYPE_CHECKING:  # pragma: no cover - break the core <-> ckpt import cycle
     from repro.core.config import MLPOffloadConfig
@@ -65,18 +70,26 @@ _LOG = get_logger("ckpt.writer")
 
 @dataclass
 class SubgroupSource:
-    """One subgroup's contribution to a snapshot: staged copies or tier refs."""
+    """One subgroup's contribution to a snapshot: staged, linked or carried."""
 
     index: int
     #: Field → private pooled copy of the newest state (dirty residue).
     staged: Optional[Dict[str, np.ndarray]] = None
     #: Field → tier-resident blob references (content, not bytes).
     linked: Optional[Dict[str, List[TierBlobRef]]] = None
+    #: Field → blob refs of an earlier committed version, re-referenced
+    #: verbatim.  Used for subgroups still awaiting their lazy restore: the
+    #: checkpoint-store blobs already hold their exact state, so the new
+    #: manifest references them directly — no bytes move, and the reference
+    #: keeps the blobs alive across retention GC until the subgroup is
+    #: actually restored and re-flushed.
+    carried: Optional[Dict[str, BlobRef]] = None
 
     def __post_init__(self) -> None:
-        if (self.staged is None) == (self.linked is None):
+        given = sum(x is not None for x in (self.staged, self.linked, self.carried))
+        if given != 1:
             raise CheckpointError(
-                f"subgroup {self.index}: exactly one of staged/linked must be given"
+                f"subgroup {self.index}: exactly one of staged/linked/carried must be given"
             )
 
 
@@ -158,6 +171,10 @@ class CheckpointWriter:
         self.store_names: List[str] = list(self.stores)
         self.engine = AsyncIOEngine(self.stores, num_threads=io_threads, queue_depth=32)
         self.manifests = ManifestStore(config.checkpoint_dir, worker)
+        #: Codec applied to staged payloads on the drain thread ("raw" = none).
+        self.codec_name = config.checkpoint_codec
+        if self.codec_name != RAW_CODEC:
+            get_codec(self.codec_name)  # fail fast on unknown codecs
         self._pending: Optional[PendingCheckpoint] = None
         self._last_version = max(self.manifests.committed_versions(), default=0)
         self._closed = False
@@ -167,6 +184,14 @@ class CheckpointWriter:
         self.reused_blobs = 0
         self.staged_blobs = 0
         self.staged_bytes = 0
+        #: On-store bytes of the staged blobs after encoding (== staged_bytes
+        #: for the "raw" codec); staged_bytes / staged_stored_bytes is the
+        #: checkpoint compression ratio the benchmark reports.
+        self.staged_stored_bytes = 0
+        #: (tier, key) → encoded payload size.  Content-addressed blobs are
+        #: immutable, so a reused blob's stored size never changes — caching
+        #: it spares the drain thread a header read per reuse per snapshot.
+        self._stored_sizes: Dict[Tuple[str, str], int] = {}
 
     # -- public API --------------------------------------------------------
 
@@ -213,6 +238,11 @@ class CheckpointWriter:
             self.wait()
             for source in subgroups:
                 if source.staged is not None:
+                    continue
+                if source.carried is not None:
+                    linked_refs[source.index] = self._carry_fields(
+                        source.index, source.carried
+                    )
                     continue
                 assert source.linked is not None
                 fields: Dict[str, BlobRef] = {}
@@ -302,6 +332,24 @@ class CheckpointWriter:
             dtype="float32", count=total, source="linked", segments=tuple(segments)
         )
 
+    def _carry_fields(self, index: int, fields: Mapping[str, BlobRef]) -> Dict[str, BlobRef]:
+        """Re-reference an earlier version's blobs verbatim (lazy-restore carry).
+
+        The caller asserts the subgroup's state is exactly what those blobs
+        hold (it has not been touched since the restore that produced them);
+        every referenced blob must still exist in the checkpoint stores.
+        """
+        for name, ref in fields.items():
+            for seg in ref.segments:
+                store = self.stores.get(seg.tier)
+                if store is None or not store.contains(seg.key):
+                    raise CheckpointError(
+                        f"carried blob {seg.key!r} of subgroup {index} field {name!r} "
+                        f"is missing on tier {seg.tier!r}"
+                    )
+                self.reused_blobs += 1
+        return dict(fields)
+
     # -- asynchronous phase: staged drain + commit + GC ----------------------
 
     def _stage_weights(self, targets: Sequence[str]) -> Optional[List[float]]:
@@ -314,14 +362,40 @@ class CheckpointWriter:
             weights.append(float(hint))
         return weights if sum(weights) > 0 else None
 
+    def _stored_payload_nbytes(self, tier: str, key: str) -> int:
+        """On-store payload size of an existing encoded blob.
+
+        One header read on first sight; cached afterwards (content-addressed
+        blobs never change size), so steady-state delta reuse stays free of
+        per-snapshot file opens.
+        """
+        cached = self._stored_sizes.get((tier, key))
+        if cached is not None:
+            return cached
+        dtype, shape = self.stores[tier].meta_of(key)
+        nbytes = element_count(shape) * dtype.itemsize
+        if len(self._stored_sizes) > 65536:  # bound a very long run's footprint
+            self._stored_sizes.clear()
+        self._stored_sizes[(tier, key)] = nbytes
+        return nbytes
+
     def _plan_staged(
-        self, item: _StagedItem, queued: "set[Tuple[str, str]]"
+        self,
+        item: _StagedItem,
+        queued: Dict[Tuple[str, str], Optional[int]],
+        encoded: List[np.ndarray],
     ) -> Tuple[BlobRef, List[Tuple[str, str, np.ndarray]]]:
-        """Checksum + stripe one staged array; returns its ref and write parts.
+        """Checksum, stripe and encode one staged array; ref plus write parts.
 
         ``queued`` tracks CAS keys already scheduled earlier in the same
-        drain, so identical payloads (e.g. several all-zero fields) are
-        written exactly once per snapshot.
+        drain (mapping each to its stored payload size), so identical
+        payloads (e.g. several all-zero fields) are written exactly once per
+        snapshot — and, since content addressing keys on the *uncompressed*
+        digest, a payload already in the store (an earlier version's delta)
+        skips encoding entirely.  Encoding runs here, on the drain thread,
+        overlapped with the caller's next iteration; frame buffers are
+        pooled and appended to ``encoded`` for release once their writes
+        land.
         """
         flat = np.ascontiguousarray(item.array).reshape(-1)
         # Stripe across the first ``stripe_fanout()`` checkpoint stores only,
@@ -336,20 +410,36 @@ class CheckpointWriter:
             threshold_bytes=self.config.stripe_threshold_bytes,
             weights=self._stage_weights(targets) if len(targets) >= 2 else None,
         )
+        codec = None if self.codec_name == RAW_CODEC else get_codec(self.codec_name)
         segments: List[BlobSegment] = []
         parts: List[Tuple[str, str, np.ndarray]] = []
         for ext in extents:
             view = flat[ext.start : ext.stop]
             checksum = payload_digest(view)
-            key = cas_key(checksum, view.nbytes)
+            key = cas_key(checksum, view.nbytes, self.codec_name)
             tier = targets[ext.path]
-            if (tier, key) in queued or self.stores[tier].contains(key):
+            stored_nbytes: Optional[int] = None
+            if (tier, key) in queued:
                 self.reused_blobs += 1
+                stored_nbytes = queued[(tier, key)]
+            elif self.stores[tier].contains(key):
+                self.reused_blobs += 1
+                if codec is not None:
+                    stored_nbytes = self._stored_payload_nbytes(tier, key)
             else:
-                queued.add((tier, key))
-                parts.append((tier, key, view))
+                if codec is None:
+                    payload: np.ndarray = view
+                else:
+                    payload = encoded_frame(view, codec, pool=self.pool)
+                    encoded.append(payload)
+                    stored_nbytes = int(payload.nbytes)
+                queued[(tier, key)] = stored_nbytes
+                if stored_nbytes is not None:
+                    self._stored_sizes[(tier, key)] = stored_nbytes
+                parts.append((tier, key, payload))
                 self.staged_blobs += 1
                 self.staged_bytes += int(view.nbytes)
+                self.staged_stored_bytes += int(payload.nbytes)
             segments.append(
                 BlobSegment(
                     tier=tier,
@@ -358,6 +448,8 @@ class CheckpointWriter:
                     count=int(ext.count),
                     nbytes=int(view.nbytes),
                     digest=checksum,
+                    codec=self.codec_name,
+                    stored_nbytes=stored_nbytes,
                 )
             )
         ref = BlobRef(
@@ -375,20 +467,34 @@ class CheckpointWriter:
         linked_refs: Dict[int, Dict[str, BlobRef]],
         staged_items: List[_StagedItem],
     ) -> None:
+        encoded: List[np.ndarray] = []
         try:
             staged_refs: Dict[Tuple, BlobRef] = {}
             futures = []
-            queued: "set[Tuple[str, str]]" = set()
-            for item in staged_items:
-                ref, parts = self._plan_staged(item, queued)
-                staged_refs[item.slot] = ref
-                if len(parts) > 1:
-                    futures.append(
-                        self.engine.write_multi(parts, key=ref.segments[0].key, worker=self.worker)
-                    )
-                elif parts:
-                    tier, key, payload = parts[0]
-                    futures.append(self.engine.write(tier, key, payload, worker=self.worker))
+            queued: Dict[Tuple[str, str], Optional[int]] = {}
+            try:
+                for item in staged_items:
+                    ref, parts = self._plan_staged(item, queued, encoded)
+                    staged_refs[item.slot] = ref
+                    if len(parts) > 1:
+                        futures.append(
+                            self.engine.write_multi(
+                                parts, key=ref.segments[0].key, worker=self.worker
+                            )
+                        )
+                    elif parts:
+                        tier, key, payload = parts[0]
+                        futures.append(self.engine.write(tier, key, payload, worker=self.worker))
+            except BaseException:
+                # A later item's planning (e.g. its encode) failed while
+                # earlier writes are already streaming pooled buffers: await
+                # them before the finally below recycles anything.
+                for future in futures:
+                    try:
+                        future.result()
+                    except BaseException:  # noqa: BLE001 - already failing
+                        pass
+                raise
             # Await EVERY write before judging any: a buffer may only go back
             # to the pool (the finally below) once no write can still be
             # streaming it, and an early raise on the first failure would
@@ -421,7 +527,7 @@ class CheckpointWriter:
             _LOG.error("checkpoint v%d drain failed: %s", pending.version, exc)
             pending._finish(exc)
         finally:
-            self._release([item.array for item in staged_items])
+            self._release([item.array for item in staged_items] + encoded)
 
     def _collect_garbage(self) -> None:
         """Drop versions beyond the retention window and sweep orphans.

@@ -1,0 +1,139 @@
+"""Block codecs for checkpoint payload compression.
+
+A :class:`Codec` transforms one *chunk* of raw payload bytes at a time, so
+that encode and decode can stream arbitrarily large blobs through fixed-size
+pooled scratch buffers (see :mod:`repro.codec.framing`).  Two codecs are
+provided:
+
+* ``"null"`` — the identity transform.  Frames are still written (chunk
+  records, digests), so the ablation isolates the *framing* cost from the
+  *compression* cost; the chunk payloads are bitwise the raw bytes.
+* ``"shuffle-deflate"`` — byte-shuffle followed by a fast DEFLATE block
+  compressor (``zlib`` level 1).  The shuffle transposes each chunk from
+  element-major to byte-plane-major order, so the highly regular bytes of
+  floating-point payloads (sign+exponent planes, the zeroed low-mantissa
+  planes of FP16-quantized masters, exact-zero optimizer state of frozen
+  parameters) form long runs the block compressor collapses.  This is the
+  repo's LZ4-class codec: level-1 DEFLATE is the fastest block codec in the
+  standard library, standing in for LZ4 (not installable here) with the same
+  shape — cheap, block-oriented, byte-stream in/out.  The registry keys the
+  codec by name in every frame and manifest, so a real LZ4 backend can be
+  added later without disturbing committed checkpoints.
+
+The special codec name ``"raw"`` (``RAW_CODEC``) means "no framing at all":
+the payload is stored as a plain tier blob exactly as before compression
+existed.  It is not a :class:`Codec` — callers branch on it before encoding.
+
+All transforms are deterministic: identical raw bytes always produce
+identical encoded bytes, which is what lets content-addressed checkpoint
+stores dedupe *encoded* blobs by their *uncompressed* payload digest.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, Tuple
+
+import numpy as np
+
+
+class CodecError(RuntimeError):
+    """Raised for unknown codecs, malformed frames and failed integrity checks."""
+
+
+#: Codec name meaning "no framing, store the payload as a plain blob".
+RAW_CODEC = "raw"
+
+
+class Codec:
+    """One chunk-at-a-time byte transform (see module docstring).
+
+    Chunks are handed in as 1-D ``uint8`` arrays whose length is a multiple
+    of the payload ``itemsize`` (the framing layer guarantees this by sizing
+    chunks accordingly).  Encoding gets a caller-owned ``uint8`` ``scratch``
+    buffer at least as large as the chunk, reused across chunks so the
+    encode loop allocates nothing beyond what the compressor itself returns;
+    decoding scatters straight into the destination view.
+    """
+
+    name: str = "abstract"
+
+    def encode_chunk(self, chunk: np.ndarray, itemsize: int, scratch: np.ndarray) -> bytes:
+        raise NotImplementedError
+
+    def decode_chunk(self, payload: bytes, out: np.ndarray, itemsize: int) -> None:
+        """Decode ``payload`` into ``out`` (a 1-D ``uint8`` destination view)."""
+        raise NotImplementedError
+
+
+class NullCodec(Codec):
+    """Identity transform: chunk payloads are bitwise the raw bytes."""
+
+    name = "null"
+
+    def encode_chunk(self, chunk: np.ndarray, itemsize: int, scratch: np.ndarray) -> bytes:
+        return chunk.tobytes()
+
+    def decode_chunk(self, payload: bytes, out: np.ndarray, itemsize: int) -> None:
+        if len(payload) != out.size:
+            raise CodecError(
+                f"null codec chunk has {len(payload)} bytes, expected {out.size}"
+            )
+        out[:] = np.frombuffer(payload, dtype=np.uint8)
+
+
+class ShuffleDeflateCodec(Codec):
+    """Byte-shuffle + level-1 DEFLATE (the LZ4-class block codec)."""
+
+    name = "shuffle-deflate"
+    level = 1
+
+    @staticmethod
+    def _shuffled(chunk: np.ndarray, itemsize: int, scratch: np.ndarray) -> np.ndarray:
+        """Transpose ``chunk`` to byte-plane order inside ``scratch``."""
+        if itemsize <= 1:
+            return chunk
+        if chunk.size % itemsize:
+            raise CodecError(
+                f"chunk of {chunk.size} bytes is not a multiple of itemsize {itemsize}"
+            )
+        view = scratch[: chunk.size].reshape(itemsize, chunk.size // itemsize)
+        np.copyto(view, chunk.reshape(-1, itemsize).T)
+        return scratch[: chunk.size]
+
+    def encode_chunk(self, chunk: np.ndarray, itemsize: int, scratch: np.ndarray) -> bytes:
+        shuffled = self._shuffled(chunk, itemsize, scratch)
+        return zlib.compress(shuffled, self.level)
+
+    def decode_chunk(self, payload: bytes, out: np.ndarray, itemsize: int) -> None:
+        try:
+            raw = zlib.decompress(payload)
+        except zlib.error as exc:
+            raise CodecError(f"corrupt compressed chunk: {exc}") from exc
+        if len(raw) != out.size:
+            raise CodecError(
+                f"compressed chunk decoded to {len(raw)} bytes, expected {out.size}"
+            )
+        if itemsize <= 1:
+            out[:] = np.frombuffer(raw, dtype=np.uint8)
+            return
+        planes = np.frombuffer(raw, dtype=np.uint8).reshape(itemsize, out.size // itemsize)
+        np.copyto(out.reshape(-1, itemsize), planes.T)
+
+
+_CODECS: Dict[str, Codec] = {
+    codec.name: codec for codec in (NullCodec(), ShuffleDeflateCodec())
+}
+
+
+def codec_names() -> Tuple[str, ...]:
+    """Every accepted codec name, ``"raw"`` (no framing) included."""
+    return (RAW_CODEC, *sorted(_CODECS))
+
+
+def get_codec(name: str) -> Codec:
+    """The registered :class:`Codec` for ``name`` (``"raw"`` is not a codec)."""
+    codec = _CODECS.get(name)
+    if codec is None:
+        raise CodecError(f"unknown codec {name!r}; known: {list(codec_names())}")
+    return codec

@@ -1,0 +1,200 @@
+"""Chunked frame format for encoded checkpoint payloads.
+
+An encoded blob is a self-describing *frame stream*: one frame header naming
+the codec and the payload geometry, then one record per chunk carrying the
+chunk's raw length, encoded length and 64-bit payload digest, followed by the
+encoded bytes.  Sizes and digests per chunk are what make the stream
+*streamable*: encode never needs the total encoded size up front, decode
+verifies integrity chunk by chunk (truncation and bit rot fail on the first
+bad chunk, not after materializing the whole blob), encode shuffles through a
+fixed-size scratch buffer leased from an
+:class:`~repro.tiers.array_pool.ArrayPool`, and decode scatters each chunk
+straight into its destination slice.
+
+Layout (all integers little-endian)::
+
+    b"MLPC" | version u8 | codec_len u8 | codec ascii
+    itemsize u8 | chunk_bytes u64 | raw_total u64 | num_chunks u64
+    repeat num_chunks times:
+        raw_len u64 | enc_len u64 | digest u64 | <enc_len encoded bytes>
+
+Chunk boundaries are aligned to the payload ``itemsize`` so the byte-shuffle
+codec always sees whole elements.  The frame stream itself is stored as an
+ordinary ``uint8`` tier blob, so everything downstream — content-addressed
+keys, hard links, striping, byte accounting — is unchanged.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.codec.codecs import Codec, CodecError
+from repro.tiers.array_pool import ArrayPool
+from repro.tiers.file_store import finish_digest, payload_digest, streaming_digest
+
+#: Frame magic (guards against decoding a raw blob as a frame stream).
+FRAME_MAGIC = b"MLPC"
+FRAME_VERSION = 1
+#: Default chunk granularity: large enough to amortize per-chunk overhead,
+#: small enough that scratch buffers stay modest and truncation fails early.
+DEFAULT_CHUNK_BYTES = 1 << 20
+
+_HEAD_FMT = "<4sBB"
+_GEOM_FMT = "<BQQQ"
+_CHUNK_FMT = "<QQQ"
+
+
+def _chunk_size(itemsize: int, chunk_bytes: int) -> int:
+    """``chunk_bytes`` aligned down to whole elements (at least one element)."""
+    if chunk_bytes < 1:
+        raise CodecError("chunk_bytes must be >= 1")
+    return max(itemsize, chunk_bytes - chunk_bytes % itemsize)
+
+
+def _as_flat_u8(array: np.ndarray) -> np.ndarray:
+    contiguous = np.ascontiguousarray(array)
+    return contiguous.reshape(-1).view(np.uint8)
+
+
+def encoded_frame(
+    array: np.ndarray,
+    codec: Codec,
+    *,
+    pool: Optional[ArrayPool] = None,
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+) -> np.ndarray:
+    """Encode ``array``'s payload into one frame stream.
+
+    Returns a 1-D ``uint8`` array holding the complete stream — leased from
+    ``pool`` when one is given (the caller releases it once the blob write
+    completes), plainly allocated otherwise.  The byte-shuffle scratch is
+    pooled too, so a steady-state drain encodes without fresh allocations
+    beyond the compressor's own output buffers.
+    """
+    itemsize = int(np.dtype(array.dtype).itemsize)
+    raw = _as_flat_u8(array)
+    chunk = _chunk_size(itemsize, chunk_bytes)
+    scratch = pool.acquire(chunk, np.uint8) if pool is not None else np.empty(chunk, np.uint8)
+    records: List[Tuple[int, bytes, int]] = []
+    try:
+        for start in range(0, raw.size, chunk):
+            piece = raw[start : start + chunk]
+            digest = payload_digest(memoryview(piece))
+            records.append((int(piece.size), codec.encode_chunk(piece, itemsize, scratch), digest))
+        if not records:  # zero-length payload still carries one empty record
+            records.append(
+                (0, codec.encode_chunk(raw[:0], itemsize, scratch), payload_digest(b""))
+            )
+    finally:
+        if pool is not None:
+            pool.release(scratch)
+    name = codec.name.encode("ascii")
+    total = (
+        struct.calcsize(_HEAD_FMT)
+        + len(name)
+        + struct.calcsize(_GEOM_FMT)
+        + sum(struct.calcsize(_CHUNK_FMT) + len(enc) for _, enc, _ in records)
+    )
+    out = pool.acquire(total, np.uint8) if pool is not None else np.empty(total, np.uint8)
+    view = memoryview(out)
+    offset = 0
+    struct.pack_into(_HEAD_FMT, view, offset, FRAME_MAGIC, FRAME_VERSION, len(name))
+    offset += struct.calcsize(_HEAD_FMT)
+    view[offset : offset + len(name)] = name
+    offset += len(name)
+    struct.pack_into(_GEOM_FMT, view, offset, itemsize, chunk, raw.size, len(records))
+    offset += struct.calcsize(_GEOM_FMT)
+    for raw_len, enc, digest in records:
+        struct.pack_into(_CHUNK_FMT, view, offset, raw_len, len(enc), digest)
+        offset += struct.calcsize(_CHUNK_FMT)
+        view[offset : offset + len(enc)] = enc
+        offset += len(enc)
+    assert offset == total
+    return out
+
+
+def decode_frame_into(frame, out: np.ndarray) -> int:
+    """Decode a frame stream into ``out`` and return the full payload digest.
+
+    ``frame`` is the encoded stream (a ``uint8`` array or any buffer);
+    ``out`` is the raw destination — a writable C-contiguous array whose
+    total byte size must equal the stream's recorded ``raw_total``.  Chunks
+    decode straight into their destination slices (no intermediate scratch),
+    each chunk's digest verified as it lands; the returned digest covers the
+    complete raw payload (the value checkpoint manifests record), fed
+    incrementally so no second pass over the data is needed.
+
+    Raises :class:`CodecError` on truncation, geometry mismatches, unknown
+    codecs and failed chunk integrity checks.
+    """
+    from repro.codec.codecs import get_codec
+
+    view = memoryview(np.asarray(frame).reshape(-1).view(np.uint8))
+    head_len = struct.calcsize(_HEAD_FMT)
+    if len(view) < head_len:
+        raise CodecError("frame stream is truncated (no header)")
+    magic, version, name_len = struct.unpack_from(_HEAD_FMT, view, 0)
+    if magic != FRAME_MAGIC:
+        raise CodecError(f"frame stream has invalid magic {magic!r}")
+    if version != FRAME_VERSION:
+        raise CodecError(f"frame stream has unsupported version {version}")
+    offset = head_len
+    geom_len = struct.calcsize(_GEOM_FMT)
+    if len(view) < offset + name_len + geom_len:
+        raise CodecError("frame stream is truncated (no geometry)")
+    codec = get_codec(bytes(view[offset : offset + name_len]).decode("ascii", errors="replace"))
+    offset += name_len
+    itemsize, chunk, raw_total, num_chunks = struct.unpack_from(_GEOM_FMT, view, offset)
+    offset += geom_len
+    # Geometry fields are untrusted bytes: validate before sizing anything
+    # from them, so a corrupt header fails as CodecError — never as a
+    # runaway allocation.
+    if itemsize < 1 or chunk < itemsize or chunk % itemsize:
+        raise CodecError(
+            f"frame stream has malformed chunk geometry (itemsize {itemsize}, chunk {chunk})"
+        )
+    rec_len = struct.calcsize(_CHUNK_FMT)
+    if num_chunks * rec_len > len(view) - offset:
+        raise CodecError("frame stream is truncated (chunk records)")
+
+    if not out.flags.c_contiguous or not out.flags.writeable:
+        raise CodecError("decode destination must be a writable C-contiguous array")
+    dest = out.reshape(-1).view(np.uint8)
+    if dest.size != raw_total:
+        raise CodecError(
+            f"frame stream holds {raw_total} raw bytes, destination has {dest.size}"
+        )
+    hasher = streaming_digest()
+    raw_offset = 0
+    for _ in range(num_chunks):
+        if len(view) < offset + rec_len:
+            raise CodecError("frame stream is truncated (chunk record)")
+        raw_len, enc_len, digest = struct.unpack_from(_CHUNK_FMT, view, offset)
+        offset += rec_len
+        if len(view) < offset + enc_len:
+            raise CodecError("frame stream is truncated (chunk payload)")
+        if raw_len > chunk or raw_offset + raw_len > raw_total:
+            raise CodecError("frame chunks overflow the recorded raw size")
+        if raw_len % itemsize:
+            raise CodecError(
+                f"frame chunk of {raw_len} bytes is not a multiple of itemsize {itemsize}"
+            )
+        piece = dest[raw_offset : raw_offset + raw_len]
+        codec.decode_chunk(view[offset : offset + enc_len], piece, itemsize)
+        observed = payload_digest(memoryview(piece))
+        if observed != digest:
+            raise CodecError(
+                f"chunk at raw offset {raw_offset} failed its integrity check "
+                f"(digest {observed:#018x} != recorded {digest:#018x})"
+            )
+        hasher.update(memoryview(piece))
+        offset += enc_len
+        raw_offset += raw_len
+    if raw_offset != raw_total:
+        raise CodecError(
+            f"frame chunks cover {raw_offset} raw bytes, expected {raw_total}"
+        )
+    return finish_digest(hasher)

@@ -149,6 +149,29 @@ class MLPOffloadConfig:
     #: classic copy-out checkpoint (the sync-stall contrast in the
     #: ``checkpoint_overhead_comparison`` benchmark).
     checkpoint_link_tier_blobs: bool = True
+    #: Codec applied to *staged* checkpoint payloads (dirty residue + FP16
+    #: working copy) as the drain thread writes them: ``"raw"`` stores plain
+    #: blobs (the pre-compression behaviour), ``"null"`` writes frames with
+    #: identity chunks (the framing-cost ablation), ``"shuffle-deflate"``
+    #: byte-shuffles and block-compresses each chunk (the LZ4-class default).
+    #: Hard-linked tier-resident blobs are never re-encoded — they move zero
+    #: bytes either way.  Content addressing keys on the *uncompressed*
+    #: digest, so delta dedup is codec-independent.
+    checkpoint_codec: str = "shuffle-deflate"
+    #: Restore committed checkpoints by streaming: clean tier-resident blobs
+    #: are hard-linked straight back into the tier stores (zero bytes
+    #: copied) and staged residue subgroups are decoded lazily on first
+    #: fetch, so restart cost scales with the dirty residue instead of the
+    #: full state.  Off = the eager restore (read and re-flush every
+    #: subgroup up front), kept as the contrast the restore benchmark times.
+    checkpoint_streaming_restore: bool = True
+    #: Commit a striped flush's manifest only after every stripe write has
+    #: landed (stripe-epoch keys + commit-after-barrier), so a crash
+    #: mid-flush leaves the key reading as the complete *old* value instead
+    #: of a manifest referencing mixed stripes.  Off = the manifest-first
+    #: layout (one fewer manifest write per re-planned flush) as the
+    #: ablation baseline.
+    crash_safe_striped_flush: bool = True
     #: Adam hyper-parameters for the CPU update.
     adam: AdamConfig = field(default_factory=AdamConfig)
     #: Re-estimate tier bandwidths from observed I/O after each iteration.
@@ -176,6 +199,13 @@ class MLPOffloadConfig:
             raise ValueError("checkpoint_interval must be >= 1")
         if self.checkpoint_retention < 1:
             raise ValueError("checkpoint_retention must be >= 1")
+        from repro.codec import codec_names
+
+        if self.checkpoint_codec not in codec_names():
+            raise ValueError(
+                f"unknown checkpoint_codec {self.checkpoint_codec!r}; "
+                f"known: {list(codec_names())}"
+            )
         if self.stripe_threshold_bytes < 0:
             raise ValueError("stripe_threshold_bytes must be non-negative")
         if self.stripe_paths < 0:
@@ -271,6 +301,9 @@ class MLPOffloadConfig:
                 "checkpoint_interval": self.checkpoint_interval,
                 "checkpoint_retention": self.checkpoint_retention,
                 "checkpoint_link_tier_blobs": self.checkpoint_link_tier_blobs,
+                "checkpoint_codec": self.checkpoint_codec,
+                "checkpoint_streaming_restore": self.checkpoint_streaming_restore,
+                "crash_safe_striped_flush": self.crash_safe_striped_flush,
                 "striped_reads": self.enable_striped_reads,
                 "stripe_threshold_bytes": self.stripe_threshold_bytes,
                 "stripe_paths": self.stripe_paths,
@@ -309,6 +342,11 @@ class MLPOffloadConfig:
             checkpoint_interval=int(block.get("checkpoint_interval", 1)),
             checkpoint_retention=int(block.get("checkpoint_retention", 2)),
             checkpoint_link_tier_blobs=bool(block.get("checkpoint_link_tier_blobs", True)),
+            checkpoint_codec=str(block.get("checkpoint_codec", "shuffle-deflate")),
+            checkpoint_streaming_restore=bool(
+                block.get("checkpoint_streaming_restore", True)
+            ),
+            crash_safe_striped_flush=bool(block.get("crash_safe_striped_flush", True)),
             enable_striped_reads=bool(block.get("striped_reads", True)),
             stripe_threshold_bytes=parse_bytes(block.get("stripe_threshold_bytes", float(1 << 20))),
             stripe_paths=int(block.get("stripe_paths", 0)),

@@ -56,7 +56,7 @@ import concurrent.futures
 import numpy as np
 
 from repro.aio.locks import TierLockManager
-from repro.ckpt.manifest import CheckpointError
+from repro.ckpt.manifest import BlobRef, CheckpointError
 from repro.ckpt.restore import CheckpointReader, RestoredCheckpoint
 from repro.ckpt.writer import CheckpointWriter, SubgroupSource
 from repro.core.concurrency import NodeConcurrencyController
@@ -70,6 +70,7 @@ from repro.core.ordering import OrderingPolicy, update_order
 from repro.core.stats import UpdatePhaseStats
 from repro.core.virtual_tier import GRAD_FIELD, STATE_FIELDS, VirtualTier
 from repro.tiers.array_pool import ArrayPool
+from repro.tiers.file_store import element_count
 from repro.tiers.host_cache import HostSubgroupCache
 from repro.train.adam import AdamScratch, AdamState, adam_update
 from repro.train.gradients import GradientAccumulator
@@ -163,6 +164,14 @@ class OffloadEngineBase:
         self._steps: Dict[int, int] = {sg.index: 0 for sg in self.subgroups}
         self._initialized = False
         self._update_count = 0
+        #: Tier throttles, kept so restore readers share the same device
+        #: timelines as training I/O (honest restore timings).
+        self._throttles = throttles
+        #: Streaming restore: subgroup → field → checkpoint blob refs still
+        #: awaiting their lazy first-fetch restore.
+        self._pending_restores: Dict[int, Dict[str, BlobRef]] = {}
+        self._restore_reader: Optional[CheckpointReader] = None
+        self._restore_verify = True
         self.backward_flush_seconds = 0.0
         #: Async backward-phase gradient flushes in flight, by subgroup:
         #: the write futures plus the pooled FP32 payload to recycle.
@@ -569,6 +578,11 @@ class OffloadEngineBase:
         subgroup_index = order[position]
         if subgroup_index in pending or subgroup_index in self.cache:
             return
+        if subgroup_index in self._pending_restores:
+            # Lazily restored subgroup: its authoritative bytes live in the
+            # checkpoint stores, not on the tiers — the fetch goes through
+            # the restore reader when its turn comes (no tier prefetch).
+            return
         sg = self._by_index[subgroup_index]
         tier_name = self.tier.placement.tier_of(sg.index)
         lease = self.concurrency.try_exclusive(tier_name, self.worker)
@@ -586,9 +600,69 @@ class OffloadEngineBase:
         futures = self.tier.prefetch_subgroup(sg.key, sg.index, fields, out_arrays=outs)
         pending[subgroup_index] = (futures, outs)
 
+    def _fetch_restored(self, sg: Subgroup, fields: List[str]) -> Dict[str, np.ndarray]:
+        """First fetch of a lazily restored subgroup: stream it out of the
+        checkpoint stores (digest-verified, decoded through pooled buffers)
+        instead of the tiers.  The subgroup then flows through the ordinary
+        update path — cached, updated, flushed — and the tiers become its
+        authoritative home again."""
+        assert self._restore_reader is not None
+        refs = self._pending_restores[sg.index]
+        arrays: Dict[str, np.ndarray] = {}
+        try:
+            for name in STATE_FIELDS:
+                buf = self.pool.acquire(sg.num_params, np.float32)
+                arrays[name] = buf
+                self._restore_reader.read_blob(
+                    refs[name], buf, verify=self._restore_verify, pool=self.pool
+                )
+        except BaseException:
+            self.pool.release_all(arrays.values())
+            raise
+        if GRAD_FIELD in fields:
+            # The resumed run's backward pass may already have flushed a
+            # fresh FP32 gradient blob to the tier (baseline policy) — that
+            # one is newer than the checkpoint and lives where gradients
+            # always live.  A missing blob means first-iteration fallback to
+            # the host accumulator, as on the ordinary fetch path — which
+            # this read mirrors: the tier lease for non-striped reads, no
+            # lease for striped ones (flush_subgroup's deadlock note), and
+            # sibling-await before any buffer returns to the pool.
+            out = self.pool.acquire(sg.num_params, np.float32)
+            futures: Dict[str, "concurrent.futures.Future"] = {}
+            try:
+                if self.tier.is_striped_subgroup(sg.key):
+                    futures = self.tier.prefetch_subgroup(
+                        sg.key, sg.index, [GRAD_FIELD], out_arrays={GRAD_FIELD: out}
+                    )
+                else:
+                    tier_name = self.tier.placement.tier_of(sg.index)
+                    with self.concurrency.exclusive(tier_name, self.worker):
+                        futures = self.tier.prefetch_subgroup(
+                            sg.key, sg.index, [GRAD_FIELD], out_arrays={GRAD_FIELD: out}
+                        )
+                result = futures[GRAD_FIELD].result()
+            except BaseException:
+                for future in futures.values():
+                    try:
+                        future.result()
+                    except BaseException:  # noqa: BLE001 - already failing
+                        pass
+                self.pool.release(out)
+                self.pool.release_all(arrays.values())
+                raise
+            if result.ok:
+                arrays[GRAD_FIELD] = result.array
+            else:
+                self.pool.release(out)
+        del self._pending_restores[sg.index]
+        return arrays
+
     def _complete_fetch(
         self, sg: Subgroup, pending: Dict[int, _PendingFetch], fields: List[str]
     ) -> Dict[str, np.ndarray]:
+        if sg.index in self._pending_restores:
+            return self._fetch_restored(sg, fields)
         entry = pending.pop(sg.index, None)
         if entry is None:
             outs = self._acquire_fetch_buffers(sg, fields)
@@ -757,6 +831,22 @@ class OffloadEngineBase:
             cached = self.cache.peek(sg.index)
             if cached is not None and "params" in cached:
                 flat[self._views[sg.index]] = np.asarray(cached["params"], dtype=np.float32)
+            elif sg.index in self._pending_restores:
+                # Lazily restored subgroup not yet fetched: its bytes live in
+                # the checkpoint stores.  Read (do not consume — the pending
+                # lazy restore stays pending for the update path).
+                assert self._restore_reader is not None
+                buf = self.pool.acquire(sg.num_params, np.float32)
+                try:
+                    self._restore_reader.read_blob(
+                        self._pending_restores[sg.index]["params"],
+                        buf,
+                        verify=self._restore_verify,
+                        pool=self.pool,
+                    )
+                    flat[self._views[sg.index]] = buf
+                finally:
+                    self.pool.release(buf)
             else:
                 arrays = self.tier.fetch_subgroup(sg.key, sg.index, ["params"])
                 flat[self._views[sg.index]] = arrays["params"]
@@ -811,7 +901,19 @@ class OffloadEngineBase:
         try:
             for sg in self.subgroups:
                 entry = self.cache.entry(sg.index)
-                if entry is not None and entry.dirty:
+                if sg.index in self._pending_restores:
+                    # Still awaiting its lazy restore: the subgroup's exact
+                    # state already sits in the checkpoint stores — carry the
+                    # previous version's refs forward verbatim (zero bytes
+                    # moved, and the reference keeps the blobs alive across
+                    # retention GC until the subgroup is actually restored).
+                    sources.append(
+                        SubgroupSource(
+                            index=sg.index,
+                            carried=dict(self._pending_restores[sg.index]),
+                        )
+                    )
+                elif entry is not None and entry.dirty:
                     # Dirty residue: the newest state lives only in the host
                     # cache — stage a private copy so the drain (and the next
                     # iteration's updates) cannot race it.
@@ -910,21 +1012,41 @@ class OffloadEngineBase:
         """Rebuild the engine from a committed checkpoint version.
 
         Must be called on a *fresh* (uninitialized) engine over the same
-        storage configuration.  The restart sequence: load the chosen (or
-        latest) manifest, validate its layout echo against this engine,
-        rebuild the virtual-tier placement from the recorded assignments,
-        read every subgroup's state out of the checkpoint stores into pooled
-        buffers (each segment digest-verified when ``verify`` is on), flush it
-        back to the tiers, and restore the Adam step counters and iteration
-        count.  Returns the restored FP16 working parameters and user data;
-        training can resume exactly where the snapshot was taken — the
-        crash-restart tests assert the resumed trajectory is bitwise
-        identical to an uninterrupted run.
+        storage configuration.  Both modes load the chosen (or latest)
+        manifest, validate its layout echo, read (and, with ``verify`` on,
+        digest-verify) the FP16 working copy, rebuild the virtual-tier
+        placement from the recorded assignments and restore the Adam step
+        counters and iteration count; they differ in how the FP32 optimizer
+        state comes back:
+
+        * **streaming** (``checkpoint_streaming_restore``, the default) —
+          subgroups whose checkpoint refs are hard-linked tier blobs are
+          *linked straight back* into the tier stores (the reverse of the
+          snapshot's adopt: a metadata operation per blob, zero payload
+          bytes moved); staged subgroups — the dirty residue — stay
+          *pending* and are streamed out of the checkpoint stores on their
+          first fetch (decoded and digest-verified through pooled buffers).
+          Restart cost is O(dirty residue), not O(state).  With ``verify``
+          on, linked blobs get a header-only geometry check against the
+          manifest; their payload *content* is not re-read (that is the
+          point of the hard link) — use
+          :meth:`CheckpointReader.verify_blobs` for a full content audit
+          when the stores are suspect.
+        * **eager** — read every subgroup's state out of the checkpoint
+          stores into pooled buffers (each segment digest-verified when
+          ``verify`` is on) and flush it back to the tiers up front (the
+          pre-streaming behaviour, kept as the restore benchmark's
+          contrast).
+
+        Returns the restored FP16 working parameters and user data; training
+        resumes exactly where the snapshot was taken — the crash-restart
+        tests assert the resumed trajectory is bitwise identical to an
+        uninterrupted run in both modes.
         """
         self._require_checkpointer()
         if self._initialized:
             raise RuntimeError("restore_checkpoint requires a fresh engine")
-        reader = CheckpointReader(self.config, worker=self.worker)
+        reader = CheckpointReader(self.config, worker=self.worker, throttles=self._throttles)
         manifest = reader.load_manifest(version)
         echo = self._layout_echo()
         if manifest.layout != echo:
@@ -937,37 +1059,63 @@ class OffloadEngineBase:
             raise CheckpointError(
                 f"checkpoint v{manifest.version} lacks subgroups {missing}"
             )
+        for sg in self.subgroups:
+            for name in STATE_FIELDS:
+                if name not in manifest.subgroups[sg.index]:
+                    raise CheckpointError(
+                        f"checkpoint v{manifest.version} lacks field {name!r} of "
+                        f"subgroup {sg.index}"
+                    )
         # Read (and verify) the FP16 working copy before touching any engine
         # state, so a corrupt blob fails while the engine is still fresh and
         # a retry against an older version remains possible.
         fp16 = np.empty(self.layout.rank_params(self.rank), dtype=np.float16)
-        reader.read_blob(manifest.fp16_params, fp16, verify=verify)
+        reader.read_blob(manifest.fp16_params, fp16, verify=verify, pool=self.pool)
         self.tier.build_placement([sg.index for sg in self.subgroups])
+        streaming = self.config.checkpoint_streaming_restore
+        linked_subgroups = lazy_subgroups = 0
         for sg in self.subgroups:
             fields = manifest.subgroups[sg.index]
-            arrays: Dict[str, np.ndarray] = {}
-            try:
-                for name in STATE_FIELDS:
-                    if name not in fields:
-                        raise CheckpointError(
-                            f"checkpoint v{manifest.version} lacks field {name!r} of "
-                            f"subgroup {sg.index}"
-                        )
-                    buf = self.pool.acquire(sg.num_params, np.float32)
-                    arrays[name] = buf
-                    reader.read_blob(fields[name], buf, verify=verify)
-            except BaseException:
-                self.pool.release_all(arrays.values())
-                raise
             target = manifest.placement.get(sg.index)
             if target not in self.tier.tier_names:
                 target = None  # tier set changed since the snapshot
-            self.tier.flush_subgroup(sg.key, sg.index, arrays, tier=target, wait=True)
+            if streaming:
+                if target is not None:
+                    self.tier.placement.assign(sg.index, target)
+                if self._restore_by_hardlink(sg, fields, reader, verify=verify):
+                    linked_subgroups += 1
+                else:
+                    self._pending_restores[sg.index] = {
+                        name: fields[name] for name in STATE_FIELDS
+                    }
+                    lazy_subgroups += 1
+            else:
+                arrays: Dict[str, np.ndarray] = {}
+                try:
+                    for name in STATE_FIELDS:
+                        buf = self.pool.acquire(sg.num_params, np.float32)
+                        arrays[name] = buf
+                        reader.read_blob(fields[name], buf, verify=verify, pool=self.pool)
+                except BaseException:
+                    self.pool.release_all(arrays.values())
+                    raise
+                self.tier.flush_subgroup(sg.key, sg.index, arrays, tier=target, wait=True)
+                if not self.cache.put(sg.index, arrays, dirty=False):
+                    self.pool.release_all(arrays.values())
             # A crashed run may have left a newer FP32 gradient blob behind;
             # it belongs to a discarded iteration, so drop it.
             self.tier.delete_subgroup_field(sg.key, sg.index, GRAD_FIELD)
-            if not self.cache.put(sg.index, arrays, dirty=False):
-                self.pool.release_all(arrays.values())
+        if streaming:
+            self._restore_reader = reader
+            self._restore_verify = verify
+            if verify and linked_subgroups:
+                _LOG.info(
+                    "restore v%d: %d subgroups hard-linked (geometry-checked, payload "
+                    "content not re-read); run CheckpointReader.verify_blobs for a "
+                    "full digest audit",
+                    manifest.version,
+                    linked_subgroups,
+                )
         self._steps = {
             sg.index: int(manifest.steps.get(sg.index, 0)) for sg in self.subgroups
         }
@@ -979,7 +1127,89 @@ class OffloadEngineBase:
             iteration=manifest.iteration,
             fp16_params=fp16,
             user_data=manifest.user_data,
+            mode="streaming" if streaming else "eager",
+            linked_subgroups=linked_subgroups,
+            lazy_subgroups=lazy_subgroups,
         )
+
+    def _restore_by_hardlink(
+        self, sg, fields: Dict[str, BlobRef], reader, *, verify: bool
+    ) -> bool:
+        """Link one subgroup's checkpoint blobs back into the tier stores.
+
+        Only *linked* raw refs whose tiers are still configured qualify — a
+        hard link can neither decode a frame stream nor cross filesystems.
+        Blobs referenced by the manifest must exist (a missing one raises
+        :class:`CheckpointError`: the checkpoint is damaged), and with
+        ``verify`` on each blob's stored geometry (dtype, element count) is
+        checked against the manifest — a header-only read that catches
+        truncation and file swaps while still moving zero payload bytes.
+        Payload *content* is deliberately not digest-checked here (that
+        would read everything the hard link exists to avoid; see
+        :meth:`CheckpointReader.verify_blobs` for the deep audit).  Returns
+        ``False`` when the subgroup does not qualify or the recorded layout
+        no longer fits the current striping configuration; the caller then
+        falls back to the lazy streamed restore (a partially adopted
+        subgroup is harmless — the adopted blobs hold exactly the checkpoint
+        content and are overwritten by the subgroup's next flush).
+        """
+        from repro.tiers.file_store import StoreError
+
+        for name in STATE_FIELDS:
+            ref = fields[name]
+            if ref.source != "linked":
+                return False
+            for seg in ref.segments:
+                if seg.codec != "raw" or seg.tier not in self.tier.tier_names:
+                    return False
+        # Single-segment refs adopt as whole blobs on their recorded tier,
+        # and whole-blob reads route through the placement map — so every
+        # single-segment field must live on one common tier (a single-extent
+        # *striped* layout can sit on a stripe path that differs from the
+        # recorded placement).  Disagreement falls back to the lazy restore.
+        whole_tiers = {
+            fields[name].segments[0].tier
+            for name in STATE_FIELDS
+            if len(fields[name].segments) == 1
+        }
+        if len(whole_tiers) > 1:
+            return False
+        try:
+            for name in STATE_FIELDS:
+                ref = fields[name]
+                segments = []
+                for seg in ref.segments:
+                    store = reader.stores.get(seg.tier)
+                    if store is None or not store.contains(seg.key):
+                        raise CheckpointError(
+                            f"checkpoint references missing blob {seg.key!r} on tier "
+                            f"{seg.tier!r}"
+                        )
+                    if verify:
+                        dtype, shape = store.meta_of(seg.key)
+                        count = element_count(shape)
+                        if dtype != ref.numpy_dtype or count != seg.count:
+                            raise CheckpointError(
+                                f"checkpoint blob {seg.key!r} on tier {seg.tier!r} "
+                                f"failed its integrity check (stored geometry "
+                                f"{dtype.name}[{count}] != manifest "
+                                f"{ref.dtype}[{seg.count}])"
+                            )
+                    segments.append(
+                        (seg.tier, store.path_of(seg.key), seg.start, seg.count, seg.digest)
+                    )
+                self.tier.adopt_field_blobs(sg.key, name, segments)
+        except StoreError:
+            # Layout no longer representable (striping off, stripe set
+            # narrowed, ...): restore this subgroup lazily instead.
+            return False
+        if whole_tiers:
+            # Reads of whole blobs follow the placement map; make it agree
+            # with where the adopted blobs actually live (the manifest's
+            # recorded placement can differ, e.g. a single-extent striped
+            # layout on a stripe path).
+            self.tier.placement.assign(sg.index, next(iter(whole_tiers)))
+        return True
 
     @property
     def update_count(self) -> int:

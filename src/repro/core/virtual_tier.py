@@ -26,17 +26,17 @@ from __future__ import annotations
 import concurrent.futures
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, List, Mapping, Optional
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.aio.engine import AsyncIOEngine, IOResult
+from repro.aio.engine import AsyncIOEngine, IOResult, chain_io_result
 from repro.aio.locks import TierLockManager
 from repro.aio.microbench import probe_tiers
 from repro.core.config import MLPOffloadConfig
 from repro.core.performance_model import BandwidthEstimator, allocation_from_ratios
 from repro.core.placement import PlacementMap
-from repro.tiers.file_store import FileStore, StoreError
+from repro.tiers.file_store import FileStore, StoreError, element_count
 from repro.tiers.mmap_store import MmapFileStore
 from repro.tiers.striped_store import StripedStore
 from repro.util.logging import get_logger
@@ -148,6 +148,7 @@ class VirtualTier:
             self.striped = StripedStore(
                 [self.stores[name] for name in self.stripe_tier_names],
                 threshold_bytes=config.stripe_threshold_bytes,
+                crash_safe=config.crash_safe_striped_flush,
             )
 
     # -- construction helpers ---------------------------------------------
@@ -225,25 +226,57 @@ class VirtualTier:
             if self.striped is not None and array.nbytes >= self.config.stripe_threshold_bytes:
                 # Stripe the field across the paths; each stripe is written
                 # through the engine as an ordinary single-path write.
-                if not self.striped.is_striped(key):
+                if not self.striped.crash_safe and not self.striped.is_striped(key):
                     # First striped write of this key: a stale whole blob may
                     # sit on a tier outside the stripe set (plan_save sweeps
                     # only its own backends); remove it so no reader can ever
-                    # observe the outdated representation.
-                    for name in self.tier_names:
-                        if name not in self.stripe_tier_names and self.stores[name].contains(key):
-                            self.stores[name].delete(key)
+                    # observe the outdated representation.  (In crash-safe
+                    # mode this sweep runs *after* the commit —
+                    # :meth:`_commit_striped` — so a crash mid-flush never
+                    # loses the only copy.)
+                    for tier_name in self.tier_names:
+                        if (
+                            tier_name not in self.stripe_tier_names
+                            and self.stores[tier_name].contains(key)
+                        ):
+                            self.stores[tier_name].delete(key)
                 parts = self.striped.plan_save(key, array, weights=self._stripe_weights())
-                futures.append(
-                    self.engine.write_multi(
-                        [(p.tier, p.key, p.array) for p in parts], key=key, worker=self.worker
-                    )
+                aggregate = self.engine.write_multi(
+                    [(p.tier, p.key, p.array) for p in parts], key=key, worker=self.worker
                 )
-            else:
-                if self.striped is not None:
-                    # The field shrank below the threshold (or striping policy
-                    # changed): drop any stale striped representation first.
+                if self.striped.crash_safe:
+                    # Commit-after-barrier: the manifest flips to the new
+                    # stripe epoch only once every stripe write has landed,
+                    # chained behind the aggregate future so whoever awaits
+                    # the flush also observes the commit.  A failed barrier
+                    # abandons the plan instead — the committed generation
+                    # stays authoritative and the next commit's orphan sweep
+                    # is re-armed for the partial stripes left behind.
+                    aggregate = chain_io_result(
+                        aggregate,
+                        lambda _result, k=key: self._commit_striped(k),
+                        on_error=lambda _result, k=key: self.striped.abandon_save(k),
+                    )
+                futures.append(aggregate)
+            elif self.striped is not None and self.striped.is_striped(key):
+                # The field shrank below the threshold (or striping policy
+                # changed): downgrade striped → whole.
+                if self.striped.crash_safe:
+                    # Land the whole blob first; drop the stale striped
+                    # layout only behind the barrier.  Until the drop, the
+                    # manifest stays authoritative (readers see the complete
+                    # old value), so a crash anywhere in between never
+                    # leaves the field without a complete representation.
+                    futures.append(
+                        chain_io_result(
+                            self.engine.write(target, key, array, worker=self.worker),
+                            lambda _result, k=key: self.striped.drop_stripes(k),
+                        )
+                    )
+                else:
                     self.striped.drop_stripes(key)
+                    futures.append(self.engine.write(target, key, array, worker=self.worker))
+            else:
                 futures.append(self.engine.write(target, key, array, worker=self.worker))
         self.placement.assign(subgroup_id, target)
         if wait:
@@ -252,6 +285,24 @@ class VirtualTier:
                 if not result.ok:
                     raise result.error  # type: ignore[misc]
         return futures
+
+    def _commit_striped(self, key: str) -> None:
+        """Commit a crash-safe striped flush and finish the stale-blob sweep.
+
+        Runs as the chained epilogue of the flush's aggregate write future.
+        :meth:`StripedStore.commit_save` sweeps its own backends; whole
+        blobs on tiers *outside* the stripe set (from an earlier unstriped
+        placement) are swept here, after the manifest is durable, so a crash
+        at any point leaves at least one complete representation readable.
+        Both sweeps run only on the key's first commit (commit_save's
+        return) — steady-state re-flushes skip the stat walk entirely.
+        """
+        assert self.striped is not None
+        if not self.striped.commit_save(key):
+            return
+        for tier_name in self.tier_names:
+            if tier_name not in self.stripe_tier_names and self.stores[tier_name].contains(key):
+                self.stores[tier_name].delete(key)
 
     def prefetch_subgroup(
         self,
@@ -280,7 +331,7 @@ class VirtualTier:
             if self.striped is not None and self.striped.is_striped(key):
                 if out is None:
                     dtype, shape = self.striped.meta_of(key)
-                    count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+                    count = element_count(shape)
                     out = np.empty(count, dtype=dtype)
                 parts = self.striped.plan_load(key, out)
                 futures[fieldname] = self.engine.read_into_multi(
@@ -351,6 +402,7 @@ class VirtualTier:
         if self.striped is not None and self.striped.is_striped(key):
             extents = self.striped.extents_of(key)
             assert extents is not None
+            epoch = self.striped.epoch_of(key)
             refs = []
             for ext in extents:
                 if ext.path >= len(self.stripe_tier_names):
@@ -359,7 +411,7 @@ class VirtualTier:
                         f"configured stripe set"
                     )
                 tier = self.stripe_tier_names[ext.path]
-                skey = self.striped.stripe_key(key, ext.index)
+                skey = self.striped.stripe_key(key, ext.index, epoch)
                 refs.append(
                     TierBlobRef(
                         tier=tier,
@@ -381,7 +433,7 @@ class VirtualTier:
                 f"field {key!r} on tier {tier!r} has dtype {dtype_meta.name}, "
                 f"expected {np.dtype(dtype).name}"
             )
-        count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        count = element_count(shape)
         return [
             TierBlobRef(
                 tier=tier,
@@ -396,6 +448,52 @@ class VirtualTier:
     def blob_path(self, tier: str, key: str) -> Path:
         """Filesystem path of a tier blob (for hard-link checkpoint references)."""
         return self.stores[tier].path_of(key)
+
+    def adopt_field_blobs(
+        self,
+        subgroup_key: str,
+        fieldname: str,
+        segments: "Sequence[Tuple[str, Path, int, int, Optional[int]]]",
+        *,
+        dtype: "np.dtype | type" = np.float32,
+    ) -> None:
+        """Hard-link checkpoint blobs back as one field's tier representation.
+
+        The exact reverse of :meth:`export_field_blobs` + ``FileStore.adopt``:
+        ``segments`` is the ordered ``(tier, source_path, start, count,
+        checksum)`` list of a *linked* checkpoint blob ref — one entry for a
+        whole blob, one per stripe for striped fields.  Each source sits in
+        that tier's checkpoint store (same filesystem), so adoption moves
+        zero payload bytes.  Raises :class:`StoreError` when the recorded
+        layout cannot be represented under the current configuration (tier
+        gone, striping disabled, stripe set narrowed) — callers then fall
+        back to a streamed lazy restore of the field.
+        """
+        key = self._field_key(subgroup_key, fieldname)
+        if len(segments) == 1:
+            tier, source, _, _, checksum = segments[0]
+            store = self.stores.get(tier)
+            if store is None:
+                raise StoreError(f"cannot adopt {key!r}: tier {tier!r} is not configured")
+            if self.striped is not None:
+                self.striped.drop_stripes(key)  # stale striped layout, if any
+            store.adopt(key, source, checksum=checksum)
+            return
+        if self.striped is None:
+            raise StoreError(
+                f"cannot adopt striped field {key!r}: striping is not enabled"
+            )
+        count = sum(int(seg[3]) for seg in segments)
+        for tier_name in self.tier_names:
+            # A stale whole blob (e.g. from a crashed run's divergent flush)
+            # must not shadow the adopted striped representation.  Stripe-set
+            # backends are swept by adopt_striped's own commit; only tiers
+            # outside it need covering here.
+            if tier_name in self.stripe_tier_names:
+                continue
+            if self.stores[tier_name].contains(key):
+                self.stores[tier_name].delete(key)
+        self.striped.adopt_striped(key, list(segments), dtype=dtype, count=count)
 
     def will_stripe(self, arrays: Mapping[str, np.ndarray]) -> bool:
         """Whether flushing ``arrays`` would route any field through striping.

@@ -52,6 +52,8 @@ _LOG = get_logger("tiers.file_store")
 
 #: Magic prefix guarding against reading foreign files as subgroup blobs.
 _MAGIC = b"MLPO"
+#: Chunk size meaning "the whole payload in one readinto" (load_into).
+_WHOLE_BLOB = 1 << 62
 #: Process-wide counter making every in-flight temp file unique, so
 #: concurrent writes to the same key cannot rename each other's temp away.
 _TMP_COUNTER = itertools.count()
@@ -64,7 +66,34 @@ def payload_digest(buffer) -> int:
     realistic blob count, unlike CRC-32's birthday bound) while staying fast
     enough to compute inline on every tracked write.
     """
-    return int.from_bytes(hashlib.blake2b(buffer, digest_size=8).digest(), "big")
+    return finish_digest(streaming_digest(buffer))
+
+
+def streaming_digest(buffer=None):
+    """A hasher producing :func:`payload_digest`'s convention incrementally.
+
+    Feed chunks with ``update()`` and finish with :func:`finish_digest`.
+    This pair is the single definition of the 64-bit digest convention —
+    every incremental digest (chunked restore reads, frame decode) must go
+    through it so it can never drift from the one-shot ``payload_digest``.
+    """
+    return hashlib.blake2b(buffer, digest_size=8) if buffer is not None else hashlib.blake2b(
+        digest_size=8
+    )
+
+
+def finish_digest(hasher) -> int:
+    """Collapse a :func:`streaming_digest` hasher into the 64-bit int form."""
+    return int.from_bytes(hasher.digest(), "big")
+
+
+def element_count(shape) -> int:
+    """Element count implied by a blob-header shape (``()`` = one scalar).
+
+    The single definition of the zero-dim convention — every consumer of
+    :meth:`FileStore.meta_of` geometry must use it.
+    """
+    return int(np.prod(shape, dtype=np.int64)) if shape else 1
 #: Header: magic, version, dtype code length, ndim, then shape dims (uint64 each).
 _HEADER_FMT = "<4sBBB"
 _SUPPORTED_DTYPES = {"float16", "float32", "float64", "int32", "int64", "uint8"}
@@ -235,7 +264,7 @@ class FileStore:
         shape = struct.unpack_from(f"<{ndim}Q", blob, offset) if ndim else ()
         offset += 8 * ndim
         dtype = np.dtype(dtype_name)
-        expected = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize if ndim else dtype.itemsize
+        expected = element_count(shape) * dtype.itemsize
         payload = blob[offset:]
         if len(payload) != expected:
             raise StoreError(
@@ -288,7 +317,7 @@ class FileStore:
         header disagrees with the file size.
         """
         dtype, shape, ndim, meta_len = cls._read_meta(handle, key)
-        count = int(np.prod(shape, dtype=np.int64)) if ndim else 1
+        count = element_count(shape)
         expected = count * dtype.itemsize
         if total - meta_len != expected:
             raise StoreError(
@@ -404,6 +433,31 @@ class FileStore:
         Thread-safe: any number of concurrent reads may target the same key,
         each with its own destination.
         """
+        # One maximal chunk == a single readinto of the whole payload: the
+        # chunked reader is the one implementation of validation, truncation
+        # handling and byte accounting.
+        return self.load_into_chunks(key, out, chunk_bytes=_WHOLE_BLOB)
+
+    def load_into_chunks(
+        self,
+        key: str,
+        out: np.ndarray,
+        *,
+        chunk_bytes: int = 1 << 20,
+        hasher=None,
+    ) -> np.ndarray:
+        """Chunked zero-copy read with an optional streaming digest.
+
+        Behaves exactly like :meth:`load_into` (same validation, errors,
+        ownership rules and byte accounting) but fills ``out`` in
+        ``chunk_bytes`` slices and, when ``hasher`` is given (any object with
+        an ``update(bytes-like)`` method, e.g. ``hashlib.blake2b``), feeds
+        each slice to it as soon as it lands.  Restore-time integrity
+        verification uses this to digest a blob *while* reading it — one
+        pass, no whole-blob materialization beyond the destination itself.
+        """
+        if chunk_bytes < 1:
+            raise StoreError("chunk_bytes must be >= 1")
         if not out.flags.c_contiguous:
             raise StoreError(f"load_into destination for {key!r} must be C-contiguous")
         if not out.flags.writeable:
@@ -424,7 +478,16 @@ class FileStore:
                     f"load_into size mismatch for {key!r}: blob has {count} elements, "
                     f"destination has {out.size}"
                 )
-            self._readinto_checked(handle, key, out.reshape(-1), expected)
+            view = memoryview(out.reshape(-1)).cast("B")
+            offset = 0
+            while offset < expected:
+                piece = view[offset : offset + min(chunk_bytes, expected - offset)]
+                got = handle.readinto(piece)
+                if got != len(piece):
+                    raise StoreError(f"blob for {key!r} is truncated")
+                if hasher is not None:
+                    hasher.update(piece)
+                offset += len(piece)
         elapsed = time.perf_counter() - start
         self._account_read(total, elapsed)
         return out
@@ -467,13 +530,13 @@ class FileStore:
         with self._open_for_read(key) as handle:
             total = os.fstat(handle.fileno()).st_size
             self._read_validated_meta(handle, key, total)
-            digest = hashlib.blake2b(digest_size=8)
+            digest = streaming_digest()
             while True:
                 chunk = handle.read(1 << 20)
                 if not chunk:
                     break
                 digest.update(chunk)
-        checksum = int.from_bytes(digest.digest(), "big")
+        checksum = finish_digest(digest)
         with self._lock:
             self._checksums[key] = checksum
         return checksum

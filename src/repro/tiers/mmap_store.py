@@ -127,6 +127,27 @@ class MmapFileStore(FileStore):
     # -- read API (mmap-served) -------------------------------------------
 
     def load_into(self, key: str, out: np.ndarray) -> np.ndarray:
+        # One maximal chunk == a single copy out of the mapping; the chunked
+        # reader holds the one copy of the validation and accounting.
+        return self.load_into_chunks(key, out, chunk_bytes=1 << 62)
+
+    def load_into_chunks(
+        self,
+        key: str,
+        out: np.ndarray,
+        *,
+        chunk_bytes: int = 1 << 20,
+        hasher=None,
+    ) -> np.ndarray:
+        """Chunked mmap-served read with an optional streaming digest.
+
+        Same contract as :meth:`FileStore.load_into_chunks`, but each chunk
+        is copied out of the cached mapping instead of ``readinto`` — the
+        blob is never materialized as a separate bytes object, and the
+        digest streams over the destination slices as they are filled.
+        """
+        if chunk_bytes < 1:
+            raise StoreError("chunk_bytes must be >= 1")
         if not out.flags.c_contiguous:
             raise StoreError(f"load_into destination for {key!r} must be C-contiguous")
         if not out.flags.writeable:
@@ -143,7 +164,15 @@ class MmapFileStore(FileStore):
                 f"load_into size mismatch for {key!r}: blob has {entry.count} elements, "
                 f"destination has {out.size}"
             )
-        np.copyto(out.reshape(-1), entry.payload)
+        dest = memoryview(out.reshape(-1)).cast("B")
+        source = memoryview(entry.payload).cast("B")
+        offset = 0
+        while offset < len(dest):
+            piece = dest[offset : offset + min(chunk_bytes, len(dest) - offset)]
+            piece[:] = source[offset : offset + len(piece)]
+            if hasher is not None:
+                hasher.update(piece)
+            offset += len(piece)
         elapsed = time.perf_counter() - start
         self._account_read(entry.total_bytes, elapsed)
         return out

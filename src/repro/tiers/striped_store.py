@@ -63,7 +63,10 @@ _LOG = get_logger("tiers.striped_store")
 MANIFEST_SUFFIX = ".stripemeta"
 #: Magic first element guarding manifest blobs against foreign int64 arrays.
 _MANIFEST_MAGIC = 0x53545250  # "STRP"
-_MANIFEST_VERSION = 1
+#: Version 2 adds the stripe epoch (crash-safe commit-after-barrier writes);
+#: version-1 manifests decode as epoch 0, whose stripe keys keep the legacy
+#: epoch-less names — on-disk layouts from before epochs remain readable.
+_MANIFEST_VERSION = 2
 
 #: Stable dtype <-> code mapping for the int64 manifest encoding.
 _DTYPE_CODES: Dict[str, int] = {name: i for i, name in enumerate(sorted(_SUPPORTED_DTYPES))}
@@ -93,6 +96,10 @@ class _Manifest:
     dtype: np.dtype
     shape: Tuple[int, ...]
     extents: Tuple[StripeExtent, ...]
+    #: Stripe epoch the extents' blobs live under (0 = legacy epoch-less
+    #: keys).  Crash-safe writes ping-pong between two epochs so the
+    #: committed manifest always references a complete generation.
+    epoch: int = 0
 
     @property
     def num_elements(self) -> int:
@@ -100,14 +107,28 @@ class _Manifest:
 
 
 def _encode_manifest(manifest: _Manifest) -> np.ndarray:
-    head = [
-        _MANIFEST_MAGIC,
-        _MANIFEST_VERSION,
-        _DTYPE_CODES[manifest.dtype.name],
-        len(manifest.shape),
-        *manifest.shape,
-        len(manifest.extents),
-    ]
+    # Epoch-0 layouts are exactly what version 1 represents — emit v1 for
+    # them so tier directories written by this release stay readable after a
+    # rollback to the previous one (which rejects unknown versions).
+    if manifest.epoch == 0:
+        head = [
+            _MANIFEST_MAGIC,
+            1,
+            _DTYPE_CODES[manifest.dtype.name],
+            len(manifest.shape),
+            *manifest.shape,
+            len(manifest.extents),
+        ]
+    else:
+        head = [
+            _MANIFEST_MAGIC,
+            _MANIFEST_VERSION,
+            _DTYPE_CODES[manifest.dtype.name],
+            manifest.epoch,
+            len(manifest.shape),
+            *manifest.shape,
+            len(manifest.extents),
+        ]
     body: List[int] = []
     for ext in manifest.extents:
         body.extend((ext.path, ext.start, ext.count))
@@ -118,16 +139,27 @@ def _decode_manifest(blob: np.ndarray, key: str) -> _Manifest:
     data = np.asarray(blob, dtype=np.int64).reshape(-1)
     if data.size < 5 or int(data[0]) != _MANIFEST_MAGIC:
         raise StoreError(f"stripe manifest for {key!r} is malformed")
-    if int(data[1]) != _MANIFEST_VERSION:
-        raise StoreError(f"stripe manifest for {key!r} has unsupported version {int(data[1])}")
+    version = int(data[1])
+    if version not in (1, 2):
+        raise StoreError(f"stripe manifest for {key!r} has unsupported version {version}")
     dtype_name = _CODE_DTYPES.get(int(data[2]))
     if dtype_name is None:
         raise StoreError(f"stripe manifest for {key!r} has unknown dtype code {int(data[2])}")
-    ndim = int(data[3])
-    if ndim < 0 or data.size < 4 + ndim + 1:
+    offset = 3
+    epoch = 0
+    if version >= 2:
+        epoch = int(data[offset])
+        offset += 1
+        if epoch < 0:
+            raise StoreError(f"stripe manifest for {key!r} has negative epoch {epoch}")
+    if data.size < offset + 2:
         raise StoreError(f"stripe manifest for {key!r} is truncated")
-    shape = tuple(int(x) for x in data[4 : 4 + ndim])
-    offset = 4 + ndim
+    ndim = int(data[offset])
+    offset += 1
+    if ndim < 0 or data.size < offset + ndim + 1:
+        raise StoreError(f"stripe manifest for {key!r} is truncated")
+    shape = tuple(int(x) for x in data[offset : offset + ndim])
+    offset += ndim
     nstripes = int(data[offset])
     offset += 1
     if nstripes < 0 or data.size != offset + 3 * nstripes:
@@ -141,7 +173,7 @@ def _decode_manifest(blob: np.ndarray, key: str) -> _Manifest:
         )
         for i in range(nstripes)
     )
-    return _Manifest(dtype=np.dtype(dtype_name), shape=shape, extents=extents)
+    return _Manifest(dtype=np.dtype(dtype_name), shape=shape, extents=extents, epoch=epoch)
 
 
 class StripedStore:
@@ -164,9 +196,19 @@ class StripedStore:
     replan_tolerance:
         Maximum per-stripe share drift (fraction of the field) tolerated
         before a re-flush records a new layout.  Within the tolerance the
-        previously recorded extents are reused, so steady-state flushes
-        skip the synchronous manifest rewrite even as the adaptive
-        bandwidth weights wobble.
+        previously recorded extents are reused; without ``crash_safe`` that
+        also skips the synchronous manifest rewrite even as the adaptive
+        bandwidth weights wobble (with ``crash_safe`` the manifest is
+        rewritten every flush to flip the epoch, but the extent geometry —
+        and hence the stripe *sizes* — still hold steady).
+    crash_safe:
+        Commit-after-barrier writes: :meth:`plan_save` targets a fresh
+        stripe *epoch* and publishes nothing; only :meth:`commit_save` —
+        called after every stripe write has landed — atomically rewrites the
+        manifest to the new epoch and sweeps the old one.  A crash mid-flush
+        therefore leaves the key reading as the complete previous value.
+        Off (the default) keeps the manifest-first layout, where a crash
+        mid-flush can leave the manifest referencing mixed old/new stripes.
     name:
         Diagnostic name.
     """
@@ -178,6 +220,7 @@ class StripedStore:
         threshold_bytes: float = 1 << 20,
         stripe_bytes: Optional[int] = None,
         replan_tolerance: float = 0.02,
+        crash_safe: bool = False,
         name: str = "striped",
     ) -> None:
         if not backends:
@@ -193,9 +236,17 @@ class StripedStore:
         self.threshold_bytes = float(threshold_bytes)
         self.stripe_bytes = stripe_bytes
         self.replan_tolerance = float(replan_tolerance)
+        self.crash_safe = bool(crash_safe)
         self.name = name
         self._lock = threading.Lock()
         self._manifests: Dict[str, _Manifest] = {}
+        #: Crash-safe plans awaiting their commit (key → uncommitted manifest).
+        self._pending_plans: Dict[str, _Manifest] = {}
+        #: Keys whose same-epoch orphan sweep already ran this lifetime.
+        #: Crashed-predecessor orphans can only predate this process (or an
+        #: abandoned barrier, which re-arms the sweep), so steady-state
+        #: commits skip the O(stripes × backends) stat walk.
+        self._orphan_swept: "set[str]" = set()
         #: Bytes routed per backend name (planned or executed through this
         #: store), split by direction — the per-path accounting the examples
         #: print.  Engine-level stats remain authoritative for executed I/O.
@@ -219,12 +270,40 @@ class StripedStore:
         return f"{key}{MANIFEST_SUFFIX}"
 
     @staticmethod
-    def stripe_key(key: str, index: int) -> str:
-        return f"{key}.stripe{index}"
+    def stripe_key(key: str, index: int, epoch: int = 0) -> str:
+        """Blob key of stripe ``index`` under ``epoch`` (0 = legacy naming)."""
+        if epoch == 0:
+            return f"{key}.stripe{index}"
+        return f"{key}.e{epoch}.stripe{index}"
+
+    def epoch_of(self, key: str) -> int:
+        """The committed stripe epoch of ``key`` (0 when unstriped/legacy)."""
+        manifest = self._load_manifest(key)
+        return manifest.epoch if manifest is not None else 0
 
     def _account(self, tier: str, direction: str, nbytes: int) -> None:
         with self._lock:
             self._path_bytes[tier][direction] += int(nbytes)
+
+    def _sweep_stripe_orphans(
+        self, key: str, epoch: int, live: "set[Tuple[str, str]]"
+    ) -> None:
+        """Delete every ``(backend, stripe blob)`` of ``key``@``epoch`` not in ``live``.
+
+        Scans each backend's key listing instead of probing stripe indices —
+        a crashed async fan-out can land stripes out of order, so orphans
+        need not be contiguous (index-probing would stop at the first gap).
+        Cold paths only (first commit per key, delete): the scan is O(keys
+        in the directory) per backend.
+        """
+        prefix = f"{key}.stripe" if epoch == 0 else f"{key}.e{epoch}.stripe"
+        for backend in self.backends:
+            for blob_key in list(backend.keys()):
+                if not blob_key.startswith(prefix) or not blob_key[len(prefix) :].isdigit():
+                    continue
+                if (backend.name, blob_key) in live:
+                    continue
+                backend.delete(blob_key)
 
     def _plans_close(self, old: "_Manifest", new: "_Manifest") -> bool:
         """Whether ``new``'s layout is within the re-plan tolerance of ``old``."""
@@ -309,49 +388,170 @@ class StripedStore:
             stripe_bytes=self.stripe_bytes,
             weights=weights,
         )
-        manifest = _Manifest(dtype=contiguous.dtype, shape=contiguous.shape, extents=extents)
-        # Steady state re-flushes a key with unchanged geometry and nearly
-        # unchanged weights (the adaptive estimator drifts a little every
-        # iteration): reuse the recorded layout when the split moved less
-        # than the re-plan tolerance, so the synchronous (throttled)
-        # manifest rewrite and stale-blob sweep stay off the hot path.
         old = self._load_manifest(key)
+        # Crash-safe targets the *other* epoch (commit_save flips the
+        # manifest after the write barrier); legacy keeps the epoch and
+        # publishes immediately.  Either way, steady state re-flushes a key
+        # with unchanged geometry and nearly unchanged weights (the adaptive
+        # estimator drifts a little every iteration), so the re-plan
+        # tolerance reuses the recorded extents — stabilizing stripe sizes
+        # across epoch flips and, without crash_safe, keeping the
+        # synchronous (throttled) manifest rewrite off the hot path.
+        if self.crash_safe:
+            epoch = 0 if old is None else (1 if old.epoch == 0 else 0)
+        else:
+            epoch = old.epoch if old is not None else 0
+        manifest = _Manifest(
+            dtype=contiguous.dtype, shape=contiguous.shape, extents=extents, epoch=epoch
+        )
         if old is not None and self._plans_close(old, manifest):
-            manifest = old
-            extents = old.extents
-        if old != manifest:
-            self.primary.save_from(self.manifest_key(key), _encode_manifest(manifest))
-            for backend in self.backends:
-                # A whole blob from an earlier unstriped write may live on
-                # *any* backend (the placement map chose it); remove every
-                # copy so readers cannot observe both representations.
-                if backend.contains(key):
-                    backend.delete(key)
-            if old is not None:
-                # Extents moved (e.g. the bandwidth weights drifted): drop
-                # old stripe blobs the new plan will not overwrite in place.
-                new_locations = {(e.index, e.path) for e in extents}
-                for ext in old.extents:
-                    if (ext.index, ext.path) in new_locations or ext.path >= self.num_paths:
-                        continue
-                    backend = self.backends[ext.path]
-                    stale = self.stripe_key(key, ext.index)
-                    if backend.contains(stale):
-                        backend.delete(stale)
+            manifest = _Manifest(
+                dtype=old.dtype, shape=old.shape, extents=old.extents, epoch=epoch
+            )
+        extents = manifest.extents
+        if self.crash_safe:
             with self._lock:
-                self._manifests[key] = manifest
+                self._pending_plans[key] = manifest
+        else:
+            if old != manifest:
+                self.primary.save_from(self.manifest_key(key), _encode_manifest(manifest))
+                for backend in self.backends:
+                    # A whole blob from an earlier unstriped write may live on
+                    # *any* backend (the placement map chose it); remove every
+                    # copy so readers cannot observe both representations.
+                    if backend.contains(key):
+                        backend.delete(key)
+                if old is not None:
+                    # Extents moved (e.g. the bandwidth weights drifted): drop
+                    # old stripe blobs the new plan will not overwrite in place.
+                    new_locations = {(e.index, e.path) for e in extents}
+                    for ext in old.extents:
+                        if (ext.index, ext.path) in new_locations or ext.path >= self.num_paths:
+                            continue
+                        backend = self.backends[ext.path]
+                        stale = self.stripe_key(key, ext.index, old.epoch)
+                        if backend.contains(stale):
+                            backend.delete(stale)
+                with self._lock:
+                    self._manifests[key] = manifest
         parts = []
         for ext in extents:
             backend = self.backends[ext.path]
             part = StripePart(
                 tier=backend.name,
-                key=self.stripe_key(key, ext.index),
+                key=self.stripe_key(key, ext.index, manifest.epoch),
                 array=flat[ext.start : ext.stop],
                 extent=ext,
             )
             self._account(backend.name, "written", part.array.nbytes)
             parts.append(part)
         return parts
+
+    def commit_save(self, key: str) -> bool:
+        """Publish the pending crash-safe plan of ``key`` (the barrier's tail).
+
+        Must only be called once every stripe write of the matching
+        :meth:`plan_save` has landed.  Atomically rewrites the manifest to
+        the new epoch (``FileStore`` writes are temp-file + ``os.replace``,
+        so the flip is all-or-nothing), then sweeps what the new generation
+        obsoletes.  The previous epoch's stripe blobs are swept on every
+        commit (they are created every flush); stale *whole* blobs and
+        same-epoch crash orphans can only predate this process — or a
+        downgrade/abandoned barrier, which re-arm the sweep — so that scan
+        runs once per key per lifetime.  Returns whether this commit ran the
+        once-per-key sweep (callers covering stores outside this composite
+        gate their own sweep on it).
+        """
+        with self._lock:
+            pending = self._pending_plans.pop(key, None)
+        if pending is None:
+            raise StoreError(f"store {self.name!r} has no pending striped plan for {key!r}")
+        old = self._load_manifest(key)
+        self.primary.save_from(self.manifest_key(key), _encode_manifest(pending))
+        with self._lock:
+            self._manifests[key] = pending
+            sweep = key not in self._orphan_swept
+            self._orphan_swept.add(key)
+        if old is not None and old.epoch != pending.epoch:
+            for ext in old.extents:
+                if ext.path >= self.num_paths:
+                    continue
+                backend = self.backends[ext.path]
+                stale = self.stripe_key(key, ext.index, old.epoch)
+                if backend.contains(stale):
+                    backend.delete(stale)
+        if sweep:
+            for backend in self.backends:
+                if backend.contains(key):
+                    backend.delete(key)
+            live = {
+                (
+                    self.backends[ext.path].name,
+                    self.stripe_key(key, ext.index, pending.epoch),
+                )
+                for ext in pending.extents
+            }
+            self._sweep_stripe_orphans(key, pending.epoch, live)
+        return sweep
+
+    def abandon_save(self, key: str) -> None:
+        """Drop the pending crash-safe plan of ``key`` (failed write barrier).
+
+        The committed manifest — and therefore every reader — is untouched;
+        stripe blobs the failed flush already wrote become orphans of the
+        uncommitted epoch, swept by the next successful commit (whose
+        orphan walk is re-armed here).
+        """
+        with self._lock:
+            self._pending_plans.pop(key, None)
+            self._orphan_swept.discard(key)
+
+    def adopt_striped(
+        self,
+        key: str,
+        stripes: Sequence[Tuple[str, "object", int, int, Optional[int]]],
+        *,
+        dtype: "np.dtype | str",
+        count: int,
+    ) -> None:
+        """Bring a striped key into the store by hard-linking existing blobs.
+
+        The reverse of a checkpoint's per-stripe :meth:`FileStore.adopt`
+        export — used by the streaming restore to put a striped field back
+        on its tiers with zero bytes copied.  ``stripes`` is the ordered
+        stripe list: ``(backend_name, source_path, start, count, checksum)``
+        per stripe, contiguous and covering ``[0, count)`` elements.  The
+        manifest is committed only after every link exists (the same
+        commit-after-barrier discipline as a crash-safe flush).
+        """
+        names = {backend.name: i for i, backend in enumerate(self.backends)}
+        extents: List[StripeExtent] = []
+        expected_start = 0
+        for i, (tier, _, start, cnt, _) in enumerate(stripes):
+            if tier not in names:
+                raise StoreError(f"striped adopt of {key!r}: unknown backend {tier!r}")
+            if int(start) != expected_start:
+                raise StoreError(f"striped adopt of {key!r}: non-contiguous stripes")
+            extents.append(
+                StripeExtent(index=i, path=names[tier], start=int(start), count=int(cnt))
+            )
+            expected_start += int(cnt)
+        if expected_start != int(count):
+            raise StoreError(
+                f"striped adopt of {key!r}: stripes cover {expected_start} of {count} elements"
+            )
+        old = self._load_manifest(key)
+        epoch = 0 if old is None else (1 if old.epoch == 0 else 0)
+        manifest = _Manifest(
+            dtype=np.dtype(dtype), shape=(int(count),), extents=tuple(extents), epoch=epoch
+        )
+        for i, (tier, source_path, _, _, checksum) in enumerate(stripes):
+            self.backends[names[tier]].adopt(
+                self.stripe_key(key, i, epoch), source_path, checksum=checksum
+            )
+        with self._lock:
+            self._pending_plans[key] = manifest
+        self.commit_save(key)
 
     def plan_load(self, key: str, out: np.ndarray) -> List[StripePart]:
         """Return the per-stripe read work items scattering ``key`` into ``out``.
@@ -385,7 +585,7 @@ class StripedStore:
             backend = self._backend_for(ext, key)
             part = StripePart(
                 tier=backend.name,
-                key=self.stripe_key(key, ext.index),
+                key=self.stripe_key(key, ext.index, manifest.epoch),
                 array=view,
                 extent=ext,
             )
@@ -415,10 +615,17 @@ class StripedStore:
             self._account(self.primary.name, "written", contiguous.nbytes)
             return self.primary.save_from(key, contiguous)
         parts = self.plan_save(key, contiguous, weights=weights)
-        total = self.primary.size_of(self.manifest_key(key))
-        for part in parts:
-            total += self._backend_by_name(part.tier).save_from(part.key, part.array)
-        return total
+        total = 0
+        try:
+            for part in parts:
+                total += self._backend_by_name(part.tier).save_from(part.key, part.array)
+        except BaseException:
+            if self.crash_safe:
+                self.abandon_save(key)
+            raise
+        if self.crash_safe:
+            self.commit_save(key)
+        return total + self.primary.size_of(self.manifest_key(key))
 
     def load_into(self, key: str, out: np.ndarray) -> np.ndarray:
         """Zero-copy read of ``key`` into the caller-owned ``out``.
@@ -494,6 +701,7 @@ class StripedStore:
         Returns whether a striped representation existed.  Used both by
         :meth:`delete` and by callers downgrading a key to a whole blob
         (e.g. a field that shrank below the striping threshold)."""
+        self.abandon_save(key)
         manifest = self._load_manifest(key)
         if manifest is None:
             return False
@@ -501,9 +709,15 @@ class StripedStore:
             if ext.path >= self.num_paths:
                 continue  # backend no longer configured; nothing reachable to delete
             backend = self.backends[ext.path]
-            skey = self.stripe_key(key, ext.index)
+            skey = self.stripe_key(key, ext.index, manifest.epoch)
             if backend.contains(skey):
                 backend.delete(skey)
+        if self.crash_safe:
+            # Orphan stripes of the *other* (uncommitted) epoch, left by a
+            # crashed flush that never committed: sweep them too (key scan —
+            # a crashed async fan-out can leave non-contiguous indices).
+            other = 1 if manifest.epoch == 0 else 0
+            self._sweep_stripe_orphans(key, other, set())
         mkey = self.manifest_key(key)
         if self.primary.contains(mkey):
             self.primary.delete(mkey)

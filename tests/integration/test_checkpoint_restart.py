@@ -239,6 +239,242 @@ def test_corrupt_blob_fails_integrity_check(tmp_path, workload):
         fresh.close()
 
 
+# -- codec × restore-mode matrix --------------------------------------------
+
+
+@pytest.mark.parametrize("codec", ["raw", "null", "shuffle-deflate"])
+@pytest.mark.parametrize("streaming", [False, True])
+def test_restart_matrix_codec_by_restore_mode(tmp_path, workload, codec, streaming):
+    """Bitwise resume must hold for every codec under both restore modes
+    (the compressed checkpoint × streaming/hard-link restore tentpole)."""
+    overrides = dict(checkpoint_codec=codec, checkpoint_streaming_restore=streaming)
+
+    def crash(engine, fp16, views, grads):
+        # Partial next iteration, so restore also has stale tier state to beat.
+        for index, view in list(views.items())[: len(views) // 2]:
+            engine.on_backward_gradient(index, grads[CRASH_AFTER][view].astype(np.float16))
+
+    resumed = crash_then_resume(tmp_path, workload, crash, **overrides)
+    assert_equivalent(run_reference(tmp_path, workload), resumed)
+
+
+def test_streaming_restore_links_clean_and_defers_dirty(tmp_path, workload):
+    """The streaming restore must actually stream: clean subgroups come back
+    as hard links (zero payload bytes read), dirty residue stays pending
+    until its first fetch — and the resumed trajectory is still bitwise."""
+    layout, views, initial, grads = workload
+    base = tmp_path / "crashed"
+    base.mkdir()
+    config = make_config(base)
+    engine = MLPOffloadEngine(config, layout, rank=0)
+    engine.initialize(initial.copy())
+    fp16 = initial.astype(np.float16)
+    for grad in grads[:CRASH_AFTER]:
+        feed_iteration(engine, views, grad)
+        engine.run_update(fp16)
+        engine.maybe_checkpoint(fp16)
+    engine.checkpoint_wait()
+    engine.close()
+
+    resumed = MLPOffloadEngine(make_config(base), layout, rank=0)
+    restored = resumed.restore_checkpoint()
+    assert restored.mode == "streaming"
+    assert restored.linked_subgroups > 0, "no clean subgroup was hard-linked back"
+    assert restored.lazy_subgroups > 0, "no dirty residue was deferred"
+    assert len(resumed._pending_restores) == restored.lazy_subgroups
+    # fetch_master_params reads pending subgroups from the checkpoint stores
+    # without consuming the pending restore.
+    master_before = resumed.fetch_master_params()
+    assert len(resumed._pending_restores) == restored.lazy_subgroups
+    # The first update phase drains every pending restore on first fetch.
+    fp16_resumed = restored.fp16_params
+    for grad in grads[restored.iteration :]:
+        feed_iteration(resumed, views, grad)
+        resumed.run_update(fp16_resumed)
+    assert not resumed._pending_restores, "lazy restores survived a full update phase"
+    master = resumed.fetch_master_params()
+    resumed.close()
+
+    fp16_ref, master_ref = run_reference(tmp_path, workload)
+    assert np.array_equal(fp16_ref, fp16_resumed)
+    assert np.array_equal(master_ref, master)
+
+
+def test_checkpoint_while_lazy_restores_pending_carries_refs(tmp_path, workload):
+    """A snapshot taken before pending subgroups were ever fetched must carry
+    the previous version's refs (keeping the blobs GC-alive) and itself
+    restore bitwise."""
+    layout, views, initial, grads = workload
+    base = tmp_path / "crashed"
+    base.mkdir()
+    config = make_config(base, checkpoint_retention=1)
+    engine = MLPOffloadEngine(config, layout, rank=0)
+    engine.initialize(initial.copy())
+    fp16 = initial.astype(np.float16)
+    for grad in grads[:CRASH_AFTER]:
+        feed_iteration(engine, views, grad)
+        engine.run_update(fp16)
+        engine.maybe_checkpoint(fp16)
+    engine.checkpoint_wait()
+    engine.close()
+
+    resumed = MLPOffloadEngine(make_config(base, checkpoint_retention=1), layout, rank=0)
+    restored = resumed.restore_checkpoint()
+    assert restored.lazy_subgroups > 0
+    master_expected = resumed.fetch_master_params()
+    # Snapshot immediately: pending subgroups are carried, not read.  With
+    # retention=1 the old version is GC'd right after — the carried refs must
+    # keep the shared blobs alive.
+    version = resumed.save_checkpoint(restored.fp16_params, wait=True)
+    resumed.close()
+
+    final = MLPOffloadEngine(make_config(base, checkpoint_retention=1), layout, rank=0)
+    restored2 = final.restore_checkpoint(version)
+    assert np.array_equal(restored2.fp16_params, restored.fp16_params)
+    assert np.array_equal(final.fetch_master_params(), master_expected)
+    final.close()
+
+
+def test_deep_audit_catches_corrupt_linked_blob(tmp_path, workload):
+    """A hard-link restore never reads linked payloads (that is the point), so
+    a corrupt linked blob passes the restore itself; the deep audit
+    (`CheckpointReader.verify_blobs`) must catch it — and the eager restore
+    must refuse it outright."""
+    layout, views, initial, grads = workload
+    base = tmp_path / "crashed"
+    base.mkdir()
+    config = make_config(base)
+    with MLPOffloadEngine(config, layout, rank=0) as engine:
+        engine.initialize(initial.copy())
+        fp16 = initial.astype(np.float16)
+        feed_iteration(engine, views, grads[0])
+        engine.run_update(fp16)
+        engine.save_checkpoint(fp16, wait=True)
+
+    reader = CheckpointReader(config, worker="rank0")
+    manifest = reader.load_manifest()
+    linked = next(
+        ref
+        for fields in manifest.subgroups.values()
+        for ref in fields.values()
+        if ref.source == "linked"
+    )
+    seg = linked.segments[0]
+    blob_path = reader.stores[seg.tier].path_of(seg.key)
+    raw = bytearray(blob_path.read_bytes())
+    raw[-1] ^= 0xFF
+    blob_path.write_bytes(bytes(raw))
+
+    with pytest.raises(CheckpointError, match="integrity"):
+        reader.verify_blobs(manifest)
+    eager = MLPOffloadEngine(
+        make_config(base, checkpoint_streaming_restore=False), layout, rank=0
+    )
+    try:
+        with pytest.raises(CheckpointError, match="integrity"):
+            eager.restore_checkpoint()
+    finally:
+        eager.close()
+
+
+def test_streaming_restore_rejects_swapped_linked_blob_geometry(tmp_path, workload):
+    """verify=True on a streaming restore header-checks every linked blob: a
+    blob swapped for one with different geometry fails loudly even though
+    hard links never read the payload."""
+    layout, views, initial, grads = workload
+    base = tmp_path / "crashed"
+    base.mkdir()
+    config = make_config(base)
+    with MLPOffloadEngine(config, layout, rank=0) as engine:
+        engine.initialize(initial.copy())
+        fp16 = initial.astype(np.float16)
+        feed_iteration(engine, views, grads[0])
+        engine.run_update(fp16)
+        engine.save_checkpoint(fp16, wait=True)
+
+    reader = CheckpointReader(config, worker="rank0")
+    manifest = reader.load_manifest()
+    linked = next(
+        ref
+        for fields in manifest.subgroups.values()
+        for ref in fields.values()
+        if ref.source == "linked"
+    )
+    seg = linked.segments[0]
+    # Swap the blob for a wrong-geometry one (fewer elements).
+    store = reader.stores[seg.tier]
+    store.save_from(seg.key, np.zeros(seg.count // 2, dtype=np.float32))
+
+    fresh = MLPOffloadEngine(make_config(base), layout, rank=0)
+    try:
+        with pytest.raises(CheckpointError, match="integrity"):
+            fresh.restore_checkpoint()
+    finally:
+        fresh.close()
+
+
+def test_streaming_restore_follows_blob_tier_over_recorded_placement(tmp_path, workload):
+    """Whole-blob linked refs adopt onto the tier the blob actually lives on;
+    if the manifest's recorded placement disagrees (a single-extent striped
+    layout on a stripe path, or a redirected flush), the placement map must
+    follow the blobs — otherwise the first fetch after restore fails."""
+    layout, views, initial, grads = workload
+    base = tmp_path / "crashed"
+    base.mkdir()
+    # Large stripe threshold: every field is a whole blob (single segment).
+    config = make_config(base, stripe_threshold_bytes=1e9)
+    with MLPOffloadEngine(config, layout, rank=0) as engine:
+        engine.initialize(initial.copy())
+        fp16 = initial.astype(np.float16)
+        feed_iteration(engine, views, grads[0])
+        engine.run_update(fp16)
+        engine.save_checkpoint(fp16, wait=True)
+
+    # Rewrite the manifest with every placement flipped to the other tier,
+    # so the recorded placement disagrees with where the blobs live.
+    from repro.ckpt import ManifestStore
+
+    store = ManifestStore(config.checkpoint_dir, "rank0")
+    manifest = store.load(store.committed_versions()[-1])
+    flipped = {
+        index: ("pfs" if tier == "nvme" else "nvme")
+        for index, tier in manifest.placement.items()
+    }
+    from dataclasses import replace
+
+    store.commit(replace(manifest, placement=flipped))
+
+    resumed = MLPOffloadEngine(
+        make_config(base, stripe_threshold_bytes=1e9), layout, rank=0
+    )
+    restored = resumed.restore_checkpoint()
+    assert restored.linked_subgroups > 0
+    fp16_resumed = restored.fp16_params
+    for grad in grads[restored.iteration :]:
+        feed_iteration(resumed, views, grad)
+        resumed.run_update(fp16_resumed)  # fetches must find the adopted blobs
+    master = resumed.fetch_master_params()
+    resumed.close()
+    fp16_ref, master_ref = run_reference(tmp_path, workload)
+    assert np.array_equal(fp16_ref, fp16_resumed)
+    assert np.array_equal(master_ref, master)
+
+
+def test_verify_blobs_passes_on_intact_checkpoint(tmp_path, workload):
+    layout, views, initial, grads = workload
+    base = tmp_path / "crashed"
+    base.mkdir()
+    config = make_config(base)
+    with MLPOffloadEngine(config, layout, rank=0) as engine:
+        engine.initialize(initial.copy())
+        fp16 = initial.astype(np.float16)
+        feed_iteration(engine, views, grads[0])
+        engine.run_update(fp16)
+        engine.save_checkpoint(fp16, wait=True)
+    reader = CheckpointReader(config, worker="rank0")
+    assert reader.verify_blobs(reader.load_manifest()) > 0
+
+
 # -- retention, reuse, trainer-level resume ---------------------------------
 
 

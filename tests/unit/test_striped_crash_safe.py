@@ -1,0 +1,337 @@
+"""Crash-safe striped flush: epoch keys, commit-after-barrier, recovery.
+
+The contract: with ``crash_safe`` on, a striped key always reads as either
+the complete previous value or the complete new value — a crash anywhere
+between the first stripe write and the manifest commit must leave the old
+generation fully readable, and later commits sweep the orphans the crash
+left behind.  Also covers the chunked streaming reads
+(`FileStore.load_into_chunks`) that restore-time digest verification uses,
+and the hard-link adoption path (`StripedStore.adopt_striped`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.tiers.file_store import FileStore, StoreError, payload_digest
+from repro.tiers.mmap_store import MmapFileStore
+from repro.tiers.striped_store import StripedStore
+
+
+@pytest.fixture
+def backends(tmp_path):
+    (tmp_path / "nvme").mkdir()
+    (tmp_path / "pfs").mkdir()
+    return [
+        FileStore(tmp_path / "nvme", name="nvme"),
+        FileStore(tmp_path / "pfs", name="pfs"),
+    ]
+
+
+@pytest.fixture
+def striped(backends):
+    return StripedStore(backends, threshold_bytes=256, crash_safe=True)
+
+
+def reopen(backends, **kwargs):
+    """A fresh StripedStore over the same directories (process restart)."""
+    return StripedStore(
+        [FileStore(b.root, name=b.name) for b in backends],
+        threshold_bytes=256,
+        crash_safe=True,
+        **kwargs,
+    )
+
+
+class TestCrashSafeCommit:
+    def test_round_trip_and_epoch_flip(self, striped, backends, rng):
+        first = rng.standard_normal(1000).astype(np.float32)
+        second = rng.standard_normal(1000).astype(np.float32)
+        striped.save_from("k", first)
+        assert striped.epoch_of("k") == 0
+        np.testing.assert_array_equal(striped.read("k"), first)
+        striped.save_from("k", second)
+        assert striped.epoch_of("k") == 1
+        np.testing.assert_array_equal(striped.read("k"), second)
+        # The previous epoch's stripe blobs were swept at commit.
+        for backend in backends:
+            assert not any(
+                k.startswith("k.stripe") and not k.startswith("k.stripemeta")
+                for k in backend.keys()
+            ), "epoch-0 stripes survived the epoch-1 commit"
+        # And the epoch ping-pongs back.
+        striped.save_from("k", first)
+        assert striped.epoch_of("k") == 0
+
+    def test_plan_without_commit_is_invisible(self, striped, backends, rng):
+        committed = rng.standard_normal(1000).astype(np.float32)
+        doomed = rng.standard_normal(1000).astype(np.float32)
+        striped.save_from("k", committed)
+        # Crash scenario: the next flush wrote some (here: all) of its stripe
+        # blobs but died before the commit.
+        parts = striped.plan_save("k", doomed)
+        for part in parts[:1]:  # only the first stripe landed
+            striped._backend_by_name(part.tier).save_from(part.key, part.array)
+        # This process: reads still serve the committed generation.
+        np.testing.assert_array_equal(striped.read("k"), committed)
+        # A restarted process: same thing (the manifest is the commit point).
+        survivor = reopen(backends)
+        np.testing.assert_array_equal(survivor.read("k"), committed)
+
+    def test_next_commit_sweeps_crash_orphans(self, striped, backends, rng):
+        committed = rng.standard_normal(1000).astype(np.float32)
+        doomed = rng.standard_normal(1000).astype(np.float32)
+        final = rng.standard_normal(1000).astype(np.float32)
+        striped.save_from("k", committed)  # epoch 0
+        parts = striped.plan_save("k", doomed)  # plans epoch 1
+        for part in parts:
+            striped._backend_by_name(part.tier).save_from(part.key, part.array)
+        # crash: no commit.  Restart and complete a full flush (epoch 1 again).
+        survivor = reopen(backends)
+        survivor.save_from("k", final)
+        assert survivor.epoch_of("k") == 1
+        np.testing.assert_array_equal(survivor.read("k"), final)
+        # No stripe blob of any other generation survives.
+        expected = {
+            part.key for part in survivor.plan_load("k", np.empty(1000, np.float32))
+        }
+        on_disk = {
+            k for b in backends for k in FileStore(b.root, name=b.name).keys()
+            if ".stripe" in k and not k.endswith(".stripemeta")
+        }
+        assert on_disk == expected, f"orphan stripes survived: {on_disk - expected}"
+
+    def test_non_contiguous_crash_orphans_are_swept(self, striped, backends, rng):
+        """An async fan-out lands stripes out of order: a crash can leave
+        index gaps (stripe 2 without stripe 1).  The sweep must not stop at
+        the first gap."""
+        committed = rng.standard_normal(1000).astype(np.float32)
+        striped.save_from("k", committed)  # epoch 0
+        # Crashed epoch-1 attempt: only stripes 0 and 2 landed (no stripe 1).
+        backends[0].save_from("k.e1.stripe0", np.arange(8, dtype=np.float32))
+        backends[1].save_from("k.e1.stripe2", np.arange(8, dtype=np.float32))
+        survivor = reopen(backends)
+        np.testing.assert_array_equal(survivor.read("k"), committed)
+        final = rng.standard_normal(1000).astype(np.float32)
+        survivor.save_from("k", final)  # commits epoch 1
+        np.testing.assert_array_equal(survivor.read("k"), final)
+        live = {part.key for part in survivor.plan_load("k", np.empty(1000, np.float32))}
+        on_disk = {
+            k for b in backends for k in FileStore(b.root, name=b.name).keys()
+            if ".stripe" in k and not k.endswith(".stripemeta")
+        }
+        assert on_disk == live, f"gap orphans survived: {on_disk - live}"
+
+    def test_first_striped_write_crash_keeps_whole_blob(self, striped, backends, rng):
+        """A key upgrading whole-blob → striped must keep the whole blob
+        readable until the stripe commit lands."""
+        whole = rng.standard_normal(1000).astype(np.float32)
+        backends[0].save_from("k", whole)  # pre-existing unstriped value
+        parts = striped.plan_save("k", rng.standard_normal(1000).astype(np.float32))
+        for part in parts[:1]:
+            striped._backend_by_name(part.tier).save_from(part.key, part.array)
+        # crash before commit: the key still reads as the whole blob.
+        survivor = reopen(backends)
+        assert not survivor.is_striped("k")
+        np.testing.assert_array_equal(survivor.read("k"), whole)
+
+    def test_commit_removes_stale_whole_blob(self, striped, backends, rng):
+        whole = rng.standard_normal(1000).astype(np.float32)
+        striped_data = rng.standard_normal(1000).astype(np.float32)
+        backends[1].save_from("k", whole)
+        striped.save_from("k", striped_data)
+        assert not backends[1].contains("k"), "stale whole blob survived the commit"
+        np.testing.assert_array_equal(striped.read("k"), striped_data)
+
+    def test_failed_write_abandons_plan(self, striped, backends, rng):
+        committed = rng.standard_normal(1000).astype(np.float32)
+        striped.save_from("k", committed)
+        huge = rng.standard_normal(1000).astype(np.float32)
+        backends[0].capacity = 10  # force the stripe write to fail
+        with pytest.raises(StoreError):
+            striped.save_from("k", huge)
+        backends[0].capacity = None
+        np.testing.assert_array_equal(striped.read("k"), committed)
+        with pytest.raises(StoreError, match="pending"):
+            striped.commit_save("k")  # the failed plan was abandoned
+
+    def test_commit_without_plan_raises(self, striped):
+        with pytest.raises(StoreError, match="pending"):
+            striped.commit_save("nope")
+
+
+class TestVirtualTierCrashSafeFlush:
+    @pytest.fixture
+    def tier(self, tmp_path):
+        from repro.core.config import MLPOffloadConfig, TierConfig
+        from repro.core.virtual_tier import VirtualTier
+
+        (tmp_path / "a").mkdir()
+        (tmp_path / "b").mkdir()
+        config = MLPOffloadConfig(
+            tiers=(
+                TierConfig("a", str(tmp_path / "a"), read_bw=2.0, write_bw=2.0),
+                TierConfig("b", str(tmp_path / "b"), read_bw=1.0, write_bw=1.0),
+            ),
+            subgroup_size=1000,
+            stripe_threshold_bytes=256.0,
+            crash_safe_striped_flush=True,
+        )
+        tier = VirtualTier(config, worker="w0")
+        tier.build_placement([0])
+        yield tier
+        tier.close()
+
+    def test_async_flush_commits_behind_the_barrier(self, tier, rng):
+        data = rng.standard_normal(1000).astype(np.float32)
+        futures = tier.flush_subgroup("sg000", 0, {"params": data}, wait=False)
+        for future in futures:
+            result = future.result()
+            assert result.ok
+        # Awaiting the returned future is the barrier: the commit happened.
+        assert tier.striped is not None and tier.striped.is_striped("sg000.params")
+        fetched = tier.fetch_subgroup("sg000", 0, ["params"])
+        np.testing.assert_array_equal(fetched["params"], data)
+
+    def test_reflush_flips_epoch_and_stays_readable(self, tier, rng):
+        first = rng.standard_normal(1000).astype(np.float32)
+        second = rng.standard_normal(1000).astype(np.float32)
+        tier.flush_subgroup("sg000", 0, {"params": first}, wait=True)
+        tier.flush_subgroup("sg000", 0, {"params": second}, wait=True)
+        assert tier.striped.epoch_of("sg000.params") == 1
+        fetched = tier.fetch_subgroup("sg000", 0, ["params"])
+        np.testing.assert_array_equal(fetched["params"], second)
+
+    def test_downgrade_to_whole_blob_keeps_old_value_until_barrier(self, tier, rng):
+        """Striped → whole downgrade (field shrank below the threshold): the
+        stale striped layout must survive until the whole blob landed, and
+        be gone once the flush future resolves."""
+        big = rng.standard_normal(1000).astype(np.float32)
+        small = rng.standard_normal(32).astype(np.float32)  # 128 B < 256 B threshold
+        tier.flush_subgroup("sg000", 0, {"params": big}, wait=True)
+        assert tier.striped.is_striped("sg000.params")
+        futures = tier.flush_subgroup("sg000", 0, {"params": small}, wait=False)
+        for future in futures:
+            assert future.result().ok
+        # Barrier passed: the striped layout was dropped behind the write.
+        assert not tier.striped.is_striped("sg000.params")
+        fetched = tier.fetch_subgroup("sg000", 0, ["params"])
+        np.testing.assert_array_equal(fetched["params"], small)
+
+    def test_failed_async_flush_abandons_plan_and_rearms_sweep(self, tier, rng):
+        """A flush whose write barrier fails must abandon the pending plan
+        (no stale _pending_plans entry) and re-arm the orphan sweep so the
+        partial stripes get cleaned by the next successful commit."""
+        committed = rng.standard_normal(1000).astype(np.float32)
+        tier.flush_subgroup("sg000", 0, {"params": committed}, wait=True)
+        tier.stores["b"].capacity = 10  # second path's stripe write will fail
+        futures = tier.flush_subgroup(
+            "sg000", 0, {"params": rng.standard_normal(1000).astype(np.float32)}, wait=False
+        )
+        results = [f.result() for f in futures]
+        assert any(not r.ok for r in results), "the flush was expected to fail"
+        assert "sg000.params" not in tier.striped._pending_plans
+        assert "sg000.params" not in tier.striped._orphan_swept
+        # Committed generation untouched; next flush succeeds and sweeps.
+        np.testing.assert_array_equal(
+            tier.fetch_subgroup("sg000", 0, ["params"])["params"], committed
+        )
+        tier.stores["b"].capacity = None
+        final = rng.standard_normal(1000).astype(np.float32)
+        tier.flush_subgroup("sg000", 0, {"params": final}, wait=True)
+        np.testing.assert_array_equal(
+            tier.fetch_subgroup("sg000", 0, ["params"])["params"], final
+        )
+        live = {
+            part.key
+            for part in tier.striped.plan_load("sg000.params", np.empty(1000, np.float32))
+        }
+        on_disk = {
+            k
+            for store in tier.stores.values()
+            for k in store.keys()
+            if ".stripe" in k and not k.endswith(".stripemeta")
+        }
+        assert on_disk == live, f"failed-flush orphans survived: {on_disk - live}"
+
+
+class TestAdoptStriped:
+    def test_adopt_links_and_commits(self, striped, backends, tmp_path, rng):
+        data = rng.standard_normal(1000).astype(np.float32)
+        # Source blobs live in sibling stores on the same filesystems.
+        sources = [
+            FileStore(backends[0].root.parent / "nvme_src", name="nvme_src"),
+            FileStore(backends[1].root.parent / "pfs_src", name="pfs_src"),
+        ]
+        half = 500
+        sources[0].save_from("blob0", data[:half])
+        sources[1].save_from("blob1", data[half:])
+        striped.adopt_striped(
+            "k",
+            [
+                ("nvme", sources[0].path_of("blob0"), 0, half, None),
+                ("pfs", sources[1].path_of("blob1"), half, half, None),
+            ],
+            dtype=np.float32,
+            count=1000,
+        )
+        assert striped.is_striped("k")
+        np.testing.assert_array_equal(striped.read("k"), data)
+        # Zero payload bytes moved: the only write is the tiny manifest blob.
+        assert backends[0].stats().bytes_written == backends[0].size_of(
+            striped.manifest_key("k")
+        )
+        assert backends[1].stats().bytes_written == 0
+
+    def test_adopt_rejects_gaps_and_unknown_backends(self, striped, backends, rng):
+        data = rng.standard_normal(100).astype(np.float32)
+        backends[0].save_from("src", data)
+        path = backends[0].path_of("src")
+        with pytest.raises(StoreError, match="unknown backend"):
+            striped.adopt_striped("k", [("object", path, 0, 100, None)], dtype=np.float32, count=100)
+        with pytest.raises(StoreError, match="non-contiguous"):
+            striped.adopt_striped(
+                "k",
+                [("nvme", path, 0, 50, None), ("pfs", path, 60, 40, None)],
+                dtype=np.float32,
+                count=100,
+            )
+
+
+class TestLoadIntoChunks:
+    @pytest.mark.parametrize("store_cls", [FileStore, MmapFileStore])
+    def test_streams_digest_while_reading(self, store_cls, tmp_path, rng):
+        store = store_cls(tmp_path / "t", name="t")
+        data = rng.standard_normal(10_000).astype(np.float32)
+        store.save_from("k", data)
+        out = np.empty_like(data)
+        hasher = hashlib.blake2b(digest_size=8)
+        store.load_into_chunks("k", out, chunk_bytes=4096, hasher=hasher)
+        np.testing.assert_array_equal(out, data)
+        assert int.from_bytes(hasher.digest(), "big") == payload_digest(
+            memoryview(data.reshape(-1))
+        )
+        # Byte accounting identical to load_into: the full blob is charged.
+        assert store.stats().bytes_read == store.size_of("k")
+
+    @pytest.mark.parametrize("store_cls", [FileStore, MmapFileStore])
+    def test_validates_like_load_into(self, store_cls, tmp_path, rng):
+        store = store_cls(tmp_path / "t", name="t")
+        store.save_from("k", rng.standard_normal(100).astype(np.float32))
+        with pytest.raises(StoreError, match="dtype"):
+            store.load_into_chunks("k", np.empty(100, np.float64))
+        with pytest.raises(StoreError, match="size"):
+            store.load_into_chunks("k", np.empty(99, np.float32))
+        with pytest.raises(StoreError, match="no key"):
+            store.load_into_chunks("missing", np.empty(100, np.float32))
+
+    def test_truncated_blob_detected(self, tmp_path, rng):
+        store = FileStore(tmp_path / "t", name="t")
+        store.save_from("k", rng.standard_normal(100).astype(np.float32))
+        path = store.path_of("k")
+        path.write_bytes(path.read_bytes()[:-10])
+        with pytest.raises(StoreError, match="truncated|payload"):
+            store.load_into_chunks("k", np.empty(100, np.float32), chunk_bytes=64)
