@@ -1,0 +1,256 @@
+"""Perf-smoke regression gate over the ``BENCH_*.json`` trajectories.
+
+The scheduled CI job regenerates every benchmark trajectory on the tiny
+standard configurations and then runs this comparator against the
+repo-committed baselines: a headline metric that regressed by more than the
+threshold (25% by default, on the median where a metric is a distribution)
+fails the job, so a perf regression cannot land silently behind a green
+functional suite.
+
+Headline metrics extracted from each trajectory payload:
+
+* per-mode **median step/update time** — from ``series.trajectory`` rows
+  (``step_s``/``update_s`` grouped by ``mode``/``codec``/``engine``) or the
+  ``mean_update_s`` mapping of the older payload shape (lower is better);
+* **restore latency** — the median of the ``restore_latency_s`` mapping
+  (lower is better; the median, not per-key comparison, because the keys
+  are per-run version numbers);
+* **ratio/speedup scalars** — any ``*ratio``/``*speedup`` key
+  (``compression_ratio``, ``speedup``, ``restore_speedup``, …; higher is
+  better);
+* **overhead percentages** — every ``*_pct`` mapping (``overhead_pct``,
+  ``overhead_vs_raw_pct``, …; lower is better, compared in absolute
+  percentage points: a ratio of two near-zero percentages is meaningless).
+
+Very small baselines (below ``--floor`` seconds) are skipped for time-like
+metrics: a 2 ms step regressing to 3 ms is scheduler noise, not a signal.
+
+``--ratios-only`` restricts the gate to the machine-independent metrics
+(ratios, speedups, overhead percentages).  Use it whenever baseline and
+candidate trajectories come from *different machines* — scheduled CI
+regenerates on a shared hosted runner whose raw wall-clock routinely
+differs from the committing machine's by more than any sane budget, while
+the dimensionless headline metrics transfer.  Same-machine comparisons
+(local before/after runs) should gate everything.
+
+Usage::
+
+    python benchmarks/check_trajectory.py --baseline <dir> --candidate <dir>
+
+Exit status: 0 = no regression, 1 = regression (or a baseline trajectory
+missing from the candidate side), 2 = usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from statistics import median
+from typing import Dict, Iterable, List, Tuple
+
+#: metric name → (value, direction); direction is "lower" or "higher".
+Metrics = Dict[str, Tuple[float, str]]
+
+#: Keys a trajectory row may group by, in priority order.
+_GROUP_KEYS = ("mode", "codec", "engine")
+#: Keys a trajectory row may carry its sample under.
+_VALUE_KEYS = ("step_s", "update_s")
+#: Time-like metrics below this many seconds are noise, not signal.
+DEFAULT_FLOOR_SECONDS = 0.005
+
+
+def _trajectory_rows(payload: dict) -> List[dict]:
+    series = payload.get("series")
+    if isinstance(series, dict) and isinstance(series.get("trajectory"), list):
+        return [row for row in series["trajectory"] if isinstance(row, dict)]
+    if isinstance(payload.get("trajectory"), list):  # pre-PR-4 payload shape
+        return [row for row in payload["trajectory"] if isinstance(row, dict)]
+    return []
+
+
+def extract_metrics(payload: dict) -> Metrics:
+    """Headline metrics of one ``BENCH_*.json`` payload."""
+    metrics: Metrics = {}
+    # Dimensionless higher-is-better scalars: "speedup", "restore_speedup",
+    # "compression_ratio", ... — match by suffix so every benchmark's
+    # headline ratio is gated without a per-file list.
+    for name, value in sorted(payload.items()):
+        if isinstance(value, (int, float)) and not isinstance(value, bool) and (
+            name.endswith("speedup") or name.endswith("ratio")
+        ):
+            metrics[name] = (float(value), "higher")
+    restore = payload.get("restore_latency_s")
+    if isinstance(restore, dict) and restore:
+        values = [float(v) for v in restore.values() if isinstance(v, (int, float))]
+        if values:
+            metrics["restore_latency_s:median"] = (median(values), "lower")
+    # Percentage mappings ("overhead_pct", "overhead_vs_raw_pct", ...):
+    # lower is better, compared in absolute points.
+    for name, value in sorted(payload.items()):
+        if isinstance(value, dict) and name.endswith("_pct"):
+            for mode, pct in sorted(value.items()):
+                if isinstance(pct, (int, float)):
+                    metrics[f"{name}:{mode}"] = (float(pct), "lower-pct")
+    mean_update = payload.get("mean_update_s")
+    if isinstance(mean_update, dict):
+        for mode, value in sorted(mean_update.items()):
+            if isinstance(value, (int, float)):
+                metrics[f"mean_update_s:{mode}"] = (float(value), "lower")
+    by_group: Dict[str, List[float]] = {}
+    for row in _trajectory_rows(payload):
+        group = next((str(row[k]) for k in _GROUP_KEYS if k in row), "all")
+        value = next(
+            (row[k] for k in _VALUE_KEYS if isinstance(row.get(k), (int, float))), None
+        )
+        if value is not None:
+            by_group.setdefault(group, []).append(float(value))
+    for group, values in sorted(by_group.items()):
+        metrics[f"median_step_s:{group}"] = (median(values), "lower")
+    return metrics
+
+
+def compare_metrics(
+    baseline: Metrics,
+    candidate: Metrics,
+    *,
+    threshold: float = 0.25,
+    floor_seconds: float = DEFAULT_FLOOR_SECONDS,
+    ratios_only: bool = False,
+) -> List[str]:
+    """Regressions of ``candidate`` against ``baseline`` (empty = clean).
+
+    A lower-is-better metric regresses when it grew by more than
+    ``threshold`` (relative); higher-is-better when it shrank by more than
+    ``threshold``; a percentage metric when it grew by more than
+    ``threshold * 100`` absolute points.  A metric missing on the candidate
+    side is a regression (the benchmark stopped reporting it); new
+    candidate-only metrics are fine — the next baseline refresh picks them
+    up.  ``ratios_only`` drops raw-duration metrics, keeping only the
+    machine-independent ones (for cross-machine comparisons).
+    """
+    problems: List[str] = []
+    for name, (base_value, direction) in sorted(baseline.items()):
+        if ratios_only and direction == "lower":
+            continue  # raw duration: does not transfer across machines
+        if name not in candidate:
+            problems.append(f"{name}: missing from candidate (baseline {base_value:.6g})")
+            continue
+        cand_value = candidate[name][0]
+        if direction == "lower-pct":
+            # Percentages compare in absolute points — a ratio of two
+            # near-zero overheads amplifies noise into false regressions.
+            budget_points = threshold * 100.0
+            if cand_value > base_value + budget_points:
+                problems.append(
+                    f"{name}: {base_value:.4g}% -> {cand_value:.4g}% "
+                    f"(budget +{budget_points:.0f} points)"
+                )
+            continue
+        if base_value <= 0:
+            continue  # degenerate baseline; nothing meaningful to compare
+        if direction == "lower":
+            # Every lower-is-better headline metric is a duration; below the
+            # noise floor a relative comparison measures the scheduler, not
+            # the code.
+            if base_value < floor_seconds:
+                continue
+            if cand_value > base_value * (1.0 + threshold):
+                problems.append(
+                    f"{name}: {base_value:.6g} -> {cand_value:.6g} "
+                    f"(+{(cand_value / base_value - 1.0) * 100.0:.1f}%, "
+                    f"budget +{threshold * 100.0:.0f}%)"
+                )
+        else:
+            if cand_value < base_value / (1.0 + threshold):
+                problems.append(
+                    f"{name}: {base_value:.6g} -> {cand_value:.6g} "
+                    f"(-{(1.0 - cand_value / base_value) * 100.0:.1f}%, "
+                    f"budget -{threshold * 100.0:.0f}%)"
+                )
+    return problems
+
+
+def compare_directories(
+    baseline_dir: Path,
+    candidate_dir: Path,
+    *,
+    threshold: float = 0.25,
+    floor_seconds: float = DEFAULT_FLOOR_SECONDS,
+    ratios_only: bool = False,
+) -> Tuple[List[str], List[str]]:
+    """Compare every ``BENCH_*.json`` of ``baseline_dir``; (problems, checked)."""
+    problems: List[str] = []
+    checked: List[str] = []
+    baselines = sorted(baseline_dir.glob("BENCH_*.json"))
+    if not baselines:
+        problems.append(f"no BENCH_*.json baselines in {baseline_dir}")
+        return problems, checked
+    for path in baselines:
+        candidate_path = candidate_dir / path.name
+        if not candidate_path.is_file():
+            problems.append(f"{path.name}: candidate trajectory was not produced")
+            continue
+        try:
+            base_payload = json.loads(path.read_text(encoding="utf-8"))
+            cand_payload = json.loads(candidate_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            problems.append(f"{path.name}: unreadable trajectory ({exc})")
+            continue
+        for problem in compare_metrics(
+            extract_metrics(base_payload),
+            extract_metrics(cand_payload),
+            threshold=threshold,
+            floor_seconds=floor_seconds,
+            ratios_only=ratios_only,
+        ):
+            problems.append(f"{path.name}: {problem}")
+        checked.append(path.name)
+    return problems, checked
+
+
+def main(argv: "Iterable[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", type=Path, required=True,
+        help="directory holding the committed BENCH_*.json trajectories",
+    )
+    parser.add_argument(
+        "--candidate", type=Path, required=True,
+        help="directory holding the freshly produced BENCH_*.json trajectories",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.25,
+        help="relative regression budget per headline metric (default 0.25)",
+    )
+    parser.add_argument(
+        "--floor", type=float, default=DEFAULT_FLOOR_SECONDS,
+        help="seconds below which time-like baselines are treated as noise",
+    )
+    parser.add_argument(
+        "--ratios-only", action="store_true",
+        help="gate only machine-independent metrics (ratios/speedups/overhead "
+        "percentages) — use when baseline and candidate ran on different machines",
+    )
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    if args.threshold <= 0:
+        parser.error("--threshold must be positive")
+    problems, checked = compare_directories(
+        args.baseline, args.candidate,
+        threshold=args.threshold, floor_seconds=args.floor,
+        ratios_only=args.ratios_only,
+    )
+    for name in checked:
+        print(f"checked {name}")
+    if problems:
+        print(f"\n{len(problems)} perf regression problem(s):", file=sys.stderr)
+        for problem in problems:
+            print(f"  REGRESSION {problem}", file=sys.stderr)
+        return 1
+    print(f"no perf regressions across {len(checked)} trajectory file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -126,7 +126,7 @@ def main() -> None:
         probe.close()
     print(
         f"streaming restore is {restore_seconds['eager'] / restore_seconds['streaming']:.1f}x "
-        f"faster on this mostly-clean checkpoint\n"
+        "faster on this mostly-clean checkpoint\n"
     )
 
     # --- phase 2: restore into a fresh engine and finish --------------------

@@ -135,10 +135,10 @@ def striped_reads_demo() -> None:
             row["read_share"] = f"{raw_read / total_read:.0%}" if total_read else "-"
         print(format_table(rows, title="per-path byte accounting (striped reads)"))
         print(
-            f"  every fetch streamed from both paths at once: "
+            "  every fetch streamed from both paths at once: "
             f"{format_bytes(total_read)} read / {format_bytes(total_written)} written in total,\n"
-            f"  split ≈ proportionally to the 6.9:3.6 GB/s *read* bandwidth hints "
-            f"(Equation 1 applied within each field)"
+            "  split ≈ proportionally to the 6.9:3.6 GB/s *read* bandwidth hints "
+            "(Equation 1 applied within each field)"
         )
 
 

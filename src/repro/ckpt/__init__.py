@@ -10,8 +10,17 @@ asynchronously, overlapped with the next training iteration.
 
 Layout on disk::
 
-    <checkpoint_dir>/ckpt-<worker>-<version>.json   committed manifests
-    <tier.path>/_ckpt/cas<digest>-<nbytes>.bin      content-addressed blobs
+    <checkpoint_dir>/ckpt-<worker>-<version>.json            committed manifests
+    <checkpoint_dir>/ckpt-<worker>-<version>.prepared.json   phase-one (pre-global-commit)
+    <checkpoint_dir>/GLOBAL-<version>.json                   global commit records
+    <checkpoint_dir>/GLOBAL.lock                             coordinator election lock
+    <tier.path>/_ckpt/cas<digest>-<nbytes>.bin               content-addressed blobs
+
+With ``checkpoint_coordination`` on, a job-level two-phase commit
+(:class:`CheckpointCoordinator`) promotes a version to a global commit
+record only once *every* registered rank's manifest landed, and restart
+resolves the newest global version — one consistent cut across all
+data-parallel workers — discarding torn-commit debris beyond it.
 
 Public surface: :class:`CheckpointWriter` / :class:`CheckpointReader` for
 direct use, :class:`CheckpointManifest` for the metadata model, and the
@@ -20,14 +29,17 @@ engine-level hooks ``save_checkpoint`` / ``maybe_checkpoint`` /
 which most callers should prefer.
 """
 
+from repro.ckpt.coordinator import CheckpointCoordinator, GlobalCommitRecord
 from repro.ckpt.manifest import (
     BlobRef,
     BlobSegment,
     CheckpointError,
     CheckpointManifest,
+    ManifestDirSnapshot,
     ManifestStore,
     cas_key,
     payload_digest,
+    scan_manifest_dir,
 )
 from repro.ckpt.restore import CheckpointReader, RestoredCheckpoint
 from repro.ckpt.store import build_blob_stores, blob_store_roots
@@ -36,10 +48,13 @@ from repro.ckpt.writer import CheckpointWriter, PendingCheckpoint, SubgroupSourc
 __all__ = [
     "BlobRef",
     "BlobSegment",
+    "CheckpointCoordinator",
     "CheckpointError",
     "CheckpointManifest",
     "CheckpointReader",
     "CheckpointWriter",
+    "GlobalCommitRecord",
+    "ManifestDirSnapshot",
     "ManifestStore",
     "PendingCheckpoint",
     "RestoredCheckpoint",
@@ -48,4 +63,5 @@ __all__ = [
     "build_blob_stores",
     "cas_key",
     "payload_digest",
+    "scan_manifest_dir",
 ]

@@ -1,0 +1,708 @@
+"""Job-level two-phase checkpoint commit across data-parallel ranks.
+
+The per-worker writer (:mod:`repro.ckpt.writer`) commits manifests
+independently, which is exactly right for one rank and exactly wrong for a
+job: a crash can leave rank 0 at version 7 and rank 1 at version 6, with no
+cut of the job that every rank can restart from.  The coordinator layers a
+filesystem-based two-phase commit on top of the existing per-worker
+machinery:
+
+**Phase one — prepare.**  Each rank's asynchronous drain publishes its
+manifest under the phase-one name ``ckpt-<worker>-<version>.prepared.json``
+(atomic tmp+rename, fsynced — durable but not yet part of any global
+version).  Nothing about the drain itself changes: blobs still land in the
+shared content-addressed stores before the prepared manifest is published.
+
+**Phase two — promote.**  After publishing, the rank calls
+:meth:`CheckpointCoordinator.try_promote`.  Whichever rank gets there last
+finds every registered worker's manifest for version ``v`` present, takes
+the coordinator lock (``GLOBAL.lock``, created with ``O_EXCL`` — an
+any-rank election, no dedicated coordinator process), renames each prepared
+manifest to its committed name, and writes the global commit record
+``GLOBAL-<v>.json`` (atomic tmp+rename+fsync).  *That rename is the job's
+commit point*: a global version exists completely or not at all.
+
+**Restart.**  :meth:`latest_global` resolves the newest global version;
+per-rank manifests newer than it — committed or prepared — are torn-commit
+debris and are discarded (:meth:`discard_torn`) before any rank restores,
+so every rank resumes from the same cut.
+
+**Garbage collection** runs under the same lock and operates on *global*
+versions: retention keeps the newest ``checkpoint_retention`` global
+versions, per-rank manifests of retired or torn versions are deleted, and a
+blob survives while **any rank of any surviving manifest** — including
+still-prepared ones, whose blobs are fully written — references it.  The
+blob sweep additionally stands down while any in-process drain is in flight
+(:meth:`drain_begin` / :meth:`drain_end`), closing the window between a
+drain's content-addressed reuse check and its prepared publication.  That
+guard only sees drains of ranks *sharing the coordinator instance*: in the
+separate-process deployment a rank mid-drain in another process is not yet
+visible (its prepared manifest has not landed), so a blob it dedup-reused
+whose last committed reference is being retired could still be swept — a
+known window, tracked on the ROADMAP (cross-process drain-intent
+sentinels); keep all ranks of one node in one process, or size
+``checkpoint_retention`` so reused blobs stay referenced, until then.
+
+A crashed promoter leaves a stale ``GLOBAL.lock``; the next election breaks
+it once its owning pid is dead (unreadable/torn lock files age out after
+``checkpoint_lock_stale_seconds``; a lock whose owner is alive is never
+stolen), so one rank's death never wedges the job's checkpoint stream.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import weakref
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from repro.ckpt.manifest import (
+    CheckpointError,
+    CheckpointManifest,
+    ManifestDirSnapshot,
+    _fsync_directory,
+    referenced_blobs,
+    scan_manifest_dir,
+)
+from repro.ckpt.store import CAS_PREFIX, build_blob_stores
+from repro.util.logging import get_logger
+
+if TYPE_CHECKING:  # pragma: no cover - break the core <-> ckpt import cycle
+    from repro.core.config import MLPOffloadConfig
+
+_LOG = get_logger("ckpt.coordinator")
+
+#: Global commit record schema version.
+GLOBAL_FORMAT = 1
+#: Election lock file name (lives next to the manifests).
+LOCK_NAME = "GLOBAL.lock"
+
+
+def global_record_name(version: int) -> str:
+    return f"GLOBAL-{version:06d}.json"
+
+
+def _proc_start_time(pid: int) -> Optional[int]:
+    """Kernel start tick of ``pid`` (Linux); ``None`` where unavailable.
+
+    A pid plus its start time identifies a process across pid reuse: a
+    recycled pid (likely in small container pid namespaces) passes
+    ``os.kill(pid, 0)`` but carries a different start tick, so a lock file
+    recording both can be recognized as a dead run's leftover instead of
+    wedging every future election.
+    """
+    try:
+        with open(f"/proc/{pid}/stat", "rb") as handle:
+            data = handle.read()
+        # Fields after the parenthesized comm (which may contain spaces);
+        # starttime is overall field 22 → index 19 past the ") " split.
+        return int(data.rsplit(b") ", 1)[1].split()[19])
+    except (OSError, IndexError, ValueError):  # pragma: no cover - non-Linux
+        return None
+
+
+@dataclass(frozen=True)
+class GlobalCommitRecord:
+    """One committed *global* checkpoint version: a consistent job-wide cut."""
+
+    version: int
+    #: Engine ``update_count`` every rank's manifest records for this version.
+    iteration: int
+    #: The registered workers whose manifests form the cut.
+    workers: Tuple[str, ...]
+    created_unix: float = 0.0
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "format": GLOBAL_FORMAT,
+                "version": self.version,
+                "iteration": self.iteration,
+                "workers": list(self.workers),
+                "created_unix": self.created_unix,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "GlobalCommitRecord":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise CheckpointError(f"global commit record is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict) or payload.get("format") != GLOBAL_FORMAT:
+            raise CheckpointError(f"unsupported global commit record: {payload!r}")
+        try:
+            return cls(
+                version=int(payload["version"]),
+                iteration=int(payload["iteration"]),
+                workers=tuple(str(w) for w in payload["workers"]),
+                created_unix=float(payload.get("created_unix", 0.0)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(f"malformed global commit record: {exc}") from exc
+
+
+class CoordinatorLock:
+    """``O_CREAT | O_EXCL`` election lock with dead-owner stale-breaking.
+
+    The lock file records its owner's pid and creation time.  An acquire
+    attempt that finds the file held checks whether the recorded pid is
+    still alive; a *dead* owner's lock (a promoter that crashed between
+    promote and GC, say) is broken and the acquisition retried once.  A
+    lock whose owner is alive is **never** stolen, no matter its age — a
+    slow GC under the lock must not admit a second promoter (two
+    concurrent blob sweeps can delete payloads a prepared manifest is
+    about to reference); ``stale_seconds`` only ages out *unreadable*
+    (torn) lock files, where no pid can be checked.  Within one process a
+    ``threading.Lock`` serializes holders so two drain threads never both
+    believe they won.
+    """
+
+    def __init__(self, directory: Path, *, stale_seconds: float = 30.0) -> None:
+        self.path = directory / LOCK_NAME
+        self.stale_seconds = stale_seconds
+        self._thread_lock = threading.Lock()
+
+    def _owner_is_dead(self, path: Optional[Path] = None) -> bool:
+        path = self.path if path is None else path
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            pid = int(payload["pid"])
+        except (OSError, ValueError, KeyError, TypeError):
+            # Unreadable or torn lock (no pid to probe): age it out via mtime.
+            try:
+                created = path.stat().st_mtime
+            except OSError:
+                return True  # vanished — treat as released
+            return (time.time() - created) > self.stale_seconds
+        # The recorded pid being alive is not enough: a crashed run's pid may
+        # have been recycled onto an unrelated (or even this) process.  The
+        # start tick recorded at lock creation disambiguates where available.
+        recorded_start = payload.get("starttime")
+        if recorded_start is not None:
+            current_start = _proc_start_time(pid)
+            if current_start is not None and current_start != int(recorded_start):
+                return True  # pid reused: the owning process is gone
+        if pid == os.getpid():
+            # Another CoordinatorLock instance in this very process holds it
+            # (distinct engines each carry their own lock object).
+            return False
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return True
+        except PermissionError:  # pragma: no cover - pid alive, other user
+            return False
+        return False
+
+    def _break_stale(self) -> bool:
+        """Atomically claim and break an observed-stale lock; ``True`` = broken.
+
+        A blind ``unlink`` after the staleness check is a TOCTOU: two
+        breakers can both judge the old lock dead, the first replaces it
+        with its own fresh lock, and the second's unlink (or rename) would
+        then destroy the *fresh* one — leaving the path free for a third
+        contender while the fresh lock's owner still believes it holds the
+        election.  Breaking therefore happens under its own ``O_EXCL``
+        breaker guard (one breaker at a time, cross-process), re-verifies
+        staleness on the *current* lock file inside the guard, and only
+        then **renames** it to a private tombstone for a final check.  A
+        live lock observed at any point aborts the break; a breaker that
+        loses the rename race simply contends for the now-free path via
+        the ordinary ``O_EXCL`` create.
+        """
+        guard = self.path.with_name(f"{LOCK_NAME}.breaker")
+        try:
+            guard_fd = os.open(guard, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+        except FileExistsError:
+            # Another breaker is active — or died holding the guard; age the
+            # guard out so a crashed breaker cannot wedge future elections.
+            try:
+                if (time.time() - guard.stat().st_mtime) > self.stale_seconds:
+                    guard.unlink()
+            except OSError:  # pragma: no cover - raced with the live breaker
+                pass
+            return False
+        try:
+            # Re-verify under the guard: the lock may have been broken and
+            # freshly re-created while we were deciding.
+            if not self._owner_is_dead():
+                return False
+            tombstone = self.path.with_name(f"{LOCK_NAME}.break.{os.getpid()}")
+            try:
+                os.rename(self.path, tombstone)
+            except FileNotFoundError:
+                return True  # already broken; path is free to contend for
+            if self._owner_is_dead(tombstone):
+                try:
+                    tombstone.unlink()
+                except FileNotFoundError:  # pragma: no cover - swept
+                    pass
+                return True
+            # Claimed a live lock despite the guard (owner raced between our
+            # re-verify and rename — only possible if it re-created without
+            # the guard): restore it; ``link`` cannot clobber a newer lock.
+            try:
+                os.link(tombstone, self.path)
+            except (FileExistsError, OSError):  # pragma: no cover - newer won
+                pass
+            try:
+                tombstone.unlink()
+            except FileNotFoundError:  # pragma: no cover - swept
+                pass
+            return False
+        finally:
+            os.close(guard_fd)
+            try:
+                guard.unlink()
+            except FileNotFoundError:  # pragma: no cover - aged out by a peer
+                pass
+
+    def _try_create(self) -> bool:
+        try:
+            fd = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+        except FileExistsError:
+            return False
+        try:
+            os.write(
+                fd,
+                json.dumps(
+                    {
+                        "pid": os.getpid(),
+                        "starttime": _proc_start_time(os.getpid()),
+                        "created_unix": time.time(),
+                    }
+                ).encode(),
+            )
+        finally:
+            os.close(fd)
+        return True
+
+    def acquire(self) -> bool:
+        """Non-blocking: ``True`` when this caller now holds the election."""
+        if not self._thread_lock.acquire(blocking=False):
+            return False
+        if self._try_create():
+            return True
+        if self._owner_is_dead():
+            _LOG.warning("breaking stale coordinator lock %s", self.path)
+            if self._break_stale() and self._try_create():
+                return True
+        self._thread_lock.release()
+        return False
+
+    def release(self) -> None:
+        # Unlink only a lock file this process wrote: if a peer broke our
+        # lock as stale (our pid died and was reused, or the file tore) and
+        # re-acquired, deleting the file now would admit a third holder.
+        try:
+            payload = json.loads(self.path.read_text(encoding="utf-8"))
+            if int(payload.get("pid", -1)) == os.getpid():
+                self.path.unlink()
+        except (OSError, ValueError, TypeError):  # pragma: no cover - torn/raced
+            pass
+        self._thread_lock.release()
+
+
+class CheckpointCoordinator:
+    """Promotes per-rank prepared manifests to global commit records.
+
+    One instance may be shared by several in-process engines (the same way a
+    :class:`~repro.aio.locks.TierLockManager` is); separate processes
+    coordinate purely through the filesystem protocol.  ``workers`` is the
+    registry of ranks whose manifests a global version requires — typically
+    ``rank0 … rank{world_size-1}``.
+    """
+
+    def __init__(
+        self,
+        config: "MLPOffloadConfig",
+        *,
+        workers: Sequence[str],
+        throttles: Optional[Dict[str, object]] = None,
+    ) -> None:
+        if not config.checkpoint_enabled:
+            raise CheckpointError("checkpoint_dir is not configured")
+        if not workers:
+            raise CheckpointError("coordinator needs at least one registered worker")
+        self.config = config
+        self.directory = Path(config.checkpoint_dir)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.workers: Tuple[str, ...] = tuple(workers)
+        self.lock = CoordinatorLock(
+            self.directory, stale_seconds=config.checkpoint_lock_stale_seconds
+        )
+        self.stores = build_blob_stores(config, throttles=throttles)
+        #: In-flight in-process drains (worker → nesting count): while any is
+        #: active the blob sweep stands down, because that drain may have
+        #: dedup-reused a blob its manifest has not yet pinned.
+        self._drains: Dict[str, int] = {}
+        self._drains_lock = threading.Lock()
+        #: Promotions this instance performed (introspection / benches).
+        self.promoted_versions: List[int] = []
+        #: Versions this instance refused to promote (inconsistent cuts),
+        #: with the reason.  A refused version is *skipped*, not fatal: later
+        #: consistent versions still promote, and the skipped version's
+        #: manifests are swept as orphans once a newer global commit lands.
+        self.promotion_errors: List[str] = []
+        #: Version numbers behind :attr:`promotion_errors` — excluded from
+        #: completeness checks so a poisoned version is neither re-attempted
+        #: on every election nor spun on by :meth:`promote_pending`.
+        self._refused_versions: set = set()
+
+    # -- drain tracking ------------------------------------------------------
+
+    def drain_begin(self, worker: str) -> None:
+        with self._drains_lock:
+            self._drains[worker] = self._drains.get(worker, 0) + 1
+
+    def drain_end(self, worker: str) -> None:
+        with self._drains_lock:
+            count = self._drains.get(worker, 0) - 1
+            if count <= 0:
+                self._drains.pop(worker, None)
+            else:  # pragma: no cover - drains are serialized per writer
+                self._drains[worker] = count
+
+    # -- global version queries ---------------------------------------------
+
+    def global_versions(self) -> List[int]:
+        """Committed global versions, ascending (one atomic listing)."""
+        return sorted(scan_manifest_dir(self.directory).global_versions)
+
+    def load_global(self, version: int) -> GlobalCommitRecord:
+        path = self.directory / global_record_name(version)
+        try:
+            record = GlobalCommitRecord.from_json(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            raise CheckpointError(
+                f"no global checkpoint version {version} in {str(self.directory)!r}"
+            ) from None
+        if record.version != version:
+            raise CheckpointError(
+                f"global record {path.name} claims version {record.version}"
+            )
+        return record
+
+    def latest_global(self) -> Optional[GlobalCommitRecord]:
+        versions = self.global_versions()
+        return self.load_global(versions[-1]) if versions else None
+
+    # -- phase two: promotion ------------------------------------------------
+
+    def _complete_versions(self, snapshot: ManifestDirSnapshot) -> List[int]:
+        """Versions beyond the newest global for which every worker landed."""
+        newest = max(snapshot.global_versions, default=0)
+        candidates: Optional[set] = None
+        for worker in self.workers:
+            landed = set(snapshot.prepared.get(worker, {})) | set(
+                snapshot.committed.get(worker, {})
+            )
+            candidates = landed if candidates is None else candidates & landed
+        assert candidates is not None
+        return sorted(
+            v for v in candidates if v > newest and v not in self._refused_versions
+        )
+
+    #: Lock-contention retry schedule for ``try_promote``: a complete version
+    #: must not silently stay un-promoted just because the current holder's
+    #: re-scan ran before our prepared manifest landed — without a retry, a
+    #: run's *final* checkpoint (no later drain to pick it up) would roll
+    #: back at restart.
+    _PROMOTE_ATTEMPTS = 10
+    _PROMOTE_RETRY_SECONDS = 0.02
+
+    def try_promote(self) -> Optional[int]:
+        """Promote every fully-prepared version; return the newest promoted.
+
+        Called by any rank after its drain publishes a prepared manifest
+        (and again from ``checkpoint_wait``, so a quiesced job always gets
+        its last complete version promoted).  Returns ``None`` when no
+        version is complete yet, or when the election stayed contended for
+        the whole (short) retry window — the next call promotes then.
+
+        A version whose per-rank manifests disagree on the iteration number
+        is recorded in :attr:`promotion_errors` and skipped — it can never
+        become a consistent cut, but it must not wedge every later
+        checkpoint either; its manifests are swept as orphans once a newer
+        version commits.
+        """
+        acquired = False
+        for attempt in range(self._PROMOTE_ATTEMPTS):
+            if not self._complete_versions(scan_manifest_dir(self.directory)):
+                return None
+            if self.lock.acquire():
+                acquired = True
+                break
+            time.sleep(self._PROMOTE_RETRY_SECONDS)
+        if not acquired:
+            return None
+        try:
+            promoted: Optional[int] = None
+            # Re-scan under the lock: the pre-check above is advisory only.
+            snapshot = scan_manifest_dir(self.directory)
+            for version in self._complete_versions(snapshot):
+                try:
+                    self._promote_one(snapshot, version)
+                except CheckpointError as exc:
+                    _LOG.error("refusing to promote version %d: %s", version, exc)
+                    self.promotion_errors.append(f"v{version}: {exc}")
+                    self._refused_versions.add(version)
+                    continue
+                promoted = version
+                self.promoted_versions.append(version)
+            if promoted is not None:
+                self._collect_garbage()
+            return promoted
+        finally:
+            self.lock.release()
+
+    def _promote_one(self, snapshot: ManifestDirSnapshot, version: int) -> None:
+        """Rename each rank's prepared manifest and write ``GLOBAL-<v>.json``."""
+        iterations: Dict[str, int] = {}
+        for worker in self.workers:
+            path = snapshot.prepared.get(worker, {}).get(version)
+            if path is None:
+                path = snapshot.committed[worker][version]
+            manifest = CheckpointManifest.from_json(path.read_text(encoding="utf-8"))
+            if manifest.worker != worker or manifest.version != version:
+                raise CheckpointError(
+                    f"manifest {path.name} claims worker {manifest.worker!r} "
+                    f"version {manifest.version}"
+                )
+            iterations[worker] = manifest.iteration
+        if len(set(iterations.values())) != 1:
+            raise CheckpointError(
+                f"version {version} is inconsistent across ranks: per-worker "
+                f"iterations {iterations} — the ranks did not checkpoint the "
+                "same cut"
+            )
+        for worker in self.workers:
+            prepared = snapshot.prepared.get(worker, {}).get(version)
+            if prepared is not None:
+                committed = self.directory / f"ckpt-{worker}-{version:06d}.json"
+                os.replace(prepared, committed)
+        _fsync_directory(self.directory)
+        record = GlobalCommitRecord(
+            version=version,
+            iteration=next(iter(iterations.values())),
+            workers=self.workers,
+            created_unix=time.time(),
+        )
+        path = self.directory / global_record_name(version)
+        tmp = path.with_suffix(".json.tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(record.to_json() + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        _fsync_directory(self.directory)
+        _LOG.info("global checkpoint v%d committed (%d workers)", version, len(self.workers))
+
+    def promote_pending(self, timeout: float = 5.0) -> Optional[int]:
+        """Keep electing until every currently-complete version is promoted.
+
+        ``try_promote``'s short retry window is fine mid-run (a later drain
+        retries), but a *quiesced* job — ``checkpoint_wait`` after the final
+        drain — has no later drain: losing the election there would leave
+        the run's last complete version un-promoted and roll it back at
+        restart.  This blocks (bounded by ``timeout``) until no complete
+        unpromoted version remains, re-standing for election whenever the
+        current holder releases.  Returns the newest version promoted by
+        this caller, if any.
+        """
+        deadline = time.monotonic() + timeout
+        promoted: Optional[int] = None
+        while self._complete_versions(scan_manifest_dir(self.directory)):
+            try:
+                result = self.try_promote()
+            except Exception as exc:  # noqa: BLE001 - promotion is retried
+                # Transient promotion I/O (a flaky PFS rename, a peer
+                # manifest read) must not crash the caller: the local
+                # checkpoints are durable, and the election retries below
+                # until the deadline.
+                _LOG.warning("promotion attempt failed (will retry): %s", exc)
+                result = None
+            if result is not None:
+                promoted = result
+                continue
+            if time.monotonic() >= deadline:
+                _LOG.warning(
+                    "gave up promoting a complete checkpoint version after %.1fs "
+                    "of election contention",
+                    timeout,
+                )
+                break
+            time.sleep(self._PROMOTE_RETRY_SECONDS)
+        return promoted
+
+    # -- restart: torn-commit cleanup ----------------------------------------
+
+    def discard_torn(self, global_version: int) -> int:
+        """Delete per-rank manifests newer than ``global_version``.
+
+        Called on restart once the newest global version is chosen: anything
+        a rank published beyond it — prepared or already renamed by a
+        promoter that died mid-promotion — belongs to a commit that never
+        (and now never will) complete.  Returns the number of manifests
+        discarded.  Runs under the election lock so concurrent restarting
+        ranks do not interleave with a live promotion; their own discards
+        are idempotent.
+        """
+        discarded = 0
+        if not self.lock.acquire():
+            # Another restarting rank holds the lock and is doing this exact
+            # cleanup; nothing left for us once it finishes.
+            return 0
+        try:
+            snapshot = scan_manifest_dir(self.directory)
+            if max(snapshot.global_versions, default=0) > global_version:
+                raise CheckpointError(
+                    f"cannot discard beyond global version {global_version}: a newer "
+                    "global commit exists"
+                )
+            for per_worker in (snapshot.prepared, snapshot.committed):
+                for versions in per_worker.values():
+                    for version, path in versions.items():
+                        if version > global_version:
+                            try:
+                                path.unlink()
+                                discarded += 1
+                            except FileNotFoundError:
+                                pass
+            if discarded:
+                _LOG.info(
+                    "discarded %d torn per-rank manifest(s) beyond global v%d",
+                    discarded,
+                    global_version,
+                )
+        finally:
+            self.lock.release()
+        return discarded
+
+    # -- garbage collection on global versions -------------------------------
+
+    def _sweep_promoter_debris(self) -> None:
+        """Remove crashed promoters' leftovers; caller holds the lock.
+
+        A promoter dying between writing ``GLOBAL-<v>.json.tmp`` and its
+        rename strands the temp file (no worker-scoped sweep ever matches
+        it); a breaker dying mid-:meth:`CoordinatorLock._break_stale`
+        strands its claim tombstone.  Both are invisible to
+        ``scan_manifest_dir`` and harmless to correctness — this keeps them
+        from accumulating.  Holding the election lock guarantees no live
+        promoter's temp write is in flight; tombstones are only swept once
+        aged (a live breaker holds one for microseconds).
+        """
+        for tmp in self.directory.glob("GLOBAL-*.json.tmp"):
+            try:
+                tmp.unlink()
+            except FileNotFoundError:  # pragma: no cover - lost a race
+                pass
+        horizon = time.time() - self.lock.stale_seconds
+        for tombstone in self.directory.glob(f"{LOCK_NAME}.break.*"):
+            try:
+                if tombstone.stat().st_mtime < horizon:
+                    tombstone.unlink()
+            except FileNotFoundError:  # pragma: no cover - lost a race
+                pass
+
+    def _collect_garbage(self) -> None:
+        """Retention GC keyed on *global* versions; caller holds the lock.
+
+        Works from one atomic directory listing: retire global records
+        beyond the retention window, delete per-rank manifests whose version
+        is at or below the newest global but not in any retained global
+        version (retired versions plus torn-commit debris), then sweep
+        content-addressed blobs no surviving manifest — committed *or*
+        prepared — references.  The blob sweep stands down while any
+        in-process drain is in flight.
+        """
+        self._sweep_promoter_debris()
+        snapshot = scan_manifest_dir(self.directory)
+        global_versions = sorted(snapshot.global_versions)
+        if not global_versions:
+            return
+        retention = self.config.checkpoint_retention
+        live = set(global_versions[-retention:])
+        newest = global_versions[-1]
+        for version in global_versions[:-retention]:
+            try:
+                snapshot.global_versions[version].unlink()
+            except FileNotFoundError:  # pragma: no cover - lost a race
+                pass
+        for per_worker in (snapshot.committed, snapshot.prepared):
+            for versions in per_worker.values():
+                for version, path in versions.items():
+                    if version <= newest and version not in live:
+                        try:
+                            path.unlink()
+                        except FileNotFoundError:  # pragma: no cover - lost a race
+                            pass
+        # The drain check must be atomic with the sweep: a drain beginning
+        # *after* a one-time check could dedup-reuse a blob this sweep is
+        # concurrently deleting.  Holding ``_drains_lock`` across the scan
+        # and sweep makes ``drain_begin`` block until the sweep finishes
+        # (the sweep is bounded and runs at most once per promotion), so a
+        # drain either registered before the check — and the sweep stands
+        # down — or starts strictly after the last delete.
+        with self._drains_lock:
+            if self._drains:
+                _LOG.debug("skipping blob sweep: a drain is in flight")
+                return
+            try:
+                referenced = referenced_blobs(
+                    scan_manifest_dir(self.directory).manifest_paths(include_prepared=True)
+                )
+            except CheckpointError as exc:
+                _LOG.warning("skipping checkpoint blob GC: %s", exc)
+                return
+            for tier, store in self.stores.items():
+                for key in list(store.keys()):
+                    if key.startswith(CAS_PREFIX) and (tier, key) not in referenced:
+                        store.delete(key)
+
+
+# -- in-process sharing -------------------------------------------------------
+
+#: One coordinator per checkpoint directory per process (weak: the entry dies
+#: with the last engine referencing it).  Drain tracking — the guard that
+#: suspends the blob sweep while a rank's drain may have dedup-reused an
+#: otherwise-unreferenced blob — only protects ranks that share an instance,
+#: so engines that are not handed an explicit coordinator must converge on
+#: the same one rather than each silently constructing a private copy.
+_SHARED_COORDINATORS: "weakref.WeakValueDictionary[str, CheckpointCoordinator]" = (
+    weakref.WeakValueDictionary()
+)
+_SHARED_COORDINATORS_LOCK = threading.Lock()
+
+
+def shared_coordinator(
+    config: "MLPOffloadConfig",
+    *,
+    workers: Sequence[str],
+    throttles: Optional[Dict[str, object]] = None,
+) -> CheckpointCoordinator:
+    """The process-wide coordinator for ``config.checkpoint_dir``.
+
+    Returns the existing instance when one is alive for the same directory
+    and worker registry (in-process data-parallel engines then share drain
+    tracking automatically); otherwise constructs and registers a new one.
+    A caller whose registry disagrees with the registered instance gets a
+    private coordinator — mismatched worlds must not silently merge.
+    """
+    key = os.path.realpath(str(config.checkpoint_dir))
+    with _SHARED_COORDINATORS_LOCK:
+        existing = _SHARED_COORDINATORS.get(key)
+        if existing is not None and existing.workers == tuple(workers):
+            return existing
+        coordinator = CheckpointCoordinator(config, workers=workers, throttles=throttles)
+        if existing is None:
+            _SHARED_COORDINATORS[key] = coordinator
+        return coordinator

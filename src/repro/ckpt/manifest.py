@@ -23,7 +23,7 @@ import os
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -268,6 +268,101 @@ class CheckpointManifest:
 
 #: Committed manifest filename pattern: ``ckpt-<worker>-<version>.json``.
 _MANIFEST_RE = re.compile(r"^ckpt-(?P<worker>.+)-(?P<version>\d{6})\.json$")
+#: Prepared (phase-one) manifest pattern: ``ckpt-<worker>-<version>.prepared.json``.
+_PREPARED_RE = re.compile(r"^ckpt-(?P<worker>.+)-(?P<version>\d{6})\.prepared\.json$")
+#: Global commit record pattern: ``GLOBAL-<version>.json`` (see
+#: :mod:`repro.ckpt.coordinator`).
+_GLOBAL_RE = re.compile(r"^GLOBAL-(?P<version>\d{6})\.json$")
+
+
+@dataclass(frozen=True)
+class ManifestDirSnapshot:
+    """One *atomic* classified listing of a checkpoint directory.
+
+    Garbage collection and global-commit promotion must never interleave
+    several directory listings: a manifest landing between two ``glob`` calls
+    would be visible to one decision (which blobs exist) but not the other
+    (which blobs are referenced).  Every consumer therefore takes exactly one
+    ``os.listdir`` snapshot via :func:`scan_manifest_dir` and derives all of
+    its views — committed versions per worker, prepared (phase-one) versions
+    per worker, global commit records — from that single listing.  Temp files
+    (``*.tmp``) and lock files are skipped at classification time.
+    """
+
+    directory: Path
+    #: worker → version → committed manifest path.
+    committed: Dict[str, Dict[int, Path]]
+    #: worker → version → prepared (not yet globally committed) manifest path.
+    prepared: Dict[str, Dict[int, Path]]
+    #: global version → ``GLOBAL-<version>.json`` path.
+    global_versions: Dict[int, Path]
+
+    def workers(self) -> Set[str]:
+        """Every worker with a committed *or* prepared manifest present."""
+        return set(self.committed) | set(self.prepared)
+
+    def manifest_paths(self, *, include_prepared: bool = True) -> List[Path]:
+        """Every per-worker manifest path in the snapshot, sorted."""
+        paths: List[Path] = []
+        for per_worker in self.committed.values():
+            paths.extend(per_worker.values())
+        if include_prepared:
+            for per_worker in self.prepared.values():
+                paths.extend(per_worker.values())
+        return sorted(paths)
+
+
+def scan_manifest_dir(directory: "str | os.PathLike[str]") -> ManifestDirSnapshot:
+    """Classify a checkpoint directory from a single ``os.listdir`` call."""
+    directory = Path(directory)
+    try:
+        names = os.listdir(directory)
+    except FileNotFoundError:
+        names = []
+    committed: Dict[str, Dict[int, Path]] = {}
+    prepared: Dict[str, Dict[int, Path]] = {}
+    global_versions: Dict[int, Path] = {}
+    for name in sorted(names):
+        match = _PREPARED_RE.match(name)
+        if match:
+            prepared.setdefault(match.group("worker"), {})[
+                int(match.group("version"))
+            ] = directory / name
+            continue
+        match = _MANIFEST_RE.match(name)
+        if match:
+            committed.setdefault(match.group("worker"), {})[
+                int(match.group("version"))
+            ] = directory / name
+            continue
+        match = _GLOBAL_RE.match(name)
+        if match:
+            global_versions[int(match.group("version"))] = directory / name
+    return ManifestDirSnapshot(
+        directory=directory,
+        committed=committed,
+        prepared=prepared,
+        global_versions=global_versions,
+    )
+
+
+def referenced_blobs(paths: "Sequence[Path]") -> Set[Tuple[str, str]]:
+    """Union of blob keys referenced by the manifests at ``paths``.
+
+    A path deleted between the snapshot and the read (a concurrent retention
+    sweep won its race) is skipped — its references died with it.  A manifest
+    that exists but cannot be parsed raises :class:`CheckpointError`: callers
+    doing blob GC must treat that as "reference set unknown" and skip the
+    sweep rather than delete blobs the unreadable manifest might reference.
+    """
+    referenced: Set[Tuple[str, str]] = set()
+    for path in paths:
+        try:
+            text = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            continue
+        referenced |= CheckpointManifest.from_json(text).blob_keys()
+    return referenced
 
 
 def _fsync_directory(directory: Path) -> None:
@@ -302,14 +397,17 @@ class ManifestStore:
     def path_for(self, version: int) -> Path:
         return self.directory / f"ckpt-{self.worker}-{version:06d}.json"
 
+    def prepared_path_for(self, version: int) -> Path:
+        """Phase-one path: published by the drain, awaiting the global commit."""
+        return self.directory / f"ckpt-{self.worker}-{version:06d}.prepared.json"
+
     def committed_versions(self) -> List[int]:
         """This worker's committed versions, ascending."""
-        versions = []
-        for path in self.directory.glob("ckpt-*.json"):
-            match = _MANIFEST_RE.match(path.name)
-            if match and match.group("worker") == self.worker:
-                versions.append(int(match.group("version")))
-        return sorted(versions)
+        return sorted(scan_manifest_dir(self.directory).committed.get(self.worker, {}))
+
+    def prepared_versions(self) -> List[int]:
+        """This worker's prepared (not yet globally committed) versions, ascending."""
+        return sorted(scan_manifest_dir(self.directory).prepared.get(self.worker, {}))
 
     def load(self, version: int) -> CheckpointManifest:
         path = self.path_for(version)
@@ -330,14 +428,19 @@ class ManifestStore:
         versions = self.committed_versions()
         return self.load(versions[-1]) if versions else None
 
-    def commit(self, manifest: CheckpointManifest) -> Path:
+    def commit(self, manifest: CheckpointManifest, *, prepared: bool = False) -> Path:
         """Atomically and durably publish ``manifest``.
 
         The temp file's data is fsynced before the rename and the directory
         entry after it, so a power failure cannot leave a torn manifest
         under a committed name — the commit point is the rename itself.
+        With ``prepared`` the manifest lands under the phase-one
+        ``*.prepared.json`` name instead: complete and durable, but not yet
+        part of a global commit (see :mod:`repro.ckpt.coordinator`).
         """
-        path = self.path_for(manifest.version)
+        path = self.prepared_path_for(manifest.version) if prepared else self.path_for(
+            manifest.version
+        )
         tmp = path.with_suffix(".json.tmp")
         with open(tmp, "w", encoding="utf-8") as handle:
             handle.write(manifest.to_json() + "\n")
@@ -352,14 +455,14 @@ class ManifestStore:
         if path.exists():
             path.unlink()
 
+    def delete_prepared(self, version: int) -> None:
+        path = self.prepared_path_for(version)
+        if path.exists():
+            path.unlink()
+
     def workers_present(self) -> Set[str]:
-        """Every worker with a committed manifest in this directory."""
-        workers: Set[str] = set()
-        for path in self.directory.glob("ckpt-*.json"):
-            match = _MANIFEST_RE.match(path.name)
-            if match:
-                workers.add(match.group("worker"))
-        return workers
+        """Every worker with a committed *or* prepared manifest in this directory."""
+        return scan_manifest_dir(self.directory).workers()
 
     def sweep_stale_tmp(self) -> None:
         """Remove *this worker's* uncommitted manifest temp files.
@@ -373,18 +476,17 @@ class ManifestStore:
             except OSError:  # pragma: no cover - lost a race with another sweep
                 pass
 
-    def all_referenced_blobs(self) -> Set[Tuple[str, str]]:
-        """Blob keys referenced by *any* worker's committed manifests.
+    def all_referenced_blobs(self, *, include_prepared: bool = True) -> Set[Tuple[str, str]]:
+        """Blob keys referenced by *any* worker's manifests (one atomic listing).
 
-        A damaged manifest raises :class:`CheckpointError` — callers doing
-        blob GC must treat that as "reference set unknown" and skip the
-        sweep (see ``CheckpointWriter._collect_garbage``) rather than delete
-        blobs the unreadable manifest might still reference.
+        Prepared manifests are counted by default: their blobs are fully
+        written (a prepared manifest is only published after its drain's
+        write barrier), so a blob sweep that missed them would delete
+        payloads a global commit is about to reference.  A damaged manifest
+        raises :class:`CheckpointError` — callers doing blob GC must treat
+        that as "reference set unknown" and skip the sweep (see
+        ``CheckpointWriter._collect_garbage``) rather than delete blobs the
+        unreadable manifest might still reference.
         """
-        referenced: Set[Tuple[str, str]] = set()
-        for path in sorted(self.directory.glob("ckpt-*.json")):
-            if _MANIFEST_RE.match(path.name) is None:
-                continue
-            manifest = CheckpointManifest.from_json(path.read_text(encoding="utf-8"))
-            referenced |= manifest.blob_keys()
-        return referenced
+        snapshot = scan_manifest_dir(self.directory)
+        return referenced_blobs(snapshot.manifest_paths(include_prepared=include_prepared))

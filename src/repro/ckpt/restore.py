@@ -59,6 +59,10 @@ class RestoredCheckpoint:
     linked_subgroups: int = 0
     #: Subgroups left pending for lazy restore on first fetch.
     lazy_subgroups: int = 0
+    #: The job-wide global commit version the restore resolved (equals
+    #: ``version`` once global coordination picked the cut); ``None`` for an
+    #: uncoordinated per-worker restore.
+    global_version: Optional[int] = None
 
 
 class CheckpointReader:

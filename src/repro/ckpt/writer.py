@@ -53,17 +53,19 @@ from repro.ckpt.manifest import (
     ManifestStore,
     cas_key,
     payload_digest,
+    scan_manifest_dir,
 )
 from repro.ckpt.store import CAS_PREFIX, build_blob_stores
 from repro.codec import RAW_CODEC, encoded_frame, get_codec
 from repro.tiers.array_pool import ArrayPool
 from repro.tiers.file_store import element_count
-
-if TYPE_CHECKING:  # pragma: no cover - break the core <-> ckpt import cycle
-    from repro.core.config import MLPOffloadConfig
-    from repro.core.virtual_tier import TierBlobRef, VirtualTier
 from repro.tiers.spec import plan_stripes
 from repro.util.logging import get_logger
+
+if TYPE_CHECKING:  # pragma: no cover - break the core <-> ckpt import cycle
+    from repro.ckpt.coordinator import CheckpointCoordinator
+    from repro.core.config import MLPOffloadConfig
+    from repro.core.virtual_tier import TierBlobRef, VirtualTier
 
 _LOG = get_logger("ckpt.writer")
 
@@ -160,6 +162,7 @@ class CheckpointWriter:
         tier: VirtualTier,
         throttles: Optional[Mapping[str, object]] = None,
         io_threads: int = 2,
+        coordinator: Optional[CheckpointCoordinator] = None,
     ) -> None:
         if not config.checkpoint_enabled:
             raise CheckpointError("checkpoint_dir is not configured")
@@ -171,12 +174,26 @@ class CheckpointWriter:
         self.store_names: List[str] = list(self.stores)
         self.engine = AsyncIOEngine(self.stores, num_threads=io_threads, queue_depth=32)
         self.manifests = ManifestStore(config.checkpoint_dir, worker)
+        #: Global-commit coordinator (two-phase multi-rank protocol); ``None``
+        #: keeps the PR 3/4 per-worker independent commits.
+        self.coordinator = coordinator
         #: Codec applied to staged payloads on the drain thread ("raw" = none).
         self.codec_name = config.checkpoint_codec
         if self.codec_name != RAW_CODEC:
             get_codec(self.codec_name)  # fail fast on unknown codecs
         self._pending: Optional[PendingCheckpoint] = None
-        self._last_version = max(self.manifests.committed_versions(), default=0)
+        # Version numbering resumes beyond anything this worker published —
+        # committed, still-prepared, or part of a global commit — so a
+        # restarted rank can never collide with torn-commit leftovers.
+        snapshot = scan_manifest_dir(self.manifests.directory)
+        self._last_version = max(
+            [
+                *snapshot.committed.get(worker, {}),
+                *snapshot.prepared.get(worker, {}),
+                *(snapshot.global_versions if coordinator is not None else ()),
+            ],
+            default=0,
+        )
         self._closed = False
         #: Cumulative accounting across snapshots (introspection / benches).
         self.linked_blobs = 0
@@ -468,6 +485,13 @@ class CheckpointWriter:
         staged_items: List[_StagedItem],
     ) -> None:
         encoded: List[np.ndarray] = []
+        in_drain_window = self.coordinator is not None
+        if in_drain_window:
+            # While this drain is in flight the coordinator's blob sweep
+            # stands down: the plan below may dedup-reuse a blob that no
+            # manifest references until this version's prepared manifest
+            # lands (the commit below, still inside the drain window).
+            self.coordinator.drain_begin(self.worker)
         try:
             staged_refs: Dict[Tuple, BlobRef] = {}
             futures = []
@@ -520,10 +544,41 @@ class CheckpointWriter:
             manifest = CheckpointManifest(
                 subgroups=subgroups, fp16_params=fp16_ref, **manifest_base
             )
-            self.manifests.commit(manifest)
-            self._collect_garbage()
+            if self.coordinator is not None:
+                # Phase one of the global commit: publish the prepared
+                # manifest, leave the drain window, then stand for election —
+                # whichever rank lands last promotes the version to a global
+                # commit record and runs the global-retention GC under the
+                # coordinator lock.
+                # Serialized per writer, so no commit of this worker is in
+                # flight: a crashed predecessor's manifest temp files are
+                # safe to sweep (the uncoordinated path does this in its
+                # per-drain GC, which coordinated drains never run).
+                self.manifests.sweep_stale_tmp()
+                self.manifests.commit(manifest, prepared=True)
+                self.coordinator.drain_end(self.worker)
+                in_drain_window = False
+                try:
+                    self.coordinator.try_promote()
+                except Exception as exc:  # noqa: BLE001 - promotion is retried
+                    # The *local* commit is already durable (the prepared
+                    # manifest landed); a promotion hiccup — say a transient
+                    # I/O error renaming another rank's manifest — must not
+                    # report this rank's checkpoint as failed.  A later
+                    # drain's (or checkpoint_wait's) election retries it.
+                    _LOG.warning(
+                        "promotion attempt after checkpoint v%d prepared failed "
+                        "(will be retried): %s",
+                        pending.version,
+                        exc,
+                    )
+            else:
+                self.manifests.commit(manifest)
+                self._collect_garbage()
             pending._finish(None)
         except BaseException as exc:  # noqa: BLE001 - surfaced via wait()
+            if in_drain_window:
+                self.coordinator.drain_end(self.worker)
             _LOG.error("checkpoint v%d drain failed: %s", pending.version, exc)
             pending._finish(exc)
         finally:
@@ -536,18 +591,26 @@ class CheckpointWriter:
         worker is in flight — its stale manifest temp files (from a crashed
         predecessor) are safe to remove.  Blob stores sweep their own dead
         writers' temp files at construction (`FileStore._sweep_stale_tmp`).
+
+        All decisions derive from ONE ``os.listdir`` snapshot (``.tmp`` and
+        lock files skipped at classification): interleaving several listings
+        let a manifest land *between* the workers-present check and the
+        reference scan — visible to neither — and its blobs were swept out
+        from under its commit.  Prepared (phase-one) manifests count both as
+        worker presence and as blob references for the same reason.
         """
         self.manifests.sweep_stale_tmp()
-        committed = self.manifests.committed_versions()
+        snapshot = scan_manifest_dir(self.manifests.directory)
+        committed = sorted(snapshot.committed.get(self.worker, {}))
         for version in committed[: -self.config.checkpoint_retention]:
             self.manifests.delete(version)
-        if self.manifests.workers_present() - {self.worker}:
+        if snapshot.workers() - {self.worker}:
             # Another worker shares these blob stores and may be mid-drain:
             # its staged blobs are referenced by no *committed* manifest yet,
             # so an unreferenced-key sweep here could delete them out from
-            # under its commit.  Leave blob GC to a future job-level
-            # coordinator (ROADMAP: multi-rank checkpoint coordination);
-            # per-worker manifest retention above is always safe.
+            # under its commit.  Global blob GC is the coordinator's job
+            # (``checkpoint_coordination``); per-worker manifest retention
+            # above is always safe.
             _LOG.debug("skipping blob sweep: multiple workers share %s", self.manifests.directory)
             return
         try:

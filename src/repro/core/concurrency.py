@@ -19,7 +19,7 @@ engines use to pick which tier to touch next.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, Optional, Sequence
 
 from repro.aio.locks import TierLease, TierLockManager
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field, asdict
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.train.adam import AdamConfig
 from repro.train.sharding import PAPER_SUBGROUP_SIZE
@@ -165,6 +165,24 @@ class MLPOffloadConfig:
     #: full state.  Off = the eager restore (read and re-flush every
     #: subgroup up front), kept as the contrast the restore benchmark times.
     checkpoint_streaming_restore: bool = True
+    #: Coordinate checkpoint commits across data-parallel ranks: each rank's
+    #: drain publishes a *prepared* manifest and a lock-file-elected
+    #: coordinator promotes a version to a global ``GLOBAL-<v>.json`` commit
+    #: record only once every registered rank's manifest landed
+    #: (:mod:`repro.ckpt.coordinator`).  Restart then resolves the newest
+    #: *global* version — one consistent cut across all ranks — instead of
+    #: each rank's newest private manifest.  Off = the per-worker independent
+    #: commits (and restart cuts) of PR 3/4.
+    checkpoint_coordination: bool = False
+    #: Number of data-parallel ranks sharing ``checkpoint_dir`` (the workers
+    #: a global commit must collect: ``rank0 … rank{N-1}``).  ``0`` derives
+    #: the world size from the engine's shard layout.
+    checkpoint_world_size: int = 0
+    #: Age after which an *unreadable* (torn) ``GLOBAL.lock`` is considered
+    #: stale and broken by the next election.  A readable lock is broken as
+    #: soon as its owning pid is dead, and never while the owner is alive —
+    #: a slow GC must not admit a second promoter.
+    checkpoint_lock_stale_seconds: float = 30.0
     #: Commit a striped flush's manifest only after every stripe write has
     #: landed (stripe-epoch keys + commit-after-barrier), so a crash
     #: mid-flush leaves the key reading as the complete *old* value instead
@@ -199,6 +217,10 @@ class MLPOffloadConfig:
             raise ValueError("checkpoint_interval must be >= 1")
         if self.checkpoint_retention < 1:
             raise ValueError("checkpoint_retention must be >= 1")
+        if self.checkpoint_world_size < 0:
+            raise ValueError("checkpoint_world_size must be >= 0 (0 = derive from layout)")
+        if self.checkpoint_lock_stale_seconds <= 0:
+            raise ValueError("checkpoint_lock_stale_seconds must be positive")
         from repro.codec import codec_names
 
         if self.checkpoint_codec not in codec_names():
@@ -234,6 +256,21 @@ class MLPOffloadConfig:
     def checkpoint_enabled(self) -> bool:
         """Whether the :mod:`repro.ckpt` subsystem is configured."""
         return self.checkpoint_dir is not None
+
+    @property
+    def checkpoint_coordinated(self) -> bool:
+        """Whether global (multi-rank) checkpoint commits are active."""
+        return self.checkpoint_enabled and self.checkpoint_coordination
+
+    def checkpoint_workers(self, layout_ranks: int = 1) -> Tuple[str, ...]:
+        """The worker registry a global commit must collect.
+
+        ``checkpoint_world_size`` wins when set; ``0`` (the default) derives
+        the world from the shard layout driving the engine, so in-process
+        multi-rank setups need no extra configuration.
+        """
+        world = self.checkpoint_world_size or max(1, int(layout_ranks))
+        return tuple(f"rank{rank}" for rank in range(world))
 
     def effective_prefetch_ceiling(self) -> int:
         """Largest lookahead window the engine may use this configuration with.
@@ -303,6 +340,9 @@ class MLPOffloadConfig:
                 "checkpoint_link_tier_blobs": self.checkpoint_link_tier_blobs,
                 "checkpoint_codec": self.checkpoint_codec,
                 "checkpoint_streaming_restore": self.checkpoint_streaming_restore,
+                "checkpoint_coordination": self.checkpoint_coordination,
+                "checkpoint_world_size": self.checkpoint_world_size,
+                "checkpoint_lock_stale_seconds": self.checkpoint_lock_stale_seconds,
                 "crash_safe_striped_flush": self.crash_safe_striped_flush,
                 "striped_reads": self.enable_striped_reads,
                 "stripe_threshold_bytes": self.stripe_threshold_bytes,
@@ -345,6 +385,11 @@ class MLPOffloadConfig:
             checkpoint_codec=str(block.get("checkpoint_codec", "shuffle-deflate")),
             checkpoint_streaming_restore=bool(
                 block.get("checkpoint_streaming_restore", True)
+            ),
+            checkpoint_coordination=bool(block.get("checkpoint_coordination", False)),
+            checkpoint_world_size=int(block.get("checkpoint_world_size", 0)),
+            checkpoint_lock_stale_seconds=float(
+                block.get("checkpoint_lock_stale_seconds", 30.0)
             ),
             crash_safe_striped_flush=bool(block.get("crash_safe_striped_flush", True)),
             enable_striped_reads=bool(block.get("striped_reads", True)),

@@ -56,6 +56,7 @@ import concurrent.futures
 import numpy as np
 
 from repro.aio.locks import TierLockManager
+from repro.ckpt.coordinator import CheckpointCoordinator, shared_coordinator
 from repro.ckpt.manifest import BlobRef, CheckpointError
 from repro.ckpt.restore import CheckpointReader, RestoredCheckpoint
 from repro.ckpt.writer import CheckpointWriter, SubgroupSource
@@ -109,6 +110,7 @@ class OffloadEngineBase:
         lock_manager: Optional[TierLockManager] = None,
         throttles: Optional[Mapping[str, object]] = None,
         io_threads: int = 4,
+        checkpoint_coordinator: Optional[CheckpointCoordinator] = None,
     ) -> None:
         self.config = config
         self.layout = layout
@@ -178,6 +180,24 @@ class OffloadEngineBase:
         self._grad_flushes: Dict[int, Tuple[List["concurrent.futures.Future"], np.ndarray]] = {}
         #: Stats of the previous update phase (adaptive prefetch-depth input).
         self._last_stats: Optional[UpdatePhaseStats] = None
+        #: Global-commit coordinator (two-phase multi-rank checkpoint
+        #: protocol).  In-process data-parallel workers should share one
+        #: instance (the same way they share a lock manager) so the blob
+        #: sweep sees every rank's in-flight drain; separate processes
+        #: coordinate purely through the filesystem protocol.
+        self.ckpt_coordinator: Optional[CheckpointCoordinator] = None
+        if config.checkpoint_coordinated:
+            if checkpoint_coordinator is not None:
+                self.ckpt_coordinator = checkpoint_coordinator
+            else:
+                # Converge on one instance per checkpoint directory: drain
+                # tracking (which suspends the blob sweep) only protects
+                # ranks that share the coordinator object.
+                self.ckpt_coordinator = shared_coordinator(
+                    config,
+                    workers=config.checkpoint_workers(layout.num_ranks),
+                    throttles=throttles,
+                )
         #: Checkpoint writer, when ``config.checkpoint_dir`` is set.
         self.checkpointer: Optional[CheckpointWriter] = None
         if config.checkpoint_enabled:
@@ -188,6 +208,7 @@ class OffloadEngineBase:
                 tier=self.tier,
                 throttles=throttles,
                 io_threads=max(2, io_threads // 2),
+                coordinator=self.ckpt_coordinator,
             )
 
     # -- initialization ----------------------------------------------------
@@ -1001,10 +1022,21 @@ class OffloadEngineBase:
         return self.save_checkpoint(fp16_params, user_data=user_data, wait=wait)
 
     def checkpoint_wait(self) -> Optional[int]:
-        """Block until the in-flight checkpoint (if any) commits."""
+        """Block until the in-flight checkpoint (if any) commits.
+
+        Under global coordination this also stands for election once the
+        local drain has landed: if this rank's drain lost a contended
+        promotion race (another rank held ``GLOBAL.lock`` while our prepared
+        manifest was still in flight), the quiesced job's final version is
+        promoted here rather than waiting for a next drain that may never
+        come.
+        """
         if self.checkpointer is None:
             return None
-        return self.checkpointer.wait()
+        version = self.checkpointer.wait()
+        if self.ckpt_coordinator is not None:
+            self.ckpt_coordinator.promote_pending()
+        return version
 
     def restore_checkpoint(
         self, version: Optional[int] = None, *, verify: bool = True
@@ -1042,10 +1074,43 @@ class OffloadEngineBase:
         resumes exactly where the snapshot was taken — the crash-restart
         tests assert the resumed trajectory is bitwise identical to an
         uninterrupted run in both modes.
+
+        With ``checkpoint_coordination`` on, ``version`` names a *global*
+        version: the restore resolves the newest ``GLOBAL-<v>.json`` commit
+        record (or the requested one), discards torn per-rank manifests
+        beyond it, and restores this rank's manifest of that cut — so every
+        rank of the job resumes from one consistent version, never a mix.
         """
         self._require_checkpointer()
         if self._initialized:
             raise RuntimeError("restore_checkpoint requires a fresh engine")
+        global_version: Optional[int] = None
+        if self.ckpt_coordinator is not None:
+            # Coordinated restart: the cut is a *global* version — one every
+            # registered rank committed — never this worker's newest private
+            # manifest.  Per-rank manifests beyond it (committed or prepared)
+            # are torn-commit debris and are discarded before any rank reads,
+            # so a half-promoted version cannot resurface later.
+            if version is not None:
+                record = self.ckpt_coordinator.load_global(version)
+            else:
+                record = self.ckpt_coordinator.latest_global()
+                if record is None:
+                    raise CheckpointError(
+                        "no globally committed checkpoints in "
+                        f"{str(self.ckpt_coordinator.directory)!r}"
+                    )
+            if self.worker not in record.workers:
+                raise CheckpointError(
+                    f"global checkpoint v{record.version} covers workers "
+                    f"{list(record.workers)}, not {self.worker!r}"
+                )
+            # Torn debris lives beyond the NEWEST global version — restoring
+            # an explicitly older global cut must not (and could not) discard
+            # relative to itself.
+            newest = self.ckpt_coordinator.global_versions()[-1]
+            self.ckpt_coordinator.discard_torn(newest)
+            global_version = version = record.version
         reader = CheckpointReader(self.config, worker=self.worker, throttles=self._throttles)
         manifest = reader.load_manifest(version)
         echo = self._layout_echo()
@@ -1130,6 +1195,7 @@ class OffloadEngineBase:
             mode="streaming" if streaming else "eager",
             linked_subgroups=linked_subgroups,
             lazy_subgroups=lazy_subgroups,
+            global_version=global_version,
         )
 
     def _restore_by_hardlink(
@@ -1191,7 +1257,7 @@ class OffloadEngineBase:
                         if dtype != ref.numpy_dtype or count != seg.count:
                             raise CheckpointError(
                                 f"checkpoint blob {seg.key!r} on tier {seg.tier!r} "
-                                f"failed its integrity check (stored geometry "
+                                "failed its integrity check (stored geometry "
                                 f"{dtype.name}[{count}] != manifest "
                                 f"{ref.dtype}[{seg.count}])"
                             )

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Sequence
+from typing import Dict, Mapping
 
 
 def allocate_subgroups(num_subgroups: int, bandwidths: Mapping[str, float]) -> Dict[str, int]:

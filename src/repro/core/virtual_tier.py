@@ -408,7 +408,7 @@ class VirtualTier:
                 if ext.path >= len(self.stripe_tier_names):
                     raise StoreError(
                         f"striped key {key!r} references path {ext.path} outside the "
-                        f"configured stripe set"
+                        "configured stripe set"
                     )
                 tier = self.stripe_tier_names[ext.path]
                 skey = self.striped.stripe_key(key, ext.index, epoch)

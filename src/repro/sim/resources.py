@@ -21,9 +21,7 @@ exact for this model.
 
 from __future__ import annotations
 
-import heapq
 import itertools
-import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set
 

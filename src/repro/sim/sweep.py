@@ -14,7 +14,7 @@ Each sweep mirrors one of the paper's experiment axes:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.sim.iteration import IterationModel, simulate_iteration
 from repro.sim.metrics import IterationResult

@@ -16,7 +16,7 @@ one node's update phase:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.core.performance_model import allocate_subgroups

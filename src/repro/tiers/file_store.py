@@ -43,10 +43,10 @@ import numpy as np
 
 from typing import TYPE_CHECKING
 
+from repro.util.logging import get_logger
+
 if TYPE_CHECKING:  # pragma: no cover - import is for type checkers only
     from repro.aio.throttle import BandwidthThrottle
-
-from repro.util.logging import get_logger
 
 _LOG = get_logger("tiers.file_store")
 

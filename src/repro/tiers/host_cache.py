@@ -16,7 +16,7 @@ exactly the population the reversal exploits.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional
 
 import numpy as np

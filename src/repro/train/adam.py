@@ -14,7 +14,7 @@ operations (no Python-level per-element loops), per the HPC guides.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from repro.train.model_zoo import FP16_GRAD_BYTES, OPTIMIZER_STATE_BYTES
 

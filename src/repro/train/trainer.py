@@ -21,23 +21,22 @@ at paper scale come from :mod:`repro.sim`.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 import numpy as np
 
 from typing import TYPE_CHECKING
 
-if TYPE_CHECKING:  # pragma: no cover - import is for type checkers only
-    from repro.core.engine import OffloadEngineBase, UpdateReport
-
 from repro.train.adam import AdamConfig, AdamState, adam_update
-from repro.train.data import SyntheticTokenDataset, TrainingBatch
+from repro.train.data import SyntheticTokenDataset
 from repro.train.gradients import GradientAccumulator
 from repro.train.model_zoo import ModelConfig
 from repro.train.sharding import ShardLayout, build_shard_layout, flat_views
 from repro.train.transformer import TransformerLM
-from repro.util.timer import PhaseTimer
+
+if TYPE_CHECKING:  # pragma: no cover - import is for type checkers only
+    from repro.core.engine import OffloadEngineBase, UpdateReport
 
 
 @dataclass(frozen=True)
@@ -108,12 +107,20 @@ class FunctionalTrainer:
             seed=self.config.seed,
         )
         self._views = flat_views(None, engine.layout, rank=0)
+        #: The checkpoint a ``resume`` construction restored from (``None``
+        #: for a fresh start).  With ``checkpoint_coordination`` on its
+        #: ``global_version`` is the job-wide cut the engine resolved — never
+        #: a torn per-rank version.
+        self.last_restored = None
         if resume or checkpoint_version is not None:
             # Restart path: rebuild the engine (and this trainer's working
             # copy and dataset position) from a committed checkpoint, so the
             # resumed trajectory continues bit-for-bit where the snapshot
-            # was taken.
+            # was taken.  Under global coordination the engine resolves the
+            # newest globally committed version and discards torn-commit
+            # leftovers before reading.
             restored = engine.restore_checkpoint(checkpoint_version)
+            self.last_restored = restored
             self.params_fp16 = restored.fp16_params
             self._step = int(restored.user_data.get("trainer_step", 0))
         else:

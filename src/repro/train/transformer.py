@@ -75,7 +75,6 @@ def _layer_norm(x: np.ndarray, gamma: np.ndarray, beta: np.ndarray, eps: float =
 
 def _layer_norm_backward(dout: np.ndarray, cache) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     x_hat, inv_std, gamma = cache
-    d = x_hat.shape[-1]
     dgamma = (dout * x_hat).sum(axis=tuple(range(dout.ndim - 1)))
     dbeta = dout.sum(axis=tuple(range(dout.ndim - 1)))
     dx_hat = dout * gamma

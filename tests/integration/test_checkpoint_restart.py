@@ -284,7 +284,7 @@ def test_streaming_restore_links_clean_and_defers_dirty(tmp_path, workload):
     assert len(resumed._pending_restores) == restored.lazy_subgroups
     # fetch_master_params reads pending subgroups from the checkpoint stores
     # without consuming the pending restore.
-    master_before = resumed.fetch_master_params()
+    _master_before = resumed.fetch_master_params()  # side effect only: read, don't consume
     assert len(resumed._pending_restores) == restored.lazy_subgroups
     # The first update phase drains every pending restore on first fetch.
     fp16_resumed = restored.fp16_params

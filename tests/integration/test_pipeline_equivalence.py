@@ -176,6 +176,6 @@ class TestZeroAllocationSteadyState:
                     break
             assert quiet_phases == 3, (
                 f"pool never stopped allocating: {engine.pool.stats.allocations} "
-                f"allocations after 15 phases"
+                "allocations after 15 phases"
             )
             assert engine.pool.stats.hit_rate > 0.5

@@ -44,6 +44,29 @@ def test_architecture_guide_documents_checkpointing():
         assert anchor in text, f"checkpoint data-flow section does not mention {anchor}"
 
 
+def test_architecture_guide_documents_global_commit():
+    text = (REPO_ROOT / "docs" / "architecture.md").read_text(encoding="utf-8")
+    for anchor in (
+        "repro.ckpt.coordinator",
+        "two-phase",
+        "prepared.json",
+        "GLOBAL-<v>.json",
+        "GLOBAL.lock",
+        "Torn-commit recovery",
+        "checkpoint_coordination",
+        "checkpoint_world_size",
+    ):
+        assert anchor in text, f"global-commit section does not mention {anchor}"
+
+
+def test_readme_documents_multirank_coordination_and_ci_gate():
+    text = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    assert "checkpoint_coordination" in text
+    assert "examples/multirank_checkpoint.py" in text
+    assert "BENCH_multirank_ckpt.json" in text
+    assert "check_trajectory.py" in text, "README lacks the perf-regression gate"
+
+
 def test_readme_documents_checkpointing():
     text = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
     assert "checkpoint/restart" in text.lower(), "README lacks the checkpoint feature bullet"

@@ -20,7 +20,7 @@ class TestSizeClasses:
         a = pool.acquire(1000, np.float32)
         pool.release(a)
         # 1001 floats still fit the same 4 KiB class: the storage is reused.
-        b = pool.acquire(1001, np.float32)
+        _b = pool.acquire(1001, np.float32)
         assert pool.stats.hits == 1
         assert pool.stats.misses == 1
 

@@ -1,0 +1,204 @@
+"""Unit tests for the perf-smoke trajectory regression comparator.
+
+``benchmarks/check_trajectory.py`` is the CI gate that fails the scheduled
+perf job on a >25% median regression of any headline metric; these tests pin
+its metric extraction across both trajectory payload shapes, the
+direction-aware comparison, the noise floor, and the directory-level CLI
+behaviour (missing candidate file = failure, clean run = exit 0).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+_MODULE_PATH = Path(__file__).resolve().parents[2] / "benchmarks" / "check_trajectory.py"
+_spec = importlib.util.spec_from_file_location("check_trajectory", _MODULE_PATH)
+check_trajectory = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_trajectory)
+
+
+def payload_with_series(step_times_by_mode, **extra):
+    rows = [
+        {"mode": mode, "iteration": i, "step_s": value}
+        for mode, values in step_times_by_mode.items()
+        for i, value in enumerate(values)
+    ]
+    return {"experiment": "x", "series": {"trajectory": rows}, **extra}
+
+
+def test_extracts_medians_per_mode_and_scalars():
+    metrics = check_trajectory.extract_metrics(
+        payload_with_series(
+            {"async": [1.0, 3.0, 2.0], "none": [0.5, 0.5, 0.5]},
+            compression_ratio=2.5,
+            restore_latency_s={"v1": 0.2, "v2": 0.4, "v3": 0.3},
+        )
+    )
+    assert metrics["median_step_s:async"] == (2.0, "lower")
+    assert metrics["median_step_s:none"] == (0.5, "lower")
+    assert metrics["compression_ratio"] == (2.5, "higher")
+    assert metrics["restore_latency_s:median"] == (0.3, "lower")
+
+
+def test_extracts_old_payload_shape():
+    """Pre-PR-4 payloads: top-level trajectory list + mean_update_s mapping."""
+    metrics = check_trajectory.extract_metrics(
+        {
+            "trajectory": [
+                {"engine": "striped", "update_s": 0.1},
+                {"engine": "striped", "update_s": 0.3},
+                {"engine": "single", "update_s": 0.4},
+            ],
+            "mean_update_s": {"striped": 0.2, "single": 0.4},
+            "speedup": 1.6,
+        }
+    )
+    assert metrics["median_step_s:striped"] == (0.2, "lower")
+    assert metrics["mean_update_s:single"] == (0.4, "lower")
+    assert metrics["speedup"] == (1.6, "higher")
+
+
+def test_extracts_overhead_percentages():
+    metrics = check_trajectory.extract_metrics(
+        {"overhead_pct": {"coordinated": 1.5, "async": 4.2}}
+    )
+    assert metrics["overhead_pct:coordinated"] == (1.5, "lower-pct")
+    assert metrics["overhead_pct:async"] == (4.2, "lower-pct")
+
+
+def test_extracts_every_ratio_speedup_and_pct_variant():
+    """The compression benchmark's restore_speedup / overhead_vs_raw_pct
+    keys must be gated too — extraction matches by suffix, not a fixed
+    key list."""
+    metrics = check_trajectory.extract_metrics(
+        {
+            "restore_speedup": 8.2,
+            "overhead_vs_raw_pct": {"shuffle-deflate": -4.7, "null": 1.2},
+            "some_flag": True,  # bools are not metrics
+        }
+    )
+    assert metrics["restore_speedup"] == (8.2, "higher")
+    assert metrics["overhead_vs_raw_pct:shuffle-deflate"] == (-4.7, "lower-pct")
+    assert metrics["overhead_vs_raw_pct:null"] == (1.2, "lower-pct")
+    assert "some_flag" not in metrics
+
+
+def test_percentage_metrics_compare_in_absolute_points():
+    baseline = {"overhead_pct:coordinated": (1.0, "lower-pct")}
+    # 1% -> 20%: a 20x relative blow-up but under the 25-point budget.
+    ok = {"overhead_pct:coordinated": (20.0, "lower-pct")}
+    bad = {"overhead_pct:coordinated": (27.0, "lower-pct")}
+    assert check_trajectory.compare_metrics(baseline, ok) == []
+    problems = check_trajectory.compare_metrics(baseline, bad)
+    assert len(problems) == 1 and "points" in problems[0]
+
+
+def test_ratios_only_drops_raw_durations_but_keeps_ratios():
+    baseline = {
+        "median_step_s:async": (0.1, "lower"),
+        "compression_ratio": (2.5, "higher"),
+        "overhead_pct:async": (2.0, "lower-pct"),
+    }
+    candidate = {
+        "median_step_s:async": (9.9, "lower"),  # wildly slower machine
+        "compression_ratio": (2.5, "higher"),
+        "overhead_pct:async": (3.0, "lower-pct"),
+    }
+    assert check_trajectory.compare_metrics(baseline, candidate, ratios_only=True) == []
+    assert check_trajectory.compare_metrics(baseline, candidate), (
+        "full mode must still flag the duration regression"
+    )
+    # A regressed ratio is caught even in ratios-only mode.
+    candidate["compression_ratio"] = (1.0, "higher")
+    assert check_trajectory.compare_metrics(baseline, candidate, ratios_only=True)
+
+
+def test_lower_is_better_regression_detected_beyond_threshold():
+    baseline = {"median_step_s:async": (0.100, "lower")}
+    ok = {"median_step_s:async": (0.124, "lower")}
+    bad = {"median_step_s:async": (0.126, "lower")}
+    assert check_trajectory.compare_metrics(baseline, ok) == []
+    problems = check_trajectory.compare_metrics(baseline, bad)
+    assert len(problems) == 1 and "median_step_s:async" in problems[0]
+
+
+def test_higher_is_better_regression_detected():
+    baseline = {"compression_ratio": (2.5, "higher")}
+    ok = {"compression_ratio": (2.1, "higher")}
+    bad = {"compression_ratio": (1.9, "higher")}
+    assert check_trajectory.compare_metrics(baseline, ok) == []
+    assert len(check_trajectory.compare_metrics(baseline, bad)) == 1
+
+
+def test_improvements_and_new_metrics_pass():
+    baseline = {"median_step_s:async": (0.1, "lower")}
+    candidate = {
+        "median_step_s:async": (0.01, "lower"),  # 10x faster
+        "median_step_s:extra-mode": (9.9, "lower"),  # new, no baseline
+    }
+    assert check_trajectory.compare_metrics(baseline, candidate) == []
+
+
+def test_metric_missing_from_candidate_is_a_regression():
+    baseline = {"median_step_s:async": (0.1, "lower")}
+    problems = check_trajectory.compare_metrics(baseline, {})
+    assert problems and "missing from candidate" in problems[0]
+
+
+def test_noise_floor_suppresses_tiny_time_regressions():
+    baseline = {"median_step_s:async": (0.002, "lower")}
+    candidate = {"median_step_s:async": (0.004, "lower")}  # 2x, but 2ms -> 4ms
+    assert check_trajectory.compare_metrics(baseline, candidate) == []
+    assert check_trajectory.compare_metrics(
+        baseline, candidate, floor_seconds=0.0
+    ), "with the floor disabled the 2x regression must be flagged"
+
+
+def write_bench(directory: Path, name: str, payload: dict) -> None:
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / name).write_text(json.dumps(payload))
+
+
+def test_directory_comparison_and_cli_exit_codes(tmp_path, capsys):
+    baseline_dir = tmp_path / "baseline"
+    candidate_dir = tmp_path / "candidate"
+    good = payload_with_series({"async": [0.1, 0.1, 0.1]}, compression_ratio=2.5)
+    write_bench(baseline_dir, "BENCH_a.json", good)
+    write_bench(candidate_dir, "BENCH_a.json", good)
+    assert check_trajectory.main(
+        ["--baseline", str(baseline_dir), "--candidate", str(candidate_dir)]
+    ) == 0
+
+    # A regressed candidate fails ...
+    slow = payload_with_series({"async": [0.2, 0.2, 0.2]}, compression_ratio=2.5)
+    write_bench(candidate_dir, "BENCH_a.json", slow)
+    assert check_trajectory.main(
+        ["--baseline", str(baseline_dir), "--candidate", str(candidate_dir)]
+    ) == 1
+    assert "REGRESSION" in capsys.readouterr().err
+
+    # ... and so does a benchmark that silently stopped producing its file.
+    (candidate_dir / "BENCH_a.json").unlink()
+    assert check_trajectory.main(
+        ["--baseline", str(baseline_dir), "--candidate", str(candidate_dir)]
+    ) == 1
+
+
+def test_empty_baseline_directory_fails(tmp_path):
+    (tmp_path / "baseline").mkdir()
+    (tmp_path / "candidate").mkdir()
+    assert check_trajectory.main(
+        ["--baseline", str(tmp_path / "baseline"), "--candidate", str(tmp_path / "candidate")]
+    ) == 1
+
+
+def test_committed_trajectories_pass_against_themselves():
+    """The repo-committed baselines must gate cleanly against themselves —
+    otherwise the scheduled job would fail on day one."""
+    repo_root = Path(__file__).resolve().parents[2]
+    problems, checked = check_trajectory.compare_directories(repo_root, repo_root)
+    assert problems == []
+    assert "BENCH_multirank_ckpt.json" in checked
+    assert len(checked) >= 5

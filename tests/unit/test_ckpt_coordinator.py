@@ -1,0 +1,486 @@
+"""Unit tests for the two-phase global checkpoint commit protocol.
+
+Exercises the :class:`~repro.ckpt.coordinator.CheckpointCoordinator` against
+hand-built prepared manifests: promotion only once every registered rank
+landed, the any-rank lock-file election (single winner, dead-owner
+stale-breaking), torn-commit discard, and retention GC keyed on *global*
+versions — a blob survives while any rank of any surviving manifest
+references it, and the sweep stands down while a drain is in flight.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.ckpt import (
+    BlobRef,
+    BlobSegment,
+    CheckpointCoordinator,
+    CheckpointError,
+    GlobalCommitRecord,
+    ManifestStore,
+    scan_manifest_dir,
+)
+from repro.ckpt.coordinator import LOCK_NAME
+from repro.ckpt.manifest import CheckpointManifest
+from repro.core.config import MLPOffloadConfig, TierConfig
+
+WORKERS = ("rank0", "rank1")
+#: A pid that cannot exist on Linux (beyond the default pid_max of 2**22).
+DEAD_PID = 2**22 + 12345
+
+
+@pytest.fixture
+def env(tmp_path):
+    (tmp_path / "nvme").mkdir()
+    (tmp_path / "pfs").mkdir()
+    config = MLPOffloadConfig(
+        tiers=(
+            TierConfig("nvme", str(tmp_path / "nvme")),
+            TierConfig("pfs", str(tmp_path / "pfs")),
+        ),
+        subgroup_size=100,
+        checkpoint_dir=str(tmp_path / "ckpt"),
+        checkpoint_coordination=True,
+        checkpoint_world_size=2,
+        checkpoint_retention=2,
+    )
+    coordinator = CheckpointCoordinator(config, workers=WORKERS)
+    return config, coordinator
+
+
+def put_blob(coordinator, tier: str, payload: np.ndarray) -> tuple:
+    """Store one content-addressed payload; return its manifest segment."""
+    from repro.ckpt.manifest import cas_key, payload_digest
+
+    digest = payload_digest(payload)
+    key = cas_key(digest, payload.nbytes)
+    coordinator.stores[tier].save_from(key, payload)
+    return BlobSegment(
+        tier=tier, key=key, start=0, count=int(payload.size),
+        nbytes=int(payload.nbytes), digest=digest,
+    )
+
+
+def prepare(config, coordinator, worker: str, version: int, *, iteration=None, seed=0):
+    """Publish one prepared manifest whose fp16 blob really exists."""
+    payload = np.full(64, float(seed + version), dtype=np.float16)
+    seg = put_blob(coordinator, "nvme", payload)
+    manifest = CheckpointManifest(
+        version=version,
+        worker=worker,
+        iteration=version if iteration is None else iteration,
+        layout={"total_params": 64, "num_ranks": 2, "subgroup_size": 100,
+                "rank": int(worker[-1]), "num_subgroups": 1},
+        steps={0: version},
+        placement={0: "nvme"},
+        subgroups={},
+        fp16_params=BlobRef(dtype="float16", count=64, source="staged", segments=(seg,)),
+    )
+    ManifestStore(config.checkpoint_dir, worker).commit(manifest, prepared=True)
+    return seg
+
+
+def test_promotion_waits_for_every_registered_rank(env):
+    config, coord = env
+    prepare(config, coord, "rank0", 1)
+    assert coord.try_promote() is None, "promoted with a rank still missing"
+    assert coord.global_versions() == []
+    prepare(config, coord, "rank1", 1)
+    assert coord.try_promote() == 1
+    snapshot = scan_manifest_dir(coord.directory)
+    assert sorted(snapshot.global_versions) == [1]
+    assert snapshot.prepared == {}, "prepared manifests must be renamed at promotion"
+    assert set(snapshot.committed) == {"rank0", "rank1"}
+    record = coord.load_global(1)
+    assert record == GlobalCommitRecord(
+        version=1, iteration=1, workers=WORKERS, created_unix=record.created_unix
+    )
+
+
+def test_promotion_catches_up_across_versions(env):
+    config, coord = env
+    for version in (1, 2):
+        for worker in WORKERS:
+            prepare(config, coord, worker, version)
+    assert coord.try_promote() == 2, "one election must promote every complete version"
+    assert coord.global_versions() == [1, 2]
+
+
+def test_promotion_skips_mismatched_iterations_without_wedging(env):
+    """An inconsistent version is refused and *skipped*: it must neither
+    become a global cut nor fail every later (healthy) checkpoint."""
+    config, coord = env
+    prepare(config, coord, "rank0", 1, iteration=1)
+    prepare(config, coord, "rank1", 1, iteration=2)
+    assert coord.try_promote() is None
+    assert coord.global_versions() == []
+    assert coord.promotion_errors and "inconsistent across ranks" in coord.promotion_errors[0]
+    # The next consistent version still promotes past the poisoned one ...
+    for worker in WORKERS:
+        prepare(config, coord, worker, 2)
+    assert coord.try_promote() == 2
+    # ... and the poisoned version's manifests are swept as orphans.
+    snapshot = scan_manifest_dir(coord.directory)
+    assert sorted(snapshot.global_versions) == [2]
+    assert all(1 not in snapshot.committed.get(w, {}) for w in WORKERS)
+    assert all(1 not in snapshot.prepared.get(w, {}) for w in WORKERS)
+
+
+def test_election_has_a_single_winner(env):
+    config, coord = env
+    for worker in WORKERS:
+        prepare(config, coord, worker, 1)
+    # Distinct coordinator instances model distinct ranks racing to promote.
+    racers = [coord] + [
+        CheckpointCoordinator(config, workers=WORKERS) for _ in range(3)
+    ]
+    results = [None] * len(racers)
+    barrier = threading.Barrier(len(racers))
+
+    def race(slot):
+        barrier.wait()
+        results[slot] = racers[slot].try_promote()
+
+    threads = [threading.Thread(target=race, args=(i,)) for i in range(len(racers))]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert coord.global_versions() == [1]
+    assert [r for r in results if r is not None] == [1], results
+    assert not (coord.directory / LOCK_NAME).exists(), "election lock leaked"
+
+
+def test_stale_lock_of_dead_owner_is_broken(env):
+    config, coord = env
+    (coord.directory / LOCK_NAME).write_text(
+        json.dumps({"pid": DEAD_PID, "created_unix": time.time()})
+    )
+    for worker in WORKERS:
+        prepare(config, coord, worker, 1)
+    assert coord.try_promote() == 1, "dead owner's lock must be broken"
+    assert not (coord.directory / LOCK_NAME).exists()
+
+
+def test_aged_lock_of_live_owner_is_not_stolen(env):
+    """A live owner's lock is never broken by age: a slow GC under the lock
+    must not admit a second concurrent promoter."""
+    config, coord = env
+    (coord.directory / LOCK_NAME).write_text(
+        json.dumps({"pid": os.getpid(), "created_unix": time.time() - 3600.0})
+    )
+    other = CheckpointCoordinator(config, workers=WORKERS)
+    for worker in WORKERS:
+        prepare(config, other, worker, 1)
+    assert other.try_promote() is None
+    assert other.global_versions() == []
+    (coord.directory / LOCK_NAME).unlink()
+    assert other.try_promote() == 1
+
+
+def test_unreadable_lock_ages_out(env):
+    config, coord = env
+    lock_path = coord.directory / LOCK_NAME
+    lock_path.write_text("{torn")  # no pid to probe
+    old = time.time() - 2 * config.checkpoint_lock_stale_seconds
+    os.utime(lock_path, (old, old))
+    for worker in WORKERS:
+        prepare(config, coord, worker, 1)
+    assert coord.try_promote() == 1
+
+
+def test_promotion_retries_through_a_transient_election_loss(env):
+    """A contended election must not strand a complete version: the retry
+    window picks it up as soon as the holder releases."""
+    config, coord = env
+    for worker in WORKERS:
+        prepare(config, coord, worker, 1)
+    holder = CheckpointCoordinator(config, workers=WORKERS)
+    assert holder.lock.acquire()
+
+    def release_soon():
+        time.sleep(3 * coord._PROMOTE_RETRY_SECONDS)
+        holder.lock.release()
+
+    thread = threading.Thread(target=release_soon)
+    thread.start()
+    try:
+        assert coord.try_promote() == 1, "retry window missed the released lock"
+    finally:
+        thread.join()
+
+
+def test_engines_without_explicit_coordinator_share_one_instance(env, tmp_path):
+    """Default construction must converge on one coordinator per checkpoint
+    directory — drain tracking only protects ranks sharing the instance."""
+    from repro.core.engine import MLPOffloadEngine
+    from repro.aio.locks import TierLockManager
+    from repro.train.sharding import build_shard_layout
+
+    config, _coord = env
+    layout = build_shard_layout(8_000, num_ranks=2, subgroup_size=100)
+    manager = TierLockManager()
+    engines = [
+        MLPOffloadEngine(config, layout, rank=rank, lock_manager=manager)
+        for rank in range(2)
+    ]
+    try:
+        assert engines[0].ckpt_coordinator is engines[1].ckpt_coordinator
+    finally:
+        for engine in engines:
+            engine.close()
+
+
+def test_break_stale_claims_atomically_and_restores_live_locks(env):
+    """Breaking is rename-claim + re-verify, not a blind unlink: a breaker
+    that (by race) claims a freshly re-created *live* lock must restore it
+    instead of destroying it."""
+    config, coord = env
+    lock = coord.lock
+    # A genuinely stale lock is broken and its path freed.
+    lock.path.write_text(json.dumps({"pid": DEAD_PID, "created_unix": time.time()}))
+    assert lock._break_stale()
+    assert not lock.path.exists()
+    assert not list(coord.directory.glob("GLOBAL.lock.break.*")), "tombstone leaked"
+    # A live lock (here: this process's own pid, as after a racing fresh
+    # re-create) is claimed, recognized as live, and put back intact.
+    content = json.dumps({"pid": os.getpid(), "created_unix": time.time()})
+    lock.path.write_text(content)
+    assert not lock._break_stale()
+    assert lock.path.read_text() == content, "live lock was not restored"
+    assert not list(coord.directory.glob("GLOBAL.lock.break.*"))
+
+
+def test_promote_pending_blocks_through_contention_and_skips_refused(env):
+    config, coord = env
+    # A refused (iteration-mismatched) version must not make promote_pending
+    # spin to its timeout: refused versions leave the completeness set.
+    prepare(config, coord, "rank0", 1, iteration=1)
+    prepare(config, coord, "rank1", 1, iteration=2)
+    start = time.monotonic()
+    assert coord.promote_pending(timeout=30.0) is None
+    assert time.monotonic() - start < 5.0, "promote_pending spun on a refused version"
+    # ... and a complete version appearing while another rank holds the lock
+    # is promoted as soon as the holder releases.
+    for worker in WORKERS:
+        prepare(config, coord, worker, 2)
+    holder = CheckpointCoordinator(config, workers=WORKERS)
+    assert holder.lock.acquire()
+    thread = threading.Thread(target=lambda: (time.sleep(0.1), holder.lock.release()))
+    thread.start()
+    try:
+        assert coord.promote_pending(timeout=10.0) == 2
+    finally:
+        thread.join()
+
+
+def test_stale_lock_of_reused_pid_is_broken(env):
+    """A lock recording a live pid with a *different* process start tick is
+    a dead run's leftover (pid reuse) and must not wedge promotion."""
+    from repro.ckpt.coordinator import _proc_start_time
+
+    config, coord = env
+    ours = _proc_start_time(os.getpid())
+    if ours is None:  # pragma: no cover - non-Linux fallback
+        pytest.skip("/proc start-time probing unavailable")
+    (coord.directory / LOCK_NAME).write_text(
+        json.dumps(
+            {"pid": os.getpid(), "starttime": ours + 1, "created_unix": time.time()}
+        )
+    )
+    for worker in WORKERS:
+        prepare(config, coord, worker, 1)
+    assert coord.try_promote() == 1, "reused-pid lock wedged the election"
+
+
+def test_drain_begin_blocks_while_the_sweep_runs(env):
+    """The drain check is atomic with the blob sweep: a drain cannot begin
+    (and dedup-reuse a blob) while the sweep is mid-delete."""
+    config, coord = env
+    for worker in WORKERS:
+        prepare(config, coord, worker, 1)
+    sweep_started = threading.Event()
+    release_sweep = threading.Event()
+    real_keys = coord.stores["nvme"].keys
+
+    def slow_keys():
+        sweep_started.set()
+        release_sweep.wait(5)
+        return real_keys()
+
+    coord.stores["nvme"].keys = slow_keys
+    promoter = threading.Thread(target=coord.try_promote)
+    promoter.start()
+    try:
+        assert sweep_started.wait(5), "sweep never reached the patched store"
+        drain = threading.Thread(
+            target=lambda: (coord.drain_begin("rank1"), coord.drain_end("rank1"))
+        )
+        drain.start()
+        drain.join(0.2)
+        assert drain.is_alive(), "drain_begin did not block during the sweep"
+    finally:
+        release_sweep.set()
+        promoter.join(5)
+        drain.join(5)
+    assert not drain.is_alive()
+    assert coord.global_versions() == [1]
+
+
+def test_drain_survives_a_failing_promotion_attempt(env, rng):
+    """A promotion error after the prepared manifest landed must not mark
+    the local checkpoint as failed — the local commit is durable and the
+    election is retried later."""
+    from repro.ckpt.writer import CheckpointWriter, SubgroupSource
+    from repro.core.virtual_tier import VirtualTier
+    from repro.tiers.array_pool import ArrayPool
+
+    config, coord = env
+
+    def explode():
+        raise OSError("transient PFS hiccup")
+
+    coord.try_promote = explode
+    tier = VirtualTier(config, worker="rank0")
+    tier.build_placement([0])
+    pool = ArrayPool()
+    writer = CheckpointWriter(
+        config, worker="rank0", pool=pool, tier=tier, coordinator=coord
+    )
+    try:
+        staged = {}
+        for name in ("params", "exp_avg", "exp_avg_sq"):
+            buf = pool.acquire(100, np.float32)
+            buf[:] = rng.standard_normal(100).astype(np.float32)
+            staged[name] = buf
+        fp16 = pool.acquire(100, np.float16)
+        fp16[:] = rng.standard_normal(100).astype(np.float16)
+        pending = writer.snapshot(
+            iteration=1,
+            layout={"total_params": 100, "num_ranks": 2, "subgroup_size": 100,
+                    "rank": 0, "num_subgroups": 1},
+            steps={0: 1},
+            placement={0: "nvme"},
+            subgroups=[SubgroupSource(index=0, staged=staged)],
+            fp16_params=fp16,
+        )
+        assert pending.wait() == 1, "a retriable promotion error failed the checkpoint"
+        assert writer.manifests.prepared_path_for(1).exists()
+    finally:
+        writer.close()
+        tier.close()
+
+
+def test_gc_sweeps_crashed_promoter_debris(env):
+    config, coord = env
+    stranded_tmp = coord.directory / "GLOBAL-000042.json.tmp"
+    stranded_tmp.write_text("{torn")
+    old_tombstone = coord.directory / f"{LOCK_NAME}.break.{DEAD_PID}"
+    old_tombstone.write_text("{}")
+    horizon = time.time() - 2 * config.checkpoint_lock_stale_seconds
+    os.utime(old_tombstone, (horizon, horizon))
+    for worker in WORKERS:
+        prepare(config, coord, worker, 1)
+    assert coord.try_promote() == 1
+    assert not stranded_tmp.exists(), "crashed promoter's GLOBAL tmp not swept"
+    assert not old_tombstone.exists(), "aged breaker tombstone not swept"
+
+
+def test_live_lock_defers_promotion(env):
+    config, coord = env
+    # A *live* holder (this process, fresh lock) must not be broken; the
+    # election is simply lost and retried at the next drain.
+    other = CheckpointCoordinator(config, workers=WORKERS)
+    assert other.lock.acquire()
+    try:
+        for worker in WORKERS:
+            prepare(config, coord, worker, 1)
+        assert coord.try_promote() is None
+        assert coord.global_versions() == []
+    finally:
+        other.lock.release()
+    assert coord.try_promote() == 1
+
+
+def test_retention_gc_operates_on_global_versions(env):
+    config, coord = env
+    segments = {}
+    for version in (1, 2, 3):
+        for worker in WORKERS:
+            segments[(worker, version)] = prepare(
+                config, coord, worker, version, seed=10 * int(worker[-1])
+            )
+        assert coord.try_promote() == version
+    # retention=2: global v1 retired, its per-rank manifests deleted, and the
+    # blobs only v1 referenced swept; v2/v3 remain fully restorable.
+    snapshot = scan_manifest_dir(coord.directory)
+    assert sorted(snapshot.global_versions) == [2, 3]
+    for worker in WORKERS:
+        assert sorted(snapshot.committed[worker]) == [2, 3]
+        seg = segments[(worker, 1)]
+        assert not coord.stores[seg.tier].contains(seg.key), "retired blob survived"
+        for version in (2, 3):
+            seg = segments[(worker, version)]
+            assert coord.stores[seg.tier].contains(seg.key), "live blob swept"
+
+
+def test_gc_protects_blobs_of_prepared_manifests(env):
+    config, coord = env
+    for worker in WORKERS:
+        prepare(config, coord, worker, 1)
+    # rank0 has already prepared v2; rank1 has not landed yet.  Promoting v1
+    # must neither promote v2 nor sweep the blob only rank0's *prepared*
+    # manifest references.
+    ahead = prepare(config, coord, "rank0", 2, seed=77)
+    assert coord.try_promote() == 1
+    assert coord.global_versions() == [1]
+    snapshot = scan_manifest_dir(coord.directory)
+    assert sorted(snapshot.prepared.get("rank0", {})) == [2]
+    assert coord.stores[ahead.tier].contains(ahead.key)
+
+
+def test_gc_stands_down_while_a_drain_is_in_flight(env):
+    config, coord = env
+    orphan = np.full(32, 9.0, dtype=np.float16)
+    seg = put_blob(coord, "nvme", orphan)  # referenced by no manifest
+    for worker in WORKERS:
+        prepare(config, coord, worker, 1)
+    coord.drain_begin("rank1")
+    try:
+        assert coord.try_promote() == 1
+        assert coord.stores[seg.tier].contains(seg.key), (
+            "blob swept while a drain (which may have dedup-reused it) was in flight"
+        )
+    finally:
+        coord.drain_end("rank1")
+    for worker in WORKERS:
+        prepare(config, coord, worker, 2)
+    assert coord.try_promote() == 2
+    assert not coord.stores[seg.tier].contains(seg.key), "orphan blob never swept"
+
+
+def test_discard_torn_removes_manifests_beyond_the_global_cut(env):
+    config, coord = env
+    for worker in WORKERS:
+        prepare(config, coord, worker, 1)
+    assert coord.try_promote() == 1
+    # A torn commit: a dying promoter renamed rank0's v2 manifest to its
+    # committed name, rank1's is still prepared, and GLOBAL-2 never landed.
+    prepare(config, coord, "rank0", 2)
+    store0 = ManifestStore(config.checkpoint_dir, "rank0")
+    (coord.directory / "ckpt-rank0-000002.prepared.json").rename(store0.path_for(2))
+    prepare(config, coord, "rank1", 2)
+    assert coord.discard_torn(1) == 2
+    snapshot = scan_manifest_dir(coord.directory)
+    assert sorted(snapshot.global_versions) == [1]
+    assert all(sorted(snapshot.committed[w]) == [1] for w in WORKERS)
+    assert snapshot.prepared == {}
+    with pytest.raises(CheckpointError, match="newer global commit exists"):
+        coord.discard_torn(0)

@@ -254,3 +254,111 @@ def test_identical_content_is_stored_once(ckpt_env):
     )
     assert len(keys) < 6 * 2  # deduplicated below one-blob-per-field-per-stripe
     assert blobs_on_disk == len(keys | {(s.tier, s.key) for s in manifest.fp16_params.segments})
+
+
+# -- retention GC vs concurrently-landing manifests ---------------------------
+
+
+def snapshot_staged(writer, pool, *, seed: float) -> int:
+    """Drive one staged-only snapshot through ``writer``; return its version."""
+    staged = {}
+    for f in ("params", "exp_avg", "exp_avg_sq"):
+        buf = pool.acquire(100, np.float32)
+        buf.fill(seed)
+        staged[f] = buf
+    fp16 = pool.acquire(200, np.float16)
+    fp16.fill(seed)
+    return writer.snapshot(
+        iteration=int(seed),
+        layout=layout_echo(),
+        steps={0: 1, 1: 1},
+        placement={0: "nvme", 1: "pfs"},
+        subgroups=[SubgroupSource(index=0, staged=staged)],
+        fp16_params=fp16,
+    ).wait()
+
+
+def test_retention_gc_spares_a_concurrently_landing_prepared_manifest(ckpt_env, rng):
+    """Regression: the GC used several directory listings, and a manifest
+    landing between the workers-present check and the reference scan — a
+    ``.prepared.json`` phase-one manifest in particular, which the old
+    committed-only glob never matched — had its blobs swept out from under
+    its commit.  The single-listing scan counts prepared manifests both as
+    worker presence and as blob references."""
+    from repro.ckpt.manifest import (
+        BlobRef,
+        BlobSegment,
+        CheckpointManifest,
+        ManifestStore,
+        cas_key,
+    )
+    from repro.tiers.file_store import payload_digest as digest_of
+
+    config, tier, pool, writer = ckpt_env
+    snapshot_staged(writer, pool, seed=1.0)
+
+    # Another rank's drain lands its prepared manifest (blobs first, then the
+    # phase-one commit) while this writer is between snapshots.
+    payload = rng.standard_normal(64).astype(np.float32)
+    digest = digest_of(memoryview(payload))
+    key = cas_key(digest, payload.nbytes)
+    writer.stores["nvme"].save_from(key, payload)
+    other = ManifestStore(config.checkpoint_dir, "rank9")
+    other.commit(
+        CheckpointManifest(
+            version=1,
+            worker="rank9",
+            iteration=1,
+            layout=layout_echo(),
+            steps={},
+            placement={},
+            subgroups={},
+            fp16_params=BlobRef(
+                dtype="float32",
+                count=64,
+                source="staged",
+                segments=(
+                    BlobSegment(
+                        tier="nvme", key=key, start=0, count=64,
+                        nbytes=payload.nbytes, digest=digest,
+                    ),
+                ),
+            ),
+        ),
+        prepared=True,
+    )
+    assert "rank9" in other.workers_present(), (
+        "a prepared-only worker must count as present (the old glob missed it)"
+    )
+
+    # The next snapshot's retention GC must neither sweep the landing
+    # manifest's blob nor touch the manifest itself.
+    snapshot_staged(writer, pool, seed=2.0)
+    assert writer.stores["nvme"].contains(key), (
+        "retention GC swept a blob referenced only by a concurrently-landing "
+        "prepared manifest"
+    )
+    assert other.prepared_path_for(1).exists()
+
+
+def test_retention_gc_skips_tmp_files_and_sweeps_own_stale_tmps(ckpt_env, rng):
+    config, tier, pool, writer = ckpt_env
+    stale_own = writer.manifests.directory / "ckpt-rank0-000099.json.tmp"
+    foreign = writer.manifests.directory / "ckpt-rank7-000001.json.tmp"
+    stale_own.write_text("{")
+    foreign.write_text("{")
+    version = snapshot_staged(writer, pool, seed=3.0)
+    assert version == 1
+    # The single-listing scan classified neither tmp as a manifest (no parse
+    # error aborted the sweep), our own stale tmp was swept, the foreign
+    # writer's was left alone.
+    assert not stale_own.exists()
+    assert foreign.exists()
+
+
+def test_manifest_deleted_between_scan_and_read_is_skipped(tmp_path):
+    """``referenced_blobs`` tolerates losing a file race: a manifest deleted
+    after the listing contributes nothing instead of raising."""
+    from repro.ckpt.manifest import referenced_blobs
+
+    assert referenced_blobs([tmp_path / "ckpt-rank0-000001.json"]) == set()

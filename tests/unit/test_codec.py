@@ -150,7 +150,7 @@ class TestIntegrity:
         """Even a flip zlib tolerates must die on the per-chunk digest."""
         a, stream = frame
         # Flip the recorded digest itself: decode succeeds, digest check must fire.
-        from repro.codec.framing import _CHUNK_FMT, _GEOM_FMT, _HEAD_FMT
+        from repro.codec.framing import _GEOM_FMT, _HEAD_FMT
         import struct
 
         offset = struct.calcsize(_HEAD_FMT) + len(b"shuffle-deflate") + struct.calcsize(_GEOM_FMT)

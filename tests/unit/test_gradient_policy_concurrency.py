@@ -13,7 +13,6 @@ from repro.core.gradient_policy import (
 )
 from repro.core.stats import IterationStats, UpdatePhaseStats, aggregate_tier_distribution
 from repro.train.gradients import GradientAccumulator
-from repro.train.sharding import build_shard_layout
 
 
 @pytest.fixture

@@ -8,7 +8,6 @@ from repro.train.gradients import GradientAccumulator
 from repro.train.memory_estimator import estimate_memory, runtime_buffer_bytes
 from repro.train.model_zoo import model_by_name, tiny_test_model
 from repro.train.parallelism import ParallelTopology
-from repro.train.sharding import build_shard_layout
 from repro.util.bytesize import GiB
 
 
