@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Elastic restart: kill a 3-rank job with SIGKILL, resume it 2-wide.
+
+Three **real OS processes** (one per rank, spawned by the
+`repro.ckpt.procrank` harness) train under the global two-phase commit
+protocol, sharing one checkpoint directory.  Mid-flight, one rank is armed
+— purely through its environment — to ``kill -9`` itself right after
+publishing its prepared manifest for version 2.  The job dies torn.
+
+The restart then resumes with only **two** ranks: each survivor re-plans
+its `ShardLayout` over the same parameter space and the engine
+re-partitions the 3-rank cut's fp16 shards and per-subgroup FP32 optimizer
+state at restore time (`repro.ckpt.elastic`).  Because the optimizer is
+elementwise, the gathered global state is invariant under re-sharding: the
+2-rank trajectory finishes bitwise-identical to an uninterrupted run.
+
+Run with::
+
+    python examples/elastic_restart.py
+"""
+
+from __future__ import annotations
+
+import signal
+import tempfile
+
+import numpy as np
+
+from repro.bench.harness import format_table
+from repro.ckpt.procrank import (
+    WorldSpec,
+    leaked_sentinels,
+    reference_state,
+    run_crash_scenario,
+)
+
+OLD_WORLD = 3
+NEW_WORLD = 2
+ITERATIONS = 3
+KILL_PHASE = "post-publish"  # the victim dies right after its manifest lands
+KILL_VERSION = 2
+
+
+def main() -> None:
+    workdir = tempfile.mkdtemp(prefix="repro-elastic-")
+    spec = WorldSpec(workdir=workdir, world_size=OLD_WORLD, iterations=ITERATIONS)
+
+    print(f"== reference: the uninterrupted trajectory ({ITERATIONS} iterations) ==")
+    ref_fp16, ref_master = reference_state(spec)
+    print(f"total params: {spec.total_params} (world-size-invariant gather)")
+
+    print(
+        f"\n== crash: {OLD_WORLD} real processes, rank 1 SIGKILLs itself "
+        f"{KILL_PHASE}@v{KILL_VERSION} ==")
+    out = run_crash_scenario(
+        spec,
+        phase=KILL_PHASE,
+        victim=1,
+        version=KILL_VERSION,
+        resume_world_size=NEW_WORLD,
+    )
+    rows = [
+        dict(wave="initial", world=OLD_WORLD, exit_codes=str(out["initial_codes"])),
+        dict(wave="resume", world=NEW_WORLD, exit_codes=str(out["resume_codes"])),
+    ]
+    print(format_table(rows, title="process waves"))
+    assert -signal.SIGKILL in out["initial_codes"]
+    print(
+        f"the resume wave restarted {NEW_WORLD}-wide from the {OLD_WORLD}-rank cut "
+        f"in {out['recovery_seconds']:.2f}s (spawn -> every rank exited cleanly)"
+    )
+
+    fp16_ok = np.array_equal(out["fp16"], ref_fp16)
+    master_ok = np.array_equal(out["master"], ref_master)
+    leaks = leaked_sentinels(spec)
+    print(
+        format_table(
+            [
+                dict(check="gathered FP16 params bitwise", ok="yes" if fp16_ok else "NO"),
+                dict(check="gathered FP32 master bitwise", ok="yes" if master_ok else "NO"),
+                dict(check="no leaked leases/locks", ok="yes" if not leaks else "NO"),
+            ],
+            title="elastic restart contract",
+        )
+    )
+    assert fp16_ok and master_ok, "the resized world diverged from the reference"
+    assert not leaks, f"sentinels leaked: {leaks}"
+    print(
+        f"\nthe {OLD_WORLD}-rank job was killed mid-protocol and finished "
+        f"{NEW_WORLD}-wide, bitwise-identical to never having crashed."
+    )
+
+
+if __name__ == "__main__":
+    main()

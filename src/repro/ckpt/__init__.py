@@ -14,13 +14,21 @@ Layout on disk::
     <checkpoint_dir>/ckpt-<worker>-<version>.prepared.json   phase-one (pre-global-commit)
     <checkpoint_dir>/GLOBAL-<version>.json                   global commit records
     <checkpoint_dir>/GLOBAL.lock                             coordinator election lock
+    <checkpoint_dir>/DRAIN-<worker>.lease                    drain-intent leases
     <tier.path>/_ckpt/cas<digest>-<nbytes>.bin               content-addressed blobs
 
 With ``checkpoint_coordination`` on, a job-level two-phase commit
 (:class:`CheckpointCoordinator`) promotes a version to a global commit
 record only once *every* registered rank's manifest landed, and restart
+first rolls forward any fully-prepared-but-unpromoted version, then
 resolves the newest global version — one consistent cut across all
-data-parallel workers — discarding torn-commit debris beyond it.
+data-parallel workers — discarding torn-commit debris beyond it.  Ranks
+may live in separate OS processes: each publishes a liveness-checked
+``DRAIN-<worker>.lease`` for the duration of its drain so the elected
+sweeper never retires a blob a foreign rank is dedup-reusing, restart
+under a different world size re-partitions the cut onto the new layout
+(:mod:`repro.ckpt.elastic`), and :mod:`repro.ckpt.procrank` drives real
+subprocess ranks through SIGKILL crash matrices to prove all of it.
 
 Public surface: :class:`CheckpointWriter` / :class:`CheckpointReader` for
 direct use, :class:`CheckpointManifest` for the metadata model, and the
@@ -29,7 +37,13 @@ engine-level hooks ``save_checkpoint`` / ``maybe_checkpoint`` /
 which most callers should prefer.
 """
 
-from repro.ckpt.coordinator import CheckpointCoordinator, GlobalCommitRecord
+from repro.ckpt.coordinator import (
+    CheckpointCoordinator,
+    GlobalCommitRecord,
+    drain_lease_name,
+)
+from repro.ckpt.elastic import ElasticSource, open_elastic_source, repartition
+from repro.ckpt.faults import clear_faults, fault_point, install_fault
 from repro.ckpt.manifest import (
     BlobRef,
     BlobSegment,
@@ -53,6 +67,7 @@ __all__ = [
     "CheckpointManifest",
     "CheckpointReader",
     "CheckpointWriter",
+    "ElasticSource",
     "GlobalCommitRecord",
     "ManifestDirSnapshot",
     "ManifestStore",
@@ -62,6 +77,12 @@ __all__ = [
     "blob_store_roots",
     "build_blob_stores",
     "cas_key",
+    "clear_faults",
+    "drain_lease_name",
+    "fault_point",
+    "install_fault",
+    "open_elastic_source",
     "payload_digest",
+    "repartition",
     "scan_manifest_dir",
 ]

@@ -32,16 +32,24 @@ versions: retention keeps the newest ``checkpoint_retention`` global
 versions, per-rank manifests of retired or torn versions are deleted, and a
 blob survives while **any rank of any surviving manifest** — including
 still-prepared ones, whose blobs are fully written — references it.  The
-blob sweep additionally stands down while any in-process drain is in flight
-(:meth:`drain_begin` / :meth:`drain_end`), closing the window between a
-drain's content-addressed reuse check and its prepared publication.  That
-guard only sees drains of ranks *sharing the coordinator instance*: in the
-separate-process deployment a rank mid-drain in another process is not yet
-visible (its prepared manifest has not landed), so a blob it dedup-reused
-whose last committed reference is being retired could still be swept — a
-known window, tracked on the ROADMAP (cross-process drain-intent
-sentinels); keep all ranks of one node in one process, or size
-``checkpoint_retention`` so reused blobs stay referenced, until then.
+blob sweep additionally stands down while any drain is in flight, closing
+the window between a drain's content-addressed reuse check and its prepared
+publication — in both deployments:
+
+* *in-process* drains register with :meth:`drain_begin` / :meth:`drain_end`;
+  the check is atomic with the sweep (one mutex spans both).
+* *cross-process* drains are announced by **drain-intent leases**: before
+  any dedup-reuse check, :meth:`drain_begin` publishes
+  ``DRAIN-<worker>.lease`` (pid + /proc start tick — the same liveness
+  scheme as ``GLOBAL.lock``) and then waits out any *live foreign* lock
+  holder, so a sweep that won the election before the lease landed finishes
+  before the drain reads a single store key.  The sweep, conversely, stands
+  down whenever a live-owner lease exists; a dead owner's lease is broken
+  like a stale lock (here and on the restart path), so a killed rank never
+  wedges GC.  A blob dedup-reused by a rank mid-drain in *another process*,
+  whose last committed reference is concurrently retired, therefore
+  survives the sweep — the lease pins it until the prepared manifest lands
+  and references it durably.
 
 A crashed promoter leaves a stale ``GLOBAL.lock``; the next election breaks
 it once its owning pid is dead (unreadable/torn lock files age out after
@@ -68,6 +76,7 @@ from repro.ckpt.manifest import (
     referenced_blobs,
     scan_manifest_dir,
 )
+from repro.ckpt.faults import fault_point
 from repro.ckpt.store import CAS_PREFIX, build_blob_stores
 from repro.util.logging import get_logger
 
@@ -80,10 +89,16 @@ _LOG = get_logger("ckpt.coordinator")
 GLOBAL_FORMAT = 1
 #: Election lock file name (lives next to the manifests).
 LOCK_NAME = "GLOBAL.lock"
+#: Drain-intent lease glob (``DRAIN-<worker>.lease`` next to the manifests).
+LEASE_GLOB = "DRAIN-*.lease"
 
 
 def global_record_name(version: int) -> str:
     return f"GLOBAL-{version:06d}.json"
+
+
+def drain_lease_name(worker: str) -> str:
+    return f"DRAIN-{worker}.lease"
 
 
 def _proc_start_time(pid: int) -> Optional[int]:
@@ -103,6 +118,21 @@ def _proc_start_time(pid: int) -> Optional[int]:
         return int(data.rsplit(b") ", 1)[1].split()[19])
     except (OSError, IndexError, ValueError):  # pragma: no cover - non-Linux
         return None
+
+
+def _proc_is_zombie(pid: int) -> bool:
+    """``True`` when ``pid`` has exited and merely awaits reaping (Linux).
+
+    A ``SIGKILL``-ed worker whose parent has not called ``wait()`` yet still
+    passes the ``os.kill(pid, 0)`` probe, but it will never release a lock
+    or finish a drain — for liveness purposes it is dead.
+    """
+    try:
+        with open(f"/proc/{pid}/stat", "rb") as handle:
+            data = handle.read()
+        return data.rsplit(b") ", 1)[1].split()[0] == b"Z"
+    except (OSError, IndexError):  # pragma: no cover - non-Linux
+        return False
 
 
 @dataclass(frozen=True)
@@ -193,6 +223,8 @@ class CoordinatorLock:
             # Another CoordinatorLock instance in this very process holds it
             # (distinct engines each carry their own lock object).
             return False
+        if _proc_is_zombie(pid):
+            return True
         try:
             os.kill(pid, 0)
         except ProcessLookupError:
@@ -356,19 +388,148 @@ class CheckpointCoordinator:
         #: on every election nor spun on by :meth:`promote_pending`.
         self._refused_versions: set = set()
 
-    # -- drain tracking ------------------------------------------------------
+    # -- drain tracking: in-process counts + on-disk intent leases -----------
 
     def drain_begin(self, worker: str) -> None:
+        """Announce a drain before its first content-addressed reuse check.
+
+        Two guards start here.  In-process, the nesting count under
+        ``_drains_lock`` makes the GC's drain check atomic with its blob
+        sweep.  Cross-process, a ``DRAIN-<worker>.lease`` sentinel is
+        published *first*, then any live foreign ``GLOBAL.lock`` holder is
+        waited out: a sweeper that took the lock before our lease landed
+        could not have seen it, so the drain must not read a store key until
+        that sweep (bounded, at most one per promotion) has finished.
+        Either the lease landed before the sweeper's scan — and the sweep
+        stands down — or the sweep completes before this method returns and
+        every reuse check observes its deletions (a swept blob simply reads
+        as absent and is re-written).
+        """
         with self._drains_lock:
-            self._drains[worker] = self._drains.get(worker, 0) + 1
+            count = self._drains.get(worker, 0)
+            self._drains[worker] = count + 1
+            if count == 0:
+                self._publish_lease(worker)
+        self._await_no_foreign_sweeper()
 
     def drain_end(self, worker: str) -> None:
         with self._drains_lock:
             count = self._drains.get(worker, 0) - 1
             if count <= 0:
                 self._drains.pop(worker, None)
+                self._retire_lease(worker)
             else:  # pragma: no cover - drains are serialized per writer
                 self._drains[worker] = count
+
+    def renew_drain_lease(self, worker: str) -> None:
+        """Refresh the lease's mtime while a long drain runs.
+
+        Liveness is judged by pid + start tick, so a healthy owner's lease
+        never expires by age; the renewal keeps the *unreadable-lease*
+        age-out honest if the lease file itself is ever damaged.
+        """
+        try:
+            os.utime(self.directory / drain_lease_name(worker))
+        except OSError:  # pragma: no cover - lease raced away / FS hiccup
+            pass
+
+    def _publish_lease(self, worker: str) -> None:
+        path = self.directory / drain_lease_name(worker)
+        tmp = path.with_suffix(".lease.tmp")
+        payload = json.dumps(
+            {
+                "pid": os.getpid(),
+                "starttime": _proc_start_time(os.getpid()),
+                "worker": worker,
+                "created_unix": time.time(),
+            }
+        )
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        _fsync_directory(self.directory)
+
+    def _retire_lease(self, worker: str) -> None:
+        # Unlink only a lease this process published (mirrors the lock
+        # release): a peer that broke our lease as dead and republished for
+        # the same worker name must not lose its own.
+        path = self.directory / drain_lease_name(worker)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            if int(payload.get("pid", -1)) == os.getpid():
+                path.unlink()
+        except (OSError, ValueError, TypeError):  # pragma: no cover - torn/raced
+            pass
+
+    def _await_no_foreign_sweeper(self) -> None:
+        """Block while another *live process* holds ``GLOBAL.lock``.
+
+        Our own process's holders need no wait — their GC is already atomic
+        with the in-process drain count via ``_drains_lock``.  A dead
+        holder's lock is the next election's problem, not ours.  The wait is
+        bounded: a holder outliving twice the stale horizon is logged and no
+        longer waited on (its sweep, if any, is long finished — GC holds the
+        lock for one bounded pass).
+        """
+        deadline = time.monotonic() + 2.0 * self.lock.stale_seconds
+        path = self.lock.path
+        while time.monotonic() < deadline:
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+                pid = int(payload["pid"])
+            except FileNotFoundError:
+                return
+            except (OSError, ValueError, KeyError, TypeError):
+                # Unreadable: either torn mid-write (the write is tiny — a
+                # re-read resolves it) or a crash's empty leftover, which
+                # ages out by mtime exactly as the election treats it.
+                try:
+                    if (time.time() - path.stat().st_mtime) > self.lock.stale_seconds:
+                        return
+                except OSError:
+                    return  # vanished — released
+                time.sleep(0.002)
+                continue
+            if pid == os.getpid():
+                return
+            starttime = payload.get("starttime")
+            if starttime is not None:
+                current = _proc_start_time(pid)
+                if current is not None and current != int(starttime):
+                    return  # pid reused — the holding process is dead
+            if _proc_is_zombie(pid):
+                return  # exited unreaped — its sweep can never resume
+            try:
+                os.kill(pid, 0)
+            except ProcessLookupError:
+                return
+            except PermissionError:  # pragma: no cover - alive, other user
+                pass
+            time.sleep(0.005)
+        _LOG.warning(  # pragma: no cover - pathological holder
+            "drain proceeding: %s held live beyond %.0fs", path, 2 * self.lock.stale_seconds
+        )
+
+    def _scan_leases(self) -> Tuple[List[Path], List[Path]]:
+        """Split the drain-intent leases into (live-owner, dead-owner) lists."""
+        live: List[Path] = []
+        dead: List[Path] = []
+        for lease in self.directory.glob(LEASE_GLOB):
+            if self.lock._owner_is_dead(lease):
+                dead.append(lease)
+            else:
+                live.append(lease)
+        return live, dead
+
+    def _break_dead_leases(self, leases: Sequence[Path]) -> None:
+        for lease in leases:
+            _LOG.info("breaking dead drain lease %s", lease.name)
+            try:
+                lease.unlink()
+            except FileNotFoundError:  # pragma: no cover - lost a race
+                pass
 
     # -- global version queries ---------------------------------------------
 
@@ -463,10 +624,22 @@ class CheckpointCoordinator:
         finally:
             self.lock.release()
 
-    def _promote_one(self, snapshot: ManifestDirSnapshot, version: int) -> None:
-        """Rename each rank's prepared manifest and write ``GLOBAL-<v>.json``."""
+    def _promote_one(
+        self,
+        snapshot: ManifestDirSnapshot,
+        version: int,
+        *,
+        workers: Optional[Tuple[str, ...]] = None,
+    ) -> None:
+        """Rename each rank's prepared manifest and write ``GLOBAL-<v>.json``.
+
+        ``workers`` overrides the instance registry for this one version —
+        the restart roll-forward uses it to promote a cut written by a
+        *different* world size than the restarting job's.
+        """
+        workers = self.workers if workers is None else workers
         iterations: Dict[str, int] = {}
-        for worker in self.workers:
+        for worker in workers:
             path = snapshot.prepared.get(worker, {}).get(version)
             if path is None:
                 path = snapshot.committed[worker][version]
@@ -483,16 +656,17 @@ class CheckpointCoordinator:
                 f"iterations {iterations} — the ranks did not checkpoint the "
                 "same cut"
             )
-        for worker in self.workers:
+        for worker in workers:
             prepared = snapshot.prepared.get(worker, {}).get(version)
             if prepared is not None:
                 committed = self.directory / f"ckpt-{worker}-{version:06d}.json"
                 os.replace(prepared, committed)
         _fsync_directory(self.directory)
+        fault_point("mid-promote", version=version)
         record = GlobalCommitRecord(
             version=version,
             iteration=next(iter(iterations.values())),
-            workers=self.workers,
+            workers=workers,
             created_unix=time.time(),
         )
         path = self.directory / global_record_name(version)
@@ -503,7 +677,7 @@ class CheckpointCoordinator:
             os.fsync(handle.fileno())
         os.replace(tmp, path)
         _fsync_directory(self.directory)
-        _LOG.info("global checkpoint v%d committed (%d workers)", version, len(self.workers))
+        _LOG.info("global checkpoint v%d committed (%d workers)", version, len(workers))
 
     def promote_pending(self, timeout: float = 5.0) -> Optional[int]:
         """Keep electing until every currently-complete version is promoted.
@@ -542,7 +716,96 @@ class CheckpointCoordinator:
             time.sleep(self._PROMOTE_RETRY_SECONDS)
         return promoted
 
-    # -- restart: torn-commit cleanup ----------------------------------------
+    # -- restart: roll-forward promotion + torn-commit cleanup ---------------
+
+    def _roll_forward_candidates(self, snapshot: ManifestDirSnapshot) -> List[int]:
+        """Versions beyond the newest global with *any* landed manifest."""
+        newest = max(snapshot.global_versions, default=0)
+        candidates: set = set()
+        for per_worker in (snapshot.prepared, snapshot.committed):
+            for versions in per_worker.values():
+                candidates.update(v for v in versions if v > newest)
+        return sorted(candidates - self._refused_versions)
+
+    def _version_workers(
+        self, snapshot: ManifestDirSnapshot, version: int
+    ) -> Optional[Tuple[str, ...]]:
+        """The worker set a landed ``version`` needs for completeness.
+
+        Derived from the manifests' own layout echo (``num_ranks``), **not**
+        from this instance's registry: a restart may run at a different
+        world size than the job that wrote the cut, and the cut is complete
+        exactly when every rank of *its* world landed.  Returns ``None``
+        when not all of them did (a torn commit, left for
+        :meth:`discard_torn`).
+        """
+        for per_worker in (snapshot.prepared, snapshot.committed):
+            for versions in per_worker.values():
+                path = versions.get(version)
+                if path is None:
+                    continue
+                manifest = CheckpointManifest.from_json(path.read_text(encoding="utf-8"))
+                num_ranks = int(manifest.layout.get("num_ranks", 0))
+                if num_ranks < 1:
+                    return None
+                required = tuple(f"rank{r}" for r in range(num_ranks))
+                for worker in required:
+                    landed = snapshot.prepared.get(worker, {}).get(
+                        version
+                    ) or snapshot.committed.get(worker, {}).get(version)
+                    if landed is None:
+                        return None
+                return required
+        return None  # pragma: no cover - callers pass landed candidates only
+
+    def roll_forward(self, timeout: float = 5.0) -> Optional[int]:
+        """Promote fully-landed-but-never-promoted versions at restart.
+
+        A crash after every rank published version ``v`` but before any
+        election wrote ``GLOBAL-<v>.json`` (or after a promoter's renames
+        but before its record landed) leaves strictly more progress on disk
+        than the newest global record admits.  Rolling *back* past ``v``
+        would discard a complete, consistent cut; this promotes it instead.
+        Runs under the election lock and blocks (bounded by ``timeout``)
+        while another restarting rank holds it — returning early with the
+        lock contended could resolve a different "newest global" than the
+        peer that is mid-promotion.  Completeness is judged against each
+        version's *own* world size (from its manifests' layout echo), so a
+        restart at a new world size still rolls an old-world cut forward.
+        Returns the newest version promoted by this caller, if any.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            if not self._roll_forward_candidates(scan_manifest_dir(self.directory)):
+                return None
+            if self.lock.acquire():
+                break
+            if time.monotonic() >= deadline:
+                _LOG.warning("roll-forward gave up on a contended election lock")
+                return None
+            time.sleep(self._PROMOTE_RETRY_SECONDS)
+        try:
+            promoted: Optional[int] = None
+            snapshot = scan_manifest_dir(self.directory)
+            for version in self._roll_forward_candidates(snapshot):
+                workers = self._version_workers(snapshot, version)
+                if workers is None:
+                    continue  # torn — discard_torn's job
+                try:
+                    self._promote_one(snapshot, version, workers=workers)
+                except CheckpointError as exc:
+                    _LOG.error("refusing to roll version %d forward: %s", version, exc)
+                    self.promotion_errors.append(f"v{version}: {exc}")
+                    self._refused_versions.add(version)
+                    continue
+                _LOG.info("rolled checkpoint version %d forward at restart", version)
+                promoted = version
+                self.promoted_versions.append(version)
+            if promoted is not None:
+                self._collect_garbage()
+            return promoted
+        finally:
+            self.lock.release()
 
     def discard_torn(self, global_version: int) -> int:
         """Delete per-rank manifests newer than ``global_version``.
@@ -567,6 +830,11 @@ class CheckpointCoordinator:
                     f"cannot discard beyond global version {global_version}: a newer "
                     "global commit exists"
                 )
+            # Crashed ranks' drain-intent leases would otherwise linger until
+            # the first post-restart promotion's GC; break them here so a
+            # fresh job starts with a clean protocol directory.
+            _live, dead_leases = self._scan_leases()
+            self._break_dead_leases(dead_leases)
             for per_worker in (snapshot.prepared, snapshot.committed):
                 for versions in per_worker.values():
                     for version, path in versions.items():
@@ -645,16 +913,29 @@ class CheckpointCoordinator:
                             path.unlink()
                         except FileNotFoundError:  # pragma: no cover - lost a race
                             pass
+        fault_point("mid-gc", version=newest)
         # The drain check must be atomic with the sweep: a drain beginning
         # *after* a one-time check could dedup-reuse a blob this sweep is
         # concurrently deleting.  Holding ``_drains_lock`` across the scan
         # and sweep makes ``drain_begin`` block until the sweep finishes
         # (the sweep is bounded and runs at most once per promotion), so a
         # drain either registered before the check — and the sweep stands
-        # down — or starts strictly after the last delete.
+        # down — or starts strictly after the last delete.  Cross-process
+        # drains are covered the same way by their on-disk leases: publishing
+        # happens before any reuse check, and a lease published after this
+        # scan belongs to a drain whose ``drain_begin`` is still waiting out
+        # our live ``GLOBAL.lock`` — it cannot read a key until we finish.
         with self._drains_lock:
             if self._drains:
                 _LOG.debug("skipping blob sweep: a drain is in flight")
+                return
+            live_leases, dead_leases = self._scan_leases()
+            self._break_dead_leases(dead_leases)
+            if live_leases:
+                _LOG.debug(
+                    "skipping blob sweep: drain lease(s) held by live rank(s): %s",
+                    [lease.name for lease in live_leases],
+                )
                 return
             try:
                 referenced = referenced_blobs(

@@ -1,0 +1,233 @@
+"""Elastic restart: restore a global cut under a different world size.
+
+A ``GLOBAL-<v>.json`` commit record pins one consistent cut of the job —
+every rank's manifest at version ``v``.  Nothing about those manifests is
+tied to the number of ranks that *restores* them: the shard layout is pure
+index arithmetic over the flat global parameter space
+(:func:`repro.train.sharding.build_shard_layout`), every blob segment
+records its element extent, and the CPU Adam update is elementwise — so the
+FP32 master state of a parameter depends only on its own gradient history,
+never on which rank happened to own it.  Restoring an N-rank cut on M ranks
+is therefore a *re-partitioning*, not a retraining concern: rebuild the
+writing job's layout from the manifests' layout echo, map each restoring
+rank's global interval onto the old subgroups that overlap it, read each
+old blob once and scatter the overlapping slices into the new rank's
+subgroup buffers.  The gathered FP32 master state after an elastic restore
+is bitwise-equal to the pre-crash N-rank gather.
+
+The planner here is engine-agnostic: :func:`open_elastic_source` loads and
+cross-validates every old rank's manifest for the cut,
+:func:`repartition` serves arbitrary ``(field, global interval)`` read
+requests from the old blobs, and :func:`interval_step` resolves the Adam
+step counter of a new subgroup from the old subgroups it overlaps.
+:meth:`repro.core.engine.OffloadEngineBase.restore_checkpoint` drives them
+whenever the global record's world size differs from the engine's layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.ckpt.manifest import CheckpointError, CheckpointManifest
+from repro.ckpt.restore import CheckpointReader
+from repro.train.sharding import ShardLayout, build_shard_layout
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ckpt.coordinator import GlobalCommitRecord
+    from repro.core.config import MLPOffloadConfig
+    from repro.tiers.array_pool import ArrayPool
+
+#: One re-partitioning read request: field name ("fp16" or an FP32 state
+#: field), the half-open global element interval wanted, and the 1-D output
+#: array (sized ``stop - start``, dtype float16 for "fp16", float32 else).
+RepartitionRequest = Tuple[str, int, int, np.ndarray]
+
+
+@dataclass
+class ElasticSource:
+    """One global cut opened for re-partitioned reads."""
+
+    version: int
+    iteration: int
+    old_layout: ShardLayout
+    #: Old worker → its manifest of the cut (``rank0 … rank{N-1}``).
+    manifests: Dict[str, CheckpointManifest]
+    readers: Dict[str, CheckpointReader]
+    #: Caller user-data of the cut (taken from rank 0's manifest; the
+    #: trainer-level payload is identical across ranks by construction).
+    user_data: Dict[str, object]
+
+
+def open_elastic_source(
+    config: "MLPOffloadConfig",
+    record: "GlobalCommitRecord",
+    *,
+    throttles: Optional[Dict[str, object]] = None,
+) -> ElasticSource:
+    """Load and cross-validate every old rank's manifest of ``record``."""
+    expected_workers = tuple(f"rank{r}" for r in range(len(record.workers)))
+    if tuple(record.workers) != expected_workers:
+        raise CheckpointError(
+            f"global v{record.version} names workers {list(record.workers)}; elastic "
+            f"restore requires the canonical rank0…rank{len(record.workers) - 1} registry"
+        )
+    manifests: Dict[str, CheckpointManifest] = {}
+    readers: Dict[str, CheckpointReader] = {}
+    echo: Optional[Dict[str, int]] = None
+    iterations = set()
+    for worker in record.workers:
+        reader = CheckpointReader(config, worker=worker, throttles=throttles)
+        manifest = reader.load_manifest(record.version)
+        if manifest.worker != worker or manifest.version != record.version:
+            raise CheckpointError(
+                f"manifest of {worker!r} claims worker {manifest.worker!r} "
+                f"version {manifest.version}"
+            )
+        readers[worker] = reader
+        manifests[worker] = manifest
+        iterations.add(int(manifest.iteration))
+        if echo is None:
+            echo = manifest.layout
+        else:
+            for key in ("total_params", "num_ranks", "subgroup_size"):
+                if manifest.layout.get(key) != echo.get(key):
+                    raise CheckpointError(
+                        f"global v{record.version} has inconsistent layout echoes: "
+                        f"{worker!r} records {manifest.layout}, rank0 {echo}"
+                    )
+    assert echo is not None
+    if len(iterations) != 1:
+        raise CheckpointError(
+            f"global v{record.version} manifests disagree on the iteration: "
+            f"{sorted(iterations)}"
+        )
+    if int(echo.get("num_ranks", 0)) != len(record.workers):
+        raise CheckpointError(
+            f"global v{record.version} covers {len(record.workers)} workers but its "
+            f"manifests echo num_ranks={echo.get('num_ranks')}"
+        )
+    old_layout = build_shard_layout(
+        int(echo["total_params"]),
+        num_ranks=int(echo["num_ranks"]),
+        subgroup_size=int(echo["subgroup_size"]),
+    )
+    return ElasticSource(
+        version=record.version,
+        iteration=iterations.pop(),
+        old_layout=old_layout,
+        manifests=manifests,
+        readers=readers,
+        user_data=dict(manifests[record.workers[0]].user_data),
+    )
+
+
+def _overlaps(
+    start: int, stop: int, requests: Sequence[Tuple[int, int, np.ndarray]]
+) -> List[Tuple[int, int, np.ndarray, int]]:
+    """Requests overlapping ``[start, stop)`` as (lo, hi, out, request_start)."""
+    found = []
+    for req_start, req_stop, out in requests:
+        lo, hi = max(start, req_start), min(stop, req_stop)
+        if lo < hi:
+            found.append((lo, hi, out, req_start))
+    return found
+
+
+def repartition(
+    source: ElasticSource,
+    requests: Sequence[RepartitionRequest],
+    *,
+    pool: Optional["ArrayPool"] = None,
+    verify: bool = True,
+) -> None:
+    """Serve global-interval read requests from the old world's blobs.
+
+    Iterates the *old* shards on the outside so every old blob is read (and
+    digest-verified, with ``verify`` on) exactly once per field, no matter
+    how many new-world subgroups its interval straddles; the overlapping
+    slices are scattered into each request's output in global coordinates.
+    Scratch buffers come from ``pool`` when given (the engine's zero-copy
+    discipline), plain allocations otherwise.
+    """
+    fp16_requests: List[Tuple[int, int, np.ndarray]] = []
+    state_requests: Dict[str, List[Tuple[int, int, np.ndarray]]] = {}
+    for field, start, stop, out in requests:
+        if stop - start != out.size:
+            raise CheckpointError(
+                f"repartition request {field!r} [{start}, {stop}) does not match "
+                f"its output of {out.size} elements"
+            )
+        if field == "fp16":
+            fp16_requests.append((start, stop, out))
+        else:
+            state_requests.setdefault(field, []).append((start, stop, out))
+
+    def scratch(count: int, dtype) -> np.ndarray:
+        return pool.acquire(count, dtype) if pool is not None else np.empty(count, dtype)
+
+    def recycle(array: np.ndarray) -> None:
+        if pool is not None:
+            pool.release(array)
+
+    # FP16 working copy: one blob per old rank, covering its whole interval.
+    for rank, (rank_start, rank_stop) in enumerate(source.old_layout.rank_intervals):
+        hits = _overlaps(rank_start, rank_stop, fp16_requests)
+        if not hits:
+            continue
+        worker = f"rank{rank}"
+        buf = scratch(rank_stop - rank_start, np.float16)
+        try:
+            source.readers[worker].read_blob(
+                source.manifests[worker].fp16_params, buf, verify=verify, pool=pool
+            )
+            for lo, hi, out, req_start in hits:
+                out[lo - req_start : hi - req_start] = buf[lo - rank_start : hi - rank_start]
+        finally:
+            recycle(buf)
+
+    # FP32 state fields: one blob per old subgroup per field.
+    for osg in source.old_layout.subgroups:
+        worker = f"rank{osg.rank}"
+        manifest = source.manifests[worker]
+        for field, reqs in state_requests.items():
+            hits = _overlaps(osg.global_start, osg.global_stop, reqs)
+            if not hits:
+                continue
+            fields = manifest.subgroups.get(osg.index)
+            ref = None if fields is None else fields.get(field)
+            if ref is None:
+                raise CheckpointError(
+                    f"global v{source.version} lacks field {field!r} of {worker}'s "
+                    f"subgroup {osg.index}"
+                )
+            buf = scratch(osg.num_params, np.float32)
+            try:
+                source.readers[worker].read_blob(ref, buf, verify=verify, pool=pool)
+                for lo, hi, out, req_start in hits:
+                    out[lo - req_start : hi - req_start] = buf[
+                        lo - osg.global_start : hi - osg.global_start
+                    ]
+            finally:
+                recycle(buf)
+
+
+def interval_step(source: ElasticSource, start: int, stop: int) -> int:
+    """The Adam step counter of the old subgroups covering ``[start, stop)``.
+
+    Steps advance uniformly (every subgroup updates every iteration), so the
+    old subgroups overlapping one new subgroup must agree; a disagreement
+    means the manifests do not describe one consistent cut.
+    """
+    steps = set()
+    for osg in source.old_layout.subgroups:
+        if osg.global_start < stop and osg.global_stop > start:
+            steps.add(int(source.manifests[f"rank{osg.rank}"].steps.get(osg.index, 0)))
+    if len(steps) != 1:
+        raise CheckpointError(
+            f"global v{source.version}: Adam steps disagree across the old subgroups "
+            f"covering [{start}, {stop}): {sorted(steps)}"
+        )
+    return steps.pop()

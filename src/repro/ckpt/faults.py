@@ -1,0 +1,98 @@
+"""Crash-injection points for the checkpoint protocol.
+
+The multi-process crash matrix (:mod:`repro.ckpt.procrank`) needs to kill a
+real worker process at an exact protocol phase — not "roughly mid-drain",
+but *after the staged writes were submitted and before the prepared manifest
+landed*.  Sprinkling the protocol with named :func:`fault_point` hooks makes
+those phases addressable:
+
+========================  ====================================================
+``mid-drain``             staged blob writes submitted, none judged yet
+``pre-publish``           write barrier passed, prepared manifest not yet
+                          committed
+``post-publish``          prepared manifest durable, promotion not attempted
+``mid-promote``           per-rank manifests renamed, ``GLOBAL-<v>.json`` not
+                          yet written (the faulting process holds
+                          ``GLOBAL.lock``)
+``mid-gc``                manifests retired, blob sweep not yet run (again
+                          under ``GLOBAL.lock``)
+========================  ====================================================
+
+Every hook is a no-op unless armed.  Two arming mechanisms:
+
+* **In-process** — :func:`install_fault` registers a callable (record, raise,
+  block on an event, ...) for one phase; unit tests use this.
+* **Cross-process** — the environment variable ``REPRO_CKPT_FAULT`` holds
+  ``<phase>@<version>`` (e.g. ``mid-promote@3``); a worker process reaching
+  that phase for that checkpoint version sends itself ``SIGKILL`` — no
+  cleanup handlers, no atexit, exactly what a node loss looks like.  The
+  crash-matrix driver arms victims purely through their environment, so the
+  production code path under test is byte-for-byte the shipped one.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+from typing import Any, Callable, Dict, Optional, Tuple
+
+#: Environment variable arming a self-``SIGKILL`` in worker processes.
+FAULT_ENV = "REPRO_CKPT_FAULT"
+
+#: The protocol phases instrumented with :func:`fault_point` hooks.
+FAULT_PHASES = ("mid-drain", "pre-publish", "post-publish", "mid-promote", "mid-gc")
+
+_handlers: Dict[str, Callable[..., None]] = {}
+_handlers_lock = threading.Lock()
+
+
+def install_fault(name: str, handler: Callable[..., None]) -> None:
+    """Register an in-process handler invoked when ``name`` is reached."""
+    if name not in FAULT_PHASES:
+        raise ValueError(f"unknown fault point {name!r} (known: {FAULT_PHASES})")
+    with _handlers_lock:
+        _handlers[name] = handler
+
+
+def clear_faults() -> None:
+    """Remove every in-process handler (tests call this in teardown)."""
+    with _handlers_lock:
+        _handlers.clear()
+
+
+def _armed_spec() -> Optional[Tuple[str, Optional[int]]]:
+    """The ``(phase, version)`` armed via the environment, if any."""
+    spec = os.environ.get(FAULT_ENV)
+    if not spec:
+        return None
+    phase, _, version = spec.partition("@")
+    try:
+        return phase, (int(version) if version else None)
+    except ValueError:
+        return phase, None
+
+
+def fault_point(name: str, **context: Any) -> None:
+    """A named crash-injection point; no-op unless armed.
+
+    ``context`` carries the protocol state at the point (currently the
+    checkpoint ``version`` being processed); the environment arming matches
+    on it so a victim dies at *one specific* version, not the first drain it
+    runs.  An in-process handler, when installed, takes precedence over the
+    environment and receives the full context.
+    """
+    with _handlers_lock:
+        handler = _handlers.get(name)
+    if handler is not None:
+        handler(**context)
+        return
+    armed = _armed_spec()
+    if armed is None or armed[0] != name:
+        return
+    version = armed[1]
+    if version is not None and context.get("version") not in (None, version):
+        return
+    # A real node loss: no cleanup, no flushing, no atexit.  The process is
+    # gone between two instructions of the protocol.
+    os.kill(os.getpid(), signal.SIGKILL)

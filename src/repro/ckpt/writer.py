@@ -55,6 +55,7 @@ from repro.ckpt.manifest import (
     payload_digest,
     scan_manifest_dir,
 )
+from repro.ckpt.faults import fault_point
 from repro.ckpt.store import CAS_PREFIX, build_blob_stores
 from repro.codec import RAW_CODEC, encoded_frame, get_codec
 from repro.tiers.array_pool import ArrayPool
@@ -242,6 +243,7 @@ class CheckpointWriter:
         """
         staged_items: List[_StagedItem] = [_StagedItem(("fp16",), fp16_params)]
         linked_refs: Dict[int, Dict[str, BlobRef]] = {}
+        in_drain_window = False
         try:
             # Take ownership of every staged buffer first, so any failure
             # below — including a re-raised previous drain error — releases
@@ -253,6 +255,16 @@ class CheckpointWriter:
             if self._closed:
                 raise CheckpointError("checkpoint writer is closed")
             self.wait()
+            if self.coordinator is not None:
+                # Open the drain window BEFORE any content reuse below: the
+                # carry checks and hard-link adoptions re-reference blobs that
+                # no manifest protects until this version's prepared manifest
+                # lands, and only the published drain-intent lease makes a
+                # foreign rank's concurrent blob sweep stand down.  The window
+                # stays open across the handoff to the drain thread, which
+                # closes it when the manifest publishes (or the drain fails).
+                self.coordinator.drain_begin(self.worker)
+                in_drain_window = True
             for source in subgroups:
                 if source.staged is not None:
                     continue
@@ -267,6 +279,8 @@ class CheckpointWriter:
                     fields[name] = self._link_field(refs)
                 linked_refs[source.index] = fields
         except BaseException:
+            if in_drain_window:
+                self.coordinator.drain_end(self.worker)
             self._release([item.array for item in staged_items])
             raise
         version = self._last_version + 1
@@ -485,13 +499,13 @@ class CheckpointWriter:
         staged_items: List[_StagedItem],
     ) -> None:
         encoded: List[np.ndarray] = []
+        # ``snapshot()`` opened the drain window before adopting any linked
+        # or carried blobs; this thread inherits it.  While the window is
+        # open the coordinator's blob sweep stands down: the plan below may
+        # dedup-reuse a blob that no manifest references until this
+        # version's prepared manifest lands (the commit below, still inside
+        # the drain window).
         in_drain_window = self.coordinator is not None
-        if in_drain_window:
-            # While this drain is in flight the coordinator's blob sweep
-            # stands down: the plan below may dedup-reuse a blob that no
-            # manifest references until this version's prepared manifest
-            # lands (the commit below, still inside the drain window).
-            self.coordinator.drain_begin(self.worker)
         try:
             staged_refs: Dict[Tuple, BlobRef] = {}
             futures = []
@@ -519,6 +533,7 @@ class CheckpointWriter:
                     except BaseException:  # noqa: BLE001 - already failing
                         pass
                 raise
+            fault_point("mid-drain", version=pending.version)
             # Await EVERY write before judging any: a buffer may only go back
             # to the pool (the finally below) once no write can still be
             # streaming it, and an early raise on the first failure would
@@ -531,6 +546,11 @@ class CheckpointWriter:
                     first_error = result.error
             if first_error is not None:
                 raise first_error
+            if self.coordinator is not None:
+                # The drain's writes landed but the manifest has not: renew
+                # the drain-intent lease so a long encode+write phase cannot
+                # be mistaken for an abandoned one.
+                self.coordinator.renew_drain_lease(self.worker)
 
             subgroups: Dict[int, Dict[str, BlobRef]] = {k: dict(v) for k, v in linked_refs.items()}
             fp16_ref: Optional[BlobRef] = None
@@ -555,9 +575,11 @@ class CheckpointWriter:
                 # safe to sweep (the uncoordinated path does this in its
                 # per-drain GC, which coordinated drains never run).
                 self.manifests.sweep_stale_tmp()
+                fault_point("pre-publish", version=pending.version)
                 self.manifests.commit(manifest, prepared=True)
                 self.coordinator.drain_end(self.worker)
                 in_drain_window = False
+                fault_point("post-publish", version=pending.version)
                 try:
                     self.coordinator.try_promote()
                 except Exception as exc:  # noqa: BLE001 - promotion is retried

@@ -1076,10 +1076,16 @@ class OffloadEngineBase:
         uninterrupted run in both modes.
 
         With ``checkpoint_coordination`` on, ``version`` names a *global*
-        version: the restore resolves the newest ``GLOBAL-<v>.json`` commit
-        record (or the requested one), discards torn per-rank manifests
-        beyond it, and restores this rank's manifest of that cut — so every
-        rank of the job resumes from one consistent version, never a mix.
+        version: the restore first rolls forward any fully-prepared version
+        the crash left unpromoted, resolves the newest ``GLOBAL-<v>.json``
+        commit record (or the requested one), discards torn per-rank
+        manifests beyond it, and restores this rank's manifest of that cut —
+        so every rank of the job resumes from one consistent version, never
+        a mix.  When the cut was written at a *different*
+        ``checkpoint_world_size`` than this engine's layout, the restore
+        re-partitions the old world's blobs onto this rank's subgroups
+        (elastic restart; see :mod:`repro.ckpt.elastic`) — the gathered FP32
+        master state is bitwise-equal to the pre-crash gather.
         """
         self._require_checkpointer()
         if self._initialized:
@@ -1088,9 +1094,14 @@ class OffloadEngineBase:
         if self.ckpt_coordinator is not None:
             # Coordinated restart: the cut is a *global* version — one every
             # registered rank committed — never this worker's newest private
-            # manifest.  Per-rank manifests beyond it (committed or prepared)
-            # are torn-commit debris and are discarded before any rank reads,
-            # so a half-promoted version cannot resurface later.
+            # manifest.  First roll forward: a version every rank fully
+            # prepared before the crash but that no promoter recorded is
+            # promoted now (strictly more progress retained than rolling back
+            # past it).  Then per-rank manifests beyond the newest global
+            # (committed or prepared) are torn-commit debris and are
+            # discarded before any rank reads, so a half-promoted version
+            # cannot resurface later.
+            self.ckpt_coordinator.roll_forward()
             if version is not None:
                 record = self.ckpt_coordinator.load_global(version)
             else:
@@ -1100,16 +1111,21 @@ class OffloadEngineBase:
                         "no globally committed checkpoints in "
                         f"{str(self.ckpt_coordinator.directory)!r}"
                     )
-            if self.worker not in record.workers:
-                raise CheckpointError(
-                    f"global checkpoint v{record.version} covers workers "
-                    f"{list(record.workers)}, not {self.worker!r}"
-                )
             # Torn debris lives beyond the NEWEST global version — restoring
             # an explicitly older global cut must not (and could not) discard
             # relative to itself.
             newest = self.ckpt_coordinator.global_versions()[-1]
             self.ckpt_coordinator.discard_torn(newest)
+            new_world = tuple(f"rank{r}" for r in range(self.layout.num_ranks))
+            if tuple(record.workers) != new_world:
+                # The cut was written by a different world size — elastic
+                # restart re-partitions the old blobs onto this layout.
+                return self._restore_elastic(record, verify=verify)
+            if self.worker not in record.workers:
+                raise CheckpointError(
+                    f"global checkpoint v{record.version} covers workers "
+                    f"{list(record.workers)}, not {self.worker!r}"
+                )
             global_version = version = record.version
         reader = CheckpointReader(self.config, worker=self.worker, throttles=self._throttles)
         manifest = reader.load_manifest(version)
@@ -1196,6 +1212,67 @@ class OffloadEngineBase:
             linked_subgroups=linked_subgroups,
             lazy_subgroups=lazy_subgroups,
             global_version=global_version,
+        )
+
+    def _restore_elastic(self, record, *, verify: bool) -> RestoredCheckpoint:
+        """Restore a global cut written at a different world size.
+
+        Opens every old rank's manifest of the cut, rebuilds the writing
+        job's :class:`ShardLayout` from the manifests' layout echo, and
+        re-partitions the old blobs onto this engine's subgroups
+        (:mod:`repro.ckpt.elastic`).  Always eager: the old blob geometry
+        does not line up with the new subgroup boundaries, so there is
+        nothing to hard-link or stream lazily — every overlapping old blob
+        is read once and scattered through pooled buffers, then flushed to
+        this rank's tiers.
+        """
+        from repro.ckpt.elastic import interval_step, open_elastic_source, repartition
+
+        source = open_elastic_source(self.config, record, throttles=self._throttles)
+        if source.old_layout.total_params != self.layout.total_params:
+            raise CheckpointError(
+                f"global v{record.version} holds {source.old_layout.total_params} "
+                f"parameters, this engine's layout has {self.layout.total_params}"
+            )
+        rank_start, rank_stop = self.layout.rank_intervals[self.rank]
+        fp16 = np.empty(self.layout.rank_params(self.rank), dtype=np.float16)
+        requests = [("fp16", rank_start, rank_stop, fp16)]
+        arrays_by_index: Dict[int, Dict[str, np.ndarray]] = {}
+        try:
+            for sg in self.subgroups:
+                arrays = {
+                    name: self.pool.acquire(sg.num_params, np.float32)
+                    for name in STATE_FIELDS
+                }
+                arrays_by_index[sg.index] = arrays
+                for name in STATE_FIELDS:
+                    requests.append((name, sg.global_start, sg.global_stop, arrays[name]))
+            repartition(source, requests, pool=self.pool, verify=verify)
+        except BaseException:
+            for arrays in arrays_by_index.values():
+                self.pool.release_all(arrays.values())
+            raise
+        self.tier.build_placement([sg.index for sg in self.subgroups])
+        for sg in self.subgroups:
+            arrays = arrays_by_index[sg.index]
+            self.tier.flush_subgroup(sg.key, sg.index, arrays, tier=None, wait=True)
+            if not self.cache.put(sg.index, arrays, dirty=False):
+                self.pool.release_all(arrays.values())
+            self.tier.delete_subgroup_field(sg.key, sg.index, GRAD_FIELD)
+        self._steps = {
+            sg.index: interval_step(source, sg.global_start, sg.global_stop)
+            for sg in self.subgroups
+        }
+        self._update_count = int(source.iteration)
+        self._last_stats = None
+        self._initialized = True
+        return RestoredCheckpoint(
+            version=record.version,
+            iteration=source.iteration,
+            fp16_params=fp16,
+            user_data=source.user_data,
+            mode="eager",
+            global_version=record.version,
         )
 
     def _restore_by_hardlink(

@@ -6,8 +6,10 @@ commit protocol and restarting resumes *every* rank bitwise-identically
 from the newest **global** version — never a mixed cut.  Three torn-commit
 shapes are exercised:
 
-* a rank dies **before publishing** its prepared manifest;
-* every rank publishes, but the promoter dies **before the global commit**;
+* a rank dies **before publishing** its prepared manifest — the incomplete
+  version can never be promoted and restart rolls back;
+* every rank publishes, but the promoter dies **before the global commit** —
+  restart *rolls the fully-prepared version forward* instead of discarding it;
 * the promoter dies **between promote and GC**, leaving a stale election
   lock behind.
 
@@ -126,14 +128,15 @@ def run_reference(tmp_path, workload):
             engine.close()
 
 
-def crash_then_resume(tmp_path, workload, crash, **overrides):
+def crash_then_resume(tmp_path, workload, crash, *, expect_version=CRASH_AFTER, **overrides):
     """Train ``CRASH_AFTER`` globally-committed iterations, ``crash``, resume.
 
     ``crash`` receives ``(engines, coordinator, fp16s, views, grads)`` and
     models whatever partial work the scenario performs before the job dies.
     Every rank of the resumed job must restart from the same global version
-    ``CRASH_AFTER``; the remaining iterations are replayed and the final
-    two-rank state returned.
+    ``expect_version`` (``CRASH_AFTER``, or one more when the scenario left
+    a fully-prepared version for restart to roll forward); the remaining
+    iterations are replayed and the final two-rank state returned.
     """
     layout, views, initial, grads = workload
     base = tmp_path / "crashed"
@@ -166,11 +169,11 @@ def crash_then_resume(tmp_path, workload, crash, **overrides):
     for rank, engine in enumerate(resumed):
         restored = engine.restore_checkpoint()
         # Never a mixed cut: every rank resolves the same global version.
-        assert restored.version == CRASH_AFTER
-        assert restored.global_version == CRASH_AFTER
-        assert restored.iteration == CRASH_AFTER
+        assert restored.version == expect_version
+        assert restored.global_version == expect_version
+        assert restored.iteration == expect_version
         fp16s_resumed.append(restored.fp16_params)
-    for grads_of_iter in grads[CRASH_AFTER:]:
+    for grads_of_iter in grads[expect_version:]:
         feed_iteration(resumed, views, grads_of_iter, fp16s_resumed)
     state = final_state(resumed, fp16s_resumed)
     for engine in resumed:
@@ -202,8 +205,9 @@ def test_rank_dies_before_publishing_prepared(tmp_path, workload):
 
 
 def test_every_rank_prepares_but_global_commit_never_lands(tmp_path, workload):
-    """Both ranks publish prepared manifests but the promoter dies first: the
-    fully-prepared version is torn-commit debris and restart rolls back."""
+    """Both ranks publish prepared manifests but the promoter dies first:
+    restart *rolls the fully-prepared version forward* — every rank's work
+    landed, so discarding it would throw away a complete iteration."""
 
     def crash(engines, coordinator, fp16s, views, grads):
         coordinator.try_promote = lambda: None  # the elected promoter dies
@@ -214,7 +218,9 @@ def test_every_rank_prepares_but_global_commit_never_lands(tmp_path, workload):
         assert any(name.endswith(".prepared.json") for name in snapshot_dir)
         assert coordinator.global_versions()[-1] == CRASH_AFTER
 
-    resumed = crash_then_resume(tmp_path, workload, crash)
+    resumed = crash_then_resume(
+        tmp_path, workload, crash, expect_version=CRASH_AFTER + 1
+    )
     assert_equivalent(run_reference(tmp_path, workload), resumed)
 
 

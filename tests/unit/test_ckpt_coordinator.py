@@ -466,6 +466,71 @@ def test_gc_stands_down_while_a_drain_is_in_flight(env):
     assert not coord.stores[seg.tier].contains(seg.key), "orphan blob never swept"
 
 
+def test_roll_forward_promotes_a_fully_prepared_version(env):
+    """Every rank published v2 but the job died before any election: restart
+    must promote v2 rather than roll back to v1."""
+    config, coord = env
+    for worker in WORKERS:
+        prepare(config, coord, worker, 1)
+    assert coord.try_promote() == 1
+    for worker in WORKERS:
+        prepare(config, coord, worker, 2)
+    assert coord.roll_forward() == 2
+    assert coord.global_versions() == [1, 2]
+    assert coord.load_global(2).workers == WORKERS
+
+
+def test_roll_forward_leaves_incomplete_versions_for_discard(env):
+    config, coord = env
+    for worker in WORKERS:
+        prepare(config, coord, worker, 1)
+    assert coord.try_promote() == 1
+    prepare(config, coord, "rank0", 2)  # rank1 died before publishing
+    assert coord.roll_forward() is None
+    assert coord.global_versions() == [1]
+
+
+def test_roll_forward_promotes_renamed_but_recordless_versions(env):
+    """A promoter that died mid-promote leaves committed-*named* manifests
+    and no ``GLOBAL-<v>.json``; the version is still complete and consistent,
+    so restart rolls it forward."""
+    config, coord = env
+    for worker in WORKERS:
+        prepare(config, coord, worker, 1)
+        (coord.directory / f"ckpt-{worker}-000001.prepared.json").rename(
+            coord.directory / f"ckpt-{worker}-000001.json"
+        )
+    assert coord.roll_forward() == 1
+    assert coord.global_versions() == [1]
+
+
+def test_roll_forward_judges_completeness_by_the_cut_own_world_size(env):
+    """A 3-rank job's fully-prepared version rolls forward even though the
+    restarting coordinator is registered for 2 ranks (elastic restart):
+    completeness comes from the manifests' layout echo, not the registry."""
+    config, coord = env
+    for rank in range(3):
+        worker = f"rank{rank}"
+        payload = np.full(64, 5.0, dtype=np.float16)
+        seg = put_blob(coord, "nvme", payload)
+        manifest = CheckpointManifest(
+            version=1,
+            worker=worker,
+            iteration=1,
+            layout={"total_params": 64, "num_ranks": 3, "subgroup_size": 100,
+                    "rank": rank, "num_subgroups": 1},
+            steps={0: 1},
+            placement={0: "nvme"},
+            subgroups={},
+            fp16_params=BlobRef(
+                dtype="float16", count=64, source="staged", segments=(seg,)
+            ),
+        )
+        ManifestStore(config.checkpoint_dir, worker).commit(manifest, prepared=True)
+    assert coord.roll_forward() == 1
+    assert coord.load_global(1).workers == ("rank0", "rank1", "rank2")
+
+
 def test_discard_torn_removes_manifests_beyond_the_global_cut(env):
     config, coord = env
     for worker in WORKERS:

@@ -1,0 +1,207 @@
+"""Drain-intent leases: the cross-process GC stand-down protocol.
+
+The retention GC's in-process drain check only sees ranks sharing the
+coordinator instance; `DRAIN-<worker>.lease` sentinels extend the stand-down
+to ranks in *other OS processes*.  Covered here: the publish/renew/retire
+lifecycle, dead-owner leases being broken (so a crashed rank never wedges
+the sweep), live leases deferring the sweep, and — the regression the
+protocol exists for — a real subprocess frozen mid-drain while the last
+committed reference of a blob it may have dedup-reused is retired: the blob
+must survive the sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.ckpt import BlobRef, BlobSegment, CheckpointCoordinator, ManifestStore
+from repro.ckpt.coordinator import drain_lease_name
+from repro.ckpt.manifest import CheckpointManifest
+from repro.core.config import MLPOffloadConfig, TierConfig
+
+WORKERS = ("rank0", "rank1")
+#: A pid that cannot exist on Linux (beyond the default pid_max of 2**22).
+DEAD_PID = 2**22 + 12345
+
+
+@pytest.fixture
+def env(tmp_path):
+    (tmp_path / "nvme").mkdir()
+    (tmp_path / "pfs").mkdir()
+    config = MLPOffloadConfig(
+        tiers=(
+            TierConfig("nvme", str(tmp_path / "nvme")),
+            TierConfig("pfs", str(tmp_path / "pfs")),
+        ),
+        subgroup_size=100,
+        checkpoint_dir=str(tmp_path / "ckpt"),
+        checkpoint_coordination=True,
+        checkpoint_world_size=2,
+        checkpoint_retention=2,
+    )
+    return config, CheckpointCoordinator(config, workers=WORKERS)
+
+
+def put_blob(coordinator, tier: str, payload: np.ndarray) -> BlobSegment:
+    from repro.ckpt.manifest import cas_key, payload_digest
+
+    digest = payload_digest(payload)
+    key = cas_key(digest, payload.nbytes)
+    coordinator.stores[tier].save_from(key, payload)
+    return BlobSegment(
+        tier=tier, key=key, start=0, count=int(payload.size),
+        nbytes=int(payload.nbytes), digest=digest,
+    )
+
+
+def prepare(config, coordinator, worker: str, version: int, *, seed=0):
+    payload = np.full(64, float(seed + version), dtype=np.float16)
+    seg = put_blob(coordinator, "nvme", payload)
+    manifest = CheckpointManifest(
+        version=version,
+        worker=worker,
+        iteration=version,
+        layout={"total_params": 64, "num_ranks": 2, "subgroup_size": 100,
+                "rank": int(worker[-1]), "num_subgroups": 1},
+        steps={0: version},
+        placement={0: "nvme"},
+        subgroups={},
+        fp16_params=BlobRef(dtype="float16", count=64, source="staged", segments=(seg,)),
+    )
+    ManifestStore(config.checkpoint_dir, worker).commit(manifest, prepared=True)
+    return seg
+
+
+def test_drain_publishes_renews_and_retires_its_lease(env):
+    _config, coord = env
+    lease = coord.directory / drain_lease_name("rank0")
+    coord.drain_begin("rank0")
+    try:
+        payload = json.loads(lease.read_text())
+        assert payload["pid"] == os.getpid()
+        assert payload["worker"] == "rank0"
+        before = lease.stat().st_mtime
+        time.sleep(0.01)
+        coord.renew_drain_lease("rank0")
+        assert lease.stat().st_mtime >= before
+    finally:
+        coord.drain_end("rank0")
+    assert not lease.exists(), "lease must be retired when the drain ends"
+
+
+def test_dead_owner_lease_is_broken_and_the_sweep_proceeds(env):
+    config, coord = env
+    lease = coord.directory / drain_lease_name("rank7")
+    coord.directory.mkdir(parents=True, exist_ok=True)
+    lease.write_text(json.dumps({"pid": DEAD_PID, "created_unix": time.time()}))
+    orphan = put_blob(coord, "nvme", np.full(32, 3.0, dtype=np.float16))
+    for worker in WORKERS:
+        prepare(config, coord, worker, 1)
+    assert coord.try_promote() == 1
+    assert not lease.exists(), "dead rank's lease must be broken"
+    assert not coord.stores[orphan.tier].contains(orphan.key), (
+        "a dead lease must not defer the sweep"
+    )
+
+
+def test_live_foreign_lease_defers_the_blob_sweep(env):
+    """A lease held by a coordinator instance this GC cannot see (here: a
+    second instance in this process, standing in for a foreign rank) must
+    make the sweep stand down — and only the sweep: manifests still retire."""
+    config, coord = env
+    foreign = CheckpointCoordinator(config, workers=WORKERS)
+    orphan = put_blob(coord, "nvme", np.full(32, 9.0, dtype=np.float16))
+    for worker in WORKERS:
+        prepare(config, coord, worker, 1)
+    foreign.drain_begin("rank1")
+    try:
+        assert coord.try_promote() == 1
+        assert coord.stores[orphan.tier].contains(orphan.key), (
+            "blob swept while a foreign-process drain held a live lease"
+        )
+    finally:
+        foreign.drain_end("rank1")
+    for worker in WORKERS:
+        prepare(config, coord, worker, 2)
+    assert coord.try_promote() == 2
+    assert not coord.stores[orphan.tier].contains(orphan.key), (
+        "orphan blob never swept after the lease was retired"
+    )
+
+
+def test_discard_torn_breaks_dead_leases(env):
+    config, coord = env
+    for worker in WORKERS:
+        prepare(config, coord, worker, 1)
+    assert coord.try_promote() == 1
+    lease = coord.directory / drain_lease_name("rank5")
+    lease.write_text(json.dumps({"pid": DEAD_PID, "created_unix": time.time()}))
+    coord.discard_torn(1)
+    assert not lease.exists(), "restart must break crashed ranks' leases"
+
+
+def test_gc_window_closed_against_a_real_subprocess_mid_drain(env, tmp_path):
+    """The regression the leases exist for: a *separate-process* rank frozen
+    mid-drain has (by dedup) reused a blob whose last committed reference is
+    concurrently retired — the sweep must stand down and the blob survive.
+    Without the lease protocol the sweep cannot see the foreign drain and
+    deletes the payload out from under the reusing rank."""
+    from repro.ckpt.procrank import WorldSpec, _worker_env
+
+    config, coord = env
+    # Retention 1 so promoting v2 retires v1 — and with it the last committed
+    # reference of v1's fp16 blob (seed 0 → both ranks share one payload).
+    config = MLPOffloadConfig(
+        tiers=config.tiers,
+        subgroup_size=100,
+        checkpoint_dir=config.checkpoint_dir,
+        checkpoint_coordination=True,
+        checkpoint_world_size=2,
+        checkpoint_retention=1,
+    )
+    coord = CheckpointCoordinator(config, workers=WORKERS)
+    shared = prepare(config, coord, "rank0", 1)
+    assert prepare(config, coord, "rank1", 1).key == shared.key
+    assert coord.try_promote() == 1
+
+    spec = WorldSpec(workdir=str(tmp_path), world_size=2, checkpoint_retention=1)
+    spec_path = tmp_path / "spec.json"
+    spec.to_json(spec_path)
+    held = tmp_path / "lease-held.flag"
+    release = tmp_path / "lease-release.flag"
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.ckpt.procrank", "--spec", str(spec_path),
+         "--rank", "1", "--world-size", "2", "--hold-drain-lease"],
+        env=_worker_env(),
+    )
+    try:
+        deadline = time.monotonic() + 30.0
+        while not held.exists():
+            assert time.monotonic() < deadline, "subprocess never took its lease"
+            assert proc.poll() is None, "lease-holding subprocess died"
+            time.sleep(0.01)
+        # v2 lands and promotes; v1 (the blob's last committed reference) is
+        # retired.  The foreign live lease must keep the payload alive.
+        for worker in WORKERS:
+            prepare(config, coord, worker, 2, seed=50)
+        assert coord.try_promote() == 2
+        assert coord.stores[shared.tier].contains(shared.key), (
+            "blob dedup-reusable by a foreign-process drain was swept"
+        )
+    finally:
+        release.write_text("go")
+        assert proc.wait(timeout=30) == 0
+    assert not (coord.directory / drain_lease_name("rank1")).exists()
+    # With the drain over, the next promotion's sweep reclaims the orphan.
+    for worker in WORKERS:
+        prepare(config, coord, worker, 3, seed=60)
+    assert coord.try_promote() == 3
+    assert not coord.stores[shared.tier].contains(shared.key)
