@@ -1,11 +1,14 @@
-"""Perf-smoke regression gate over the ``BENCH_*.json`` trajectories.
+"""Perf-smoke regression gate over ``BENCH_*.json`` / ``SWEEP_*.json`` trajectories.
 
 The scheduled CI job regenerates every benchmark trajectory on the tiny
 standard configurations and then runs this comparator against the
 repo-committed baselines: a headline metric that regressed by more than the
 threshold (25% by default, on the median where a metric is a distribution)
 fails the job, so a perf regression cannot land silently behind a green
-functional suite.
+functional suite.  Sweep result tables (``SWEEP_*.json``, produced by
+``python -m repro.sweep``) use the same trajectory-payload layout and are
+gated identically — the sweep-smoke CI job compares its regenerated tables
+against the committed ones.
 
 Headline metrics extracted from each trajectory payload:
 
@@ -59,6 +62,8 @@ _GROUP_KEYS = ("mode", "codec", "engine")
 _VALUE_KEYS = ("step_s", "update_s")
 #: Time-like metrics below this many seconds are noise, not signal.
 DEFAULT_FLOOR_SECONDS = 0.005
+#: Trajectory payload families the directory comparison gates.
+TRAJECTORY_GLOBS = ("BENCH_*.json", "SWEEP_*.json")
 
 
 def _trajectory_rows(payload: dict) -> List[dict]:
@@ -180,12 +185,14 @@ def compare_directories(
     floor_seconds: float = DEFAULT_FLOOR_SECONDS,
     ratios_only: bool = False,
 ) -> Tuple[List[str], List[str]]:
-    """Compare every ``BENCH_*.json`` of ``baseline_dir``; (problems, checked)."""
+    """Compare every ``BENCH_*.json``/``SWEEP_*.json`` of ``baseline_dir``."""
     problems: List[str] = []
     checked: List[str] = []
-    baselines = sorted(baseline_dir.glob("BENCH_*.json"))
+    baselines = sorted(
+        path for pattern in TRAJECTORY_GLOBS for path in baseline_dir.glob(pattern)
+    )
     if not baselines:
-        problems.append(f"no BENCH_*.json baselines in {baseline_dir}")
+        problems.append(f"no {'/'.join(TRAJECTORY_GLOBS)} baselines in {baseline_dir}")
         return problems, checked
     for path in baselines:
         candidate_path = candidate_dir / path.name

@@ -1,11 +1,29 @@
-"""Figure 11 (and §4.4 cost-effectiveness): weak-scaling iteration times on Testbed-2."""
+"""Figure 11 (and §4.4 cost-effectiveness): weak-scaling iteration times on Testbed-2.
+
+Figure 11 is ported to the sweep harness: the rows come from a
+``weak_scaling`` :class:`~repro.sweep.matrix.ScenarioMatrix` run through
+:class:`~repro.sweep.runner.SweepRunner` and rebuilt with
+:func:`~repro.sweep.results.figure_result`.  The port is pinned by an exact
+row-for-row equality assertion against the pre-port hand-wired loop
+(:func:`repro.bench.experiments.fig11_weak_scaling_time`), so the sweep path
+cannot drift from the original figure.
+"""
 
 from repro.bench import experiments
+from repro.sweep import SweepRunner, figure_result, matrix_by_name
 
 
-def test_fig11_weak_scaling_time(benchmark, show):
-    result = benchmark(experiments.fig11_weak_scaling_time)
+def test_fig11_weak_scaling_time(benchmark, show, tmp_path):
+    matrix = matrix_by_name("weak_scaling")
+
+    def sweep():
+        runner = SweepRunner(matrix, repeats=1, sweep_dir=tmp_path / "cells")
+        return figure_result(matrix, runner.run().records)
+
+    result = benchmark(sweep)
     show(result)
+    # The sweep port reproduces the pre-port figure exactly, field for field.
+    assert result.rows == experiments.fig11_weak_scaling_time().rows
     configs = ("40B[4]", "70B[8]", "100B[12]", "130B[16]", "280B[32]")
     for config in configs:
         baseline = result.row_for(config=config, engine="DeepSpeed ZeRO-3")

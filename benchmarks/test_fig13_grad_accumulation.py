@@ -1,11 +1,26 @@
-"""Figure 13: gradient accumulation (equivalent batch sizes 32-512) for the 40B model."""
+"""Figure 13: gradient accumulation (equivalent batch sizes 32-512) for the 40B model.
+
+Ported to the sweep harness: the ``batch_size`` scenario matrix runs through
+:class:`~repro.sweep.runner.SweepRunner` and the figure rows are rebuilt with
+:func:`~repro.sweep.results.figure_result`, pinned row-for-row against the
+pre-port loop (:func:`repro.bench.experiments.fig13_gradient_accumulation`).
+"""
 
 from repro.bench import experiments
+from repro.sweep import SweepRunner, figure_result, matrix_by_name
 
 
-def test_fig13_gradient_accumulation(benchmark, show):
-    result = benchmark(experiments.fig13_gradient_accumulation)
+def test_fig13_gradient_accumulation(benchmark, show, tmp_path):
+    matrix = matrix_by_name("batch_size")
+
+    def sweep():
+        runner = SweepRunner(matrix, repeats=1, sweep_dir=tmp_path / "cells")
+        return figure_result(matrix, runner.run().records)
+
+    result = benchmark(sweep)
     show(result)
+    # The sweep port reproduces the pre-port figure exactly, field for field.
+    assert result.rows == experiments.fig13_gradient_accumulation().rows
     batches = (32, 128, 256, 512)
     for batch in batches:
         baseline = result.row_for(batch_size=batch, engine="DeepSpeed ZeRO-3")
@@ -14,7 +29,9 @@ def test_fig13_gradient_accumulation(benchmark, show):
         # accumulation amortizes the update phase.
         assert baseline["iteration_s"] / ours["iteration_s"] > 1.4
     # Iteration time grows with the equivalent batch size (more fwd/bwd passes).
-    ours_series = [result.row_for(batch_size=b, engine="MLP-Offload")["iteration_s"] for b in batches]
+    ours_series = [
+        result.row_for(batch_size=b, engine="MLP-Offload")["iteration_s"] for b in batches
+    ]
     assert ours_series == sorted(ours_series)
     # The relative advantage shrinks as accumulation grows (update amortized).
     gain_small = (

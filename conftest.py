@@ -1,0 +1,43 @@
+"""Repo-root pytest plumbing: golden-file refresh and deterministic shuffling.
+
+Two suite-wide options live at the repo root so both ``tests/`` and
+``benchmarks/`` see them:
+
+* ``--update-golden`` — rewrite committed golden files (currently
+  ``tests/data/sweep_golden.json``) instead of asserting against them.  The
+  golden tests skip after refreshing, so a stale golden cannot silently pass
+  in the same run that rewrote it.
+* ``--repro-shuffle SEED`` — deterministically shuffle the collected test
+  order.  CI runs the tier-1 suite under ``pytest-randomly`` (pinned in
+  ``requirements-dev.txt``); this flag is the dependency-free local
+  equivalent for flushing out order-dependent tests.  The same seed always
+  produces the same order, so a shuffle-induced failure reproduces exactly.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+def pytest_addoption(parser):
+    group = parser.getgroup("repro")
+    group.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite committed golden files instead of asserting against them",
+    )
+    group.addoption(
+        "--repro-shuffle",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="deterministically shuffle test order with SEED (dependency-free "
+        "stand-in for the pytest-randomly plugin CI runs)",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    seed = config.getoption("--repro-shuffle")
+    if seed is not None:
+        random.Random(seed).shuffle(items)

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Scenario-matrix sweep: declarative axes, N repeats, medians/IQR, resume.
+
+Expands the ``weak_scaling`` matrix (Figures 11/12 as an argument product of
+``config`` x ``engine``), runs every cell three times through the sweep
+runner, and prints the per-cell median/IQR result table plus the boxplot
+block of the ``SWEEP_*.json`` payload.  The per-cell records are
+content-addressed on disk, so re-running this example resumes instead of
+recomputing — delete the scratch directory to start fresh.
+
+The same machinery drives the CLI::
+
+    python -m repro.sweep run --matrix weak_scaling --repeats 3 --table
+
+Run with::
+
+    python examples/sweep_matrix.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.bench.harness import format_table
+from repro.sweep import SweepRunner, build_payload, matrix_by_name
+
+SCRATCH = Path(tempfile.gettempdir()) / "repro-sweep-example"
+
+
+def main() -> None:
+    matrix = matrix_by_name("weak_scaling")
+    print(f"matrix {matrix.name!r}: {matrix.description}")
+    for axis in matrix.axes:
+        print(f"  axis {axis.name}: {', '.join(str(v) for v in axis.values)}")
+    print(f"  -> {matrix.cell_count()} cells (argument product)\n")
+
+    runner = SweepRunner(
+        matrix,
+        repeats=3,
+        sweep_dir=SCRATCH,
+        progress=lambda message: print(f"  {message}"),
+    )
+    report = runner.run()
+    print(
+        f"\nswept {len(report.records)} cell(s): {report.executed_cells} executed, "
+        f"{report.skipped_cells} resumed from {SCRATCH}"
+    )
+
+    payload = build_payload(matrix, report.records, repeats=3)
+    print()
+    print(format_table(payload["series"]["cells"], title="per-cell medians/IQR"))
+    print()
+    boxes = [
+        {"cell": label, **summary} for label, summary in payload["boxplot"]["update_s"].items()
+    ]
+    print(format_table(boxes, title="update_s five-number summaries (boxplot-ready)"))
+    print(f"\nheadline median speedup (ZeRO-3 over MLP-Offload): {payload['median_speedup']:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -9,6 +9,7 @@ numbers the paper reports, and on which they assert the qualitative shape.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from statistics import quantiles
 from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 
@@ -114,6 +115,43 @@ def trajectory_payload(
         payload["restore_latency_s"] = {k: float(v) for k, v in restore_latency_s.items()}
     payload.update(extra)
     return payload
+
+
+def five_number_summary(values: Sequence[float]) -> Dict[str, float]:
+    """Median/quartile summary of one metric's samples, boxplot-ready.
+
+    Returns ``n``, ``mean``, ``min``/``max``, the quartiles ``q1``/``median``/
+    ``q3``, the interquartile range ``iqr`` and the Tukey whiskers
+    (``whisker_lo``/``whisker_hi``: the extreme samples within 1.5 IQR of the
+    quartiles) — everything a boxplot or a result table needs, computed once
+    here so the sweep statistics layer and the benchmark suite agree on the
+    definitions.  Quartiles use the linear interpolation convention of
+    ``statistics.quantiles(..., method="inclusive")``; a single sample is its
+    own median with zero IQR.
+    """
+    if not values:
+        raise ValueError("five_number_summary needs at least one sample")
+    data = sorted(float(v) for v in values)
+    n = len(data)
+    if n == 1:
+        q1 = med = q3 = data[0]
+    else:
+        q1, med, q3 = quantiles(data, n=4, method="inclusive")
+    iqr = q3 - q1
+    lo_fence = q1 - 1.5 * iqr
+    hi_fence = q3 + 1.5 * iqr
+    return {
+        "n": float(n),
+        "mean": sum(data) / n,
+        "min": data[0],
+        "q1": q1,
+        "median": med,
+        "q3": q3,
+        "max": data[-1],
+        "iqr": iqr,
+        "whisker_lo": min(v for v in data if v >= lo_fence),
+        "whisker_hi": max(v for v in data if v <= hi_fence),
+    }
 
 
 def paper_vs_measured(

@@ -1,0 +1,169 @@
+"""``python -m repro.sweep`` — the scenario-matrix sweep runner CLI.
+
+Subcommands::
+
+    python -m repro.sweep list
+        Show every registered matrix with its axes and cell count.
+
+    python -m repro.sweep run --matrix weak_scaling --repeats 3
+        Run (or resume) a sweep: every cell N times, per-cell records under
+        --sweep-dir (content-addressed, so re-invoking after an interrupt
+        skips completed cells), and the aggregated result table written to
+        --results-dir/SWEEP_<matrix>.json in the trajectory-payload shape
+        that benchmarks/check_trajectory.py gates.
+
+    python -m repro.sweep run --matrix engine_smoke --repeats 2 --campaign 4 --seed 11
+        Campaign mode: a seeded sample of the matrix (the CI smoke slice) —
+        the same seed always replays the same cells.
+
+    python -m repro.sweep table SWEEP_weak_scaling.json
+        Render a payload's per-cell result table as fixed-width text.
+
+Filters narrow any run without leaving the matrix's parameter space::
+
+    --include config=40B@1,70B@2 --exclude engine="DeepSpeed ZeRO-3"
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+from typing import Iterable, List, Optional
+
+from repro.bench.harness import format_table
+from repro.sweep.matrix import (
+    MATRICES,
+    MatrixError,
+    matrix_by_name,
+    parse_filter_args,
+)
+from repro.sweep.results import build_payload, payload_path, write_payload
+from repro.sweep.runner import SweepError, SweepRunner
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    rows = [
+        {
+            "matrix": matrix.name,
+            "kind": matrix.kind,
+            "cells": matrix.cell_count(),
+            "axes": " x ".join(f"{axis.name}[{len(axis.values)}]" for axis in matrix.axes),
+            "description": matrix.description,
+        }
+        for matrix in MATRICES.values()
+    ]
+    print(format_table(rows, title="registered scenario matrices"))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    matrix = matrix_by_name(args.matrix)
+    runner = SweepRunner(
+        matrix,
+        repeats=args.repeats,
+        sweep_dir=args.sweep_dir,
+        seed=args.seed,
+        include=parse_filter_args(args.include),
+        exclude=parse_filter_args(args.exclude),
+        campaign=args.campaign,
+        resume=not args.no_resume,
+        progress=lambda message: print(message, flush=True),
+    )
+    report = runner.run()
+    payload = build_payload(matrix, report.records, repeats=args.repeats)
+    out = write_payload(payload_path(args.results_dir, matrix.name, args.tag), payload)
+    print(
+        f"swept {len(report.records)} cell(s) x {args.repeats} repeat(s) "
+        f"({report.executed_cells} executed, {report.skipped_cells} resumed from disk)"
+    )
+    print(f"result table: {out}")
+    if args.table:
+        _print_payload_table(payload)
+    return 0
+
+
+def _print_payload_table(payload: dict) -> None:
+    cells = payload.get("series", {}).get("cells", [])
+    print()
+    print(format_table(cells, title=f"[{payload.get('experiment')}] per-cell medians/IQR"))
+    for note in payload.get("notes", []):
+        print(f"  note: {note}")
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    try:
+        payload = json.loads(Path(args.payload).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"unreadable sweep payload {args.payload}: {exc}", file=sys.stderr)
+        return 2
+    _print_payload_table(payload)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro-sweep", description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="show registered matrices").set_defaults(func=_cmd_list)
+
+    run = sub.add_parser("run", help="run or resume a sweep")
+    run.add_argument("--matrix", required=True, help=f"one of {sorted(MATRICES)}")
+    run.add_argument("--repeats", type=int, default=3, help="samples per cell (default 3)")
+    run.add_argument(
+        "--sweep-dir", type=Path, default=Path("sweep-cells"),
+        help="per-cell record directory (content-addressed; enables resume)",
+    )
+    run.add_argument(
+        "--results-dir", type=Path, default=Path("."),
+        help="where SWEEP_<matrix>.json lands (default: current directory)",
+    )
+    run.add_argument(
+        "--tag", default=None,
+        help="override the payload name: SWEEP_<tag>.json instead of the matrix name",
+    )
+    run.add_argument(
+        "--include", action="append", default=[], metavar="AXIS=V[,V...]",
+        help="keep only cells whose axis value matches (repeatable)",
+    )
+    run.add_argument(
+        "--exclude", action="append", default=[], metavar="AXIS=V[,V...]",
+        help="drop cells whose axis value matches (repeatable)",
+    )
+    run.add_argument(
+        "--campaign", type=int, default=None, metavar="N",
+        help="run a seeded N-cell sample of the matrix instead of every cell",
+    )
+    run.add_argument("--seed", type=int, default=0, help="campaign/workload seed")
+    run.add_argument(
+        "--no-resume", action="store_true",
+        help="re-run every cell even when a completed record exists",
+    )
+    run.add_argument("--table", action="store_true", help="print the result table")
+    run.set_defaults(func=_cmd_run)
+
+    table = sub.add_parser("table", help="render a SWEEP_*.json result table")
+    table.add_argument("payload", help="path to a SWEEP_*.json payload")
+    table.set_defaults(func=_cmd_table)
+    return parser
+
+
+def main(argv: Optional[Iterable[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    try:
+        return args.func(args)
+    except (MatrixError, SweepError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # ``repro-sweep table ... | head`` closes our stdout mid-print; swap
+        # in devnull so the interpreter's shutdown flush cannot raise again.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,76 @@
+"""N-repeat statistics over sweep cells: medians, IQR, boxplot-ready JSON.
+
+A cell record carries one metrics dict per repeat.  This module collapses
+those repeats into per-metric :func:`~repro.bench.harness.five_number_summary`
+summaries (the snippet-2 ``test.sh``-then-``boxplot.sh`` shape: run N times,
+aggregate into medians and quartile boxes) and flattens them into result-table
+rows.  Non-numeric metrics (bitwise-check booleans, labels) do not get
+distributions; booleans aggregate into an all-repeats conjunction so a single
+failed repeat is visible in the table.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Sequence
+
+from repro.bench.harness import five_number_summary
+
+
+def numeric_metric_names(repeats: Sequence[Mapping[str, Any]]) -> List[str]:
+    """Metric keys that are numeric in every repeat, in first-seen order."""
+    names: List[str] = []
+    for metrics in repeats:
+        for name, value in metrics.items():
+            if name in names:
+                continue
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            names.append(name)
+    return [
+        name
+        for name in names
+        if all(
+            isinstance(metrics.get(name), (int, float))
+            and not isinstance(metrics.get(name), bool)
+            for metrics in repeats
+        )
+    ]
+
+
+def summarize_cell(repeats: Sequence[Mapping[str, Any]]) -> Dict[str, Dict[str, float]]:
+    """Per-metric five-number summaries across one cell's repeats."""
+    if not repeats:
+        raise ValueError("cannot summarize a cell with no completed repeats")
+    return {
+        name: five_number_summary([float(metrics[name]) for metrics in repeats])
+        for name in numeric_metric_names(repeats)
+    }
+
+
+def check_metric_names(repeats: Sequence[Mapping[str, Any]]) -> List[str]:
+    """Boolean metric keys present in every repeat (correctness checks)."""
+    if not repeats:
+        return []
+    names = [name for name, value in repeats[0].items() if isinstance(value, bool)]
+    return [
+        name for name in names if all(isinstance(metrics.get(name), bool) for metrics in repeats)
+    ]
+
+
+def cell_checks(repeats: Sequence[Mapping[str, Any]]) -> Dict[str, bool]:
+    """Conjunction of each boolean check across repeats (one False taints the cell)."""
+    return {
+        name: all(bool(metrics[name]) for metrics in repeats)
+        for name in check_metric_names(repeats)
+    }
+
+
+def table_row(params: Mapping[str, Any], repeats: Sequence[Mapping[str, Any]]) -> Dict[str, Any]:
+    """One result-table row: cell parameters + ``<metric>_median``/``_iqr`` columns."""
+    row: Dict[str, Any] = dict(params)
+    for name, summary in summarize_cell(repeats).items():
+        row[f"{name}_median"] = summary["median"]
+        row[f"{name}_iqr"] = summary["iqr"]
+    row.update(cell_checks(repeats))
+    row["repeats"] = len(repeats)
+    return row

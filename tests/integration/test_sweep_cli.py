@@ -1,0 +1,186 @@
+"""Integration tests for the sweep CLI: end-to-end runs, kill-resume, gating.
+
+These drive ``python -m repro.sweep`` in a subprocess — the same entry point
+users and CI call — including the ISSUE's acceptance flow (a weak-scaling
+sweep whose ``SWEEP_*.json`` the trajectory gate accepts) and the resume
+contract under a real mid-sweep SIGKILL injected between cell record writes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.sweep.runner import FAULT_ENV
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+CHECK_TRAJECTORY = REPO_ROOT / "benchmarks" / "check_trajectory.py"
+
+
+def run_sweep_cli(args, cwd, fault=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env.pop(FAULT_ENV, None)
+    if fault is not None:
+        env[FAULT_ENV] = fault
+    return subprocess.run(
+        [sys.executable, "-m", "repro.sweep", *args],
+        cwd=str(cwd),
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+def test_list_shows_registered_matrices(tmp_path):
+    proc = run_sweep_cli(["list"], tmp_path)
+    assert proc.returncode == 0, proc.stderr
+    for name in ("model_size", "weak_scaling", "engine_smoke"):
+        assert name in proc.stdout
+
+
+def test_unknown_matrix_is_a_usage_error(tmp_path):
+    proc = run_sweep_cli(["run", "--matrix", "nope"], tmp_path)
+    assert proc.returncode == 2
+    assert "unknown matrix" in proc.stderr
+
+
+def test_weak_scaling_acceptance_flow(tmp_path):
+    """The ISSUE acceptance criterion, verbatim: run, inspect, gate."""
+    proc = run_sweep_cli(
+        ["run", "--matrix", "weak_scaling", "--repeats", "3", "--table"], tmp_path
+    )
+    assert proc.returncode == 0, proc.stderr
+    payload_file = tmp_path / "SWEEP_weak_scaling.json"
+    assert payload_file.is_file()
+    payload = json.loads(payload_file.read_text(encoding="utf-8"))
+    cells = payload["series"]["cells"]
+    assert len(cells) == 10
+    for row in cells:
+        assert row["repeats"] == 3
+        assert row["update_s_median"] > 0
+        assert "update_s_iqr" in row
+    assert payload["median_speedup"] > 1.0
+
+    # The committed-baseline gate accepts the payload (same-machine and the
+    # cross-machine ratios-only variant both run clean against itself).
+    for extra in ((), ("--ratios-only",)):
+        gate = subprocess.run(
+            [
+                sys.executable,
+                str(CHECK_TRAJECTORY),
+                "--baseline",
+                str(tmp_path),
+                "--candidate",
+                str(tmp_path),
+                *extra,
+            ],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert gate.returncode == 0, gate.stderr
+        assert "SWEEP_weak_scaling.json" in gate.stdout
+
+
+def test_kill_between_cells_then_resume(tmp_path):
+    """SIGKILL after 3 cell writes; the re-invocation skips exactly those 3."""
+    args = ["run", "--matrix", "model_size", "--repeats", "2"]
+    killed = run_sweep_cli(args, tmp_path, fault="after-cells:3")
+    assert killed.returncode in (-signal.SIGKILL, 128 + signal.SIGKILL)
+    cells_dir = tmp_path / "sweep-cells" / "model_size"
+    survivors = sorted(cells_dir.glob("*.json"))
+    assert len(survivors) == 3
+    before = {path.name: path.read_bytes() for path in survivors}
+    # The interrupt died before writing any result table.
+    assert not (tmp_path / "SWEEP_model_size.json").exists()
+
+    resumed = run_sweep_cli(args, tmp_path)
+    assert resumed.returncode == 0, resumed.stderr
+    assert "7 executed, 3 resumed from disk" in resumed.stdout
+    # Completed cells were skipped, not redone: their record files (nonce
+    # included) are byte-identical to the pre-kill state.
+    for name, content in before.items():
+        assert (cells_dir / name).read_bytes() == content
+    assert len(list(cells_dir.glob("*.json"))) == 10
+    payload = json.loads((tmp_path / "SWEEP_model_size.json").read_text(encoding="utf-8"))
+    assert payload["cell_count"] == 10
+
+
+def test_interrupted_sweep_is_idempotent_when_complete(tmp_path):
+    args = [
+        "run",
+        "--matrix",
+        "weak_scaling",
+        "--repeats",
+        "2",
+        "--include",
+        "config=40B@1,70B@2",
+    ]
+    first = run_sweep_cli(args, tmp_path)
+    assert first.returncode == 0, first.stderr
+    assert "4 executed, 0 resumed from disk" in first.stdout
+    second = run_sweep_cli(args, tmp_path)
+    assert second.returncode == 0, second.stderr
+    assert "0 executed, 4 resumed from disk" in second.stdout
+
+
+@pytest.mark.parametrize("seed", [11])
+def test_engine_campaign_smoke(tmp_path, seed):
+    """A seeded real-engine campaign slice: bitwise checks green end to end."""
+    proc = run_sweep_cli(
+        [
+            "run",
+            "--matrix",
+            "engine_smoke",
+            "--repeats",
+            "1",
+            "--campaign",
+            "2",
+            "--seed",
+            str(seed),
+            "--table",
+        ],
+        tmp_path,
+    )
+    assert proc.returncode == 0, proc.stderr
+    payload = json.loads((tmp_path / "SWEEP_engine_smoke.json").read_text(encoding="utf-8"))
+    assert payload["cell_count"] == 2
+    assert payload["reference_match_ratio"] == 1.0
+    assert payload["restore_ok_ratio"] == 1.0
+    rerun = run_sweep_cli(
+        [
+            "run",
+            "--matrix",
+            "engine_smoke",
+            "--repeats",
+            "1",
+            "--campaign",
+            "2",
+            "--seed",
+            str(seed),
+        ],
+        tmp_path,
+    )
+    assert rerun.returncode == 0, rerun.stderr
+    # Same seed -> same sampled cells -> a full resume.
+    assert "0 executed, 2 resumed from disk" in rerun.stdout
+
+
+def test_table_subcommand_renders_payload(tmp_path):
+    run_sweep_cli(
+        ["run", "--matrix", "weak_scaling", "--repeats", "1", "--include", "config=40B@1"],
+        tmp_path,
+    )
+    proc = run_sweep_cli(["table", "SWEEP_weak_scaling.json"], tmp_path)
+    assert proc.returncode == 0, proc.stderr
+    assert "per-cell medians/IQR" in proc.stdout
+    missing = run_sweep_cli(["table", "missing.json"], tmp_path)
+    assert missing.returncode == 2

@@ -80,3 +80,34 @@ def test_every_example_is_referenced_from_readme():
     assert examples, "examples/ directory is empty?"
     missing = [e.name for e in examples if f"examples/{e.name}" not in text]
     assert not missing, f"README.md does not reference: {missing}"
+
+
+def test_readme_documents_sweep_cli():
+    text = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    for anchor in (
+        "python -m repro.sweep",
+        "examples/sweep_matrix.py",
+        "SWEEP_weak_scaling.json",
+        "SWEEP_engine_smoke.json",
+        "--campaign",
+        "sweep-smoke",
+        "--update-golden",
+        "pytest-randomly",
+    ):
+        assert anchor in text, f"README sweep section does not mention {anchor}"
+
+
+def test_architecture_guide_documents_sweep_harness():
+    text = (REPO_ROOT / "docs" / "architecture.md").read_text(encoding="utf-8")
+    for anchor in (
+        "repro.sweep",
+        "ScenarioMatrix",
+        "SweepRunner",
+        "content-addressed",
+        "cell_key",
+        "REPRO_SWEEP_FAULT",
+        "five_number_summary",
+        "sweep_golden.json",
+        "figure_result",
+    ):
+        assert anchor in text, f"sweep-harness section does not mention {anchor}"

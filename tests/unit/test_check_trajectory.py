@@ -201,4 +201,50 @@ def test_committed_trajectories_pass_against_themselves():
     problems, checked = check_trajectory.compare_directories(repo_root, repo_root)
     assert problems == []
     assert "BENCH_multirank_ckpt.json" in checked
-    assert len(checked) >= 5
+    assert "SWEEP_weak_scaling.json" in checked
+    assert "SWEEP_engine_smoke.json" in checked
+    assert len(checked) >= 7
+
+
+def test_sweep_payloads_are_gated_alongside_bench(tmp_path, capsys):
+    """SWEEP_*.json result tables ride the same directory gate as BENCH_*.json."""
+    baseline_dir = tmp_path / "baseline"
+    candidate_dir = tmp_path / "candidate"
+    bench = payload_with_series({"async": [0.1, 0.1, 0.1]}, compression_ratio=2.5)
+    sweep = {
+        "experiment": "sweep-weak_scaling",
+        "median_speedup": 2.9,
+        "series": {
+            "trajectory": [
+                {"engine": "MLP-Offload", "repeat": 0, "update_s": 30.0},
+                {"engine": "DeepSpeed ZeRO-3", "repeat": 0, "update_s": 90.0},
+            ]
+        },
+    }
+    for directory in (baseline_dir, candidate_dir):
+        write_bench(directory, "BENCH_a.json", bench)
+        write_bench(directory, "SWEEP_weak_scaling.json", sweep)
+    assert check_trajectory.main(
+        ["--baseline", str(baseline_dir), "--candidate", str(candidate_dir)]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "checked BENCH_a.json" in out
+    assert "checked SWEEP_weak_scaling.json" in out
+
+    # A collapsed sweep speedup fails the gate even cross-machine.
+    degraded = dict(sweep, median_speedup=1.1)
+    write_bench(candidate_dir, "SWEEP_weak_scaling.json", degraded)
+    assert check_trajectory.main(
+        [
+            "--baseline", str(baseline_dir),
+            "--candidate", str(candidate_dir),
+            "--ratios-only",
+        ]
+    ) == 1
+    assert "SWEEP_weak_scaling.json: median_speedup" in capsys.readouterr().err
+
+    # A sweep that silently stopped producing its table is a failure too.
+    (candidate_dir / "SWEEP_weak_scaling.json").unlink()
+    assert check_trajectory.main(
+        ["--baseline", str(baseline_dir), "--candidate", str(candidate_dir)]
+    ) == 1

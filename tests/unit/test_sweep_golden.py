@@ -1,0 +1,61 @@
+"""Golden-file regression test for the sweep result tables.
+
+A fixed-seed mini sweep (two weak-scaling configs, two repeats) must produce
+``tests/data/sweep_golden.json`` byte-for-byte: the sim executor is pure
+float arithmetic and the payload builder sorts its keys, so any drift —
+metric renames, row reordering, statistics changes, serialization changes —
+shows up as a diff against the committed file.  Refresh deliberately with::
+
+    pytest tests/unit/test_sweep_golden.py --update-golden
+
+(the test then *skips*, so a refresh is always visible in the run output and
+the new golden still has to pass on the next plain run).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.sweep.matrix import matrix_by_name
+from repro.sweep.results import build_payload
+from repro.sweep.runner import SweepRunner
+
+GOLDEN_PATH = Path(__file__).resolve().parents[1] / "data" / "sweep_golden.json"
+
+
+def golden_payload(tmp_path) -> bytes:
+    matrix = matrix_by_name("weak_scaling")
+    runner = SweepRunner(
+        matrix,
+        repeats=2,
+        sweep_dir=tmp_path / "cells",
+        include={"config": ["40B@1", "70B@2"]},
+    )
+    report = runner.run()
+    payload = build_payload(matrix, report.records, repeats=2, include_timing=False)
+    return (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode("utf-8")
+
+
+def test_mini_sweep_matches_committed_golden(tmp_path, request):
+    produced = golden_payload(tmp_path)
+    if request.config.getoption("--update-golden"):
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_bytes(produced)
+        pytest.skip(f"rewrote {GOLDEN_PATH.name}; rerun without --update-golden")
+    assert GOLDEN_PATH.is_file(), (
+        f"missing {GOLDEN_PATH}; generate it with pytest --update-golden"
+    )
+    assert produced == GOLDEN_PATH.read_bytes(), (
+        "sweep payload drifted from tests/data/sweep_golden.json; if the "
+        "change is intentional, refresh with pytest --update-golden"
+    )
+
+
+def test_golden_file_is_gate_compatible():
+    payload = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+    assert payload["experiment"] == "sweep-weak_scaling"
+    assert payload["median_speedup"] > 1.0
+    assert "runner_elapsed_s" not in payload

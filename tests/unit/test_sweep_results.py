@@ -1,0 +1,181 @@
+"""Unit tests for SWEEP_*.json payloads and their trajectory-gate compatibility."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.sweep.matrix import matrix_by_name
+from repro.sweep.results import (
+    build_experiment_result,
+    build_payload,
+    figure_result,
+    payload_path,
+    write_payload,
+)
+from repro.sweep.runner import CellRecord, SweepError, SweepRunner
+
+_MODULE_PATH = Path(__file__).resolve().parents[2] / "benchmarks" / "check_trajectory.py"
+_spec = importlib.util.spec_from_file_location("check_trajectory", _MODULE_PATH)
+check_trajectory = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_trajectory)
+
+
+@pytest.fixture(scope="module")
+def mini_sweep(tmp_path_factory):
+    matrix = matrix_by_name("weak_scaling")
+    runner = SweepRunner(
+        matrix,
+        repeats=2,
+        sweep_dir=tmp_path_factory.mktemp("cells"),
+        include={"config": ["40B@1", "70B@2"]},
+    )
+    return matrix, runner.run().records
+
+
+def test_payload_shape(mini_sweep):
+    matrix, records = mini_sweep
+    payload = build_payload(matrix, records, repeats=2)
+    assert payload["experiment"] == "sweep-weak_scaling"
+    assert payload["matrix"] == "weak_scaling"
+    assert payload["kind"] == "sim"
+    assert payload["repeats"] == 2
+    assert payload["cell_count"] == 4
+    assert payload["cell_keys"] == [record.key for record in records]
+    assert payload["runner_elapsed_s"] > 0
+
+    cells = payload["series"]["cells"]
+    assert len(cells) == 4
+    for row in cells:
+        assert row["repeats"] == 2
+        assert row["update_s_median"] > 0
+        assert row["update_s_iqr"] == 0.0  # sim repeats are bit-identical
+
+    trajectory = payload["series"]["trajectory"]
+    assert len(trajectory) == 8  # (cell, repeat) pairs
+    assert {row["engine"] for row in trajectory} == {"DeepSpeed ZeRO-3", "MLP-Offload"}
+    assert all(row["update_s"] > 0 for row in trajectory)
+
+    # Boxplot block: five-number summary per metric per cell label.
+    update_box = payload["boxplot"]["update_s"]
+    assert len(update_box) == 4
+    for summary in update_box.values():
+        assert {"q1", "median", "q3", "iqr", "whisker_lo", "whisker_hi"} <= set(summary)
+
+    # Engine pairs exist for both configs -> a headline median speedup.
+    assert payload["median_speedup"] > 1.0
+
+
+def test_payload_without_timing_is_deterministic(mini_sweep):
+    matrix, records = mini_sweep
+    one = build_payload(matrix, records, repeats=2, include_timing=False)
+    two = build_payload(matrix, records, repeats=2, include_timing=False)
+    assert "runner_elapsed_s" not in one
+    assert json.dumps(one, sort_keys=True) == json.dumps(two, sort_keys=True)
+
+
+def test_payload_requires_records(mini_sweep):
+    matrix, _ = mini_sweep
+    with pytest.raises(SweepError, match="zero cell records"):
+        build_payload(matrix, [], repeats=2)
+
+
+def test_gate_extracts_sweep_headline_metrics(mini_sweep):
+    matrix, records = mini_sweep
+    metrics = check_trajectory.extract_metrics(build_payload(matrix, records, repeats=2))
+    value, direction = metrics["median_speedup"]
+    assert value > 1.0 and direction == "higher"
+    assert metrics["median_step_s:MLP-Offload"][1] == "lower"
+    assert metrics["median_step_s:DeepSpeed ZeRO-3"][0] > metrics["median_step_s:MLP-Offload"][0]
+
+
+def test_gate_flags_speedup_regression(mini_sweep):
+    matrix, records = mini_sweep
+    payload = build_payload(matrix, records, repeats=2)
+    baseline = check_trajectory.extract_metrics(payload)
+    degraded = dict(payload)
+    degraded["median_speedup"] = payload["median_speedup"] / 2.0
+    candidate = check_trajectory.extract_metrics(degraded)
+    assert check_trajectory.compare_metrics(baseline, baseline) == []
+    problems = check_trajectory.compare_metrics(baseline, candidate)
+    assert any("median_speedup" in problem for problem in problems)
+    # The regression survives the cross-machine gate: speedups are ratios.
+    assert check_trajectory.compare_metrics(baseline, candidate, ratios_only=True)
+
+
+def test_engine_check_ratios():
+    matrix = matrix_by_name("engine_smoke")
+    params = matrix.cells()[:2]
+    records = [
+        CellRecord(
+            matrix=matrix.name,
+            key=f"k{i}",
+            params=dict(cell),
+            repeats=[
+                {
+                    "mean_step_s": 0.01,
+                    "matches_reference": i == 0,
+                    "restore_ok": True,
+                }
+            ],
+            elapsed_s=[0.01],
+        )
+        for i, cell in enumerate(params)
+    ]
+    payload = build_payload(matrix, records, repeats=1)
+    assert payload["reference_match_ratio"] == 0.5
+    assert payload["restore_ok_ratio"] == 1.0
+    # Multi-knob engine cells each get their own gated trajectory group.
+    trajectory = payload["series"]["trajectory"]
+    assert all("codec" in row for row in trajectory)
+    assert all(row["step_s"] == 0.01 for row in trajectory)
+
+
+def test_ablation_ladder_speedup():
+    matrix = matrix_by_name("ablation_nvme")
+    rungs = matrix.cells(include={"model": ["40B"]})
+    records = [
+        CellRecord(
+            matrix=matrix.name,
+            key=f"k{i}",
+            params=dict(cell),
+            repeats=[{"iteration_s": value, "update_s": value}],
+        )
+        for i, (cell, value) in enumerate(zip(rungs, (10.0, 8.0, 6.0, 4.0)))
+    ]
+    payload = build_payload(matrix, records, repeats=1)
+    # First rung over last rung: 10.0 / 4.0.
+    assert payload["median_speedup"] == pytest.approx(2.5)
+    # No engine axis -> the whole cell label becomes the trajectory mode.
+    modes = {row["mode"] for row in payload["series"]["trajectory"]}
+    assert "model=40B,variant=DeepSpeed ZeRO-3" in modes
+
+
+def test_experiment_result_series(mini_sweep):
+    matrix, records = mini_sweep
+    result = build_experiment_result(matrix, records)
+    cells = [row for row in result.rows if row["series"] == "cells"]
+    trajectory = [row for row in result.rows if row["series"] == "trajectory"]
+    assert len(cells) == 4 and len(trajectory) == 8
+
+
+def test_figure_result_guards():
+    with pytest.raises(SweepError, match="sim matrices only"):
+        figure_result(matrix_by_name("engine_smoke"), [])
+    matrix = matrix_by_name("weak_scaling")
+    empty = CellRecord(matrix=matrix.name, key="k", params=dict(matrix.cells()[0]))
+    with pytest.raises(SweepError, match="no repeats"):
+        figure_result(matrix, [empty])
+
+
+def test_payload_path_and_write(tmp_path):
+    path = payload_path(tmp_path, "weak_scaling")
+    assert path.name == "SWEEP_weak_scaling.json"
+    assert payload_path(tmp_path, "weak_scaling", tag="smoke").name == "SWEEP_smoke.json"
+    written = write_payload(tmp_path / "sub" / "SWEEP_x.json", {"experiment": "x"})
+    text = written.read_text(encoding="utf-8")
+    assert text.endswith("\n")
+    assert json.loads(text) == {"experiment": "x"}

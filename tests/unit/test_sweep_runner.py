@@ -1,0 +1,191 @@
+"""Unit tests for the sweep runner: records, resume-by-skip, top-up, campaigns."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.sweep.matrix import matrix_by_name
+from repro.sweep.runner import (
+    FAULT_ENV,
+    CellRecord,
+    SweepError,
+    SweepRunner,
+    _fault_after_cells,
+    run_sim_cell,
+)
+
+INCLUDE_TWO = {"config": ["40B@1", "70B@2"]}
+
+
+def make_runner(tmp_path, **kwargs):
+    defaults = dict(repeats=2, sweep_dir=tmp_path / "cells", include=INCLUDE_TWO)
+    defaults.update(kwargs)
+    return SweepRunner(matrix_by_name("weak_scaling"), **defaults)
+
+
+def read_record(runner, params):
+    return json.loads(runner.record_path(params).read_text(encoding="utf-8"))
+
+
+def test_run_writes_one_record_per_cell(tmp_path):
+    runner = make_runner(tmp_path)
+    report = runner.run()
+    assert report.executed_cells == 4
+    assert report.skipped_cells == 0
+    assert len(report.records) == 4
+    for record in report.records:
+        assert runner.record_path(record.params).is_file()
+        payload = read_record(runner, record.params)
+        assert payload["completed"] is True
+        assert payload["nonce"] == runner.nonce
+        assert len(payload["repeats"]) == 2
+        # Sim cells are deterministic: every repeat is bit-identical.
+        assert payload["repeats"][0] == payload["repeats"][1]
+
+
+def test_resume_skips_completed_cells_without_rewriting(tmp_path):
+    first = make_runner(tmp_path)
+    first.run()
+    second = make_runner(tmp_path)
+    report = second.run()
+    assert report.executed_cells == 0
+    assert report.skipped_cells == 4
+    for record in report.records:
+        # The on-disk nonce still belongs to the first invocation — the
+        # record file was read, not rewritten.
+        assert read_record(second, record.params)["nonce"] == first.nonce
+        assert record.nonce == first.nonce
+        assert second.nonce != first.nonce
+
+
+def test_resume_tops_up_missing_repeats_keeping_existing_ones(tmp_path):
+    runner = make_runner(tmp_path, repeats=1)
+    runner.run()
+    # Tag the single existing repeat of one cell; a top-up must append new
+    # repeats after it, never recompute it.
+    params = runner.cells[0]
+    payload = read_record(runner, params)
+    payload["repeats"][0]["sentinel"] = 123.0
+    runner.record_path(params).write_text(
+        json.dumps(payload) + "\n", encoding="utf-8"
+    )
+
+    topped = make_runner(tmp_path, repeats=3)
+    report = topped.run()
+    assert report.executed_cells == 4
+    tagged = read_record(topped, params)
+    assert len(tagged["repeats"]) == 3
+    assert tagged["repeats"][0]["sentinel"] == 123.0
+    assert "sentinel" not in tagged["repeats"][1]
+    assert tagged["nonce"] == topped.nonce
+
+
+def test_no_resume_reruns_every_cell(tmp_path):
+    make_runner(tmp_path).run()
+    rerun = make_runner(tmp_path, resume=False)
+    report = rerun.run()
+    assert report.executed_cells == 4
+    assert report.skipped_cells == 0
+    for record in report.records:
+        assert read_record(rerun, record.params)["nonce"] == rerun.nonce
+
+
+def test_torn_record_is_redone(tmp_path):
+    runner = make_runner(tmp_path)
+    runner.run()
+    params = runner.cells[0]
+    payload = read_record(runner, params)
+    del payload["completed"]  # a crashed run's half-state
+    runner.record_path(params).write_text(json.dumps(payload), encoding="utf-8")
+    report = make_runner(tmp_path).run()
+    assert report.executed_cells == 1
+    assert report.skipped_cells == 3
+
+
+def test_record_with_foreign_params_is_rejected(tmp_path):
+    runner = make_runner(tmp_path)
+    params = runner.cells[0]
+    foreign = CellRecord(matrix="weak_scaling", key="k", params={"config": "tampered"})
+    runner.cells_dir.mkdir(parents=True)
+    runner.record_path(params).write_text(
+        json.dumps(foreign.to_json()), encoding="utf-8"
+    )
+    with pytest.raises(SweepError, match="different parameters"):
+        runner.run()
+
+
+def test_unreadable_record_raises(tmp_path):
+    runner = make_runner(tmp_path)
+    runner.cells_dir.mkdir(parents=True)
+    runner.record_path(runner.cells[0]).write_text("{not json", encoding="utf-8")
+    with pytest.raises(SweepError, match="unreadable cell record"):
+        runner.run()
+
+
+def test_runner_validates_inputs(tmp_path):
+    with pytest.raises(SweepError, match="repeats"):
+        make_runner(tmp_path, repeats=0)
+    with pytest.raises(SweepError, match="selected no cells"):
+        make_runner(tmp_path, include={"config": ["40B@1"]}, exclude={"config": ["40B@1"]})
+
+
+def test_campaign_selection_is_seed_deterministic(tmp_path):
+    a = SweepRunner(
+        matrix_by_name("engine_smoke"),
+        repeats=1,
+        sweep_dir=tmp_path / "a",
+        campaign=3,
+        seed=11,
+    )
+    b = SweepRunner(
+        matrix_by_name("engine_smoke"),
+        repeats=1,
+        sweep_dir=tmp_path / "b",
+        campaign=3,
+        seed=11,
+    )
+    assert a.cells == b.cells
+    assert len(a.cells) == 3
+
+
+def test_fault_env_parsing(monkeypatch):
+    monkeypatch.delenv(FAULT_ENV, raising=False)
+    assert _fault_after_cells() is None
+    monkeypatch.setenv(FAULT_ENV, "after-cells:2")
+    assert _fault_after_cells() == 2
+    monkeypatch.setenv(FAULT_ENV, "after-cells:nope")
+    assert _fault_after_cells() is None
+    monkeypatch.setenv(FAULT_ENV, "before-lunch:1")
+    assert _fault_after_cells() is None
+
+
+def test_sim_cell_rejects_bad_configs():
+    with pytest.raises(SweepError, match="expected <model>@<nodes>"):
+        run_sim_cell({"testbed": "testbed-2", "config": "40B", "engine": "MLP-Offload"})
+    with pytest.raises(SweepError, match="not a multiple"):
+        run_sim_cell(
+            {
+                "testbed": "testbed-1",
+                "model": "40B",
+                "batch_size": 33,
+                "micro_batch_size": 8,
+                "engine": "MLP-Offload",
+            }
+        )
+    with pytest.raises(SweepError, match="no engine or ablation variant"):
+        run_sim_cell({"testbed": "testbed-1", "model": "40B"})
+    with pytest.raises(SweepError, match="unknown ablation variant"):
+        run_sim_cell(
+            {"testbed": "testbed-1", "model": "40B", "ladder": "nvme", "variant": "Warp Drive"}
+        )
+
+
+def test_progress_messages_mention_skip_and_run(tmp_path):
+    messages = []
+    make_runner(tmp_path, progress=messages.append).run()
+    assert sum("run " in m for m in messages) == 4
+    messages.clear()
+    make_runner(tmp_path, progress=messages.append).run()
+    assert sum("skip " in m for m in messages) == 4

@@ -1,0 +1,96 @@
+"""Unit tests for N-repeat sweep statistics and the five-number summary."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import five_number_summary
+from repro.sweep.stats import (
+    cell_checks,
+    check_metric_names,
+    numeric_metric_names,
+    summarize_cell,
+    table_row,
+)
+
+
+def test_five_number_summary_odd_run():
+    summary = five_number_summary([1.0, 2.0, 3.0, 4.0, 5.0])
+    assert summary["n"] == 5
+    assert summary["min"] == 1.0 and summary["max"] == 5.0
+    assert summary["q1"] == 2.0
+    assert summary["median"] == 3.0
+    assert summary["q3"] == 4.0
+    assert summary["iqr"] == 2.0
+    assert summary["mean"] == 3.0
+    # No outliers: the whiskers reach the extremes.
+    assert summary["whisker_lo"] == 1.0
+    assert summary["whisker_hi"] == 5.0
+
+
+def test_five_number_summary_clamps_whiskers_to_tukey_fences():
+    summary = five_number_summary([1.0, 2.0, 3.0, 4.0, 100.0])
+    # q3 + 1.5*IQR fences out the 100.0 outlier; the whisker stops at the
+    # largest in-fence sample, exactly how a boxplot draws it.
+    assert summary["q3"] == 4.0
+    assert summary["whisker_hi"] == 4.0
+    assert summary["max"] == 100.0
+
+
+def test_five_number_summary_single_sample():
+    summary = five_number_summary([7.5])
+    assert summary["n"] == 1
+    assert summary["median"] == 7.5
+    assert summary["q1"] == summary["q3"] == 7.5
+    assert summary["iqr"] == 0.0
+    assert summary["whisker_lo"] == summary["whisker_hi"] == 7.5
+
+
+def test_five_number_summary_rejects_empty():
+    with pytest.raises(ValueError):
+        five_number_summary([])
+
+
+def test_numeric_metric_names_skips_bools_and_partials():
+    repeats = [
+        {"update_s": 1.0, "ok": True, "label": "x", "io_gbps": 2},
+        {"update_s": 1.5, "ok": False, "label": "y"},
+    ]
+    # Booleans and strings are never distributions; a metric missing from one
+    # repeat is dropped rather than summarized over a ragged sample.
+    assert numeric_metric_names(repeats) == ["update_s"]
+
+
+def test_summarize_cell_and_table_row():
+    params = {"config": "40B@1", "engine": "MLP-Offload"}
+    repeats = [
+        {"update_s": 2.0, "restore_ok": True},
+        {"update_s": 4.0, "restore_ok": True},
+        {"update_s": 3.0, "restore_ok": False},
+    ]
+    summaries = summarize_cell(repeats)
+    assert set(summaries) == {"update_s"}
+    assert summaries["update_s"]["median"] == 3.0
+
+    row = table_row(params, repeats)
+    assert row["config"] == "40B@1"
+    assert row["update_s_median"] == 3.0
+    assert row["update_s_iqr"] == summaries["update_s"]["iqr"]
+    # One failed repeat taints the whole cell's check column.
+    assert row["restore_ok"] is False
+    assert row["repeats"] == 3
+
+
+def test_summarize_cell_requires_repeats():
+    with pytest.raises(ValueError, match="no completed repeats"):
+        summarize_cell([])
+
+
+def test_check_metrics_require_bool_in_every_repeat():
+    repeats = [
+        {"matches_reference": True, "restore_ok": True},
+        {"matches_reference": True, "restore_ok": 1},
+    ]
+    assert check_metric_names(repeats) == ["matches_reference"]
+    assert cell_checks(repeats) == {"matches_reference": True}
+    assert cell_checks([]) == {}
