@@ -1,0 +1,209 @@
+#!/usr/bin/env python
+"""A checkpoint-registry fleet: cross-job dedup, cold restore, GC, scrubbing.
+
+Boots the multi-tenant checkpoint registry service in-process and drives the
+full life of a checkpoint fleet against it:
+
+1. **fleet push** — a few dozen concurrent training jobs (async clients
+   spread over several tenants) each push three checkpoint versions whose
+   blobs overlap a shared base-model pool.  The push protocol negotiates
+   per blob: the client sends its CAS-key list, the server answers with the
+   missing subset, and only those blobs travel — the shared pool is
+   uploaded once, fleet-wide;
+2. **cold restore** — a fresh machine with an empty local checkpoint
+   directory pulls a job's latest manifest and streams its blobs back
+   through chunked ranged GETs, verifying every payload digest;
+3. **retention GC** — tightening one tenant's retention and running the
+   garbage collector retires old manifests and sweeps the blobs nothing
+   references anymore (refcounts are recomputed from the on-disk manifests,
+   never persisted);
+4. **scrubbing** — a silently corrupted vault blob is caught by the
+   idle-time scrubber, quarantined and surfaced in ``/healthz``; a verified
+   re-upload of the same key heals the vault.
+
+Run with::
+
+    python examples/registry_fleet.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.bench.harness import format_table
+from repro.ckpt.manifest import BlobRef, BlobSegment, CheckpointManifest, cas_key
+from repro.registry import AsyncRegistryClient, RegistryClient, RegistryServerThread
+from repro.tiers.file_store import FileStore, payload_digest
+
+JOBS = 24
+TENANTS = 6
+VERSIONS = 3
+SHARED_BLOBS = 6  # the "base model" pool every job references
+BLOB_ELEMENTS = 4_000
+RETENTION = 2
+
+
+def blob(seed: int) -> np.ndarray:
+    return np.random.default_rng(seed).standard_normal(BLOB_ELEMENTS).astype(np.float32)
+
+
+def make_manifest(
+    store: FileStore, worker: str, version: int, fields: Dict[str, np.ndarray]
+) -> CheckpointManifest:
+    refs = {}
+    for name, array in fields.items():
+        key = cas_key(payload_digest(array), array.nbytes)
+        if not store.contains(key):
+            store.write(key, array)
+        seg = BlobSegment(
+            tier="nvme",
+            key=key,
+            start=0,
+            count=int(array.size),
+            nbytes=int(array.nbytes),
+            digest=payload_digest(array),
+        )
+        refs[name] = BlobRef(
+            dtype="float32", count=int(array.size), source="staged", segments=(seg,)
+        )
+    return CheckpointManifest(
+        version=version,
+        worker=worker,
+        iteration=version * 10,
+        layout={"num_ranks": 1},
+        steps={},
+        placement={},
+        subgroups={0: {k: v for k, v in refs.items() if k != "fp16"}},
+        fp16_params=refs["fp16"],
+    )
+
+
+async def run_job(url: str, index: int, store: FileStore, pool: List[np.ndarray]) -> None:
+    """One simulated training job: push VERSIONS checkpoints with dedup."""
+    client = AsyncRegistryClient(url, tenant=f"tenant{index % TENANTS}")
+    try:
+        for version in range(1, VERSIONS + 1):
+            manifest = make_manifest(
+                store,
+                f"job{index:02d}",
+                version,
+                {
+                    "fp16": blob(10_000 + index * 31 + version),  # per-job unique
+                    "master": pool[(index + version) % len(pool)],  # shared
+                    "exp_avg": pool[(index * 3 + version) % len(pool)],  # shared
+                },
+            )
+            keys = sorted({key for _tier, key in manifest.blob_keys()})
+            missing, session = await client.missing(keys)
+            for key in missing:
+                await client.upload_blob(
+                    key, store.path_of(key).read_bytes(), session=session
+                )
+            await client.commit_manifest(manifest, session=session)
+    finally:
+        await client.close()
+
+
+def cold_restore(url: str, worker: str, restore_dir: Path) -> Tuple[int, int]:
+    """Pull ``worker``'s latest manifest into an empty local store; verify."""
+    dest = FileStore(restore_dir, name="nvme")
+    with RegistryClient(url, tenant="tenant0") as client:
+        manifest = client.fetch_manifest(worker)
+        assert manifest is not None, f"{worker} has no checkpoint in the registry"
+        fetched = 0
+        for _tier, key in sorted(manifest.blob_keys()):
+            client.fetch_blob_into_store(key, dest)  # chunked ranged GETs
+            fetched += 1
+        for ref in [manifest.fp16_params, *manifest.subgroups[0].values()]:
+            seg = ref.segments[0]
+            array = dest.read(seg.key)
+            assert payload_digest(array) == seg.digest, f"digest mismatch on {seg.key}"
+        return manifest.version, fetched
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="repro-registry-"))
+    scratch = FileStore(workdir / "scratch", name="nvme")
+    pool = [blob(i) for i in range(SHARED_BLOBS)]
+
+    with RegistryServerThread(
+        workdir / "srv", retention=RETENTION, scrub_interval=0.1
+    ) as srv:
+        print(f"== registry up at {srv.url} ==")
+
+        print(f"\n== fleet push: {JOBS} jobs x {VERSIONS} versions, {TENANTS} tenants ==")
+        start = time.perf_counter()
+
+        async def fleet() -> None:
+            await asyncio.gather(*(run_job(srv.url, i, scratch, pool) for i in range(JOBS)))
+
+        asyncio.run(fleet())
+        elapsed = time.perf_counter() - start
+        stats = srv.server.stats
+        with RegistryClient(srv.url, tenant="tenant0") as client:
+            health = client.healthz()
+        pushes = JOBS * VERSIONS
+        print(
+            format_table(
+                [
+                    dict(
+                        pushes=pushes,
+                        seconds=round(elapsed, 2),
+                        manifests=health["manifests"],
+                        blobs_uploaded=stats.blobs_ingested,
+                        blobs_deduped=stats.blobs_deduped,
+                        vault_mib=round(health["blob_bytes"] / 2**20, 2),
+                    )
+                ],
+                title="fleet summary",
+            )
+        )
+        dedup_ratio = stats.blobs_deduped / max(1, stats.blobs_deduped + stats.blobs_ingested)
+        print(f"cross-job dedup skipped {dedup_ratio:.0%} of referenced blobs")
+        assert health["status"] == "ok" and health["active_pushes"] == 0
+
+        print("\n== cold restore: empty local dir, latest checkpoint over HTTP ==")
+        version, fetched = cold_restore(srv.url, "job00", workdir / "restore")
+        print(f"restored job00 v{version}: {fetched} blobs fetched, all digests verified")
+
+        print("\n== retention GC: tenant0 tightens retention to 1 ==")
+        with RegistryClient(srv.url, tenant="tenant0") as client:
+            client.set_retention(1)
+            report = client.collect_garbage()
+        print(f"retired {report['retired']} manifests, swept {report['swept']} blobs")
+        assert report["retired"] > 0 and report["swept"] > 0
+
+        print("\n== scrubber: silent corruption -> quarantine -> healed re-upload ==")
+        victim = sorted(srv.server.vault.keys())[0]
+        path = srv.server.vault.path_of(victim)
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF  # silent bit rot in the payload tail
+        path.write_bytes(bytes(data))
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline and not srv.server.quarantined:
+            time.sleep(0.05)
+        with RegistryClient(srv.url, tenant="tenant0") as client:
+            health = client.healthz()
+            print(f"healthz: {health['status']}, quarantined: {health['quarantined']}")
+            assert health["status"] == "degraded" and victim in health["quarantined"]
+            missing, session = client.missing([victim])
+            assert victim in missing, "dedup must not vouch for a quarantined key"
+            client.upload_blob(victim, scratch.path_of(victim).read_bytes(), session=session)
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline and srv.server.quarantined:
+                time.sleep(0.05)
+            health = client.healthz()
+            print(f"after re-upload: {health['status']}, quarantined: {health['quarantined']}")
+            assert health["status"] == "ok"
+
+    print("\nfleet pushed, deduped, restored, collected and scrubbed - all verified.")
+
+
+if __name__ == "__main__":
+    main()

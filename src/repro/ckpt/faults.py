@@ -16,6 +16,14 @@ those phases addressable:
                           ``GLOBAL.lock``)
 ``mid-gc``                manifests retired, blob sweep not yet run (again
                           under ``GLOBAL.lock``)
+``registry-mid-push``     registry client: at least one blob uploaded, more
+                          uploads (or the manifest commit) still outstanding
+``registry-pre-commit``   registry client: every missing blob uploaded, the
+                          manifest commit request not yet sent
+``registry-mid-gc``       registry server: per-tenant manifests retired, the
+                          cross-tenant blob sweep not yet run
+``registry-mid-scrub``    registry server: the idle-time scrubber picked a
+                          manifest to audit, no segment verified yet
 ========================  ====================================================
 
 Every hook is a no-op unless armed.  Two arming mechanisms:
@@ -40,8 +48,28 @@ from typing import Any, Callable, Dict, Optional, Tuple
 #: Environment variable arming a self-``SIGKILL`` in worker processes.
 FAULT_ENV = "REPRO_CKPT_FAULT"
 
-#: The protocol phases instrumented with :func:`fault_point` hooks.
-FAULT_PHASES = ("mid-drain", "pre-publish", "post-publish", "mid-promote", "mid-gc")
+#: Checkpoint-coordination phases (fired by every multi-rank training run;
+#: the procrank crash matrix sweeps exactly these).
+COORDINATOR_PHASES = (
+    "mid-drain",
+    "pre-publish",
+    "post-publish",
+    "mid-promote",
+    "mid-gc",
+)
+
+#: Registry service phases — client-side push phases and server-side
+#: maintenance phases; they fire only when a registry is in the picture, so
+#: the registry fault suite (not the coordinator crash matrix) sweeps them.
+REGISTRY_PHASES = (
+    "registry-mid-push",
+    "registry-pre-commit",
+    "registry-mid-gc",
+    "registry-mid-scrub",
+)
+
+#: Every phase instrumented with a :func:`fault_point` hook.
+FAULT_PHASES = COORDINATOR_PHASES + REGISTRY_PHASES
 
 _handlers: Dict[str, Callable[..., None]] = {}
 _handlers_lock = threading.Lock()

@@ -61,6 +61,30 @@ def cas_key(digest: int, nbytes: int, codec: str = "raw") -> str:
     return base if codec == "raw" else f"{base}-{codec}"
 
 
+#: The exact shape :func:`cas_key` produces (anchored; parse, don't guess).
+_CAS_KEY_RE = re.compile(r"^cas(?P<digest>[0-9a-f]{16})-(?P<nbytes>\d+)(?:-(?P<codec>.+))?$")
+
+
+def parse_cas_key(key: str) -> Optional[Tuple[int, int, str]]:
+    """Invert :func:`cas_key`: ``(digest, nbytes, codec)``, or ``None``.
+
+    The digest and byte count always describe the *uncompressed* payload the
+    key promises — what the registry service verifies uploads against, and
+    what a store can derive lazily without re-reading a blob whose key it
+    already trusts (see :meth:`repro.tiers.file_store.FileStore.digest_of`).
+    Returns ``None`` for keys that are not content-addressed (e.g. plain
+    subgroup field keys), never raises.
+    """
+    match = _CAS_KEY_RE.match(key)
+    if match is None:
+        return None
+    return (
+        int(match.group("digest"), 16),
+        int(match.group("nbytes")),
+        match.group("codec") or "raw",
+    )
+
+
 @dataclass(frozen=True)
 class BlobSegment:
     """One stored blob covering ``[start, start + count)`` elements of a field.

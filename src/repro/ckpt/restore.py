@@ -75,17 +75,34 @@ class CheckpointReader:
 
     def __init__(
         self,
-        config: MLPOffloadConfig,
+        config: Optional[MLPOffloadConfig] = None,
         *,
         worker: str = "rank0",
         throttles: Optional[Mapping[str, object]] = None,
+        stores: Optional[Mapping[str, object]] = None,
+        manifest_dir: Optional[str] = None,
     ) -> None:
-        if not config.checkpoint_enabled:
-            raise CheckpointError("checkpoint_dir is not configured")
+        """Build a reader over an engine ``config`` — or over injected stores.
+
+        The engine path passes ``config`` (stores are built per active tier,
+        manifests live in ``checkpoint_dir``).  Services that are not an
+        engine — the registry's idle-time scrubber audits every tenant's
+        manifests against one global blob vault — inject ``stores`` (any
+        mapping of tier name → store; a mapping that answers every name with
+        the same store flattens all tiers onto one vault) plus the
+        ``manifest_dir`` holding that worker's manifests.
+        """
+        if stores is None or manifest_dir is None:
+            if config is None or not config.checkpoint_enabled:
+                raise CheckpointError("checkpoint_dir is not configured")
         self.config = config
         self.worker = worker
-        self.stores = build_blob_stores(config, throttles=throttles)
-        self.manifests = ManifestStore(config.checkpoint_dir, worker)
+        self.stores = (
+            stores if stores is not None else build_blob_stores(config, throttles=throttles)
+        )
+        self.manifests = ManifestStore(
+            manifest_dir if manifest_dir is not None else config.checkpoint_dir, worker
+        )
 
     # -- manifest selection ------------------------------------------------
 
@@ -208,7 +225,11 @@ class CheckpointReader:
                     )
 
     def verify_blobs(
-        self, manifest: CheckpointManifest, *, pool: Optional[ArrayPool] = None
+        self,
+        manifest: CheckpointManifest,
+        *,
+        pool: Optional[ArrayPool] = None,
+        on_error=None,
     ) -> int:
         """Full streamed digest audit of every blob a manifest references.
 
@@ -218,6 +239,12 @@ class CheckpointReader:
         state.  Returns the number of segments verified.  Use it to vet a
         checkpoint *before* trusting a zero-copy hard-link restore, which by
         design never touches the linked payloads.
+
+        ``on_error`` — when given, a failed segment does not abort the audit:
+        the callback receives ``(segment, error)`` and the walk continues, so
+        a background scrubber can quarantine every bad blob of a manifest in
+        one pass instead of stopping at the first.  Failed segments do not
+        count as verified.
         """
         own_pool = pool if pool is not None else ArrayPool()
         verified = 0
@@ -227,6 +254,11 @@ class CheckpointReader:
                 scratch = own_pool.acquire(seg.count, dtype)
                 try:
                     self._read_segment(seg, scratch, verify=True, pool=own_pool)
+                except CheckpointError as exc:
+                    if on_error is None:
+                        raise
+                    on_error(seg, exc)
+                    continue
                 finally:
                     own_pool.release(scratch)
                 verified += 1

@@ -210,6 +210,15 @@ class CheckpointWriter:
         #: immutable, so a reused blob's stored size never changes — caching
         #: it spares the drain thread a header read per reuse per snapshot.
         self._stored_sizes: Dict[Tuple[str, str], int] = {}
+        #: Registry push accounting (``checkpoint_registry_url``): versions
+        #: pushed, bytes actually uploaded vs deduped away, wall time, and
+        #: pushes the registry failed to take (training continues regardless).
+        self.registry_pushes = 0
+        self.registry_uploaded_bytes = 0
+        self.registry_skipped_bytes = 0
+        self.registry_push_seconds = 0.0
+        self.registry_push_failures = 0
+        self._registry = None  # lazy RegistryClient, drain-thread only
 
     # -- public API --------------------------------------------------------
 
@@ -317,6 +326,9 @@ class CheckpointWriter:
         finally:
             self._closed = True
             self.engine.close()
+            if self._registry is not None:
+                self._registry.close()
+                self._registry = None
 
     def __enter__(self) -> "CheckpointWriter":
         return self
@@ -594,8 +606,15 @@ class CheckpointWriter:
                         pending.version,
                         exc,
                     )
+                # Push only once the election committed this version locally:
+                # a still-prepared manifest may yet be discarded by the global
+                # cut, and the registry must never serve a version that never
+                # globally existed.
+                if self.manifests.path_for(pending.version).exists():
+                    self._registry_push(manifest)
             else:
                 self.manifests.commit(manifest)
+                self._registry_push(manifest)
                 self._collect_garbage()
             pending._finish(None)
         except BaseException as exc:  # noqa: BLE001 - surfaced via wait()
@@ -605,6 +624,43 @@ class CheckpointWriter:
             pending._finish(exc)
         finally:
             self._release([item.array for item in staged_items] + encoded)
+
+    def _registry_push(self, manifest: CheckpointManifest) -> None:
+        """Push one freshly committed version to the checkpoint registry.
+
+        Runs on the drain thread, after the local commit is durable.  The
+        dedup negotiation means a steady-state job uploads only the blobs
+        this version newly introduced.  A registry outage is an availability
+        problem, never a correctness one: failures are counted and logged,
+        and the local checkpoint stands regardless.
+        """
+        url = self.config.checkpoint_registry_url
+        if not url:
+            return
+        start = time.perf_counter()
+        try:
+            if self._registry is None:
+                from repro.registry.client import RegistryClient
+
+                self._registry = RegistryClient(
+                    url, tenant=self.config.checkpoint_registry_tenant
+                )
+            stats = self._registry.push_manifest(manifest, self.stores)
+        except Exception as exc:  # noqa: BLE001 - registry outage != ckpt failure
+            self.registry_push_failures += 1
+            _LOG.warning(
+                "registry push of checkpoint v%d failed (local checkpoint stands): %s",
+                manifest.version,
+                exc,
+            )
+            if self._registry is not None:
+                self._registry.close()
+                self._registry = None
+            return
+        self.registry_pushes += 1
+        self.registry_uploaded_bytes += stats.uploaded_bytes
+        self.registry_skipped_bytes += stats.skipped_bytes
+        self.registry_push_seconds += time.perf_counter() - start
 
     def _collect_garbage(self) -> None:
         """Drop versions beyond the retention window and sweep orphans.

@@ -11,6 +11,7 @@ principle so the ablation study (Figures 14–15) can toggle them one by one.
 from __future__ import annotations
 
 import json
+import re
 from dataclasses import dataclass, field, asdict
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
@@ -183,6 +184,16 @@ class MLPOffloadConfig:
     #: soon as its owning pid is dead, and never while the owner is alive —
     #: a slow GC must not admit a second promoter.
     checkpoint_lock_stale_seconds: float = 30.0
+    #: Base URL of a checkpoint registry service (``http://host:port``,
+    #: :mod:`repro.registry`).  When set, the writer pushes every committed
+    #: version to the registry (cross-job blob dedup means only new payloads
+    #: travel) and a restore with an *empty* local checkpoint dir pulls the
+    #: latest registry checkpoint down before restoring locally.  ``None``
+    #: (the default) keeps checkpointing purely local.
+    checkpoint_registry_url: Optional[str] = None
+    #: Tenant namespace this job's manifests live under at the registry.
+    #: Jobs sharing a tenant share retention; *all* jobs share the blob vault.
+    checkpoint_registry_tenant: str = "default"
     #: Commit a striped flush's manifest only after every stripe write has
     #: landed (stripe-epoch keys + commit-after-barrier), so a crash
     #: mid-flush leaves the key reading as the complete *old* value instead
@@ -221,6 +232,15 @@ class MLPOffloadConfig:
             raise ValueError("checkpoint_world_size must be >= 0 (0 = derive from layout)")
         if self.checkpoint_lock_stale_seconds <= 0:
             raise ValueError("checkpoint_lock_stale_seconds must be positive")
+        if self.checkpoint_registry_url is not None and not self.checkpoint_registry_url.startswith(
+            "http://"
+        ):
+            raise ValueError("checkpoint_registry_url must be an http:// URL")
+        if not re.match(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$", self.checkpoint_registry_tenant):
+            raise ValueError(
+                f"checkpoint_registry_tenant {self.checkpoint_registry_tenant!r} must be a "
+                f"short name ([A-Za-z0-9._-], no leading separator)"
+            )
         from repro.codec import codec_names
 
         if self.checkpoint_codec not in codec_names():
@@ -343,6 +363,8 @@ class MLPOffloadConfig:
                 "checkpoint_coordination": self.checkpoint_coordination,
                 "checkpoint_world_size": self.checkpoint_world_size,
                 "checkpoint_lock_stale_seconds": self.checkpoint_lock_stale_seconds,
+                "checkpoint_registry_url": self.checkpoint_registry_url,
+                "checkpoint_registry_tenant": self.checkpoint_registry_tenant,
                 "crash_safe_striped_flush": self.crash_safe_striped_flush,
                 "striped_reads": self.enable_striped_reads,
                 "stripe_threshold_bytes": self.stripe_threshold_bytes,
@@ -391,6 +413,8 @@ class MLPOffloadConfig:
             checkpoint_lock_stale_seconds=float(
                 block.get("checkpoint_lock_stale_seconds", 30.0)
             ),
+            checkpoint_registry_url=block.get("checkpoint_registry_url"),
+            checkpoint_registry_tenant=str(block.get("checkpoint_registry_tenant", "default")),
             crash_safe_striped_flush=bool(block.get("crash_safe_striped_flush", True)),
             enable_striped_reads=bool(block.get("striped_reads", True)),
             stripe_threshold_bytes=parse_bytes(block.get("stripe_threshold_bytes", float(1 << 20))),

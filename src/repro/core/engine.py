@@ -1128,6 +1128,22 @@ class OffloadEngineBase:
                 )
             global_version = version = record.version
         reader = CheckpointReader(self.config, worker=self.worker, throttles=self._throttles)
+        local_versions = reader.versions() if self.ckpt_coordinator is None else []
+        if (
+            self.ckpt_coordinator is None
+            and self.config.checkpoint_registry_url
+            and (version not in local_versions if version is not None else not local_versions)
+        ):
+            # Cold restart against a registry: nothing (or not the requested
+            # version) in the local checkpoint dir — pull the manifest and the
+            # missing blobs down into the local tiers first, then restore
+            # through the unchanged local machinery (hard-link streaming
+            # included), so a remote restore is bitwise identical to a local
+            # one.  Coordinated restarts stay local: the global cut protocol
+            # owns cross-rank consistency.
+            from repro.registry.client import pull_checkpoint
+
+            pull_checkpoint(self.config, worker=self.worker, version=version)
         manifest = reader.load_manifest(version)
         echo = self._layout_echo()
         if manifest.layout != echo:

@@ -1,0 +1,29 @@
+"""Multi-tenant checkpoint registry: asyncio HTTP push/restore service.
+
+A standing service a fleet of training jobs pushes committed checkpoints to
+and cold-restores from, with cross-job blob dedup (one global
+content-addressed vault behind per-tenant manifest catalogs), per-tenant
+retention GC and an idle-time integrity scrubber.  See
+``docs/architecture.md`` ("Registry service") for the data flow.
+"""
+
+from repro.registry.client import (
+    AsyncRegistryClient,
+    PushStats,
+    RegistryClient,
+    RegistryError,
+    pull_checkpoint,
+)
+from repro.registry.protocol import ProtocolError
+from repro.registry.server import RegistryServer, RegistryServerThread
+
+__all__ = [
+    "AsyncRegistryClient",
+    "ProtocolError",
+    "PushStats",
+    "RegistryClient",
+    "RegistryError",
+    "RegistryServer",
+    "RegistryServerThread",
+    "pull_checkpoint",
+]

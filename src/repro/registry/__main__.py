@@ -1,0 +1,7 @@
+"""``python -m repro.registry`` — the console-script entry point."""
+
+import sys
+
+from repro.registry.cli import main
+
+sys.exit(main())

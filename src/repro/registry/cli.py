@@ -1,0 +1,78 @@
+"""``repro-registry`` — run the checkpoint registry service from the shell.
+
+::
+
+    repro-registry serve --root /srv/registry --port 8420 --retention 4
+
+``--port 0`` (the default) binds an ephemeral port; the chosen port is
+printed on the ``listening on`` line, which is how subprocess harnesses
+discover where to connect.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+from typing import List, Optional
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-registry",
+        description="Multi-tenant checkpoint registry service (HTTP push/restore, "
+        "cross-job blob dedup, retention GC, idle-time scrubber).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+    serve = commands.add_parser("serve", help="run the registry service")
+    serve.add_argument("--root", required=True, help="storage root directory")
+    serve.add_argument("--host", default="127.0.0.1", help="listen address (default %(default)s)")
+    serve.add_argument(
+        "--port", type=int, default=0, help="listen port; 0 binds an ephemeral one (default)"
+    )
+    serve.add_argument(
+        "--retention",
+        type=int,
+        default=2,
+        help="default manifests kept per (tenant, worker) (default %(default)s)",
+    )
+    serve.add_argument(
+        "--scrub-interval",
+        type=float,
+        default=5.0,
+        help="idle-time scrubber cadence in seconds; 0 disables (default %(default)s)",
+    )
+    return parser
+
+
+async def _serve(args: argparse.Namespace) -> None:
+    from repro.registry.server import RegistryServer
+
+    server = RegistryServer(
+        args.root,
+        host=args.host,
+        port=args.port,
+        retention=args.retention,
+        scrub_interval=args.scrub_interval,
+    )
+    await server.start()
+    print(f"listening on {server.host}:{server.port}", flush=True)
+    try:
+        await server.serve_forever()
+    finally:
+        await server.close()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "serve":
+        try:
+            asyncio.run(_serve(args))
+        except KeyboardInterrupt:
+            pass
+        return 0
+    return 2  # pragma: no cover - argparse enforces the subcommand
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console script
+    sys.exit(main())

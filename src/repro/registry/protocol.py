@@ -1,0 +1,247 @@
+"""Wire format of the checkpoint registry: hand-rolled HTTP/1.1 + content checks.
+
+The registry speaks a deliberately small slice of HTTP/1.1 over stdlib
+sockets and :mod:`asyncio` streams — no external HTTP dependency, no
+``http.server``.  One pure parsing core (request/response head, headers,
+``Range``) is shared by every transport so the async server, the sync client
+and the async client can never disagree on framing:
+
+* requests and responses carry explicit ``Content-Length`` bodies (no
+  chunked transfer encoding — every payload's size is known up front);
+* connections are keep-alive by default (HTTP/1.1 semantics); either side
+  may send ``Connection: close``;
+* blob downloads honour single-range ``Range: bytes=a-b`` headers with
+  ``206 Partial Content`` replies, which is what lets a remote restore
+  stream a large blob in bounded chunks.
+
+The module also owns *content* verification: an uploaded blob is a raw
+:class:`~repro.tiers.file_store.FileStore` file whose content-addressed key
+promises an uncompressed payload digest.  :func:`verify_blob_file` re-derives
+that digest from the actual bytes — decoding framed payloads through
+:mod:`repro.codec.framing` — so a partial, corrupt or mislabelled upload can
+never become visible under a trusted key.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.ckpt.manifest import parse_cas_key
+from repro.codec import CodecError, decode_frame_into
+from repro.tiers.file_store import StoreError, payload_digest, read_blob_file
+
+#: Hard cap on request/response head bytes (start line + headers).
+MAX_HEAD_BYTES = 64 * 1024
+#: Hard cap on body bytes either side will accept (one blob upload).
+MAX_BODY_BYTES = 256 * 1024 * 1024
+
+_REQUEST_LINE_RE = re.compile(r"^(?P<method>[A-Z]+) (?P<target>\S+) HTTP/1\.[01]$")
+_STATUS_LINE_RE = re.compile(r"^HTTP/1\.[01] (?P<status>\d{3})(?: (?P<reason>.*))?$")
+_RANGE_RE = re.compile(r"^bytes=(?P<start>\d+)-(?P<stop>\d*)$")
+#: Tenant / worker path segments (no separators, no dotfiles, no surprises).
+NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+_REASONS = {
+    200: "OK",
+    206: "Partial Content",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    409: "Conflict",
+    413: "Payload Too Large",
+    416: "Range Not Satisfiable",
+    500: "Internal Server Error",
+}
+
+
+class ProtocolError(RuntimeError):
+    """Raised for malformed requests/responses and failed content checks."""
+
+
+@dataclass
+class Request:
+    """One parsed request: method, path, lower-cased headers, body."""
+
+    method: str
+    path: str
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+
+def parse_head(head: bytes, *, response: bool = False) -> Tuple[str, str, Dict[str, str]]:
+    """Parse one head block (start line + headers, no trailing blank line).
+
+    Returns ``(method, target, headers)`` for requests and
+    ``(status, reason, headers)`` for responses (status as a string so the
+    return shape is uniform).  Header names are lower-cased; duplicate
+    headers keep the last value (none of the registry's headers repeat).
+    """
+    lines = head.decode("latin-1").split("\r\n")
+    if not lines or not lines[0]:
+        raise ProtocolError("empty head")
+    if response:
+        match = _STATUS_LINE_RE.match(lines[0])
+        if match is None:
+            raise ProtocolError(f"malformed status line {lines[0]!r}")
+        first, second = match.group("status"), match.group("reason") or ""
+    else:
+        match = _REQUEST_LINE_RE.match(lines[0])
+        if match is None:
+            raise ProtocolError(f"malformed request line {lines[0]!r}")
+        first, second = match.group("method"), match.group("target")
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep or not name.strip():
+            raise ProtocolError(f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    return first, second, headers
+
+
+def body_length(headers: Dict[str, str]) -> int:
+    """The declared body length; raises on absurd or malformed declarations."""
+    raw = headers.get("content-length", "0")
+    try:
+        length = int(raw)
+    except ValueError as exc:
+        raise ProtocolError(f"malformed Content-Length {raw!r}") from exc
+    if length < 0 or length > MAX_BODY_BYTES:
+        raise ProtocolError(f"Content-Length {length} out of bounds")
+    return length
+
+
+def parse_range(value: Optional[str], total: int) -> Optional[Tuple[int, int]]:
+    """Decode a single-range ``Range`` header against a ``total``-byte body.
+
+    Returns ``(start, stop)`` byte offsets (half-open) or ``None`` when no
+    header was sent.  Only the ``bytes=a-b`` / ``bytes=a-`` forms the
+    registry client emits are accepted; anything else (including suffix
+    ranges and out-of-bounds starts) raises :class:`ProtocolError`, which
+    the server maps to ``416``.  A stop past the end is clamped to ``total``
+    (standard HTTP semantics — the last window of a chunked download simply
+    over-asks).
+    """
+    if value is None:
+        return None
+    match = _RANGE_RE.match(value.strip())
+    if match is None:
+        raise ProtocolError(f"unsupported Range {value!r}")
+    start = int(match.group("start"))
+    stop = min(int(match.group("stop")) + 1, total) if match.group("stop") else total
+    if start >= total or start >= stop:
+        raise ProtocolError(f"Range {value!r} does not fit a {total}-byte body")
+    return start, stop
+
+
+def format_head(
+    start_line: str, headers: Dict[str, str], *, body_len: int, keep_alive: bool = True
+) -> bytes:
+    """Serialize one head block, Content-Length and Connection included."""
+    lines = [start_line]
+    for name, value in headers.items():
+        lines.append(f"{name}: {value}")
+    lines.append(f"content-length: {body_len}")
+    if not keep_alive:
+        lines.append("connection: close")
+    lines.append("")
+    lines.append("")
+    return "\r\n".join(lines).encode("latin-1")
+
+
+def format_response(
+    status: int, body: bytes, *, headers: Optional[Dict[str, str]] = None, keep_alive: bool = True
+) -> bytes:
+    """One complete response (head + body) ready to write to a transport."""
+    reason = _REASONS.get(status, "Unknown")
+    head = format_head(
+        f"HTTP/1.1 {status} {reason}",
+        dict(headers or {}),
+        body_len=len(body),
+        keep_alive=keep_alive,
+    )
+    return head + body
+
+
+def format_request(
+    method: str, path: str, body: bytes, *, headers: Optional[Dict[str, str]] = None
+) -> bytes:
+    """One complete request (head + body) ready to write to a transport."""
+    head = format_head(f"{method} {path} HTTP/1.1", dict(headers or {}), body_len=len(body))
+    return head + body
+
+
+def split_head(buffer: bytes) -> Optional[Tuple[bytes, bytes]]:
+    """Split ``buffer`` at the head/body boundary, or ``None`` if incomplete."""
+    index = buffer.find(b"\r\n\r\n")
+    if index < 0:
+        if len(buffer) > MAX_HEAD_BYTES:
+            raise ProtocolError("head exceeds the size limit")
+        return None
+    return buffer[:index], buffer[index + 4 :]
+
+
+async def read_request(reader) -> Optional[Request]:
+    """Read one request from an asyncio stream (``None`` on clean EOF)."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except Exception:  # IncompleteReadError (EOF), LimitOverrunError, reset
+        return None
+    if len(head) > MAX_HEAD_BYTES:
+        raise ProtocolError("request head exceeds the size limit")
+    method, target, headers = parse_head(head[:-4])
+    length = body_length(headers)
+    body = await reader.readexactly(length) if length else b""
+    return Request(method=method, path=target, headers=headers, body=body)
+
+
+# -- content verification ---------------------------------------------------
+
+
+def verify_blob_file(path, key: str) -> int:
+    """Check that the blob file at ``path`` *is* the content ``key`` names.
+
+    Parses the CAS key, deserializes the file (header validation included),
+    and re-derives the uncompressed-payload digest — directly for raw
+    payloads, through :func:`repro.codec.framing.decode_frame_into` for
+    framed ones (every chunk digest enforced along the way).  Returns the
+    uncompressed payload size.  Raises :class:`ProtocolError` on any
+    mismatch; the file has not been trusted, so callers simply discard it.
+    """
+    parsed = parse_cas_key(key)
+    if parsed is None:
+        raise ProtocolError(f"{key!r} is not a content-addressed blob key")
+    digest, nbytes, codec = parsed
+    try:
+        stored = read_blob_file(path)
+    except StoreError as exc:
+        raise ProtocolError(f"blob upload for {key!r} is malformed: {exc}") from exc
+    if codec == "raw":
+        flat = np.ascontiguousarray(stored).reshape(-1)
+        if int(flat.nbytes) != nbytes:
+            raise ProtocolError(
+                f"blob upload for {key!r} holds {flat.nbytes} payload bytes, "
+                f"key promises {nbytes}"
+            )
+        observed = payload_digest(memoryview(flat))
+    else:
+        scratch = np.empty(nbytes, np.uint8)
+        try:
+            observed = decode_frame_into(stored, scratch)
+        except CodecError as exc:
+            raise ProtocolError(f"blob upload for {key!r} failed to decode: {exc}") from exc
+    if observed != digest:
+        raise ProtocolError(
+            f"blob upload for {key!r} failed its integrity check "
+            f"(digest {observed:#018x} != key {digest:#018x})"
+        )
+    return nbytes

@@ -94,6 +94,29 @@ def element_count(shape) -> int:
     :meth:`FileStore.meta_of` geometry must use it.
     """
     return int(np.prod(shape, dtype=np.int64)) if shape else 1
+
+
+def read_blob_file(path: "str | os.PathLike[str]") -> np.ndarray:
+    """Deserialize one blob *file* outside any store.
+
+    The registry service receives blob uploads as raw files in the
+    :class:`FileStore` on-disk format and must validate them *before* a key
+    ever becomes visible; this reads such a file (header-validated, payload
+    length checked, one allocation) without constructing a store around it.
+    Raises :class:`StoreError` exactly like the in-store read paths.
+    """
+    path = Path(path)
+    try:
+        with open(path, "rb") as handle:
+            total = os.fstat(handle.fileno()).st_size
+            dtype, shape, ndim, _, expected = FileStore._read_validated_meta(
+                handle, path.name, total
+            )
+            array = np.empty(element_count(shape), dtype=dtype)
+            FileStore._readinto_checked(handle, path.name, array, expected)
+    except OSError as exc:
+        raise StoreError(f"blob file {str(path)!r} is unreadable: {exc}") from exc
+    return array.reshape(shape) if ndim else array
 #: Header: magic, version, dtype code length, ndim, then shape dims (uint64 each).
 _HEADER_FMT = "<4sBBB"
 _SUPPORTED_DTYPES = {"float16", "float32", "float64", "int32", "int64", "uint8"}
@@ -541,6 +564,29 @@ class FileStore:
             self._checksums[key] = checksum
         return checksum
 
+    def digest_of(self, key: str) -> int:
+        """The *content* digest promised for ``key``, derived lazily on demand.
+
+        Content-addressed keys (``cas<digest>-<nbytes>[-<codec>]``) embed the
+        uncompressed-payload digest they were derived from; it is parsed
+        straight back out of the key — no I/O — no matter whether the
+        write-time checksum registry ever saw the blob land (an
+        :meth:`adopt` with ``track_checksums`` off records nothing).  The
+        registry must *not* answer for encoded CAS keys: it holds the digest
+        of the stored frame bytes, a different value (and historically a
+        different width) than the content digest the key names — the
+        disagreement this method exists to close.  Plain (non-CAS) keys fall
+        back to the registry and then to one maintenance read
+        (:meth:`compute_checksum`); for them the stored payload *is* the
+        content.
+        """
+        from repro.ckpt.manifest import parse_cas_key  # the one key-format definition
+
+        parsed = parse_cas_key(key)
+        if parsed is not None:
+            return parsed[0]
+        return self.compute_checksum(key)
+
     def adopt(
         self, key: str, source_path: "str | os.PathLike[str]", *, checksum: Optional[int] = None
     ) -> int:
@@ -558,6 +604,12 @@ class FileStore:
         source = Path(source_path)
         if not source.exists():
             raise StoreError(f"adopt source {str(source)!r} does not exist")
+        if checksum is not None:
+            # Callers may hand over digests from foreign sources (full-width
+            # BLAKE2b ints, parsed hex, ...); the registry speaks 64-bit
+            # payload digests, and a wider value would silently disagree with
+            # the content-addressed key derived from the same checksum.
+            checksum &= 0xFFFFFFFFFFFFFFFF
         path = self._path(key)
         total = int(source.stat().st_size)
         with self._lock:

@@ -26,7 +26,7 @@ import random
 import numpy as np
 import pytest
 
-from repro.ckpt.faults import FAULT_PHASES
+from repro.ckpt.faults import COORDINATOR_PHASES
 from repro.ckpt.procrank import (
     WorldSpec,
     leaked_sentinels,
@@ -65,7 +65,7 @@ def run_cell(tmp_path, reference, *, phase, victim, version, resume_world=None):
     return out
 
 
-@pytest.mark.parametrize("phase", FAULT_PHASES)
+@pytest.mark.parametrize("phase", COORDINATOR_PHASES)
 def test_sigkill_at_each_protocol_phase(tmp_path, reference, phase):
     """One representative victim per phase; promoter phases arm every rank,
     so whichever process actually wins the election is the one that dies."""
@@ -86,7 +86,7 @@ def test_sigkill_of_every_rank_at_the_publish_boundary(tmp_path, reference):
 
 def _campaign_cells():
     versions = range(1, ITERATIONS + 1)
-    return list(itertools.product(FAULT_PHASES, range(WORLD), versions))
+    return list(itertools.product(COORDINATOR_PHASES, range(WORLD), versions))
 
 
 def test_randomized_fault_campaign_sample(tmp_path, reference):

@@ -1,0 +1,75 @@
+"""CLI smoke tests for ``repro-registry`` (``python -m repro.registry``)."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.registry import RegistryClient
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def run_cli(args, timeout=60):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.registry", *args],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+def test_help_smoke():
+    proc = run_cli(["--help"])
+    assert proc.returncode == 0, proc.stderr
+    assert "serve" in proc.stdout
+    assert "registry" in proc.stdout.lower()
+
+
+def test_serve_help_documents_every_flag():
+    proc = run_cli(["serve", "--help"])
+    assert proc.returncode == 0, proc.stderr
+    for flag in ("--root", "--host", "--port", "--retention", "--scrub-interval"):
+        assert flag in proc.stdout
+
+
+def test_missing_subcommand_is_a_usage_error():
+    proc = run_cli([])
+    assert proc.returncode == 2
+    assert "serve" in proc.stderr
+
+
+def test_serve_boots_announces_port_and_answers_healthz(tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.registry",
+            "serve",
+            "--root",
+            str(tmp_path / "srv"),
+            "--port",
+            "0",
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+    )
+    try:
+        line = proc.stdout.readline().decode()
+        assert "listening on" in line, line
+        port = int(line.rsplit(":", 1)[1])
+        with RegistryClient(f"http://127.0.0.1:{port}") as client:
+            health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["manifests"] == 0
+    finally:
+        proc.kill()
+        proc.wait(timeout=30)

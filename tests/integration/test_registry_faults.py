@@ -1,0 +1,316 @@
+"""Torn-operation tests for the registry: kill -9 at every protocol phase.
+
+The registry extends the checkpoint subsystem's env-armed fault-point scheme
+(``REPRO_CKPT_FAULT=<phase>[@<version>]``) with four phases of its own; this
+suite drives real ``SIGKILL``\\ s through them:
+
+* a **client** killed mid-push (some blobs uploaded, manifest never
+  committed) must leave nothing visible to restores, and its orphaned blobs
+  must be reclaimed once the push lease expires;
+* a client killed **pre-commit** (every blob uploaded) is the same story —
+  uploads alone never publish anything;
+* a **server** killed mid-GC (manifests retired, blob sweep not yet run)
+  must restart into a consistent state: refcounts are recomputed from disk,
+  so the rerun converges with no orphans and no double-free;
+* the **scrubber** must never run concurrently with pushes (the idle-time
+  gate), must quarantine a corrupt blob and surface it in ``/healthz``, and
+  a verified re-upload of the same key must clear the quarantine.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.ckpt.faults import clear_faults, install_fault
+from repro.ckpt.manifest import BlobRef, BlobSegment, CheckpointManifest, cas_key
+from repro.registry import RegistryClient, RegistryError, RegistryServerThread
+from repro.tiers.file_store import FileStore, payload_digest
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def _make_manifest(store: FileStore, worker: str, version: int, seeds) -> CheckpointManifest:
+    """One synthetic manifest over freshly written local blobs."""
+    refs = {}
+    for name, seed in seeds.items():
+        array = np.random.default_rng(seed).standard_normal(1000).astype(np.float32)
+        key = cas_key(payload_digest(array), array.nbytes)
+        if not store.contains(key):
+            store.write(key, array)
+        seg = BlobSegment(
+            tier="nvme",
+            key=key,
+            start=0,
+            count=array.size,
+            nbytes=array.nbytes,
+            digest=payload_digest(array),
+        )
+        refs[name] = BlobRef(
+            dtype="float32", count=array.size, source="staged", segments=(seg,)
+        )
+    return CheckpointManifest(
+        version=version,
+        worker=worker,
+        iteration=version,
+        layout={"num_ranks": 1},
+        steps={},
+        placement={},
+        subgroups={0: {k: v for k, v in refs.items() if k != "fp16"}},
+        fp16_params=refs["fp16"],
+    )
+
+
+_PUSH_SCRIPT = textwrap.dedent(
+    """
+    import sys
+    import numpy as np
+    from repro.ckpt.manifest import BlobRef, BlobSegment, CheckpointManifest, cas_key
+    from repro.registry import RegistryClient
+    from repro.tiers.file_store import FileStore, payload_digest
+
+    url, scratch = sys.argv[1:3]
+    store = FileStore(scratch, name="nvme")
+    refs = {}
+    for name, seed in (("fp16", 1), ("master", 2), ("exp_avg", 3)):
+        arr = np.random.default_rng(seed).standard_normal(1000).astype(np.float32)
+        key = cas_key(payload_digest(arr), arr.nbytes)
+        store.write(key, arr)
+        seg = BlobSegment(tier="nvme", key=key, start=0, count=arr.size,
+                          nbytes=arr.nbytes, digest=payload_digest(arr))
+        refs[name] = BlobRef(dtype="float32", count=arr.size, source="staged",
+                             segments=(seg,))
+    manifest = CheckpointManifest(
+        version=1, worker="victim", iteration=1, layout={"num_ranks": 1},
+        steps={}, placement={}, subgroups={0: {k: v for k, v in refs.items() if k != "fp16"}},
+        fp16_params=refs["fp16"])
+    client = RegistryClient(url, tenant="torn")
+    client.push_manifest(manifest, {"nvme": store})
+    print("push-completed")  # only reached when no fault is armed
+    """
+)
+
+
+@pytest.mark.parametrize("phase", ["registry-mid-push", "registry-pre-commit"])
+def test_client_sigkill_mid_push_publishes_nothing(tmp_path, phase):
+    """A client dead mid-push leaves no visible manifest; GC reclaims orphans."""
+    with RegistryServerThread(
+        tmp_path / "srv", scrub_interval=0.05, lease_timeout=0.4
+    ) as srv:
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC
+        env["REPRO_CKPT_FAULT"] = f"{phase}@1"
+        proc = subprocess.run(
+            [sys.executable, "-c", _PUSH_SCRIPT, srv.url, str(tmp_path / "scratch")],
+            env=env,
+            capture_output=True,
+            timeout=60,
+        )
+        assert proc.returncode == -signal.SIGKILL, proc.stderr.decode()
+        assert b"push-completed" not in proc.stdout
+
+        with RegistryClient(srv.url, tenant="torn") as client:
+            # the torn push is invisible: no manifest, nothing to restore
+            assert client.versions("victim") == []
+            assert client.fetch_manifest("victim") is None
+            # at least one orphan blob landed before the kill (mid-push) or
+            # all three did (pre-commit); either way the push session dies
+            # with its lease and the sweep reclaims every orphan
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline and srv.server._sessions:
+                time.sleep(0.05)
+            assert not srv.server._sessions, "push session should expire"
+            report = client.collect_garbage()
+            expected = {"registry-mid-push": (1, 3), "registry-pre-commit": (3, 3)}[phase]
+            assert expected[0] <= report["swept"] <= expected[1]
+            health = client.healthz()
+            assert health["blobs"] == 0
+            assert health["status"] == "ok"
+        # no partial upload temp survives either
+        assert list((tmp_path / "srv" / "incoming").glob("*.tmp")) == []
+        assert list((tmp_path / "srv" / "leases").glob("*.lease")) == []
+
+
+def _spawn_server(root: Path, *, env_extra=None) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC
+    env.update(env_extra or {})
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.registry",
+            "serve",
+            "--root",
+            str(root),
+            "--port",
+            "0",
+            "--retention",
+            "4",
+            "--scrub-interval",
+            "0",
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+    )
+    line = proc.stdout.readline().decode()
+    assert "listening on" in line, line
+    port = int(line.rsplit(":", 1)[1])
+    proc.url = f"http://127.0.0.1:{port}"  # type: ignore[attr-defined]
+    return proc
+
+
+def test_server_sigkill_mid_gc_recovers_consistently(tmp_path):
+    """A server dead between manifest retire and blob sweep restarts cleanly.
+
+    Refcounts are never persisted — the restarted server recomputes the
+    reference set from the on-disk manifests, so the interrupted GC neither
+    orphans blobs permanently (the rerun sweeps them) nor double-frees
+    (still-referenced blobs survive both runs).
+    """
+    root = tmp_path / "srv"
+    store = FileStore(tmp_path / "scratch", name="nvme")
+    server = _spawn_server(root, env_extra={"REPRO_CKPT_FAULT": "registry-mid-gc"})
+    try:
+        with RegistryClient(server.url, tenant="alpha") as client:
+            for version in (1, 2, 3):
+                # each version: one shared blob (seed 0) + unique ones
+                client.push_manifest(
+                    _make_manifest(
+                        store,
+                        "rank0",
+                        version,
+                        {"fp16": 0, "master": version * 10, "exp_avg": version * 10 + 1},
+                    ),
+                    {"nvme": store},
+                )
+            assert client.versions("rank0") == [1, 2, 3]
+            client.set_retention(1)
+            # the GC retires v1+v2, then the armed fault kills the server
+            # before the blob sweep
+            with pytest.raises(RegistryError):
+                client.collect_garbage()
+        server.wait(timeout=30)
+        assert server.returncode == -signal.SIGKILL
+    finally:
+        if server.poll() is None:  # pragma: no cover - fault did not fire
+            server.kill()
+            server.wait()
+
+    # restart over the same root, fault disarmed
+    server = _spawn_server(root)
+    try:
+        with RegistryClient(server.url, tenant="alpha") as client:
+            # the retire half landed; the crash lost no retained manifest
+            assert client.versions("rank0") == [3]
+            manifest = client.fetch_manifest("rank0")
+            assert manifest is not None and manifest.version == 3
+            # every blob v3 references is present and intact
+            for _tier, key in sorted(manifest.blob_keys()):
+                dest = FileStore(tmp_path / "restore", name="nvme")
+                client.fetch_blob_into_store(key, dest)
+            # rerun converges: first pass sweeps the orphans of v1/v2
+            # (4 unique blobs; the shared one is still referenced by v3),
+            # the second finds nothing — no orphans, no double-free
+            first = client.collect_garbage()
+            assert first["swept"] == 4
+            second = client.collect_garbage()
+            assert second == {"retired": 0, "swept": 0}
+            health = client.healthz()
+            assert health["status"] == "ok"
+            assert health["blobs"] == 3  # exactly v3's reference set
+    finally:
+        server.kill()
+        server.wait()
+
+
+def test_scrubber_idles_while_pushes_run_and_quarantines_corruption(tmp_path):
+    """The idle-time gate, quarantine surfacing, and re-upload recovery."""
+    scrub_armed_during_push: list = []
+
+    holder = {}
+
+    def record_scrub(**context) -> None:
+        # runs on the server loop, right before a scrub pass: a live push
+        # session at this point means the idle-time gate failed
+        server = holder.get("server")
+        if server is not None and server._sessions:
+            scrub_armed_during_push.append(dict(server._sessions))
+
+    install_fault("registry-mid-scrub", record_scrub)
+    try:
+        with RegistryServerThread(
+            tmp_path / "srv", scrub_interval=0.03, lease_timeout=5.0
+        ) as srv:
+            holder["server"] = srv.server
+            store = FileStore(tmp_path / "scratch", name="nvme")
+            with RegistryClient(srv.url, tenant="alpha") as client:
+                manifest = _make_manifest(
+                    store, "rank0", 1, {"fp16": 1, "master": 2, "exp_avg": 3}
+                )
+                # a deliberately slow push: session open across many scrub ticks
+                keys = sorted({key for _t, key in manifest.blob_keys()})
+                missing, session = client.missing(keys)
+                for key in missing:
+                    time.sleep(0.1)  # several scrub intervals per upload
+                    client.upload_blob(
+                        key, store.path_of(key).read_bytes(), session=session
+                    )
+                client.commit_manifest(manifest, session=session)
+                assert scrub_armed_during_push == []
+        clear_faults()
+
+        # second phase: real scrubbing over a silently corrupted blob
+        with RegistryServerThread(tmp_path / "srv2", scrub_interval=0.03) as srv:
+            store2 = FileStore(tmp_path / "scratch2", name="nvme")
+            with RegistryClient(srv.url, tenant="alpha") as client:
+                manifest = _make_manifest(
+                    store2, "rank0", 1, {"fp16": 1, "master": 2, "exp_avg": 3}
+                )
+                client.push_manifest(manifest, {"nvme": store2})
+                victim = manifest.fp16_params.segments[0].key
+                path = srv.server.vault.path_of(victim)
+                data = bytearray(path.read_bytes())
+                data[-1] ^= 0xFF  # silent bit rot in the payload tail
+                path.write_bytes(bytes(data))
+
+                deadline = time.monotonic() + 20
+                while time.monotonic() < deadline and not srv.server.quarantined:
+                    time.sleep(0.05)
+                health = client.healthz()
+                assert health["status"] == "degraded"
+                assert victim in health["quarantined"]
+                assert not srv.server.vault.contains(victim)
+                # the quarantined bytes are kept aside for forensics
+                assert (tmp_path / "srv2" / "quarantine" / f"{victim}.bin").exists()
+                # a fetch of the quarantined key reports it as such
+                with pytest.raises(RegistryError):
+                    client.fetch_blob(victim, tmp_path / "refetch.bin")
+
+                # dedup must NOT vouch for the corrupt key: a re-push sees it
+                # as missing, re-uploads clean bytes, and health recovers
+                missing, session = client.missing([victim])
+                assert victim in missing
+                client.upload_blob(
+                    victim, store2.path_of(victim).read_bytes(), session=session
+                )
+                client.commit_manifest(manifest, session=session)
+                deadline = time.monotonic() + 20
+                while time.monotonic() < deadline and srv.server.quarantined:
+                    time.sleep(0.05)
+                health = client.healthz()
+                assert health["status"] == "ok"
+                assert health["quarantined"] == []
+                dest = FileStore(tmp_path / "refetched", name="nvme")
+                client.fetch_blob_into_store(victim, dest)
+    finally:
+        clear_faults()

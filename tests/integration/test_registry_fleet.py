@@ -1,0 +1,278 @@
+"""Fleet load test: ≥100 concurrent clients through push/restore/GC churn.
+
+One registry service, one asyncio loop hosting a hundred-plus simulated
+training jobs (async tasks) plus a handful of *real* separate client
+processes, all pushing versioned manifests whose blobs overlap a shared
+base-model pool — the cross-job dedup case — while fetching each other's
+checkpoints back and kicking off GC.  The invariants under churn:
+
+* **no lost manifests** — every client's retained versions are exactly the
+  retention window of what it pushed;
+* **no dedup corruption** — every blob fetched back (ranged, chunked) is
+  byte-identical to what some client uploaded under that key;
+* **bounded memory** — the vault holds one copy per distinct payload, so its
+  size is capped by the distinct-content bound, not the push count;
+* **clean idle state** — no live sessions, no leases, no incoming temps, and
+  ``/healthz`` reports ``ok`` once the fleet drains.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.ckpt.manifest import (
+    BlobRef,
+    BlobSegment,
+    CheckpointManifest,
+    cas_key,
+)
+from repro.registry import AsyncRegistryClient, RegistryClient, RegistryServerThread
+from repro.tiers.file_store import FileStore, payload_digest
+
+CLIENTS = 104  # async simulated jobs
+PROC_CLIENTS = 3  # real separate client processes on top
+VERSIONS = 3
+TENANTS = 8
+SHARED_BLOBS = 6  # the "base model" pool every job references
+RETENTION = 2
+BLOB_ELEMENTS = 1_000
+
+
+def _blob(seed: int) -> np.ndarray:
+    return np.random.default_rng(seed).standard_normal(BLOB_ELEMENTS).astype(np.float32)
+
+
+def _file_bytes(scratch: FileStore, array: np.ndarray) -> Tuple[str, bytes]:
+    """The (CAS key, on-disk blob file bytes) pair for one payload."""
+    key = cas_key(payload_digest(array), array.nbytes)
+    if not scratch.contains(key):
+        scratch.write(key, array)
+    return key, scratch.path_of(key).read_bytes()
+
+
+def _segment(key: str, array: np.ndarray) -> BlobSegment:
+    return BlobSegment(
+        tier="nvme",
+        key=key,
+        start=0,
+        count=int(array.size),
+        nbytes=int(array.nbytes),
+        digest=payload_digest(array),
+    )
+
+
+def _ref(key: str, array: np.ndarray) -> BlobRef:
+    return BlobRef(
+        dtype="float32", count=int(array.size), source="staged", segments=(_segment(key, array),)
+    )
+
+
+def _manifest(worker: str, version: int, refs: Dict[str, Tuple[str, np.ndarray]]):
+    named = {name: _ref(key, arr) for name, (key, arr) in refs.items()}
+    return CheckpointManifest(
+        version=version,
+        worker=worker,
+        iteration=version * 10,
+        layout={"num_ranks": 1},
+        steps={},
+        placement={},
+        subgroups={0: {k: v for k, v in named.items() if k != "fp16"}},
+        fp16_params=named["fp16"],
+    )
+
+
+async def _run_job(
+    url: str, index: int, pool: List[Tuple[str, np.ndarray, bytes]], failures: List[str]
+) -> None:
+    """One simulated training job: push VERSIONS checkpoints, restore one."""
+    tenant = f"tenant{index % TENANTS}"
+    worker = f"job{index:03d}"
+    client = AsyncRegistryClient(url, tenant=tenant)
+    try:
+        for version in range(1, VERSIONS + 1):
+            scratch = {}
+            shared_a = pool[(index + version) % len(pool)]
+            shared_b = pool[(index * 3 + version) % len(pool)]
+            unique = _blob(100_000 + index * 17 + version)
+            ukey = cas_key(payload_digest(unique), unique.nbytes)
+            scratch[shared_a[0]] = shared_a[2]
+            scratch[shared_b[0]] = shared_b[2]
+            manifest = _manifest(
+                worker,
+                version,
+                {
+                    "fp16": (ukey, unique),
+                    "master": (shared_a[0], shared_a[1]),
+                    "exp_avg": (shared_b[0], shared_b[1]),
+                },
+            )
+            missing, session = await client.missing([ukey, shared_a[0], shared_b[0]])
+            for key in missing:
+                if key == ukey:
+                    # the unique blob: serialize through a private in-memory store
+                    data = _raw_file_bytes(unique)
+                else:
+                    data = scratch[key]
+                await client.upload_blob(key, data, session=session)
+            await client.commit_manifest(manifest, session=session)
+            if (index + version) % 13 == 0:
+                await client.collect_garbage()
+        # restore leg: read a random other job's latest manifest and verify
+        # one of its blobs byte-for-byte through chunked ranged GETs
+        other = f"job{(index * 7 + 1) % CLIENTS:03d}"
+        fetched = await client.fetch_manifest(other)
+        if fetched is not None:
+            seg = fetched.fp16_params.segments[0]
+            data = await client.fetch_blob_bytes(seg.key, chunk_bytes=1024)
+            array = _payload_of(data)
+            if payload_digest(array) != seg.digest:
+                failures.append(f"{worker}: fetched blob {seg.key} digest mismatch")
+        versions = await client.versions(worker)
+        expected = list(range(VERSIONS - RETENTION + 1, VERSIONS + 1))
+        if versions != expected:
+            failures.append(f"{worker}: versions {versions} != {expected}")
+    except Exception as exc:  # noqa: BLE001 - surfaced as a test failure
+        failures.append(f"{worker}: {type(exc).__name__}: {exc}")
+    finally:
+        await client.close()
+
+
+_RAW_CACHE: Dict[bytes, bytes] = {}
+
+
+def _raw_file_bytes(array: np.ndarray) -> bytes:
+    """Serialize one payload to FileStore on-disk bytes (cached, in-memory)."""
+    digest = array.tobytes()
+    cached = _RAW_CACHE.get(digest)
+    if cached is None:
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as tmp:
+            store = FileStore(Path(tmp) / "s", name="s")
+            key = cas_key(payload_digest(array), array.nbytes)
+            store.write(key, array)
+            cached = store.path_of(key).read_bytes()
+        _RAW_CACHE[digest] = cached
+    return cached
+
+
+def _payload_of(file_bytes: bytes) -> np.ndarray:
+    """Deserialize FileStore blob-file bytes back into the payload array."""
+    import tempfile
+
+    from repro.tiers.file_store import read_blob_file
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "blob.bin"
+        path.write_bytes(file_bytes)
+        return read_blob_file(path)
+
+
+_PROC_SCRIPT = textwrap.dedent(
+    """
+    import sys
+    import numpy as np
+    from repro.ckpt.manifest import BlobRef, BlobSegment, CheckpointManifest, cas_key
+    from repro.registry import RegistryClient
+    from repro.tiers.file_store import FileStore, payload_digest
+
+    url, tenant, worker, scratch_dir = sys.argv[1:5]
+    store = FileStore(scratch_dir, name="nvme")
+    client = RegistryClient(url, tenant=tenant)
+    for version in (1, 2):
+        arr = np.random.default_rng(hash(worker) % 1000 + version).standard_normal(
+            1000
+        ).astype(np.float32)
+        key = cas_key(payload_digest(arr), arr.nbytes)
+        store.write(key, arr)
+        seg = BlobSegment(tier="nvme", key=key, start=0, count=arr.size,
+                          nbytes=arr.nbytes, digest=payload_digest(arr))
+        ref = BlobRef(dtype="float32", count=arr.size, source="staged", segments=(seg,))
+        manifest = CheckpointManifest(
+            version=version, worker=worker, iteration=version, layout={"num_ranks": 1},
+            steps={}, placement={}, subgroups={}, fp16_params=ref)
+        client.push_manifest(manifest, {"nvme": store})
+    assert client.versions(worker) == [1, 2]
+    back = client.fetch_manifest(worker)
+    assert back is not None and back.version == 2
+    client.close()
+    print("proc-client-ok")
+    """
+)
+
+
+def test_fleet_push_restore_gc_churn(tmp_path):
+    scratch = FileStore(tmp_path / "scratch", name="nvme")
+    pool = []
+    for i in range(SHARED_BLOBS):
+        array = _blob(i)
+        key, data = _file_bytes(scratch, array)
+        pool.append((key, array, data))
+
+    failures: List[str] = []
+    with RegistryServerThread(
+        tmp_path / "srv", retention=RETENTION, scrub_interval=0.1
+    ) as srv:
+        # real separate client processes, concurrent with the async fleet
+        script = tmp_path / "proc_client.py"
+        script.write_text(_PROC_SCRIPT, encoding="utf-8")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(Path(__file__).resolve().parents[2] / "src")
+        procs = []
+        for p in range(PROC_CLIENTS):
+            workdir = tmp_path / f"proc{p}"
+            workdir.mkdir()
+            procs.append(
+                subprocess.Popen(
+                    [sys.executable, str(script), srv.url, "proc-tenant", f"proc{p}",
+                     str(workdir)],
+                    env=env,
+                    stdout=subprocess.PIPE,
+                    stderr=subprocess.STDOUT,
+                )
+            )
+
+        async def fleet():
+            await asyncio.gather(
+                *(_run_job(srv.url, i, pool, failures) for i in range(CLIENTS))
+            )
+
+        asyncio.run(fleet())
+
+        for proc in procs:
+            out, _ = proc.communicate(timeout=120)
+            assert proc.returncode == 0, out.decode()
+            assert b"proc-client-ok" in out
+
+        with RegistryClient(srv.url, tenant="tenant0") as client:
+            # final GC pass, then the idle-state audit
+            client.collect_garbage()
+            health = client.healthz()
+
+        server = srv.server
+        assert not failures, "\n".join(failures[:20])
+        assert health["status"] == "ok"
+        assert health["quarantined"] == []
+        assert health["active_pushes"] == 0
+        # no lost manifests: every job retained exactly the retention window
+        assert health["manifests"] == CLIENTS * RETENTION + PROC_CLIENTS * 2
+        # cross-job dedup bounds the vault: at most one copy per distinct
+        # payload ever referenced (shared pool + per-job uniques + proc blobs)
+        distinct = SHARED_BLOBS + CLIENTS * VERSIONS + PROC_CLIENTS * 2
+        assert health["blobs"] <= distinct
+        assert server.stats.blobs_deduped + server.stats.blobs_ingested >= CLIENTS
+        # every payload is ~4KB + header; the vault must hold one copy each,
+        # not one per push
+        assert health["blob_bytes"] <= distinct * (BLOB_ELEMENTS * 4 + 256)
+        # clean idle state on disk
+        assert list((tmp_path / "srv" / "leases").glob("*.lease")) == []
+        assert list((tmp_path / "srv" / "incoming").glob("*.tmp")) == []
+        assert not server._sessions

@@ -82,6 +82,33 @@ def test_every_example_is_referenced_from_readme():
     assert not missing, f"README.md does not reference: {missing}"
 
 
+def test_readme_documents_registry_service():
+    text = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    for anchor in (
+        "checkpoint_registry_url",
+        "examples/registry_fleet.py",
+        "BENCH_registry.json",
+        "repro-registry",
+        "registry-smoke",
+    ):
+        assert anchor in text, f"README registry section does not mention {anchor}"
+
+
+def test_architecture_guide_documents_registry_service():
+    text = (REPO_ROOT / "docs" / "architecture.md").read_text(encoding="utf-8")
+    for anchor in (
+        "repro.registry",
+        "Push protocol",
+        "/v1/<tenant>/missing",
+        "pull_checkpoint",
+        "registry-mid-gc",
+        "quarantine",
+        "/healthz",
+        "verify_blob_file",
+    ):
+        assert anchor in text, f"registry section does not mention {anchor}"
+
+
 def test_readme_documents_sweep_cli():
     text = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
     for anchor in (

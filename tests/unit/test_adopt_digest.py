@@ -1,0 +1,88 @@
+"""Digest agreement between ``FileStore.adopt`` and the registry push path.
+
+The bug this pins down: a blob adopted while ``track_checksums`` was off has
+no entry in the write-time checksum registry, and ``compute_checksum`` on an
+*encoded* blob digests the stored frame bytes — not the uncompressed payload
+the content-addressed key names.  Any consumer that equates "the blob's
+digest" with "the digest its CAS key promises" (the registry's dedup
+negotiation does exactly that) would disagree with itself depending on
+whether tracking happened to be on when the blob landed.  ``digest_of``
+closes the gap by deriving the digest lazily from the key itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ckpt.manifest import cas_key, parse_cas_key
+from repro.codec import get_codec
+from repro.codec.framing import encoded_frame
+from repro.tiers.file_store import FileStore, payload_digest
+
+
+@pytest.fixture
+def payload():
+    return np.arange(1024, dtype=np.float32)
+
+
+def test_digest_of_cas_key_needs_no_read(tmp_path, payload):
+    """CAS keys carry their digest; deriving it must not touch the file."""
+    store = FileStore(tmp_path / "s", name="s", track_checksums=False)
+    digest = payload_digest(payload)
+    key = cas_key(digest, payload.nbytes)
+    store.write(key, payload)
+    store.path_of(key).unlink()  # prove no read happens: the file is gone
+    assert store.digest_of(key) == digest
+
+
+def test_adopt_then_push_agreement_with_tracking_off(tmp_path, payload):
+    """The adopt-then-push path: digest_of == the digest the CAS key names.
+
+    ``adopt`` with ``track_checksums`` off records nothing in the checksum
+    registry; the encoded blob's *stored* bytes digest differently than the
+    payload.  ``digest_of`` must still answer with the key's content digest
+    for both the raw and the encoded blob.
+    """
+    source = FileStore(tmp_path / "src", name="src", track_checksums=False)
+    dest = FileStore(tmp_path / "dst", name="dst", track_checksums=False)
+    digest = payload_digest(payload)
+
+    raw_key = cas_key(digest, payload.nbytes)
+    source.write(raw_key, payload)
+    dest.adopt(raw_key, source.path_of(raw_key))
+
+    frame = encoded_frame(payload, get_codec("shuffle-deflate"))
+    coded_key = cas_key(digest, payload.nbytes, codec="shuffle-deflate")
+    source.write(coded_key, frame)
+    dest.adopt(coded_key, source.path_of(coded_key))
+
+    assert dest.checksum_of(raw_key) is None  # nothing was recorded...
+    assert dest.checksum_of(coded_key) is None
+    assert dest.digest_of(raw_key) == digest  # ...yet the digest is known
+    assert dest.digest_of(coded_key) == digest
+    # compute_checksum on the encoded blob digests the FRAME bytes — the
+    # disagreement digest_of exists to close.
+    assert dest.compute_checksum(coded_key) != digest
+
+
+def test_adopt_masks_foreign_wide_checksums(tmp_path, payload):
+    """A full-width digest handed to adopt is narrowed to the key's 64 bits."""
+    source = FileStore(tmp_path / "src", name="src")
+    dest = FileStore(tmp_path / "dst", name="dst")
+    digest = payload_digest(payload)
+    key = cas_key(digest, payload.nbytes)
+    source.write(key, payload)
+    wide = digest + (1 << 64)  # e.g. an unmasked foreign BLAKE2b value
+    dest.adopt(key, source.path_of(key), checksum=wide)
+    assert dest.checksum_of(key) == digest
+    assert dest.checksum_of(key) == parse_cas_key(key)[0]
+
+
+def test_digest_of_plain_key_falls_back_to_read(tmp_path, payload):
+    """Non-CAS keys have no embedded digest: one maintenance read answers."""
+    store = FileStore(tmp_path / "s", name="s", track_checksums=False)
+    store.write("plain-key", payload)
+    assert store.digest_of("plain-key") == payload_digest(payload)
+    # and the answer is memoized in the checksum registry
+    assert store.checksum_of("plain-key") == payload_digest(payload)

@@ -1,0 +1,177 @@
+"""Unit tests of the registry wire format and content verification."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ckpt.manifest import cas_key, parse_cas_key
+from repro.codec import get_codec
+from repro.codec.framing import encoded_frame
+from repro.registry.protocol import (
+    NAME_RE,
+    ProtocolError,
+    Request,
+    body_length,
+    format_request,
+    format_response,
+    parse_head,
+    parse_range,
+    split_head,
+    verify_blob_file,
+)
+from repro.tiers.file_store import FileStore, payload_digest
+
+
+# -- head parsing -----------------------------------------------------------
+
+
+def test_request_roundtrip_through_parse():
+    raw = format_request("PUT", "/v1/blobs/k", b"abc", headers={"x-session": "p7"})
+    head, rest = split_head(raw)
+    method, target, headers = parse_head(head)
+    assert (method, target) == ("PUT", "/v1/blobs/k")
+    assert headers["x-session"] == "p7"
+    assert int(headers["content-length"]) == 3
+    assert rest == b"abc"
+
+
+def test_response_roundtrip_through_parse():
+    raw = format_response(206, b"xy", headers={"content-range": "bytes 0-1/10"})
+    head, rest = split_head(raw)
+    status, reason, headers = parse_head(head, response=True)
+    assert (status, reason) == ("206", "Partial Content")
+    assert headers["content-range"] == "bytes 0-1/10"
+    assert rest == b"xy"
+
+
+def test_header_names_lowercased_last_duplicate_wins():
+    head = b"GET /x HTTP/1.1\r\nX-Thing: a\r\nx-thing: b"
+    _, _, headers = parse_head(head)
+    assert headers == {"x-thing": "b"}
+
+
+@pytest.mark.parametrize(
+    "line",
+    [b"", b"GET /x", b"get /x HTTP/1.1", b"GET /x HTTP/2.0", b"GET /x HTTP/1.1\r\nbroken"],
+)
+def test_malformed_heads_raise(line):
+    with pytest.raises(ProtocolError):
+        parse_head(line)
+
+
+def test_split_head_incomplete_returns_none():
+    assert split_head(b"GET / HTTP/1.1\r\n") is None
+
+
+def test_split_head_oversized_raises():
+    with pytest.raises(ProtocolError):
+        split_head(b"x" * (70 * 1024))
+
+
+def test_connection_close_disables_keep_alive():
+    assert Request("GET", "/").keep_alive
+    assert not Request("GET", "/", headers={"connection": "close"}).keep_alive
+    raw = format_response(200, b"", keep_alive=False)
+    head, _ = split_head(raw)
+    _, _, headers = parse_head(head, response=True)
+    assert headers["connection"] == "close"
+
+
+def test_body_length_bounds():
+    assert body_length({}) == 0
+    assert body_length({"content-length": "17"}) == 17
+    with pytest.raises(ProtocolError):
+        body_length({"content-length": "-1"})
+    with pytest.raises(ProtocolError):
+        body_length({"content-length": "zebra"})
+    with pytest.raises(ProtocolError):
+        body_length({"content-length": str(1 << 40)})
+
+
+# -- Range ------------------------------------------------------------------
+
+
+def test_parse_range_forms():
+    assert parse_range(None, 100) is None
+    assert parse_range("bytes=0-9", 100) == (0, 10)
+    assert parse_range("bytes=90-", 100) == (90, 100)
+    # a stop past the end is clamped, HTTP-style (the last chunk over-asks)
+    assert parse_range("bytes=96-199", 100) == (96, 100)
+
+
+@pytest.mark.parametrize("value", ["bytes=100-", "bytes=-5", "bytes=9-3", "elephants=0-9"])
+def test_parse_range_rejects(value):
+    with pytest.raises(ProtocolError):
+        parse_range(value, 100)
+
+
+def test_name_re_rejects_path_tricks():
+    assert NAME_RE.match("job-a.finetune_2")
+    for bad in ("", "../etc", "a/b", ".hidden", "x" * 65):
+        assert not NAME_RE.match(bad), bad
+
+
+# -- content verification ---------------------------------------------------
+
+
+def test_verify_blob_file_raw_roundtrip(tmp_path):
+    store = FileStore(tmp_path / "s", name="s")
+    payload = np.arange(512, dtype=np.float32)
+    key = cas_key(payload_digest(payload), payload.nbytes)
+    store.write(key, payload)
+    assert verify_blob_file(store.path_of(key), key) == payload.nbytes
+
+
+def test_verify_blob_file_rejects_wrong_content(tmp_path):
+    store = FileStore(tmp_path / "s", name="s")
+    payload = np.arange(512, dtype=np.float32)
+    key = cas_key(payload_digest(payload), payload.nbytes)
+    store.write(key, payload + 1.0)  # mislabelled upload
+    with pytest.raises(ProtocolError, match="integrity"):
+        verify_blob_file(store.path_of(key), key)
+
+
+def test_verify_blob_file_rejects_wrong_size(tmp_path):
+    store = FileStore(tmp_path / "s", name="s")
+    payload = np.arange(512, dtype=np.float32)
+    key = cas_key(payload_digest(payload), payload.nbytes + 4)
+    store.write(key, payload)
+    with pytest.raises(ProtocolError, match="payload bytes"):
+        verify_blob_file(store.path_of(key), key)
+
+
+def test_verify_blob_file_decodes_framed_payloads(tmp_path):
+    store = FileStore(tmp_path / "s", name="s")
+    payload = np.arange(2048, dtype=np.float32)
+    frame = encoded_frame(payload, get_codec("shuffle-deflate"))
+    key = cas_key(payload_digest(payload), payload.nbytes, codec="shuffle-deflate")
+    store.write(key, frame)
+    assert verify_blob_file(store.path_of(key), key) == payload.nbytes
+
+
+def test_verify_blob_file_rejects_corrupt_frames(tmp_path):
+    store = FileStore(tmp_path / "s", name="s")
+    payload = np.arange(2048, dtype=np.float32)
+    frame = encoded_frame(payload, get_codec("shuffle-deflate")).copy()
+    frame[len(frame) // 2] ^= 0xFF  # bit rot mid-stream
+    key = cas_key(payload_digest(payload), payload.nbytes, codec="shuffle-deflate")
+    store.write(key, frame)
+    with pytest.raises(ProtocolError):
+        verify_blob_file(store.path_of(key), key)
+
+
+def test_verify_blob_file_requires_cas_key(tmp_path):
+    store = FileStore(tmp_path / "s", name="s")
+    store.write("plain-key", np.arange(8, dtype=np.float32))
+    with pytest.raises(ProtocolError, match="content-addressed"):
+        verify_blob_file(store.path_of("plain-key"), "plain-key")
+
+
+def test_parse_cas_key_roundtrip():
+    key = cas_key(0xDEADBEEF, 4096)
+    assert parse_cas_key(key) == (0xDEADBEEF, 4096, "raw")
+    coded = cas_key(0xDEADBEEF, 4096, codec="shuffle-deflate")
+    assert parse_cas_key(coded) == (0xDEADBEEF, 4096, "shuffle-deflate")
+    for bad in ("plain", "cas123-4", "caszz" + "0" * 12 + "-4", ""):
+        assert parse_cas_key(bad) is None
