@@ -25,6 +25,14 @@ Headline metrics extracted from each trajectory payload:
   ``overhead_vs_raw_pct``, …; lower is better, compared in absolute
   percentage points: a ratio of two near-zero percentages is meaningless).
 
+A benchmark whose comparison has *measured* run-to-run noise wider than
+the default budget declares it in the payload's top-level ``noise_points``
+mapping (metric name → absolute points, e.g.
+``{"overhead_pct:real_process": 20.0}``); the gate widens that metric's
+budget by the **baseline's** declared noise — the committed payload, not
+the candidate, owns the band, so a regressing run cannot vote itself a
+wider budget.
+
 Very small baselines (below ``--floor`` seconds) are skipped for time-like
 metrics: a 2 ms step regressing to 3 ms is scheduler noise, not a signal.
 
@@ -51,7 +59,7 @@ import json
 import sys
 from pathlib import Path
 from statistics import median
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 #: metric name → (value, direction); direction is "lower" or "higher".
 Metrics = Dict[str, Tuple[float, str]]
@@ -116,6 +124,23 @@ def extract_metrics(payload: dict) -> Metrics:
     return metrics
 
 
+def extract_noise_points(payload: dict) -> Dict[str, float]:
+    """The payload's declared per-metric measurement noise (absolute points).
+
+    Only meaningful on the *baseline* side: the committed payload declares
+    how noisy its own comparison is, widening that metric's budget for
+    every future candidate.
+    """
+    declared = payload.get("noise_points")
+    if not isinstance(declared, dict):
+        return {}
+    return {
+        str(name): float(value)
+        for name, value in declared.items()
+        if isinstance(value, (int, float)) and not isinstance(value, bool)
+    }
+
+
 def compare_metrics(
     baseline: Metrics,
     candidate: Metrics,
@@ -123,18 +148,22 @@ def compare_metrics(
     threshold: float = 0.25,
     floor_seconds: float = DEFAULT_FLOOR_SECONDS,
     ratios_only: bool = False,
+    baseline_noise_points: "Optional[Mapping[str, float]]" = None,
 ) -> List[str]:
     """Regressions of ``candidate`` against ``baseline`` (empty = clean).
 
     A lower-is-better metric regresses when it grew by more than
     ``threshold`` (relative); higher-is-better when it shrank by more than
     ``threshold``; a percentage metric when it grew by more than
-    ``threshold * 100`` absolute points.  A metric missing on the candidate
+    ``threshold * 100`` absolute points, plus that metric's
+    ``baseline_noise_points`` entry when the baseline payload declared
+    measured run-to-run noise.  A metric missing on the candidate
     side is a regression (the benchmark stopped reporting it); new
     candidate-only metrics are fine — the next baseline refresh picks them
     up.  ``ratios_only`` drops raw-duration metrics, keeping only the
     machine-independent ones (for cross-machine comparisons).
     """
+    noise_points = dict(baseline_noise_points or {})
     problems: List[str] = []
     for name, (base_value, direction) in sorted(baseline.items()):
         if ratios_only and direction == "lower":
@@ -146,7 +175,8 @@ def compare_metrics(
         if direction == "lower-pct":
             # Percentages compare in absolute points — a ratio of two
             # near-zero overheads amplifies noise into false regressions.
-            budget_points = threshold * 100.0
+            # The baseline's declared measurement noise widens the budget.
+            budget_points = threshold * 100.0 + noise_points.get(name, 0.0)
             if cand_value > base_value + budget_points:
                 problems.append(
                     f"{name}: {base_value:.4g}% -> {cand_value:.4g}% "
@@ -211,6 +241,7 @@ def compare_directories(
             threshold=threshold,
             floor_seconds=floor_seconds,
             ratios_only=ratios_only,
+            baseline_noise_points=extract_noise_points(base_payload),
         ):
             problems.append(f"{path.name}: {problem}")
         checked.append(path.name)

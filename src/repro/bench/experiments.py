@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import tempfile
 from pathlib import Path
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -552,7 +552,7 @@ def striped_read_comparison(
     *,
     total_params: int = 480_000,
     subgroup_params: int = 40_000,
-    iterations: int = 3,
+    iterations: int = 9,
     nvme_read_bw: float = 40e6,
     pfs_read_bw: float = 25e6,
     write_bw: float = 160e6,
@@ -672,13 +672,25 @@ def striped_read_comparison(
 
     mean_single = float(np.mean(seconds_single))
     mean_striped = float(np.mean(seconds_striped))
-    speedup = mean_single / mean_striped if mean_striped > 0 else float("inf")
+    # The headline speedup is a ratio of per-iteration *medians*: these runs
+    # sleep for real on throttled tiers, so a single descheduled iteration
+    # shifts a mean-of-3 ratio by more than the perf gate's regression
+    # budget, while the median over a longer run is unmoved by one outlier.
+    median_single = float(np.median(seconds_single))
+    median_striped = float(np.median(seconds_striped))
+    speedup = median_single / median_striped if median_striped > 0 else float("inf")
     bitwise = bool(
         np.array_equal(fp16_single, fp16_striped)
         and np.array_equal(master_single, master_striped)
     )
-    result.add_row(series="summary", engine="single-path", mean_update_s=mean_single)
-    result.add_row(series="summary", engine="striped", mean_update_s=mean_striped)
+    result.add_row(
+        series="summary", engine="single-path",
+        mean_update_s=mean_single, median_update_s=median_single,
+    )
+    result.add_row(
+        series="summary", engine="striped",
+        mean_update_s=mean_striped, median_update_s=median_striped,
+    )
     result.add_row(series="summary", engine="speedup", value=speedup)
     result.add_row(
         series="summary", engine="fetch_bandwidth", single_path=bw_single, striped=bw_striped
@@ -697,7 +709,8 @@ def striped_read_comparison(
             )
     result.add_note(
         f"striped multi-path reads are {speedup:.2f}x faster per update phase "
-        f"({mean_striped * 1e3:.0f} ms vs {mean_single * 1e3:.0f} ms); aggregate fetch "
+        f"(median of {iterations} iterations: {median_striped * 1e3:.0f} ms vs "
+        f"{median_single * 1e3:.0f} ms); aggregate fetch "
         f"bandwidth {bw_striped / 1e6:.1f} MB/s vs {bw_single / 1e6:.1f} MB/s single-path "
         "(fetch bytes over *exposed* fetch wait — prefetch overlap already hides part "
         "of the single-buffered loop's read time)"
@@ -1238,6 +1251,7 @@ def multiproc_checkpoint_comparison(
     *,
     ranks: int = 3,
     iterations: int = 4,
+    measure_repeats: int = 5,
     total_params: int = 6_000,
     subgroup_params: int = 500,
     workdir: Optional[Path] = None,
@@ -1252,7 +1266,19 @@ def multiproc_checkpoint_comparison(
 
     * **step overhead** — per-iteration wall time of the real-process world
       (slowest rank per iteration, measured inside the workers) over the
-      threaded in-process world running the identical workload;
+      threaded in-process world running the identical workload.  Each mode
+      runs ``measure_repeats`` independent waves, interleaved so both
+      modes sample the same machine-load epochs, and the headline
+      ``overhead_pct`` is the *median of the per-wave overheads* (each
+      wave's real-process median over its adjacent threaded wave's): a
+      single short wave's ratio swings by tens of percent between runs
+      (scheduler noise, cold caches) — wider than the perf gate's
+      regression budget — while the median over waves is reproducible.
+      The half-range of the per-wave overheads is reported as
+      ``noise_points`` so the trajectory gate can widen its budget by the
+      *measured* run-to-run noise of this comparison instead of flapping
+      on it.  Each wave's workload stays identical to the single-wave
+      form, so the recovery scenarios below keep their meaning;
     * **kill recovery** — a rank is SIGKILLed at the post-publish boundary
       and a fresh unarmed wave restarts: wall time from spawn to every
       rank's clean exit, final state bitwise-equal to the uninterrupted
@@ -1269,6 +1295,7 @@ def multiproc_checkpoint_comparison(
     from repro.ckpt.coordinator import CheckpointCoordinator
     from repro.ckpt.procrank import (
         WorldSpec,
+        collect_results,
         global_grad,
         global_init,
         leaked_sentinels,
@@ -1303,83 +1330,99 @@ def multiproc_checkpoint_comparison(
         )
 
     ref_fp16, ref_master = reference_state(spec_for("reference"))
+    repeats = max(1, measure_repeats)
 
     # -- threaded baseline: identical workload, ranks share one process ------
-    spec = spec_for("threaded")
-    config = make_config(spec, ranks)
-    layout = build_shard_layout(
-        total_params, num_ranks=ranks, subgroup_size=subgroup_params
-    )
-    coordinator = CheckpointCoordinator(
-        config, workers=config.checkpoint_workers(ranks)
-    )
-    manager = TierLockManager()
-    engines = [
-        MLPOffloadEngine(
-            config, layout, rank=rank, lock_manager=manager,
-            checkpoint_coordinator=coordinator,
+    def run_threaded_wave(label: str):
+        spec = spec_for(label)
+        config = make_config(spec, ranks)
+        layout = build_shard_layout(
+            total_params, num_ranks=ranks, subgroup_size=subgroup_params
         )
-        for rank in range(ranks)
-    ]
-    init = global_init(spec)
-    fp16s = []
-    for rank, engine in enumerate(engines):
-        start, stop = layout.rank_intervals[rank]
-        engine.initialize(init[start:stop].copy())
-        fp16s.append(init[start:stop].astype(np.float16))
+        coordinator = CheckpointCoordinator(
+            config, workers=config.checkpoint_workers(ranks)
+        )
+        manager = TierLockManager()
+        engines = [
+            MLPOffloadEngine(
+                config, layout, rank=rank, lock_manager=manager,
+                checkpoint_coordinator=coordinator,
+            )
+            for rank in range(ranks)
+        ]
+        init = global_init(spec)
+        fp16s = []
+        for rank, engine in enumerate(engines):
+            start, stop = layout.rank_intervals[rank]
+            engine.initialize(init[start:stop].copy())
+            fp16s.append(init[start:stop].astype(np.float16))
 
-    def rank_step(rank: int, grad_global: np.ndarray) -> None:
-        engine = engines[rank]
-        start, stop = layout.rank_intervals[rank]
-        local = grad_global[start:stop]
-        for index, view in flat_views(None, layout, rank).items():
-            engine.on_backward_gradient(index, local[view].astype(np.float16))
-        engine.on_microbatch_complete()
-        engine.run_update(fp16s[rank])
-        engine.save_checkpoint(fp16s[rank], wait=True)
+        def rank_step(rank: int, grad_global: np.ndarray) -> None:
+            engine = engines[rank]
+            start, stop = layout.rank_intervals[rank]
+            local = grad_global[start:stop]
+            for index, view in flat_views(None, layout, rank).items():
+                engine.on_backward_gradient(index, local[view].astype(np.float16))
+            engine.on_microbatch_complete()
+            engine.run_update(fp16s[rank])
+            engine.save_checkpoint(fp16s[rank], wait=True)
 
-    threaded_steps = []
-    with concurrent.futures.ThreadPoolExecutor(max_workers=ranks) as executor:
-        for it in range(iterations):
-            grad = global_grad(spec, it)
-            t0 = time.perf_counter()
-            for future in [
-                executor.submit(rank_step, rank, grad) for rank in range(ranks)
-            ]:
-                future.result()
-            threaded_steps.append(time.perf_counter() - t0)
-    threaded_fp16 = np.concatenate(fp16s)
-    threaded_master = np.concatenate(
-        [engine.fetch_master_params() for engine in engines]
-    )
-    for engine in engines:
-        engine.close()
-    threaded_identical = np.array_equal(threaded_fp16, ref_fp16) and np.array_equal(
-        threaded_master, ref_master
-    )
+        steps = []
+        with concurrent.futures.ThreadPoolExecutor(max_workers=ranks) as executor:
+            for it in range(iterations):
+                grad = global_grad(spec, it)
+                t0 = time.perf_counter()
+                for future in [
+                    executor.submit(rank_step, rank, grad) for rank in range(ranks)
+                ]:
+                    future.result()
+                steps.append(time.perf_counter() - t0)
+        fp16 = np.concatenate(fp16s)
+        master = np.concatenate([engine.fetch_master_params() for engine in engines])
+        for engine in engines:
+            engine.close()
+        return steps, fp16, master
 
     # -- real processes: one OS process per rank over the same workload ------
-    spec = spec_for("real")
-    codes = run_world(spec, ranks, tag="initial")
-    assert codes == [0] * ranks, f"real-process wave failed: exit codes {codes}"
-    per_rank_steps = []
-    for rank in range(ranks):
-        timings = json.loads(
-            (spec.base / f"timings-rank{rank}-initial.json").read_text()
-        )
-        per_rank_steps.append(timings["step_seconds"])
-    # The job's step time is its slowest rank's — that is what a collective
-    # barrier at the iteration boundary would make every rank pay.
-    real_steps = [
-        max(per_rank_steps[rank][it] for rank in range(ranks))
-        for it in range(iterations)
-    ]
-    from repro.ckpt.procrank import collect_results
+    def run_real_wave(label: str):
+        spec = spec_for(label)
+        codes = run_world(spec, ranks, tag="initial")
+        assert codes == [0] * ranks, f"real-process wave failed: exit codes {codes}"
+        per_rank_steps = []
+        for rank in range(ranks):
+            timings = json.loads(
+                (spec.base / f"timings-rank{rank}-initial.json").read_text()
+            )
+            per_rank_steps.append(timings["step_seconds"])
+        # The job's step time is its slowest rank's — that is what a collective
+        # barrier at the iteration boundary would make every rank pay.
+        steps = [
+            max(per_rank_steps[rank][it] for rank in range(ranks))
+            for it in range(iterations)
+        ]
+        fp16, master = collect_results(spec, ranks)
+        return steps, fp16, master
 
-    real_fp16, real_master = collect_results(spec, ranks)
-    real_identical = np.array_equal(real_fp16, ref_fp16) and np.array_equal(
-        real_master, ref_master
-    )
+    threaded_waves: List[List[float]] = []
+    real_waves: List[List[float]] = []
+    threaded_identical = real_identical = True
+    for repeat in range(repeats):
+        steps, fp16, master = run_threaded_wave(f"threaded-r{repeat}")
+        threaded_waves.append(steps)
+        threaded_identical = bool(
+            threaded_identical
+            and np.array_equal(fp16, ref_fp16)
+            and np.array_equal(master, ref_master)
+        )
+        steps, fp16, master = run_real_wave(f"real-r{repeat}")
+        real_waves.append(steps)
+        real_identical = bool(
+            real_identical
+            and np.array_equal(fp16, ref_fp16)
+            and np.array_equal(master, ref_master)
+        )
+    threaded_steps = [step for wave in threaded_waves for step in wave]
+    real_steps = [step for wave in real_waves for step in wave]
 
     # -- kill recovery: SIGKILL one rank post-publish, resume same-width -----
     spec = spec_for("kill")
@@ -1403,18 +1446,40 @@ def multiproc_checkpoint_comparison(
         "threaded": float(np.median(threaded_steps)),
         "real_process": float(np.median(real_steps)),
     }
-    overhead_pct = (medians["real_process"] / medians["threaded"] - 1.0) * 100.0
+    # Headline overhead: median of the per-wave ratios.  Pairing each real
+    # wave with the threaded wave that ran right before it compares samples
+    # from the same machine-load epoch, and the median across waves is
+    # robust to the one wave that lands on a noisy epoch.
+    per_wave_overhead = [
+        (float(np.median(real)) / float(np.median(threaded)) - 1.0) * 100.0
+        for threaded, real in zip(threaded_waves, real_waves)
+    ]
+    overhead_pct = float(np.median(per_wave_overhead))
+    # Measured run-to-run noise of this comparison, floored: with a handful
+    # of waves the observed half-range underestimates the tails.
+    spread = (max(per_wave_overhead) - min(per_wave_overhead)) / 2.0
+    overhead_noise_points = max(20.0, spread)
 
-    for mode, seconds in (("threaded", threaded_steps), ("real_process", real_steps)):
-        for index, step_s in enumerate(seconds):
-            result.add_row(series="trajectory", mode=mode, iteration=index, step_s=step_s)
-        result.add_row(
+    for mode, waves in (("threaded", threaded_waves), ("real_process", real_waves)):
+        for repeat, wave in enumerate(waves):
+            for index, step_s in enumerate(wave):
+                result.add_row(
+                    series="trajectory", mode=mode, repeat=repeat,
+                    iteration=index, step_s=step_s,
+                )
+        pooled = [step for wave in waves for step in wave]
+        row = dict(
             series="summary",
             mode=mode,
-            mean_step_s=float(np.mean(seconds)),
+            mean_step_s=float(np.mean(pooled)),
             median_step_s=medians[mode],
+            repeats=len(waves),
             overhead_pct=overhead_pct if mode == "real_process" else 0.0,
         )
+        if mode == "real_process":
+            row["per_wave_overhead_pct"] = per_wave_overhead
+            row["overhead_noise_points"] = overhead_noise_points
+        result.add_row(**row)
     result.add_row(
         series="recovery", scenario="kill_recovery",
         world_from=ranks, world_to=ranks,
@@ -1435,7 +1500,9 @@ def multiproc_checkpoint_comparison(
     )
     result.add_note(
         f"real OS processes add {overhead_pct:.1f}% to the median {ranks}-rank "
-        f"step over threaded ranks; SIGKILL recovery took "
+        f"step over threaded ranks (median of {repeats} interleaved per-wave "
+        f"ratios, {iterations} iterations per wave, measured noise "
+        f"±{overhead_noise_points:.0f} points); SIGKILL recovery took "
         f"{kill['recovery_seconds']:.2f}s same-width and "
         f"{elastic['recovery_seconds']:.2f}s resuming {ranks}->2 elastically"
     )

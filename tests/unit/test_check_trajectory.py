@@ -95,6 +95,71 @@ def test_percentage_metrics_compare_in_absolute_points():
     assert len(problems) == 1 and "points" in problems[0]
 
 
+def test_baseline_declared_noise_widens_the_pct_budget():
+    baseline = {"overhead_pct:real_process": (-2.9, "lower-pct")}
+    # +26 points over baseline: outside the default 25-point budget, inside
+    # the widened one when the baseline declares ±20 points of noise.
+    candidate = {"overhead_pct:real_process": (23.5, "lower-pct")}
+    assert check_trajectory.compare_metrics(baseline, candidate)
+    assert (
+        check_trajectory.compare_metrics(
+            baseline, candidate,
+            baseline_noise_points={"overhead_pct:real_process": 20.0},
+        )
+        == []
+    )
+    # A genuine regression still fails the widened budget.
+    worse = {"overhead_pct:real_process": (50.0, "lower-pct")}
+    problems = check_trajectory.compare_metrics(
+        baseline, worse, baseline_noise_points={"overhead_pct:real_process": 20.0}
+    )
+    assert len(problems) == 1 and "budget +45 points" in problems[0]
+
+
+def test_noise_points_extraction_ignores_junk():
+    assert check_trajectory.extract_noise_points({}) == {}
+    assert check_trajectory.extract_noise_points({"noise_points": "nope"}) == {}
+    assert check_trajectory.extract_noise_points(
+        {"noise_points": {"overhead_pct:x": 20.0, "bad": True, "also_bad": "y"}}
+    ) == {"overhead_pct:x": 20.0}
+
+
+def test_directory_comparison_honours_baseline_noise(tmp_path):
+    base_dir = tmp_path / "base"
+    cand_dir = tmp_path / "cand"
+    base_dir.mkdir()
+    cand_dir.mkdir()
+    payload = {
+        "experiment": "x",
+        "overhead_pct": {"real_process": -2.9},
+        "noise_points": {"overhead_pct:real_process": 20.0},
+    }
+    (base_dir / "BENCH_x.json").write_text(json.dumps(payload))
+    # The candidate's own (absent) declaration is irrelevant: only the
+    # committed baseline's noise band counts.
+    (cand_dir / "BENCH_x.json").write_text(
+        json.dumps({"experiment": "x", "overhead_pct": {"real_process": 23.5}})
+    )
+    problems, checked = check_trajectory.compare_directories(base_dir, cand_dir)
+    assert problems == [] and checked == ["BENCH_x.json"]
+    # A candidate cannot vote itself a wider budget: declaration on the
+    # candidate side only is ignored.
+    (base_dir / "BENCH_x.json").write_text(
+        json.dumps({"experiment": "x", "overhead_pct": {"real_process": -2.9}})
+    )
+    (cand_dir / "BENCH_x.json").write_text(
+        json.dumps(
+            {
+                "experiment": "x",
+                "overhead_pct": {"real_process": 23.5},
+                "noise_points": {"overhead_pct:real_process": 50.0},
+            }
+        )
+    )
+    problems, _ = check_trajectory.compare_directories(base_dir, cand_dir)
+    assert len(problems) == 1
+
+
 def test_ratios_only_drops_raw_durations_but_keeps_ratios():
     baseline = {
         "median_step_s:async": (0.1, "lower"),

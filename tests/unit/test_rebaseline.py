@@ -1,0 +1,140 @@
+"""Unit tests for the gated, selective rebaseline helper.
+
+``benchmarks/rebaseline.py`` is the only sanctioned way to refresh the
+committed ``BENCH_*.json`` baselines: it gates a fresh run against the
+committed trajectories with the CI comparator and restores the committed
+files whenever the gate fails, so a noisy re-run can never ratchet the
+regression budget.  These tests pin the keep/restore decisions: gate-pass
+keeps only the requested files, gate-fail restores everything, bystanders
+are always restored, and brand-new baselines pass without a gate.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+_MODULE_PATH = Path(__file__).resolve().parents[2] / "benchmarks" / "rebaseline.py"
+_spec = importlib.util.spec_from_file_location("rebaseline", _MODULE_PATH)
+rebaseline_mod = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(rebaseline_mod)
+
+
+def _payload(speedup: float) -> str:
+    return json.dumps({"experiment": "x", "speedup": speedup}) + "\n"
+
+
+def _setup(tmp_path, *, committed: dict, fresh: dict):
+    repo = tmp_path / "repo"
+    snapshot = tmp_path / "committed"
+    repo.mkdir()
+    snapshot.mkdir()
+    for name, speedup in committed.items():
+        (snapshot / name).write_text(_payload(speedup))
+    for name, speedup in fresh.items():
+        (repo / name).write_text(_payload(speedup))
+    return repo, snapshot
+
+
+def test_gate_pass_keeps_requested_fresh_trajectory(tmp_path):
+    repo, snapshot = _setup(
+        tmp_path,
+        committed={"BENCH_a.json": 1.6},
+        fresh={"BENCH_a.json": 1.55},
+    )
+    code = rebaseline_mod.rebaseline(
+        repo, snapshot, ["BENCH_a.json"], ["BENCH_a.json"], [], echo=lambda _: None
+    )
+    assert code == 0
+    assert json.loads((repo / "BENCH_a.json").read_text())["speedup"] == 1.55
+
+
+def test_gate_failure_restores_committed_baseline(tmp_path):
+    repo, snapshot = _setup(
+        tmp_path,
+        committed={"BENCH_a.json": 1.6},
+        fresh={"BENCH_a.json": 1.0},  # -37%: outside the 25% budget
+    )
+    messages = []
+    code = rebaseline_mod.rebaseline(
+        repo, snapshot, ["BENCH_a.json"], ["BENCH_a.json"], [], echo=messages.append
+    )
+    assert code == 1
+    assert json.loads((repo / "BENCH_a.json").read_text())["speedup"] == 1.6
+    assert any("REGRESSION" in message for message in messages)
+
+
+def test_unrequested_bystanders_are_restored_even_on_gate_pass(tmp_path):
+    repo, snapshot = _setup(
+        tmp_path,
+        committed={"BENCH_a.json": 1.6, "BENCH_b.json": 2.0},
+        fresh={"BENCH_a.json": 1.55, "BENCH_b.json": 2.4},
+    )
+    code = rebaseline_mod.rebaseline(
+        repo, snapshot, ["BENCH_a.json"], ["BENCH_a.json", "BENCH_b.json"], [],
+        echo=lambda _: None,
+    )
+    assert code == 0
+    assert json.loads((repo / "BENCH_a.json").read_text())["speedup"] == 1.55
+    # b regenerated too (pytest markers are coarse) but was not requested:
+    # its committed baseline must come back untouched.
+    assert json.loads((repo / "BENCH_b.json").read_text())["speedup"] == 2.0
+
+
+def test_one_regression_restores_every_requested_trajectory(tmp_path):
+    repo, snapshot = _setup(
+        tmp_path,
+        committed={"BENCH_a.json": 1.6, "BENCH_b.json": 2.0},
+        fresh={"BENCH_a.json": 1.55, "BENCH_b.json": 1.0},
+    )
+    code = rebaseline_mod.rebaseline(
+        repo, snapshot, ["BENCH_a.json", "BENCH_b.json"],
+        ["BENCH_a.json", "BENCH_b.json"], [], echo=lambda _: None,
+    )
+    assert code == 1
+    # Partial rebaselines are refused: a passes but is restored alongside b.
+    assert json.loads((repo / "BENCH_a.json").read_text())["speedup"] == 1.6
+    assert json.loads((repo / "BENCH_b.json").read_text())["speedup"] == 2.0
+
+
+def test_new_trajectory_without_committed_baseline_is_kept(tmp_path):
+    repo, snapshot = _setup(
+        tmp_path, committed={}, fresh={"BENCH_new.json": 1.2}
+    )
+    messages = []
+    code = rebaseline_mod.rebaseline(
+        repo, snapshot, ["BENCH_new.json"], [], ["BENCH_new.json"],
+        echo=messages.append,
+    )
+    assert code == 0
+    assert (repo / "BENCH_new.json").is_file()
+    assert any("no committed baseline" in message for message in messages)
+
+
+def test_missing_regenerated_trajectory_fails_the_gate(tmp_path):
+    repo, snapshot = _setup(tmp_path, committed={"BENCH_a.json": 1.6}, fresh={})
+    code = rebaseline_mod.rebaseline(
+        repo, snapshot, ["BENCH_a.json"], ["BENCH_a.json"], [], echo=lambda _: None
+    )
+    assert code == 1
+    # The restore puts the committed content back even though the fresh run
+    # never produced the file.
+    assert json.loads((repo / "BENCH_a.json").read_text())["speedup"] == 1.6
+
+
+def test_snapshot_committed_splits_tracked_from_new(tmp_path):
+    # Run against the real repository: every committed BENCH_*.json is
+    # tracked, and an invented name lands in the "new" bucket.
+    repo_root = Path(_MODULE_PATH).resolve().parents[1]
+    names = sorted(path.name for path in repo_root.glob("BENCH_*.json"))
+    assert names, "repository should carry committed BENCH baselines"
+    dest = tmp_path / "snap"
+    dest.mkdir()
+    tracked, new = rebaseline_mod.snapshot_committed(
+        names + ["BENCH_does_not_exist.json"], repo_root, dest
+    )
+    assert set(tracked) == set(names)
+    assert new == ["BENCH_does_not_exist.json"]
+    for name in tracked:
+        assert (dest / name).is_file()
