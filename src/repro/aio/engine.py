@@ -23,18 +23,105 @@ from __future__ import annotations
 
 import concurrent.futures
 import enum
+import errno as _errno
 import threading
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Sequence, Tuple
+from typing import Callable, Dict, FrozenSet, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.aio.locks import TierLockManager
-from repro.tiers.file_store import FileStore
+from repro.tiers.file_store import FileStore, TruncatedBlobError
 from repro.util.logging import get_logger
 
 _LOG = get_logger("aio.engine")
+
+
+def os_error_in_chain(exc: Optional[BaseException]) -> Optional[OSError]:
+    """The first :class:`OSError` in ``exc``'s explicit cause chain, if any.
+
+    Store wrappers raise :class:`~repro.tiers.file_store.StoreError` *from*
+    the underlying ``OSError``; both the retry classifier and the path-health
+    tracker care about the errno underneath, so they walk ``__cause__``
+    (explicit ``raise ... from`` links only — ``__context__`` would drag in
+    unrelated exceptions that happened to be active).
+    """
+    seen = set()
+    current: Optional[BaseException] = exc
+    while current is not None and id(current) not in seen:
+        seen.add(id(current))
+        if isinstance(current, OSError):
+            return current
+        current = current.__cause__
+    return None
+
+
+#: Errnos worth retrying: the operation may succeed on a healthy path moments
+#: later.  ``ENOSPC`` is deliberately absent — a full device does not drain
+#: itself between backoffs, and the degradation machinery (path quarantine,
+#: checkpoint skip-version) owns that failure mode instead.
+TRANSIENT_ERRNOS: FrozenSet[int] = frozenset(
+    {_errno.EIO, _errno.EAGAIN, _errno.ETIMEDOUT, _errno.EINTR, _errno.EBUSY}
+)
+
+
+@dataclass(frozen=True)
+class IORetryPolicy:
+    """Bounded deterministic retry for transient tier-I/O failures.
+
+    ``attempts`` caps the total tries (1 = no retry).  Between tries the
+    engine sleeps a deterministic exponential backoff —
+    ``backoff_seconds * backoff_factor**(n-1)`` after the *n*-th failed
+    attempt, capped at ``max_backoff_seconds`` — so a failing test replays
+    identically.  ``deadline_seconds`` (0 = none) bounds one *request*:
+    once an attempt would start (or sleep) past the deadline, the request
+    fails with ``timed_out`` set instead of retrying forever against a
+    hung path.
+
+    Only *transient* failures are retried: an ``OSError`` in the cause
+    chain whose errno is in ``transient_errnos``, or a
+    :class:`~repro.tiers.file_store.TruncatedBlobError` (a racing/torn
+    write — rereading observes the replacement blob).  Everything else —
+    ``ENOSPC``, malformed blobs, missing keys, geometry mismatches — fails
+    fast on the first attempt.
+    """
+
+    attempts: int = 3
+    backoff_seconds: float = 0.002
+    backoff_factor: float = 2.0
+    max_backoff_seconds: float = 0.1
+    deadline_seconds: float = 0.0
+    transient_errnos: FrozenSet[int] = TRANSIENT_ERRNOS
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        if self.backoff_seconds < 0:
+            raise ValueError("backoff_seconds must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1.0")
+        if self.max_backoff_seconds < 0:
+            raise ValueError("max_backoff_seconds must be non-negative")
+        if self.deadline_seconds < 0:
+            raise ValueError("deadline_seconds must be non-negative (0 = none)")
+
+    def is_transient(self, exc: BaseException) -> bool:
+        """Whether retrying ``exc`` could plausibly succeed."""
+        if isinstance(exc, TruncatedBlobError):
+            return True
+        os_error = os_error_in_chain(exc)
+        return os_error is not None and os_error.errno in self.transient_errnos
+
+    def backoff(self, failed_attempts: int) -> float:
+        """Sleep before the next try, after ``failed_attempts`` failures."""
+        raw = self.backoff_seconds * self.backoff_factor ** max(0, failed_attempts - 1)
+        return min(self.max_backoff_seconds, raw)
+
+
+#: The default policy when an engine is built without one: no retrying,
+#: byte-for-byte the pre-retry behaviour.
+NO_RETRY = IORetryPolicy(attempts=1)
 
 
 class IOKind(enum.Enum):
@@ -69,6 +156,10 @@ class IOResult:
     #: Result array for reads; ``None`` for writes.
     array: Optional[np.ndarray] = None
     error: Optional[BaseException] = None
+    #: Tries the request took (1 = first attempt succeeded / no retrying).
+    attempts: int = 1
+    #: Whether the request gave up because its retry deadline expired.
+    timed_out: bool = False
 
     @property
     def ok(self) -> bool:
@@ -85,6 +176,12 @@ class TierIOStats:
     write_ops: int = 0
     read_seconds: float = 0.0
     write_seconds: float = 0.0
+    #: Transparent retries that later attempts absorbed (successes included).
+    retries: int = 0
+    #: Requests that failed after exhausting their attempts.
+    failures: int = 0
+    #: The subset of ``failures`` that gave up on the per-request deadline.
+    timeouts: int = 0
 
     @property
     def effective_read_bw(self) -> float:
@@ -121,17 +218,22 @@ def chain_io_result(
     def _after(done: "concurrent.futures.Future[IOResult]") -> None:
         try:
             result = done.result()
-        except BaseException as exc:  # noqa: BLE001 - surfaced via the result
+        except Exception as exc:  # noqa: BLE001 - surfaced via the result
             result = IOResult(
                 request=IORequest(kind=IOKind.WRITE, tier="chained", key=""),
                 nbytes=0,
                 seconds=0.0,
                 error=exc,
             )
+        except BaseException as exc:
+            # KeyboardInterrupt/SystemExit must not be laundered into an
+            # IOResult a caller might merely log — re-raise at the await.
+            chained.set_exception(exc)
+            return
         if result.error is None:
             try:
                 epilogue(result)
-            except BaseException as exc:  # noqa: BLE001 - surfaced via the result
+            except Exception as exc:  # noqa: BLE001 - surfaced via the result
                 result = IOResult(
                     request=result.request,
                     nbytes=result.nbytes,
@@ -139,10 +241,13 @@ def chain_io_result(
                     array=result.array,
                     error=exc,
                 )
+            except BaseException as exc:
+                chained.set_exception(exc)
+                return
         elif on_error is not None:
             try:
                 on_error(result)
-            except BaseException:  # noqa: BLE001 - keep the original error
+            except Exception:  # noqa: BLE001 - keep the original error
                 pass
         chained.set_result(result)
 
@@ -167,6 +272,11 @@ class AsyncIOEngine:
         request acquires the target tier's lease for its worker before
         touching the store, so tier-exclusive concurrency control is enforced
         on the actual I/O path.
+    retry_policy:
+        Optional :class:`IORetryPolicy` applied inside every request's
+        execution: transient failures are retried with deterministic backoff
+        before an error ever reaches the caller's :class:`IOResult`.  Default
+        is :data:`NO_RETRY` (single attempt, the historical behaviour).
     """
 
     def __init__(
@@ -176,6 +286,7 @@ class AsyncIOEngine:
         num_threads: int = 4,
         queue_depth: int = 16,
         lock_manager: Optional[TierLockManager] = None,
+        retry_policy: Optional[IORetryPolicy] = None,
     ) -> None:
         if not stores:
             raise ValueError("at least one store is required")
@@ -185,6 +296,13 @@ class AsyncIOEngine:
             raise ValueError("queue_depth must be >= 1")
         self.stores = dict(stores)
         self.lock_manager = lock_manager
+        self.retry_policy = retry_policy if retry_policy is not None else NO_RETRY
+        #: Optional health observer notified per terminal outcome: an object
+        #: with ``on_success(tier)`` / ``on_failure(tier, error)`` (e.g. the
+        #: path-health tracker in :mod:`repro.core.virtual_tier`).  Set after
+        #: construction; exceptions it raises are swallowed — observation
+        #: must never fail I/O.
+        self.observer = None
         self._pool = concurrent.futures.ThreadPoolExecutor(
             max_workers=num_threads, thread_name_prefix="repro-aio"
         )
@@ -351,15 +469,22 @@ class AsyncIOEngine:
                     return
             nbytes = 0
             seconds = 0.0
+            attempts = 0
             error: Optional[BaseException] = None
             for future in futures:  # part order => deterministic first error
                 try:
                     result = future.result()
-                except BaseException as exc:  # noqa: BLE001 - surfaced via aggregate
+                except Exception as exc:  # noqa: BLE001 - surfaced via aggregate
                     error = error or exc
                     continue
+                except BaseException as exc:
+                    # KeyboardInterrupt/SystemExit: re-raise at the await
+                    # instead of dressing it up as an I/O failure.
+                    aggregate.set_exception(exc)
+                    return
                 nbytes += result.nbytes
                 seconds = max(seconds, result.seconds)
+                attempts = max(attempts, result.attempts)
                 if error is None and not result.ok:
                     error = result.error
             aggregate.set_result(
@@ -369,6 +494,7 @@ class AsyncIOEngine:
                     seconds=seconds,
                     array=None if error is not None else array_on_success,
                     error=error,
+                    attempts=max(1, attempts),
                 )
             )
 
@@ -379,48 +505,94 @@ class AsyncIOEngine:
     # -- execution -------------------------------------------------------
 
     def _execute(self, request: IORequest) -> IOResult:
+        # KeyboardInterrupt/SystemExit deliberately escape every handler
+        # below: the pool future then *raises* at the await instead of
+        # reporting a result, and the finally still releases the queue slot.
         start = time.perf_counter()
+        policy = self.retry_policy
+        deadline = (
+            start + policy.deadline_seconds if policy.deadline_seconds > 0 else None
+        )
         lease = None
+        attempts = 0
+        timed_out = False
+        last_error: Optional[Exception] = None
         try:
             if self.lock_manager is not None:
                 lease = self.lock_manager.acquire(request.tier, request.worker)
             store = self.stores[request.tier]
-            if request.kind is IOKind.READ:
-                if request.out is not None:
-                    array = store.load_into(request.key, request.out)
+            while True:
+                attempts += 1
+                try:
+                    result = self._attempt(request, store, start, attempts)
+                except Exception as exc:  # noqa: BLE001 - reported via the result
+                    last_error = exc
                 else:
-                    array = store.read(request.key)
-                nbytes = int(array.nbytes)
-                result = IOResult(
-                    request=request,
-                    nbytes=nbytes,
-                    seconds=time.perf_counter() - start,
-                    array=array,
-                )
-            else:
-                assert request.array is not None
-                store.write(request.key, request.array)
-                # Account payload bytes (not the small container header) so
-                # read and write counters are directly comparable.
-                nbytes = int(request.array.nbytes)
-                result = IOResult(
-                    request=request, nbytes=nbytes, seconds=time.perf_counter() - start
-                )
-            self._record(request, result)
-            return result
-        except BaseException as exc:  # noqa: BLE001 - error is reported via the result
-            return IOResult(
-                request=request,
-                nbytes=0,
-                seconds=time.perf_counter() - start,
-                error=exc,
-            )
+                    self._record(request, result)
+                    self._notify_observer(request.tier, None)
+                    return result
+                if attempts >= policy.attempts or not policy.is_transient(last_error):
+                    break
+                delay = policy.backoff(attempts)
+                if deadline is not None and time.perf_counter() + delay > deadline:
+                    timed_out = True
+                    break
+                self._record_retry(request.tier)
+                if delay > 0:
+                    time.sleep(delay)
+        except Exception as exc:  # noqa: BLE001 - lease/lookup failure
+            last_error = exc
         finally:
             if lease is not None:
                 lease.release()
             self._slots.release()
             with self._inflight_lock:
                 self._inflight -= 1
+        assert last_error is not None
+        # Tag the error with the tier that produced it: aggregate futures
+        # (striped fan-outs) erase per-part identity, and the degradation
+        # machinery needs to know *which* path died.
+        try:
+            last_error.repro_tier = request.tier  # type: ignore[attr-defined]
+        except AttributeError:  # pragma: no cover - exotic slotted exception
+            pass
+        self._record_failure(request.tier, timed_out=timed_out)
+        self._notify_observer(request.tier, last_error)
+        return IOResult(
+            request=request,
+            nbytes=0,
+            seconds=time.perf_counter() - start,
+            error=last_error,
+            attempts=attempts,
+            timed_out=timed_out,
+        )
+
+    def _attempt(
+        self, request: IORequest, store: FileStore, start: float, attempts: int
+    ) -> IOResult:
+        """One try of ``request`` against ``store`` (raises on failure)."""
+        if request.kind is IOKind.READ:
+            if request.out is not None:
+                array = store.load_into(request.key, request.out)
+            else:
+                array = store.read(request.key)
+            return IOResult(
+                request=request,
+                nbytes=int(array.nbytes),
+                seconds=time.perf_counter() - start,
+                array=array,
+                attempts=attempts,
+            )
+        assert request.array is not None
+        store.write(request.key, request.array)
+        # Account payload bytes (not the small container header) so
+        # read and write counters are directly comparable.
+        return IOResult(
+            request=request,
+            nbytes=int(request.array.nbytes),
+            seconds=time.perf_counter() - start,
+            attempts=attempts,
+        )
 
     def _record(self, request: IORequest, result: IOResult) -> None:
         with self._stats_lock:
@@ -433,6 +605,29 @@ class AsyncIOEngine:
                 stats.bytes_written += result.nbytes
                 stats.write_ops += 1
                 stats.write_seconds += result.seconds
+
+    def _record_retry(self, tier: str) -> None:
+        with self._stats_lock:
+            self._stats[tier].retries += 1
+
+    def _record_failure(self, tier: str, *, timed_out: bool) -> None:
+        with self._stats_lock:
+            stats = self._stats[tier]
+            stats.failures += 1
+            if timed_out:
+                stats.timeouts += 1
+
+    def _notify_observer(self, tier: str, error: Optional[BaseException]) -> None:
+        observer = self.observer
+        if observer is None:
+            return
+        try:
+            if error is None:
+                observer.on_success(tier)
+            else:
+                observer.on_failure(tier, error)
+        except Exception:  # noqa: BLE001 - observation must never fail I/O
+            _LOG.exception("I/O health observer raised; ignoring")
 
     # -- lifecycle & introspection ---------------------------------------
 
@@ -451,6 +646,18 @@ class AsyncIOEngine:
                 write_ops=stats.write_ops,
                 read_seconds=stats.read_seconds,
                 write_seconds=stats.write_seconds,
+                retries=stats.retries,
+                failures=stats.failures,
+                timeouts=stats.timeouts,
+            )
+
+    def retry_totals(self) -> Tuple[int, int, int]:
+        """Engine-wide ``(retries, failures, timeouts)`` across every tier."""
+        with self._stats_lock:
+            return (
+                sum(s.retries for s in self._stats.values()),
+                sum(s.failures for s in self._stats.values()),
+                sum(s.timeouts for s in self._stats.values()),
             )
 
     def drain(self, timeout: Optional[float] = None) -> None:

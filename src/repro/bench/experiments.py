@@ -1996,3 +1996,200 @@ def cost_effectiveness_70b(node: NodeSpec = TESTBED_2) -> ExperimentResult:
     )
     result.add_note("paper: ZeRO-3 is ~7x slower, MLP-Offload ~4.8x slower, on 10x fewer GPUs")
     return result
+
+
+# ---------------------------------------------------------------------------
+# I/O fault resilience — clean vs transient-fault vs dead-path degraded mode
+# ---------------------------------------------------------------------------
+
+def io_fault_resilience_comparison(
+    *,
+    total_params: int = 240_000,
+    subgroup_params: int = 40_000,
+    iterations: int = 7,
+    nvme_read_bw: float = 40e6,
+    pfs_read_bw: float = 25e6,
+    write_bw: float = 160e6,
+    latency: float = 0.0005,
+    io_threads: int = 8,
+    workdir: Optional[Path] = None,
+) -> ExperimentResult:
+    """Training throughput under injected tier-I/O faults on throttled tiers.
+
+    Runs the functional engine three times on identical inputs over a
+    striped NVMe+PFS pair with real-sleeping throttles:
+
+    * **clean** — no faults; the striped fast path.
+    * **transient** — seeded bursts of retryable faults (``EIO``, short
+      reads), each scoped to one subgroup's key stream with fewer faults
+      than the retry budget, so every burst is absorbed in-place.  The
+      headline ``retry_transparency_ratio`` (clean over transient median
+      update time) shows what transparent retries cost: ~1.0.
+    * **degraded** — PFS is dead from the first byte (reads and writes).
+      The first flush fails over, the path is quarantined, and the whole
+      run proceeds single-path on NVMe.  ``degraded_throughput_ratio`` —
+      the degraded run's share of clean throughput (clean median update
+      time over degraded median) — quantifies graceful degradation: it is
+      bounded by the surviving path's bandwidth share, not by timeouts or
+      crashes.
+
+    All three runs must produce bitwise-identical FP16 and FP32 master
+    state — fault tolerance that changes the training trajectory is a
+    silent-corruption bug, not resilience.
+    """
+    from repro.core.config import MLPOffloadConfig, TierConfig
+    from repro.core.engine import MLPOffloadEngine
+    from repro.tiers.faultstore import FaultPlan, FaultRule, arm_faults, clear_faults
+    from repro.train.adam import AdamConfig
+    from repro.train.sharding import build_shard_layout, flat_views
+
+    result = ExperimentResult(
+        experiment="io-fault-resilience",
+        description="Update throughput: clean vs transient faults vs one dead path",
+    )
+    base = Path(workdir) if workdir is not None else Path(tempfile.mkdtemp(prefix="repro-fault-"))
+    layout = build_shard_layout(total_params, num_ranks=1, subgroup_size=subgroup_params)
+    views = flat_views(None, layout, 0)
+    rng = np.random.default_rng(2026)
+    initial = rng.standard_normal(total_params).astype(np.float32)
+    grads = [
+        rng.standard_normal(total_params).astype(np.float32) * 0.1 for _ in range(iterations)
+    ]
+    field_bytes = subgroup_params * 4
+
+    def run(label: str, plan: "Optional[FaultPlan]"):
+        root = base / label
+        (root / "nvme").mkdir(parents=True, exist_ok=True)
+        (root / "pfs").mkdir(parents=True, exist_ok=True)
+        config = MLPOffloadConfig(
+            tiers=(
+                TierConfig("nvme", str(root / "nvme"), read_bw=nvme_read_bw, write_bw=write_bw),
+                TierConfig("pfs", str(root / "pfs"), read_bw=pfs_read_bw, write_bw=write_bw),
+            ),
+            subgroup_size=subgroup_params,
+            host_cache_bytes=0.0,
+            adam=AdamConfig(lr=1e-3),
+            pipeline_update_phase=False,
+            enable_striped_reads=True,
+            stripe_threshold_bytes=float(field_bytes // 2),
+            adaptive_bandwidth=False,
+            io_retry_attempts=3,
+            io_retry_backoff_seconds=0.001,
+            path_quarantine_failures=2,
+            path_probe_interval=4,
+        )
+        throttles = {
+            "nvme": BandwidthThrottle(
+                nvme_read_bw, simulate=False, latency=latency, duplex=True,
+                write_bytes_per_second=write_bw,
+            ),
+            "pfs": BandwidthThrottle(
+                pfs_read_bw, simulate=False, latency=latency, duplex=True,
+                write_bytes_per_second=write_bw,
+            ),
+        }
+        if plan is not None:
+            arm_faults(plan)
+        try:
+            phase_seconds = []
+            retries = 0
+            with MLPOffloadEngine(
+                config, layout, rank=0, throttles=throttles, io_threads=io_threads
+            ) as engine:
+                engine.initialize(initial.copy())
+                fp16 = initial.astype(np.float16)
+                for grad in grads:
+                    for index, view in views.items():
+                        engine.on_backward_gradient(index, grad[view].astype(np.float16))
+                    engine.on_microbatch_complete()
+                    report = engine.run_update(fp16)
+                    phase_seconds.append(report.stats.wall_seconds)
+                master = engine.fetch_master_params()
+                retries, _, _ = engine.tier.engine.retry_totals()
+                health = engine.tier.health_summary()
+                per_path = {
+                    name: engine.tier.engine.tier_stats(name)
+                    for name in engine.tier.tier_names
+                }
+        finally:
+            clear_faults()
+        return fp16, master, phase_seconds, retries, health, per_path
+
+    transient_plan = FaultPlan(
+        [
+            FaultRule(kind="eio", op="write", key="*sg00001*", count=2),
+            FaultRule(kind="eio", op="read", key="*sg00003*", count=2),
+            FaultRule(kind="short-read", op="read", key="*sg00002*", count=1),
+        ]
+    )
+    dead_plan = FaultPlan([FaultRule(kind="dead", tier="pfs", count=0)])
+
+    runs = {
+        "clean": run("clean", None),
+        "transient": run("transient", transient_plan),
+        "degraded": run("degraded", dead_plan),
+    }
+
+    for label, (_, _, seconds, _, _, _) in runs.items():
+        for iteration, update_s in enumerate(seconds):
+            result.add_row(
+                series="trajectory", engine=label, iteration=iteration, update_s=update_s
+            )
+
+    medians = {
+        label: float(np.median(seconds)) for label, (_, _, seconds, _, _, _) in runs.items()
+    }
+    # Ratios of medians: these runs sleep for real on throttled tiers, so a
+    # single descheduled iteration would shift a mean-based ratio by more
+    # than the perf gate's budget while the median shrugs it off.
+    retry_transparency_ratio = (
+        medians["clean"] / medians["transient"] if medians["transient"] > 0 else float("inf")
+    )
+    degraded_throughput_ratio = (
+        medians["clean"] / medians["degraded"] if medians["degraded"] > 0 else float("inf")
+    )
+    fp16_clean, master_clean = runs["clean"][0], runs["clean"][1]
+    bitwise = all(
+        np.array_equal(fp16_clean, runs[label][0])
+        and np.array_equal(master_clean, runs[label][1])
+        for label in ("transient", "degraded")
+    )
+    for label in ("clean", "transient", "degraded"):
+        result.add_row(
+            series="summary",
+            engine=label,
+            median_update_s=medians[label],
+            mean_update_s=float(np.mean(runs[label][2])),
+            retries=runs[label][3],
+        )
+    result.add_row(series="summary", engine="retry_transparency", value=retry_transparency_ratio)
+    result.add_row(series="summary", engine="degraded_throughput", value=degraded_throughput_ratio)
+    result.add_row(
+        series="check",
+        bitwise_identical=bitwise,
+        transient_retries=runs["transient"][3],
+        transient_injected=transient_plan.injected_total,
+        degraded_failovers=runs["degraded"][4]["failovers"],
+        pfs_quarantined=not runs["degraded"][4]["paths"]["pfs"]["healthy"],
+    )
+    for label, (_, _, _, _, _, per_path) in runs.items():
+        for name, stats in per_path.items():
+            result.add_row(
+                series="path_bytes",
+                engine=label,
+                tier=name,
+                bytes_read=stats.bytes_read,
+                bytes_written=stats.bytes_written,
+            )
+    result.add_note(
+        f"transient faults retried transparently at "
+        f"{retry_transparency_ratio:.2f}x clean throughput "
+        f"({runs['transient'][3]} retries absorbed, bitwise-identical result)"
+    )
+    result.add_note(
+        f"one dead path of a {nvme_read_bw / 1e6:.0f}+{pfs_read_bw / 1e6:.0f} MB/s pair retains "
+        f"{degraded_throughput_ratio:.0%} of clean throughput on the survivor "
+        f"(bandwidth share bound {nvme_read_bw / (nvme_read_bw + pfs_read_bw):.0%}) "
+        "instead of crashing or wedging"
+    )
+    return result

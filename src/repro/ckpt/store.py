@@ -20,6 +20,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import TYPE_CHECKING, Dict, Mapping, Optional
 
+from repro.tiers import faultstore
 from repro.tiers.file_store import FileStore
 
 if TYPE_CHECKING:  # pragma: no cover - break the core <-> ckpt import cycle
@@ -55,4 +56,6 @@ def build_blob_stores(
         if throttles is not None:
             throttle = throttles.get(name)  # type: ignore[assignment]
         stores[name] = FileStore(root, name=name, throttle=throttle)
-    return stores
+    # Same injection point as the virtual tier's stores: an armed fault plan
+    # (chaos tests) covers checkpoint blob traffic too.  No-op otherwise.
+    return faultstore.maybe_wrap(stores)

@@ -37,6 +37,7 @@ failed checkpoint can never be silently lost.
 
 from __future__ import annotations
 
+import errno
 import threading
 import time
 from dataclasses import dataclass, field
@@ -44,7 +45,7 @@ from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional, Sequence, 
 
 import numpy as np
 
-from repro.aio.engine import AsyncIOEngine
+from repro.aio.engine import AsyncIOEngine, os_error_in_chain
 from repro.ckpt.manifest import (
     BlobRef,
     BlobSegment,
@@ -59,7 +60,7 @@ from repro.ckpt.faults import fault_point
 from repro.ckpt.store import CAS_PREFIX, build_blob_stores
 from repro.codec import RAW_CODEC, encoded_frame, get_codec
 from repro.tiers.array_pool import ArrayPool
-from repro.tiers.file_store import element_count
+from repro.tiers.file_store import StoreError, element_count
 from repro.tiers.spec import plan_stripes
 from repro.util.logging import get_logger
 
@@ -69,6 +70,27 @@ if TYPE_CHECKING:  # pragma: no cover - break the core <-> ckpt import cycle
     from repro.core.virtual_tier import TierBlobRef, VirtualTier
 
 _LOG = get_logger("ckpt.writer")
+
+
+def capacity_exhausted(error: BaseException) -> bool:
+    """Whether ``error`` means a checkpoint store ran out of space.
+
+    Covers a real ``ENOSPC`` anywhere in the cause chain (the async engine
+    preserves it through its retry wrapper — ``ENOSPC`` is deliberately not
+    in its transient set) and the :class:`FileStore` soft capacity limit.
+    Out-of-space is an *availability* condition the writer degrades through
+    (skip the version, keep training), unlike corruption or logic errors
+    which must surface.
+    """
+    chained = os_error_in_chain(error)
+    if chained is not None and chained.errno == errno.ENOSPC:
+        return True
+    current: Optional[BaseException] = error
+    while current is not None:
+        if isinstance(current, StoreError) and "capacity exceeded" in str(current):
+            return True
+        current = current.__cause__
+    return False
 
 
 @dataclass
@@ -101,6 +123,11 @@ class PendingCheckpoint:
 
     def __init__(self, version: int) -> None:
         self.version = version
+        #: True when the drain abandoned this version on an out-of-space
+        #: condition instead of committing it (see ``capacity_exhausted``).
+        #: ``wait()`` then returns normally — the skip is a degradation the
+        #: caller can observe, not a failure it must handle.
+        self.skipped = False
         self._done = threading.Event()
         self._error: Optional[BaseException] = None
         self._thread: Optional[threading.Thread] = None
@@ -219,6 +246,9 @@ class CheckpointWriter:
         self.registry_push_seconds = 0.0
         self.registry_push_failures = 0
         self._registry = None  # lazy RegistryClient, drain-thread only
+        #: Checkpoint versions abandoned because a store ran out of space
+        #: mid-drain (training continued; the previous version stands).
+        self.skipped_versions = 0
 
     # -- public API --------------------------------------------------------
 
@@ -620,8 +650,25 @@ class CheckpointWriter:
         except BaseException as exc:  # noqa: BLE001 - surfaced via wait()
             if in_drain_window:
                 self.coordinator.drain_end(self.worker)
-            _LOG.error("checkpoint v%d drain failed: %s", pending.version, exc)
-            pending._finish(exc)
+            if isinstance(exc, Exception) and capacity_exhausted(exc):
+                # Out of space mid-drain: abandon THIS version, not training.
+                # No manifest was committed, so the previous version stays
+                # authoritative; the partial staged blobs this drain already
+                # landed are content-addressed orphans a later successful
+                # drain's GC sweeps.  wait() reports success with the handle
+                # flagged skipped — a missed snapshot is a wider recovery
+                # window, never a correctness problem.
+                self.skipped_versions += 1
+                pending.skipped = True
+                _LOG.warning(
+                    "checkpoint v%d skipped: store out of space during drain (%s)",
+                    pending.version,
+                    exc,
+                )
+                pending._finish(None)
+            else:
+                _LOG.error("checkpoint v%d drain failed: %s", pending.version, exc)
+                pending._finish(exc)
         finally:
             self._release([item.array for item in staged_items] + encoded)
 

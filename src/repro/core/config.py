@@ -207,6 +207,26 @@ class MLPOffloadConfig:
     adaptive_bandwidth: bool = True
     #: EWMA smoothing factor for the adaptive bandwidth estimate.
     bandwidth_smoothing: float = 0.5
+    #: Total tries the async engine gives each tier I/O request (1 = no
+    #: retry).  Transient failures (EIO-class errnos, torn-blob reads) are
+    #: retried with deterministic exponential backoff before an error ever
+    #: surfaces; fatal failures (ENOSPC, malformed blobs) fail fast.
+    io_retry_attempts: int = 3
+    #: Base backoff before the second attempt; doubles per further attempt
+    #: (capped at 100 ms).
+    io_retry_backoff_seconds: float = 0.002
+    #: Per-request wall-clock budget across all attempts (0 = unbounded).
+    #: Once exceeded, the request fails with ``timed_out`` set instead of
+    #: retrying against a hung path forever.
+    io_deadline_seconds: float = 0.0
+    #: Consecutive *fatal* engine failures after which a physical path is
+    #: quarantined — flushes and prefetch plans re-route onto the surviving
+    #: paths until a recovery probe succeeds.  0 disables path health
+    #: tracking entirely.
+    path_quarantine_failures: int = 3
+    #: Update phases between recovery probes of a quarantined path (a small
+    #: write+read+delete round trip; success re-admits the path).
+    path_probe_interval: int = 8
 
     def __post_init__(self) -> None:
         if not self.tiers:
@@ -254,6 +274,16 @@ class MLPOffloadConfig:
             raise ValueError("stripe_paths must be non-negative (0 = all tiers)")
         if not 0.0 < self.bandwidth_smoothing <= 1.0:
             raise ValueError("bandwidth_smoothing must be in (0, 1]")
+        if self.io_retry_attempts < 1:
+            raise ValueError("io_retry_attempts must be >= 1 (1 = no retry)")
+        if self.io_retry_backoff_seconds < 0:
+            raise ValueError("io_retry_backoff_seconds must be non-negative")
+        if self.io_deadline_seconds < 0:
+            raise ValueError("io_deadline_seconds must be non-negative (0 = unbounded)")
+        if self.path_quarantine_failures < 0:
+            raise ValueError("path_quarantine_failures must be >= 0 (0 = disabled)")
+        if self.path_probe_interval < 1:
+            raise ValueError("path_probe_interval must be >= 1")
 
     # -- convenience accessors -------------------------------------------
 
@@ -371,6 +401,11 @@ class MLPOffloadConfig:
                 "stripe_paths": self.stripe_paths,
                 "adaptive_bandwidth": self.adaptive_bandwidth,
                 "bandwidth_smoothing": self.bandwidth_smoothing,
+                "io_retry_attempts": self.io_retry_attempts,
+                "io_retry_backoff_seconds": self.io_retry_backoff_seconds,
+                "io_deadline_seconds": self.io_deadline_seconds,
+                "path_quarantine_failures": self.path_quarantine_failures,
+                "path_probe_interval": self.path_probe_interval,
                 "adam": asdict(self.adam),
             }
         }
@@ -422,6 +457,11 @@ class MLPOffloadConfig:
             adam=adam,
             adaptive_bandwidth=bool(block.get("adaptive_bandwidth", True)),
             bandwidth_smoothing=float(block.get("bandwidth_smoothing", 0.5)),
+            io_retry_attempts=int(block.get("io_retry_attempts", 3)),
+            io_retry_backoff_seconds=float(block.get("io_retry_backoff_seconds", 0.002)),
+            io_deadline_seconds=float(block.get("io_deadline_seconds", 0.0)),
+            path_quarantine_failures=int(block.get("path_quarantine_failures", 3)),
+            path_probe_interval=int(block.get("path_probe_interval", 8)),
         )
 
     @classmethod

@@ -368,6 +368,8 @@ class OffloadEngineBase:
             self._drain_grad_flushes()
             stats.grad_drain_seconds = time.perf_counter() - drain_start
         io_before = self.tier.io_summary()
+        retries_before, _, _ = self.tier.engine.retry_totals()
+        failovers_before = self.tier.failover_count
 
         indices = [sg.index for sg in self.subgroups]
         order_positions = update_order(
@@ -418,6 +420,10 @@ class OffloadEngineBase:
             stats.flush_bytes = int(extra_write_bytes)
         if extra_write_seconds > stats.flush_seconds:
             stats.flush_seconds = extra_write_seconds
+
+        retries_after, _, _ = self.tier.engine.retry_totals()
+        stats.io_retries = int(retries_after - retries_before)
+        stats.io_failovers = int(self.tier.failover_count - failovers_before)
 
         stats.wall_seconds = time.perf_counter() - wall_start
         self.accumulator.reset()

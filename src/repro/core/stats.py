@@ -33,6 +33,12 @@ class UpdatePhaseStats:
     #: Time spent draining async backward-phase gradient flushes at the
     #: start of the update phase (FLUSH_FP32 policy with pipelining on).
     grad_drain_seconds: float = 0.0
+    #: Transient tier-I/O failures absorbed by the engine's retry policy
+    #: during this phase (the training loop never saw them).
+    io_retries: int = 0
+    #: Flushes/prefetches transparently re-routed off a failed path during
+    #: this phase (degraded-mode failover rewrites).
+    io_failovers: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -77,6 +83,8 @@ class UpdatePhaseStats:
             skipped_flushes=self.skipped_flushes + other.skipped_flushes,
             prefetch_depth=max(self.prefetch_depth, other.prefetch_depth),
             grad_drain_seconds=self.grad_drain_seconds + other.grad_drain_seconds,
+            io_retries=self.io_retries + other.io_retries,
+            io_failovers=self.io_failovers + other.io_failovers,
         )
 
 

@@ -19,13 +19,21 @@ from repro.tiers.spec import (
     StorageTierSpec,
     StripeExtent,
     TierKind,
+    degraded_weights,
     plan_stripes,
     testbed_by_name,
 )
 from repro.tiers.array_pool import ArrayPool, ArrayPoolStats, scatter_views
-from repro.tiers.striped_store import StripedStore, StripePart
+from repro.tiers.striped_store import DegradedReadError, StripedStore, StripePart
 from repro.tiers.device import DeviceMemory, MemoryAccountant, OutOfMemoryError
-from repro.tiers.file_store import FileStore, StoreError, blob_nbytes
+from repro.tiers.faultstore import (
+    FaultInjectingStore,
+    FaultPlan,
+    FaultRule,
+    arm_faults,
+    clear_faults,
+)
+from repro.tiers.file_store import FileStore, StoreError, TruncatedBlobError, blob_nbytes
 from repro.tiers.host_buffer import BufferPool, BufferPoolExhausted, PinnedBuffer
 from repro.tiers.mmap_store import MmapFileStore
 from repro.tiers.host_cache import CacheEntry, HostSubgroupCache
@@ -37,8 +45,16 @@ __all__ = [
     "StripedStore",
     "StripePart",
     "StripeExtent",
+    "DegradedReadError",
+    "FaultInjectingStore",
+    "FaultPlan",
+    "FaultRule",
+    "arm_faults",
+    "clear_faults",
+    "degraded_weights",
     "plan_stripes",
     "blob_nbytes",
+    "TruncatedBlobError",
     "TierKind",
     "StorageTierSpec",
     "NodeSpec",

@@ -126,6 +126,17 @@ class StoreError(RuntimeError):
     """Raised for malformed blobs, missing keys or I/O failures in a store."""
 
 
+class TruncatedBlobError(StoreError):
+    """A blob's payload ended early (torn write, racing truncation, bad media).
+
+    Separated from the parent because truncation is the one *retryable*
+    store-level corruption: a concurrent writer may have replaced the blob
+    mid-read, and the retry policy in :mod:`repro.aio.engine` classifies it
+    as transient.  Malformed headers, missing keys and geometry mismatches
+    stay plain :class:`StoreError` — retrying those cannot help.
+    """
+
+
 @dataclass(frozen=True)
 class StoreStats:
     """Cumulative I/O counters for one :class:`FileStore`."""
@@ -307,7 +318,7 @@ class FileStore:
         header_size = struct.calcsize(_HEADER_FMT)
         head = handle.read(header_size)
         if len(head) < header_size:
-            raise StoreError(f"blob for {key!r} is truncated")
+            raise TruncatedBlobError(f"blob for {key!r} is truncated")
         magic, version, dtype_len, ndim = struct.unpack(_HEADER_FMT, head)
         if magic != _MAGIC:
             raise StoreError(f"blob for {key!r} has invalid magic {magic!r}")
@@ -316,7 +327,7 @@ class FileStore:
         extra_len = dtype_len + 8 * ndim
         extra = handle.read(extra_len)
         if len(extra) < extra_len:
-            raise StoreError(f"blob for {key!r} is truncated")
+            raise TruncatedBlobError(f"blob for {key!r} is truncated")
         dtype_name = extra[:dtype_len].decode("ascii", errors="replace")
         if dtype_name not in _SUPPORTED_DTYPES:
             raise StoreError(f"blob for {key!r} has unsupported dtype {dtype_name!r}")
@@ -343,7 +354,10 @@ class FileStore:
         count = element_count(shape)
         expected = count * dtype.itemsize
         if total - meta_len != expected:
-            raise StoreError(
+            # A *short* payload is a torn/racing write — retryable; a *long*
+            # one is foreign data and retrying cannot help.
+            exc_type = TruncatedBlobError if total - meta_len < expected else StoreError
+            raise exc_type(
                 f"blob for {key!r} has {total - meta_len} payload bytes, expected {expected}"
             )
         return dtype, shape, ndim, count, expected
@@ -353,7 +367,7 @@ class FileStore:
         """Fill ``flat`` (a flat contiguous array) from ``handle``; verify length."""
         got = handle.readinto(memoryview(flat))
         if got != expected:
-            raise StoreError(f"blob for {key!r} is truncated")
+            raise TruncatedBlobError(f"blob for {key!r} is truncated")
 
     def _account_read(self, total: int, elapsed: float) -> None:
         if self.throttle is not None:
@@ -403,13 +417,24 @@ class FileStore:
         import time
 
         start = time.perf_counter()
-        with open(tmp, "wb") as handle:
-            handle.write(meta)
-            handle.write(memoryview(contiguous.reshape(-1)))
-            if self.fsync:
-                handle.flush()
-                os.fsync(handle.fileno())
-        os.replace(tmp, path)
+        try:
+            with open(tmp, "wb") as handle:
+                handle.write(meta)
+                handle.write(memoryview(contiguous.reshape(-1)))
+                if self.fsync:
+                    handle.flush()
+                    os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            # Torn-write safety: a failed write must never leave its partial
+            # temp behind (the rename never ran, so the *key* was never at
+            # risk; this is disk hygiene so ENOSPC retries are not fighting
+            # their own garbage).
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
         elapsed += time.perf_counter() - start
         with self._lock:
             self._sizes[key] = total
@@ -507,7 +532,7 @@ class FileStore:
                 piece = view[offset : offset + min(chunk_bytes, expected - offset)]
                 got = handle.readinto(piece)
                 if got != len(piece):
-                    raise StoreError(f"blob for {key!r} is truncated")
+                    raise TruncatedBlobError(f"blob for {key!r} is truncated")
                 if hasher is not None:
                     hasher.update(piece)
                 offset += len(piece)
@@ -621,14 +646,21 @@ class FileStore:
         tmp = self._tmp_path(path)
         copied = False
         try:
-            os.link(source, tmp)
-        except OSError:
-            shutil.copyfile(source, tmp)
-            copied = True
-        if self.fsync and copied:
-            with open(tmp, "rb") as handle:
-                os.fsync(handle.fileno())
-        os.replace(tmp, path)
+            try:
+                os.link(source, tmp)
+            except OSError:
+                shutil.copyfile(source, tmp)
+                copied = True
+            if self.fsync and copied:
+                with open(tmp, "rb") as handle:
+                    os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
         if self.fsync:
             # Make the new directory entry durable (the linked inode's data
             # is already on disk; only the name is new).

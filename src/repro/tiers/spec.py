@@ -336,6 +336,30 @@ def plan_stripes(
     return tuple(extents)
 
 
+def degraded_weights(
+    weights: Sequence[float], healthy: Sequence[bool]
+) -> Tuple[float, ...]:
+    """Mask Equation-1 bandwidth weights down to the surviving paths.
+
+    Zeroes the weight of every quarantined path so :func:`plan_stripes`
+    routes its share onto the survivors.  Guarantees the result is valid for
+    ``plan_stripes`` (at least one positive weight) whenever *any* path is
+    healthy: if every healthy path's estimated weight is zero — the
+    estimator has no signal yet, or only zero-weight paths survived — the
+    healthy paths fall back to an equal split.  With *no* healthy path the
+    weights are returned unmasked: the caller is already past graceful
+    degradation and should surface a typed error, not crash apportionment.
+    """
+    if len(weights) != len(healthy):
+        raise ValueError(f"expected {len(weights)} health flags, got {len(healthy)}")
+    if not any(healthy):
+        return tuple(float(w) for w in weights)
+    masked = tuple(float(w) if ok else 0.0 for w, ok in zip(weights, healthy))
+    if sum(masked) > 0:
+        return masked
+    return tuple(1.0 if ok else 0.0 for ok in healthy)
+
+
 def _make_testbed_1() -> NodeSpec:
     nvme = StorageTierSpec(
         name="nvme",

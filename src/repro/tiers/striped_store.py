@@ -73,6 +73,32 @@ _DTYPE_CODES: Dict[str, int] = {name: i for i, name in enumerate(sorted(_SUPPORT
 _CODE_DTYPES: Dict[int, str] = {code: name for name, code in _DTYPE_CODES.items()}
 
 
+class DegradedReadError(StoreError):
+    """A striped read could not be satisfied because a stripe path is down.
+
+    Raised when a key's recorded layout references a quarantined/dead path
+    and no redundant copy (whole-blob fallback) exists to fail over to.  The
+    error is *typed* and carries the failed paths so the caller — a restore
+    orchestrator, an operator — can answer "which path do I need back?"
+    without parsing messages.
+
+    Attributes
+    ----------
+    key:
+        The logical key whose read failed.
+    tiers:
+        Names of the backend paths that failed, in failure order.
+    """
+
+    def __init__(self, key: str, tiers: Sequence[str], message: Optional[str] = None):
+        self.key = key
+        self.tiers = tuple(tiers)
+        super().__init__(
+            message
+            or f"striped read of {key!r} failed: path(s) {list(self.tiers)} unavailable"
+        )
+
+
 @dataclass(frozen=True)
 class StripePart:
     """One stripe's worth of I/O: which backend, which blob key, which slice.
@@ -680,6 +706,26 @@ class StripedStore:
         """
         manifest = self._load_manifest(key)
         return manifest.extents if manifest is not None else None
+
+    def paths_of(self, key: str) -> Tuple[str, ...]:
+        """Backend names ``key``'s bytes currently live on (manifest included).
+
+        Striped keys report the primary (manifest) plus every path holding a
+        stripe; unstriped keys report just the primary.  The degradation
+        machinery uses this to answer "does reading this key touch the
+        quarantined path?" without issuing any I/O.
+        """
+        manifest = self._load_manifest(key)
+        if manifest is None:
+            return (self.primary.name,)
+        names = [self.primary.name]
+        for ext in manifest.extents:
+            if ext.path >= self.num_paths:
+                continue
+            name = self.backends[ext.path].name
+            if name not in names:
+                names.append(name)
+        return tuple(names)
 
     def contains(self, key: str) -> bool:
         return self.primary.contains(key) or self.is_striped(key)

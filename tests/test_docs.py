@@ -109,6 +109,34 @@ def test_architecture_guide_documents_registry_service():
         assert anchor in text, f"registry section does not mention {anchor}"
 
 
+def test_readme_documents_fault_tolerance():
+    text = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    for anchor in (
+        "REPRO_IO_FAULT",
+        "examples/degraded_path.py",
+        "BENCH_io_faults.json",
+        "DegradedReadError",
+        "fault-smoke",
+    ):
+        assert anchor in text, f"README fault-tolerance section does not mention {anchor}"
+
+
+def test_architecture_guide_documents_fault_tolerance():
+    text = (REPO_ROOT / "docs" / "architecture.md").read_text(encoding="utf-8")
+    for anchor in (
+        "repro.tiers.faultstore",
+        "FaultPlan",
+        "IORetryPolicy",
+        "PathHealth",
+        "degraded_weights",
+        "DegradedReadError",
+        "path_quarantine_failures",
+        "skipped_versions",
+        "TruncatedBlobError",
+    ):
+        assert anchor in text, f"fault-tolerance section does not mention {anchor}"
+
+
 def test_readme_documents_sweep_cli():
     text = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
     for anchor in (

@@ -1,0 +1,219 @@
+"""Unit tests for the async engine's retry policy and failure surfacing."""
+
+import errno
+import threading
+
+import numpy as np
+import pytest
+
+from repro.aio.engine import (
+    NO_RETRY,
+    TRANSIENT_ERRNOS,
+    AsyncIOEngine,
+    IORetryPolicy,
+    os_error_in_chain,
+)
+from repro.tiers.faultstore import FaultInjectingStore, FaultPlan, FaultRule
+from repro.tiers.file_store import FileStore, StoreError, TruncatedBlobError
+
+
+@pytest.fixture
+def store(tmp_path):
+    return FileStore(tmp_path / "tier", name="nvme")
+
+
+def _engine(store, *rules, policy=None, **kwargs):
+    wrapped = FaultInjectingStore(store, FaultPlan(rules))
+    return AsyncIOEngine({store.name: wrapped}, retry_policy=policy, **kwargs)
+
+
+class TestIORetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IORetryPolicy(attempts=0)
+        with pytest.raises(ValueError):
+            IORetryPolicy(backoff_seconds=-1)
+        with pytest.raises(ValueError):
+            IORetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            IORetryPolicy(deadline_seconds=-1)
+
+    def test_transient_classification(self):
+        policy = IORetryPolicy()
+        for code in TRANSIENT_ERRNOS:
+            assert policy.is_transient(OSError(code, "x"))
+        assert not policy.is_transient(OSError(errno.ENOSPC, "full"))
+        assert not policy.is_transient(ValueError("not I/O"))
+        assert not policy.is_transient(StoreError("no blob for key"))
+        # Truncation means a torn/concurrent write raced the read: retryable.
+        assert policy.is_transient(TruncatedBlobError("short"))
+        # Wrapped OSErrors found through the cause chain still classify.
+        wrapped = StoreError("outer")
+        wrapped.__cause__ = OSError(errno.EIO, "inner")
+        assert policy.is_transient(wrapped)
+
+    def test_backoff_progression_is_capped(self):
+        policy = IORetryPolicy(backoff_seconds=0.01, backoff_factor=2.0, max_backoff_seconds=0.03)
+        assert policy.backoff(1) == pytest.approx(0.01)
+        assert policy.backoff(2) == pytest.approx(0.02)
+        assert policy.backoff(3) == pytest.approx(0.03)
+        assert policy.backoff(10) == pytest.approx(0.03)
+
+    def test_os_error_in_chain_walks_causes_only(self):
+        inner = OSError(errno.EIO, "device")
+        mid = StoreError("mid")
+        mid.__cause__ = inner
+        outer = RuntimeError("outer")
+        outer.__cause__ = mid
+        assert os_error_in_chain(outer) is inner
+        context_only = StoreError("ctx")
+        context_only.__context__ = inner  # suppressed context must not count
+        assert os_error_in_chain(context_only) is None
+
+
+class TestEngineRetries:
+    def test_transient_eio_is_absorbed(self, store):
+        payload = np.arange(32, dtype=np.float32)
+        store.save_from("k", payload)
+        policy = IORetryPolicy(attempts=3, backoff_seconds=0.001)
+        with _engine(store, FaultRule(kind="eio", op="read", count=2), policy=policy) as engine:
+            result = engine.read("nvme", "k").result()
+            assert result.ok
+            assert result.attempts == 3
+            np.testing.assert_array_equal(result.array, payload)
+            stats = engine.tier_stats("nvme")
+            assert stats.retries == 2
+            assert stats.failures == 0
+            assert engine.retry_totals() == (2, 0, 0)
+
+    def test_exhausted_attempts_surface_with_tier_tag(self, store):
+        policy = IORetryPolicy(attempts=2, backoff_seconds=0.001)
+        with _engine(store, FaultRule(kind="dead", op="write", count=0), policy=policy) as engine:
+            result = engine.write("nvme", "k", np.zeros(8, dtype=np.float32)).result()
+            assert not result.ok
+            assert result.attempts == 2
+            assert isinstance(result.error, OSError)
+            assert getattr(result.error, "repro_tier") == "nvme"
+            stats = engine.tier_stats("nvme")
+            assert stats.retries == 1  # one wasted retry before giving up
+            assert stats.failures == 1
+
+    def test_enospc_is_never_retried(self, store):
+        policy = IORetryPolicy(attempts=5, backoff_seconds=0.001)
+        with _engine(store, FaultRule(kind="enospc", op="write", count=0), policy=policy) as engine:
+            result = engine.write("nvme", "k", np.zeros(8, dtype=np.float32)).result()
+            assert not result.ok
+            assert result.attempts == 1  # capacity handling owns ENOSPC
+            assert engine.retry_totals() == (0, 1, 0)
+
+    def test_deadline_stops_retrying(self, store):
+        policy = IORetryPolicy(attempts=10, backoff_seconds=10.0, deadline_seconds=0.05)
+        with _engine(store, FaultRule(kind="dead", op="read", count=0), policy=policy) as engine:
+            result = engine.read("nvme", "k").result()
+            assert not result.ok
+            assert result.timed_out
+            assert result.attempts == 1  # the 10 s backoff would blow the deadline
+            assert engine.retry_totals() == (0, 1, 1)
+
+    def test_default_policy_is_no_retry(self, store):
+        with _engine(store, FaultRule(kind="eio", op="read", count=1)) as engine:
+            assert engine.retry_policy is NO_RETRY
+            store.save_from("k", np.arange(4, dtype=np.float32))
+            result = engine.read("nvme", "k").result()
+            assert not result.ok and result.attempts == 1
+
+    def test_truncated_blob_read_retries(self, store):
+        payload = np.arange(16, dtype=np.float32)
+        store.save_from("k", payload)
+        policy = IORetryPolicy(attempts=2, backoff_seconds=0.001)
+        with _engine(
+            store, FaultRule(kind="short-read", op="read", count=1), policy=policy
+        ) as engine:
+            result = engine.read("nvme", "k").result()
+            assert result.ok and result.attempts == 2
+
+
+class TestObserver:
+    class Recorder:
+        def __init__(self):
+            self.events = []
+            self.lock = threading.Lock()
+
+        def on_success(self, tier):
+            with self.lock:
+                self.events.append(("ok", tier))
+
+        def on_failure(self, tier, error):
+            with self.lock:
+                self.events.append(("fail", tier, type(error).__name__))
+
+    def test_observer_sees_terminal_outcomes_only(self, store):
+        recorder = self.Recorder()
+        payload = np.arange(8, dtype=np.float32)
+        store.save_from("k", payload)
+        policy = IORetryPolicy(attempts=3, backoff_seconds=0.001)
+        with _engine(
+            store,
+            FaultRule(kind="eio", op="read", count=2),
+            FaultRule(kind="dead", op="write", count=0),
+            policy=policy,
+        ) as engine:
+            engine.observer = recorder
+            assert engine.read("nvme", "k").result().ok
+            assert not engine.write("nvme", "w", payload).result().ok
+        assert ("ok", "nvme") in recorder.events
+        assert ("fail", "nvme", "OSError") in recorder.events
+        # Two absorbed retries, one terminal success, one terminal failure:
+        # the observer must see exactly the two terminal outcomes.
+        assert len(recorder.events) == 2
+
+    def test_misbehaving_observer_is_contained(self, store):
+        class Bomb:
+            def on_success(self, tier):
+                raise RuntimeError("observer bug")
+
+            def on_failure(self, tier, error):
+                raise RuntimeError("observer bug")
+
+        store.save_from("k", np.arange(4, dtype=np.float32))
+        with AsyncIOEngine({store.name: store}) as engine:
+            engine.observer = Bomb()
+            result = engine.read("nvme", "k").result()
+            assert result.ok  # the observer's exception never leaks
+
+
+class TestInterruptSafety:
+    """Regression: KeyboardInterrupt/SystemExit must escape, not become IOResults."""
+
+    class InterruptingStore:
+        name = "nvme"
+
+        def __init__(self, inner):
+            self.inner = inner
+            self.interrupts_left = 1
+
+        def __getattr__(self, attr):
+            return getattr(self.inner, attr)
+
+        def read(self, key):
+            if self.interrupts_left > 0:
+                self.interrupts_left -= 1
+                raise KeyboardInterrupt
+            return self.inner.read(key)
+
+    def test_keyboard_interrupt_propagates_and_engine_survives(self, store):
+        payload = np.arange(8, dtype=np.float32)
+        store.save_from("k", payload)
+        interrupting = self.InterruptingStore(store)
+        policy = IORetryPolicy(attempts=3, backoff_seconds=0.001)
+        with AsyncIOEngine({"nvme": interrupting}, retry_policy=policy) as engine:
+            with pytest.raises(KeyboardInterrupt):
+                engine.read("nvme", "k").result()
+            # No retry may have swallowed the interrupt as a "transient".
+            assert engine.retry_totals() == (0, 0, 0)
+            # Slots and inflight accounting were still released: the engine
+            # keeps serving and drains clean.
+            result = engine.read("nvme", "k").result()
+            assert result.ok
+            np.testing.assert_array_equal(result.array, payload)
+            engine.drain(timeout=5.0)

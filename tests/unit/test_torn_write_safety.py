@@ -1,0 +1,144 @@
+"""Torn-write safety: failed writes leave no partial state, readers reject stubs.
+
+The store's discipline is temp+``os.replace``: a crash or error anywhere
+before the rename can never corrupt the published key.  These tests pin the
+two halves of that contract — (1) a failed ``save_from`` cleans its temp
+file up and leaves any previous value of the key intact, and (2) a
+truncated blob that somehow *does* land under a final key (the fault
+injector's ``torn-write``, modelling a legacy writer crashing mid-stream,
+or a kill-during-rename on a non-atomic filesystem) is rejected by every
+read path with :class:`TruncatedBlobError`, never silently short-read.
+"""
+
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.tiers.faultstore import FaultInjectingStore, FaultPlan, FaultRule
+from repro.tiers.file_store import FileStore, StoreError, TruncatedBlobError
+
+
+@pytest.fixture
+def store(tmp_path):
+    return FileStore(tmp_path / "tier", name="nvme")
+
+
+def _tmp_files(store):
+    return [p for p in store.root.iterdir() if p.suffix == ".tmp"]
+
+
+class TestFailedWriteHygiene:
+    def test_failed_replace_removes_temp_and_keeps_old_value(self, store, monkeypatch):
+        old = np.arange(8, dtype=np.float32)
+        store.save_from("k", old)
+
+        def boom(src, dst):
+            raise OSError("injected rename failure")
+
+        monkeypatch.setattr("repro.tiers.file_store.os.replace", boom)
+        with pytest.raises(OSError, match="injected rename"):
+            store.save_from("k", np.zeros(8, dtype=np.float32))
+        monkeypatch.undo()
+        assert _tmp_files(store) == []
+        out = np.empty_like(old)
+        store.load_into("k", out)
+        np.testing.assert_array_equal(out, old)
+
+    def test_failed_payload_write_removes_temp(self, store, monkeypatch):
+        real_open = open
+        calls = {"n": 0}
+
+        class FailingHandle:
+            def __init__(self, handle):
+                self._handle = handle
+                self._writes = 0
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return self._handle.__exit__(*exc)
+
+            def write(self, data):
+                self._writes += 1
+                if self._writes == 2:  # the payload write, after the header
+                    raise OSError("injected mid-stream failure")
+                return self._handle.__enter__().write(data)
+
+        def patched_open(path, mode="r", *args, **kwargs):
+            if mode == "wb" and str(path).endswith(".tmp"):
+                calls["n"] += 1
+                return FailingHandle(real_open(path, mode, *args, **kwargs))
+            return real_open(path, mode, *args, **kwargs)
+
+        monkeypatch.setattr("builtins.open", patched_open)
+        with pytest.raises(OSError, match="mid-stream"):
+            store.save_from("k", np.arange(64, dtype=np.float32))
+        monkeypatch.undo()
+        assert calls["n"] == 1
+        assert _tmp_files(store) == []
+        assert not store.contains("k")
+
+    def test_sigkill_during_write_leaves_temp_not_key(self, tmp_path):
+        """A SIGKILLed writer can leave a temp file, never a torn final key —
+        and the next store construction sweeps the orphan."""
+        root = tmp_path / "tier"
+        script = (
+            "import os, threading, numpy as np\n"
+            "from repro.tiers.file_store import FileStore\n"
+            f"store = FileStore({str(root)!r}, name='nvme')\n"
+            "real_replace = os.replace\n"
+            "def die(src, dst):\n"
+            "    os.kill(os.getpid(), 9)\n"
+            "import repro.tiers.file_store as fs\n"
+            "fs.os.replace = die\n"
+            "store.save_from('k', np.arange(1024, dtype=np.float32))\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run([sys.executable, "-c", script], env=env, cwd=os.getcwd(), timeout=60)
+        assert proc.returncode == -9
+        leftovers = list(root.iterdir())
+        assert all(p.suffix == ".tmp" for p in leftovers)
+        survivor = FileStore(root, name="nvme")
+        assert not survivor.contains("k")
+        assert _tmp_files(survivor) == []  # constructor swept the orphan
+
+
+class TestTruncatedBlobRejection:
+    def test_torn_final_key_raises_typed_error_on_every_read_path(self, store):
+        payload = np.arange(256, dtype=np.float32)
+        injector = FaultInjectingStore(
+            store, FaultPlan([FaultRule(kind="torn-write", op="write", count=1)])
+        )
+        with pytest.raises(OSError):
+            injector.save_from("k", payload)
+        assert store.contains("k")  # the torn stub IS visible...
+        with pytest.raises(TruncatedBlobError):  # ...but no read accepts it
+            store.read("k")
+        with pytest.raises(TruncatedBlobError):
+            store.load_into("k", np.empty_like(payload))
+        with pytest.raises(TruncatedBlobError):
+            store.load_into_chunks("k", np.empty_like(payload))
+
+    def test_truncated_header_raises_typed_error(self, store):
+        store.save_from("k", np.arange(8, dtype=np.float32))
+        path = store.path_of("k")
+        path.write_bytes(path.read_bytes()[:3])  # not even a full header
+        with pytest.raises(TruncatedBlobError):
+            store.read("k")
+
+    def test_truncation_error_is_a_store_error(self):
+        assert issubclass(TruncatedBlobError, StoreError)
+
+    def test_overlong_blob_is_not_classified_as_truncation(self, store):
+        """Extra trailing bytes are corruption, not a retryable short read."""
+        store.save_from("k", np.arange(8, dtype=np.float32))
+        path = store.path_of("k")
+        path.write_bytes(path.read_bytes() + b"\x00\x00")
+        with pytest.raises(StoreError) as excinfo:
+            store.read("k")
+        assert not isinstance(excinfo.value, TruncatedBlobError)
