@@ -1,7 +1,12 @@
 """Thread-pool asynchronous I/O engine (libaio / DeepNVMe stand-in).
 
-The engine accepts read and write requests against :class:`~repro.tiers.file_store.FileStore`
-tiers and executes them on a bounded pool of I/O threads, returning futures.
+The engine accepts read and write requests against
+:class:`~repro.tiers.spec.BlobStore` tiers (any conforming store — plain
+:class:`~repro.tiers.file_store.FileStore`, mmap-cached, striped,
+fault-injecting) and executes them on a bounded pool of I/O threads,
+returning futures.  The raw syscall discipline underneath each store is the
+store's own pluggable :mod:`repro.aio.backends` backend; the engine records
+which one each tier resolved to in its :class:`TierIOStats`.
 It mirrors the properties of the paper's DeepNVMe/libaio layer that matter to
 the offloading engines:
 
@@ -32,7 +37,8 @@ from typing import Callable, Dict, FrozenSet, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.aio.locks import TierLockManager
-from repro.tiers.file_store import FileStore, TruncatedBlobError
+from repro.tiers.file_store import TruncatedBlobError
+from repro.tiers.spec import BlobStore
 from repro.util.logging import get_logger
 
 _LOG = get_logger("aio.engine")
@@ -182,6 +188,12 @@ class TierIOStats:
     failures: int = 0
     #: The subset of ``failures`` that gave up on the per-request deadline.
     timeouts: int = 0
+    #: Name of the raw-I/O backend serving this tier's store
+    #: (``"thread"`` / ``"odirect"`` / ``"io_uring"`` — whatever
+    #: :func:`repro.aio.backends.resolve` actually selected after per-tier
+    #: probing and fallback, so operators can see which discipline a tier
+    #: ended up on).
+    backend: str = "thread"
 
     @property
     def effective_read_bw(self) -> float:
@@ -261,7 +273,7 @@ class AsyncIOEngine:
     Parameters
     ----------
     stores:
-        Mapping of tier name to :class:`FileStore`.
+        Mapping of tier name to any :class:`~repro.tiers.spec.BlobStore`.
     num_threads:
         I/O thread-pool size (the libaio queue-consumer analogue).
     queue_depth:
@@ -281,7 +293,7 @@ class AsyncIOEngine:
 
     def __init__(
         self,
-        stores: Dict[str, FileStore],
+        stores: Dict[str, BlobStore],
         *,
         num_threads: int = 4,
         queue_depth: int = 16,
@@ -307,7 +319,10 @@ class AsyncIOEngine:
             max_workers=num_threads, thread_name_prefix="repro-aio"
         )
         self._slots = threading.Semaphore(queue_depth)
-        self._stats: Dict[str, TierIOStats] = {name: TierIOStats() for name in stores}
+        self._stats: Dict[str, TierIOStats] = {
+            name: TierIOStats(backend=str(getattr(store, "backend_name", "thread")))
+            for name, store in self.stores.items()
+        }
         self._stats_lock = threading.Lock()
         self._closed = False
         self._inflight = 0
@@ -568,7 +583,7 @@ class AsyncIOEngine:
         )
 
     def _attempt(
-        self, request: IORequest, store: FileStore, start: float, attempts: int
+        self, request: IORequest, store: BlobStore, start: float, attempts: int
     ) -> IOResult:
         """One try of ``request`` against ``store`` (raises on failure)."""
         if request.kind is IOKind.READ:
@@ -584,7 +599,7 @@ class AsyncIOEngine:
                 attempts=attempts,
             )
         assert request.array is not None
-        store.write(request.key, request.array)
+        store.save_from(request.key, request.array)
         # Account payload bytes (not the small container header) so
         # read and write counters are directly comparable.
         return IOResult(
@@ -649,6 +664,7 @@ class AsyncIOEngine:
                 retries=stats.retries,
                 failures=stats.failures,
                 timeouts=stats.timeouts,
+                backend=stats.backend,
             )
 
     def retry_totals(self) -> Tuple[int, int, int]:

@@ -5,7 +5,7 @@ microbenchmarks before training starts, then refined online from observed
 fetch/flush times.  This module provides two levels of measurement:
 
 * :func:`measure_store_bandwidth` — measure the *actual* read/write bandwidth
-  of a :class:`~repro.tiers.file_store.FileStore` by streaming real blobs
+  of a :class:`~repro.tiers.spec.BlobStore` by streaming real blobs
   through it (exercised in functional runs and in Figure 4's bench);
 * :func:`probe_tiers` — convenience wrapper probing every store of an engine
   and returning bandwidths keyed by tier name, in the exact shape the
@@ -23,7 +23,7 @@ from typing import Dict, Mapping
 
 import numpy as np
 
-from repro.tiers.file_store import FileStore
+from repro.tiers.spec import BlobStore
 
 
 @dataclass(frozen=True)
@@ -45,7 +45,7 @@ class MicrobenchResult:
 
 
 def measure_store_bandwidth(
-    store: FileStore,
+    store: BlobStore,
     *,
     block_bytes: int = 1 << 20,
     iterations: int = 4,
@@ -107,7 +107,7 @@ def measure_store_bandwidth(
 
 
 def probe_tiers(
-    stores: Mapping[str, FileStore],
+    stores: Mapping[str, BlobStore],
     *,
     block_bytes: int = 1 << 20,
     iterations: int = 2,

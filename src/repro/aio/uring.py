@@ -1,0 +1,166 @@
+"""Minimal ctypes shim over liburing for the ``io_uring`` backend.
+
+Only the synchronous one-op-at-a-time subset the backend needs is bound:
+ring setup/teardown plus prep_read/prep_write → submit → wait_cqe.  The
+shim requires a liburing build that exports the prep helpers as real
+symbols — the ``liburing-ffi`` flavour.  Plain ``liburing.so`` keeps
+``io_uring_get_sqe``/``io_uring_prep_*`` as ``static inline`` functions in
+the header, so a ctypes binding against it cannot work; :func:`load_liburing`
+therefore checks every required symbol and reports the library as
+unavailable otherwise, which :class:`repro.aio.backends.UringBackend` turns
+into a clean degrade to ``odirect``.
+
+Everything here is exercised only on hosts with liburing-ffi installed; the
+container this repo is developed in has none, so the module is written to be
+import-safe and probe-honest rather than unit-tested line by line.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import ctypes.util
+import os
+from typing import Optional
+
+__all__ = ["LiburingUnavailable", "Ring", "load_liburing"]
+
+
+class LiburingUnavailable(RuntimeError):
+    """No loadable liburing build with exported prep symbols was found."""
+
+
+#: Symbols the shim calls; all must be exported (liburing-ffi exports them,
+#: plain liburing keeps most of them static inline).
+REQUIRED_SYMBOLS = (
+    "io_uring_queue_init",
+    "io_uring_get_sqe",
+    "io_uring_prep_read",
+    "io_uring_prep_write",
+    "io_uring_submit",
+    "io_uring_wait_cqe",
+    "io_uring_cqe_seen",
+    "io_uring_queue_exit",
+)
+
+#: ``sizeof(struct io_uring)`` is ~216 bytes on current kernels; allocate
+#: comfortably more so layout growth in future liburing versions stays safe.
+_RING_STRUCT_BYTES = 512
+
+_LIB: Optional[ctypes.CDLL] = None
+_LOAD_ERROR: Optional[str] = None
+
+
+def _candidates():
+    found = ctypes.util.find_library("uring-ffi")
+    if found:
+        yield found
+    yield "liburing-ffi.so.2"
+    yield "liburing-ffi.so.1"
+    # Last resorts: some distros export the ffi symbols from the plain name.
+    found = ctypes.util.find_library("uring")
+    if found:
+        yield found
+    yield "liburing.so.2"
+
+
+def _declare(lib: ctypes.CDLL) -> None:  # pragma: no cover - requires liburing-ffi
+    c = ctypes
+    lib.io_uring_queue_init.argtypes = (c.c_uint, c.c_void_p, c.c_uint)
+    lib.io_uring_queue_init.restype = c.c_int
+    lib.io_uring_get_sqe.argtypes = (c.c_void_p,)
+    lib.io_uring_get_sqe.restype = c.c_void_p
+    lib.io_uring_prep_read.argtypes = (c.c_void_p, c.c_int, c.c_void_p, c.c_uint, c.c_uint64)
+    lib.io_uring_prep_read.restype = None
+    lib.io_uring_prep_write.argtypes = (c.c_void_p, c.c_int, c.c_void_p, c.c_uint, c.c_uint64)
+    lib.io_uring_prep_write.restype = None
+    lib.io_uring_submit.argtypes = (c.c_void_p,)
+    lib.io_uring_submit.restype = c.c_int
+    lib.io_uring_wait_cqe.argtypes = (c.c_void_p, c.POINTER(c.c_void_p))
+    lib.io_uring_wait_cqe.restype = c.c_int
+    lib.io_uring_cqe_seen.argtypes = (c.c_void_p, c.c_void_p)
+    lib.io_uring_cqe_seen.restype = None
+    lib.io_uring_queue_exit.argtypes = (c.c_void_p,)
+    lib.io_uring_queue_exit.restype = None
+
+
+def load_liburing() -> ctypes.CDLL:
+    """Load (and cache) a liburing build exporting every required symbol."""
+    global _LIB, _LOAD_ERROR
+    if _LIB is not None:  # pragma: no cover - requires liburing-ffi
+        return _LIB
+    if _LOAD_ERROR is not None:
+        raise LiburingUnavailable(_LOAD_ERROR)
+    tried = []
+    for name in _candidates():
+        try:
+            lib = ctypes.CDLL(name)
+        except OSError:
+            tried.append(f"{name}: not loadable")
+            continue
+        missing = [sym for sym in REQUIRED_SYMBOLS if not hasattr(lib, sym)]
+        if missing:
+            tried.append(f"{name}: missing exported symbols {missing}")
+            continue
+        _declare(lib)  # pragma: no cover - requires liburing-ffi
+        _LIB = lib  # pragma: no cover
+        return lib  # pragma: no cover
+    _LOAD_ERROR = "no usable liburing (need liburing-ffi): " + "; ".join(tried or ["none found"])
+    raise LiburingUnavailable(_LOAD_ERROR)
+
+
+class Ring:  # pragma: no cover - requires liburing-ffi
+    """One io_uring instance driving one operation at a time.
+
+    Not thread-safe; the backend keeps one Ring per thread.
+    """
+
+    def __init__(self, queue_depth: int):
+        self._lib = load_liburing()
+        self._ring = ctypes.create_string_buffer(_RING_STRUCT_BYTES)
+        rc = self._lib.io_uring_queue_init(queue_depth, self._ring, 0)
+        if rc < 0:
+            self._ring = None
+            raise LiburingUnavailable(f"io_uring_queue_init failed: {os.strerror(-rc)}")
+
+    def close(self) -> None:
+        if self._ring is not None:
+            self._lib.io_uring_queue_exit(self._ring)
+            self._ring = None
+
+    def __del__(self):
+        try:
+            self.close()
+        except Exception:  # noqa: BLE001 - interpreter shutdown
+            pass
+
+    def _complete(self) -> int:
+        rc = self._lib.io_uring_submit(self._ring)
+        if rc < 0:
+            raise OSError(-rc, f"io_uring_submit: {os.strerror(-rc)}")
+        cqe = ctypes.c_void_p()
+        rc = self._lib.io_uring_wait_cqe(self._ring, ctypes.byref(cqe))
+        if rc < 0:
+            raise OSError(-rc, f"io_uring_wait_cqe: {os.strerror(-rc)}")
+        # struct io_uring_cqe { __u64 user_data; __s32 res; __u32 flags; ... }
+        res = ctypes.cast(cqe, ctypes.POINTER(ctypes.c_int32))[2]
+        self._lib.io_uring_cqe_seen(self._ring, cqe)
+        if res < 0:
+            raise OSError(-res, os.strerror(-res))
+        return res
+
+    def _prep(self, prep, fd: int, buf, offset: int):
+        sqe = self._lib.io_uring_get_sqe(self._ring)
+        if not sqe:
+            raise OSError(16, "io_uring submission queue full")
+        addr = buf.ctypes.data if hasattr(buf, "ctypes") else ctypes.addressof(
+            ctypes.c_char.from_buffer(buf)
+        )
+        prep(sqe, fd, addr, len(buf), offset)
+
+    def pread(self, fd: int, buf, offset: int) -> int:
+        self._prep(self._lib.io_uring_prep_read, fd, buf, offset)
+        return self._complete()
+
+    def pwrite(self, fd: int, buf, offset: int) -> int:
+        self._prep(self._lib.io_uring_prep_write, fd, buf, offset)
+        return self._complete()

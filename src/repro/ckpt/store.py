@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING, Dict, Mapping, Optional
 
 from repro.tiers import faultstore
 from repro.tiers.file_store import FileStore
+from repro.tiers.spec import BlobStore
 
 if TYPE_CHECKING:  # pragma: no cover - break the core <-> ckpt import cycle
     from repro.core.config import MLPOffloadConfig
@@ -42,7 +43,7 @@ def build_blob_stores(
     config: "MLPOffloadConfig",
     *,
     throttles: Optional[Mapping[str, object]] = None,
-) -> Dict[str, FileStore]:
+) -> Dict[str, BlobStore]:
     """Create the per-tier checkpoint blob stores.
 
     ``throttles`` should be the same bandwidth-throttle objects driving the
@@ -50,12 +51,15 @@ def build_blob_stores(
     each path's device timeline — the contention is real, which is what the
     overhead benchmark measures.
     """
-    stores: Dict[str, FileStore] = {}
+    stores: Dict[str, BlobStore] = {}
     for name, root in blob_store_roots(config).items():
         throttle = None
         if throttles is not None:
             throttle = throttles.get(name)  # type: ignore[assignment]
-        stores[name] = FileStore(root, name=name, throttle=throttle)
+        # Checkpoint blobs ride the same filesystem as the tier they shadow,
+        # so they use the same configured raw-I/O backend (resolved per
+        # store: each probes its own directory and falls back independently).
+        stores[name] = FileStore(root, name=name, throttle=throttle, backend=config.io.backend)
     # Same injection point as the virtual tier's stores: an armed fault plan
     # (chaos tests) covers checkpoint blob traffic too.  No-op otherwise.
     return faultstore.maybe_wrap(stores)

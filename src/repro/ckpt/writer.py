@@ -480,7 +480,7 @@ class CheckpointWriter:
             int(flat.size),
             int(flat.itemsize),
             num_paths=len(targets),
-            threshold_bytes=self.config.stripe_threshold_bytes,
+            threshold_bytes=self.config.stripe.threshold_bytes,
             weights=self._stage_weights(targets) if len(targets) >= 2 else None,
         )
         codec = None if self.codec_name == RAW_CODEC else get_codec(self.codec_name)

@@ -12,11 +12,14 @@ shuffle + LZ4-class DEFLATE, plus the null-codec ablation) and
 from repro.codec.codecs import (
     Codec,
     CodecError,
+    Lz4Codec,
     NullCodec,
     RAW_CODEC,
     ShuffleDeflateCodec,
+    ZstdCodec,
     codec_names,
     get_codec,
+    register_codec,
 )
 from repro.codec.framing import (
     DEFAULT_CHUNK_BYTES,
@@ -28,11 +31,14 @@ __all__ = [
     "Codec",
     "CodecError",
     "DEFAULT_CHUNK_BYTES",
+    "Lz4Codec",
     "NullCodec",
     "RAW_CODEC",
     "ShuffleDeflateCodec",
+    "ZstdCodec",
     "codec_names",
     "decode_frame_into",
     "encoded_frame",
     "get_codec",
+    "register_codec",
 ]

@@ -12,7 +12,8 @@ from __future__ import annotations
 
 import json
 import re
-from dataclasses import dataclass, field, asdict
+import warnings
+from dataclasses import dataclass, field, asdict, replace as _dc_replace
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
@@ -61,6 +62,105 @@ class TierConfig:
         if self.read_bw is None or self.write_bw is None:
             return None
         return min(self.read_bw, self.write_bw)
+
+
+@dataclass(frozen=True)
+class IOBackendConfig:
+    """How tier blobs reach the device: raw-I/O backend, alignment, retries.
+
+    Groups every knob of the read/write *mechanism* (as opposed to data
+    placement, which is :class:`StripeConfig`'s concern).  Lives on
+    :attr:`MLPOffloadConfig.io`; the old flat kwargs
+    (``mmap_tier_reads``, ``io_retry_*``, ``io_deadline_seconds``) still
+    construct, with a one-time :class:`DeprecationWarning`.
+    """
+
+    #: I/O backend per tier store: ``"auto"`` probes ``io_uring`` ->
+    #: ``odirect`` -> ``thread`` per filesystem and takes the first that
+    #: works; a concrete name starts the fallback chain at that backend.
+    #: See :mod:`repro.aio.backends`.
+    backend: str = "auto"
+    #: Alignment (bytes) for O_DIRECT-class backends: pool buffers, bounce
+    #: buffers and stripe extents are padded to multiples of this.  Must be
+    #: a power of two; 4096 covers every mainstream filesystem.
+    alignment_bytes: int = 4096
+    #: io_uring submission-queue depth (ignored by other backends).
+    uring_queue_depth: int = 8
+    #: Serve tier reads through ``mmap``
+    #: (:class:`~repro.tiers.mmap_store.MmapFileStore`) instead of
+    #: ``readinto``: hot blobs are copied straight out of the page cache
+    #: mapping, skipping the per-read open/readinto syscalls.  Opt-in;
+    #: on-disk format and byte accounting are identical.  Reads then bypass
+    #: the raw backend, so ``backend="auto"`` resolves to ``thread`` for
+    #: mmap-served tiers.
+    mmap_tier_reads: bool = False
+    #: Total tries the async engine gives each tier I/O request (1 = no
+    #: retry).  Transient failures (EIO-class errnos, torn-blob reads) are
+    #: retried with deterministic exponential backoff before an error ever
+    #: surfaces; fatal failures (ENOSPC, malformed blobs) fail fast.
+    retry_attempts: int = 3
+    #: Base backoff before the second attempt; doubles per further attempt
+    #: (capped at 100 ms).
+    retry_backoff_seconds: float = 0.002
+    #: Per-request wall-clock budget across all attempts (0 = unbounded).
+    #: Once exceeded, the request fails with ``timed_out`` set instead of
+    #: retrying against a hung path forever.
+    deadline_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        from repro.aio import backends  # local: keep config importable standalone
+
+        choices = backends.backend_choices()
+        if self.backend not in choices:
+            raise ValueError(f"unknown io backend {self.backend!r}; known: {list(choices)}")
+        if self.alignment_bytes < 1 or self.alignment_bytes & (self.alignment_bytes - 1):
+            raise ValueError("alignment_bytes must be a power of two >= 1")
+        if self.uring_queue_depth < 1:
+            raise ValueError("uring_queue_depth must be >= 1")
+        if self.retry_attempts < 1:
+            raise ValueError("retry_attempts must be >= 1 (1 = no retry)")
+        if self.retry_backoff_seconds < 0:
+            raise ValueError("retry_backoff_seconds must be non-negative")
+        if self.deadline_seconds < 0:
+            raise ValueError("deadline_seconds must be non-negative (0 = unbounded)")
+
+
+@dataclass(frozen=True)
+class StripeConfig:
+    """Multi-path striping of large fields across the physical tiers.
+
+    Lives on :attr:`MLPOffloadConfig.stripe`; the old flat kwargs
+    (``enable_striped_reads``, ``stripe_threshold_bytes``, ``stripe_paths``,
+    ``crash_safe_striped_flush``) still construct, with a one-time
+    :class:`DeprecationWarning`.
+    """
+
+    #: Stripe large fields across the physical paths so one fetch streams
+    #: from NVMe and PFS *simultaneously*, aggregating their read bandwidth
+    #: (the multi-path ablation flag; off = every field lives whole on its
+    #: placed tier).  Requires ``enable_multipath`` and >= 2 tiers to have
+    #: any effect; results are bitwise-identical either way.
+    enabled: bool = True
+    #: Fields with payloads below this many bytes are never striped — the
+    #: per-stripe operation latency would outweigh the bandwidth gain.
+    threshold_bytes: float = float(1 << 20)
+    #: Number of paths to stripe across (``0`` = all configured tiers).  A
+    #: value of 1 degenerates striping into the unstriped baseline
+    #: byte-for-byte.
+    paths: int = 0
+    #: Commit a striped flush's manifest only after every stripe write has
+    #: landed (stripe-epoch keys + commit-after-barrier), so a crash
+    #: mid-flush leaves the key reading as the complete *old* value instead
+    #: of a manifest referencing mixed stripes.  Off = the manifest-first
+    #: layout (one fewer manifest write per re-planned flush) as the
+    #: ablation baseline.
+    crash_safe_flush: bool = True
+
+    def __post_init__(self) -> None:
+        if self.threshold_bytes < 0:
+            raise ValueError("stripe threshold_bytes must be non-negative")
+        if self.paths < 0:
+            raise ValueError("stripe paths must be non-negative (0 = all tiers)")
 
 
 @dataclass(frozen=True)
@@ -113,24 +213,11 @@ class MLPOffloadConfig:
     #: synchronous per-subgroup flush as the ablation baseline.  No effect on
     #: the delayed-FP16 policy (which flushes nothing during backward).
     pipeline_backward_flush: bool = True
-    #: Serve tier reads through ``mmap`` (:class:`~repro.tiers.mmap_store.MmapFileStore`)
-    #: instead of ``readinto``: hot blobs are copied straight out of the page
-    #: cache mapping, skipping the per-read open/readinto syscalls.  Opt-in;
-    #: on-disk format and byte accounting are identical.
-    mmap_tier_reads: bool = False
-    #: Stripe large fields across the physical paths so one fetch streams
-    #: from NVMe and PFS *simultaneously*, aggregating their read bandwidth
-    #: (the multi-path ablation flag; off = every field lives whole on its
-    #: placed tier).  Requires ``enable_multipath`` and >= 2 tiers to have
-    #: any effect; results are bitwise-identical either way.
-    enable_striped_reads: bool = True
-    #: Fields with payloads below this many bytes are never striped — the
-    #: per-stripe operation latency would outweigh the bandwidth gain.
-    stripe_threshold_bytes: float = float(1 << 20)
-    #: Number of paths to stripe across (``0`` = all configured tiers).  A
-    #: value of 1 degenerates striping into the unstriped baseline
-    #: byte-for-byte.
-    stripe_paths: int = 0
+    #: I/O mechanism knobs (raw backend, alignment, mmap reads, retries);
+    #: see :class:`IOBackendConfig`.
+    io: IOBackendConfig = field(default_factory=IOBackendConfig)
+    #: Multi-path striping knobs; see :class:`StripeConfig`.
+    stripe: StripeConfig = field(default_factory=StripeConfig)
     #: Directory receiving checkpoint manifests; ``None`` disables the
     #: :mod:`repro.ckpt` subsystem.  Blob payloads live in per-tier
     #: content-addressed stores next to the offloaded state (see
@@ -194,31 +281,12 @@ class MLPOffloadConfig:
     #: Tenant namespace this job's manifests live under at the registry.
     #: Jobs sharing a tenant share retention; *all* jobs share the blob vault.
     checkpoint_registry_tenant: str = "default"
-    #: Commit a striped flush's manifest only after every stripe write has
-    #: landed (stripe-epoch keys + commit-after-barrier), so a crash
-    #: mid-flush leaves the key reading as the complete *old* value instead
-    #: of a manifest referencing mixed stripes.  Off = the manifest-first
-    #: layout (one fewer manifest write per re-planned flush) as the
-    #: ablation baseline.
-    crash_safe_striped_flush: bool = True
     #: Adam hyper-parameters for the CPU update.
     adam: AdamConfig = field(default_factory=AdamConfig)
     #: Re-estimate tier bandwidths from observed I/O after each iteration.
     adaptive_bandwidth: bool = True
     #: EWMA smoothing factor for the adaptive bandwidth estimate.
     bandwidth_smoothing: float = 0.5
-    #: Total tries the async engine gives each tier I/O request (1 = no
-    #: retry).  Transient failures (EIO-class errnos, torn-blob reads) are
-    #: retried with deterministic exponential backoff before an error ever
-    #: surfaces; fatal failures (ENOSPC, malformed blobs) fail fast.
-    io_retry_attempts: int = 3
-    #: Base backoff before the second attempt; doubles per further attempt
-    #: (capped at 100 ms).
-    io_retry_backoff_seconds: float = 0.002
-    #: Per-request wall-clock budget across all attempts (0 = unbounded).
-    #: Once exceeded, the request fails with ``timed_out`` set instead of
-    #: retrying against a hung path forever.
-    io_deadline_seconds: float = 0.0
     #: Consecutive *fatal* engine failures after which a physical path is
     #: quarantined — flushes and prefetch plans re-route onto the surviving
     #: paths until a recovery probe succeeds.  0 disables path health
@@ -268,22 +336,51 @@ class MLPOffloadConfig:
                 f"unknown checkpoint_codec {self.checkpoint_codec!r}; "
                 f"known: {list(codec_names())}"
             )
-        if self.stripe_threshold_bytes < 0:
-            raise ValueError("stripe_threshold_bytes must be non-negative")
-        if self.stripe_paths < 0:
-            raise ValueError("stripe_paths must be non-negative (0 = all tiers)")
         if not 0.0 < self.bandwidth_smoothing <= 1.0:
             raise ValueError("bandwidth_smoothing must be in (0, 1]")
-        if self.io_retry_attempts < 1:
-            raise ValueError("io_retry_attempts must be >= 1 (1 = no retry)")
-        if self.io_retry_backoff_seconds < 0:
-            raise ValueError("io_retry_backoff_seconds must be non-negative")
-        if self.io_deadline_seconds < 0:
-            raise ValueError("io_deadline_seconds must be non-negative (0 = unbounded)")
         if self.path_quarantine_failures < 0:
             raise ValueError("path_quarantine_failures must be >= 0 (0 = disabled)")
         if self.path_probe_interval < 1:
             raise ValueError("path_probe_interval must be >= 1")
+
+    # -- deprecated flat-field read access ---------------------------------
+    # The flat I/O / striping knobs of earlier releases now live on the
+    # ``io`` and ``stripe`` sub-configs.  Reads through the old names keep
+    # working (no warning — the nested field is the single source of truth);
+    # *constructing* with the old names warns once per name (see the shim
+    # installed below the class).
+
+    @property
+    def mmap_tier_reads(self) -> bool:
+        return self.io.mmap_tier_reads
+
+    @property
+    def io_retry_attempts(self) -> int:
+        return self.io.retry_attempts
+
+    @property
+    def io_retry_backoff_seconds(self) -> float:
+        return self.io.retry_backoff_seconds
+
+    @property
+    def io_deadline_seconds(self) -> float:
+        return self.io.deadline_seconds
+
+    @property
+    def enable_striped_reads(self) -> bool:
+        return self.stripe.enabled
+
+    @property
+    def stripe_threshold_bytes(self) -> float:
+        return self.stripe.threshold_bytes
+
+    @property
+    def stripe_paths(self) -> int:
+        return self.stripe.paths
+
+    @property
+    def crash_safe_striped_flush(self) -> bool:
+        return self.stripe.crash_safe_flush
 
     # -- convenience accessors -------------------------------------------
 
@@ -341,10 +438,10 @@ class MLPOffloadConfig:
         engine to size the submission queue so a full prefetch window of
         per-stripe requests never blocks on back-pressure.
         """
-        if not (self.enable_striped_reads and self.enable_multipath):
+        if not (self.stripe.enabled and self.enable_multipath):
             return 1
         available = len(self.tiers)
-        paths = available if self.stripe_paths == 0 else min(self.stripe_paths, available)
+        paths = available if self.stripe.paths == 0 else min(self.stripe.paths, available)
         return max(1, paths)
 
     def explicit_ratios(self) -> Optional[Dict[str, float]]:
@@ -383,7 +480,8 @@ class MLPOffloadConfig:
                 "adaptive_prefetch_depth": self.adaptive_prefetch_depth,
                 "max_prefetch_depth": self.max_prefetch_depth,
                 "pipeline_backward_flush": self.pipeline_backward_flush,
-                "mmap_tier_reads": self.mmap_tier_reads,
+                "io": asdict(self.io),
+                "stripe": asdict(self.stripe),
                 "checkpoint_dir": self.checkpoint_dir,
                 "checkpoint_interval": self.checkpoint_interval,
                 "checkpoint_retention": self.checkpoint_retention,
@@ -395,15 +493,8 @@ class MLPOffloadConfig:
                 "checkpoint_lock_stale_seconds": self.checkpoint_lock_stale_seconds,
                 "checkpoint_registry_url": self.checkpoint_registry_url,
                 "checkpoint_registry_tenant": self.checkpoint_registry_tenant,
-                "crash_safe_striped_flush": self.crash_safe_striped_flush,
-                "striped_reads": self.enable_striped_reads,
-                "stripe_threshold_bytes": self.stripe_threshold_bytes,
-                "stripe_paths": self.stripe_paths,
                 "adaptive_bandwidth": self.adaptive_bandwidth,
                 "bandwidth_smoothing": self.bandwidth_smoothing,
-                "io_retry_attempts": self.io_retry_attempts,
-                "io_retry_backoff_seconds": self.io_retry_backoff_seconds,
-                "io_deadline_seconds": self.io_deadline_seconds,
                 "path_quarantine_failures": self.path_quarantine_failures,
                 "path_probe_interval": self.path_probe_interval,
                 "adam": asdict(self.adam),
@@ -420,6 +511,37 @@ class MLPOffloadConfig:
         block = payload["mlp_offload"]
         tiers = tuple(TierConfig(**t) for t in block.get("tiers", []))
         adam = AdamConfig(**block.get("adam", {}))
+        # Nested blocks win; flat keys from configs serialized before the
+        # io/stripe namespacing are honoured as a fallback.
+        io_block = block.get("io", {})
+        io_cfg = IOBackendConfig(
+            backend=str(io_block.get("backend", "auto")),
+            alignment_bytes=int(io_block.get("alignment_bytes", 4096)),
+            uring_queue_depth=int(io_block.get("uring_queue_depth", 8)),
+            mmap_tier_reads=bool(
+                io_block.get("mmap_tier_reads", block.get("mmap_tier_reads", False))
+            ),
+            retry_attempts=int(io_block.get("retry_attempts", block.get("io_retry_attempts", 3))),
+            retry_backoff_seconds=float(
+                io_block.get("retry_backoff_seconds", block.get("io_retry_backoff_seconds", 0.002))
+            ),
+            deadline_seconds=float(
+                io_block.get("deadline_seconds", block.get("io_deadline_seconds", 0.0))
+            ),
+        )
+        stripe_block = block.get("stripe", {})
+        stripe_cfg = StripeConfig(
+            enabled=bool(stripe_block.get("enabled", block.get("striped_reads", True))),
+            threshold_bytes=parse_bytes(
+                stripe_block.get(
+                    "threshold_bytes", block.get("stripe_threshold_bytes", float(1 << 20))
+                )
+            ),
+            paths=int(stripe_block.get("paths", block.get("stripe_paths", 0))),
+            crash_safe_flush=bool(
+                stripe_block.get("crash_safe_flush", block.get("crash_safe_striped_flush", True))
+            ),
+        )
         return cls(
             tiers=tiers,
             subgroup_size=int(block.get("subgroup_size", PAPER_SUBGROUP_SIZE)),
@@ -434,7 +556,8 @@ class MLPOffloadConfig:
             adaptive_prefetch_depth=bool(block.get("adaptive_prefetch_depth", False)),
             max_prefetch_depth=int(block.get("max_prefetch_depth", 8)),
             pipeline_backward_flush=bool(block.get("pipeline_backward_flush", True)),
-            mmap_tier_reads=bool(block.get("mmap_tier_reads", False)),
+            io=io_cfg,
+            stripe=stripe_cfg,
             checkpoint_dir=block.get("checkpoint_dir"),
             checkpoint_interval=int(block.get("checkpoint_interval", 1)),
             checkpoint_retention=int(block.get("checkpoint_retention", 2)),
@@ -450,16 +573,9 @@ class MLPOffloadConfig:
             ),
             checkpoint_registry_url=block.get("checkpoint_registry_url"),
             checkpoint_registry_tenant=str(block.get("checkpoint_registry_tenant", "default")),
-            crash_safe_striped_flush=bool(block.get("crash_safe_striped_flush", True)),
-            enable_striped_reads=bool(block.get("striped_reads", True)),
-            stripe_threshold_bytes=parse_bytes(block.get("stripe_threshold_bytes", float(1 << 20))),
-            stripe_paths=int(block.get("stripe_paths", 0)),
             adam=adam,
             adaptive_bandwidth=bool(block.get("adaptive_bandwidth", True)),
             bandwidth_smoothing=float(block.get("bandwidth_smoothing", 0.5)),
-            io_retry_attempts=int(block.get("io_retry_attempts", 3)),
-            io_retry_backoff_seconds=float(block.get("io_retry_backoff_seconds", 0.002)),
-            io_deadline_seconds=float(block.get("io_deadline_seconds", 0.0)),
             path_quarantine_failures=int(block.get("path_quarantine_failures", 3)),
             path_probe_interval=int(block.get("path_probe_interval", 8)),
         )
@@ -507,3 +623,61 @@ class MLPOffloadConfig:
             # improvement and must not leak into the comparison.
             pipeline_backward_flush=False,
         )
+
+
+# -- flat-kwarg back-compat shim ------------------------------------------
+#: Old flat constructor kwargs -> (sub-config field, attribute within it).
+_FLAT_FIELD_MAP: Dict[str, Tuple[str, str]] = {
+    "mmap_tier_reads": ("io", "mmap_tier_reads"),
+    "io_retry_attempts": ("io", "retry_attempts"),
+    "io_retry_backoff_seconds": ("io", "retry_backoff_seconds"),
+    "io_deadline_seconds": ("io", "deadline_seconds"),
+    "enable_striped_reads": ("stripe", "enabled"),
+    "stripe_threshold_bytes": ("stripe", "threshold_bytes"),
+    "stripe_paths": ("stripe", "paths"),
+    "crash_safe_striped_flush": ("stripe", "crash_safe_flush"),
+}
+
+_GROUP_DEFAULTS = {"io": IOBackendConfig, "stripe": StripeConfig}
+
+#: Flat kwargs already warned about (warn once per name per process).
+_WARNED_FLAT_KWARGS: set = set()
+
+
+def _install_flat_kwarg_shim() -> None:
+    """Let ``MLPOffloadConfig(mmap_tier_reads=True, ...)`` keep constructing.
+
+    Wraps the dataclass-generated ``__init__``: flat kwargs from before the
+    ``io``/``stripe`` namespacing are translated into the matching sub-config
+    (merged into an explicitly passed one via :func:`dataclasses.replace`),
+    emitting a :class:`DeprecationWarning` once per flat name.  This also
+    covers ``dataclasses.replace(config, stripe_paths=2)``, which routes its
+    changes through ``__init__``.
+    """
+    generated_init = MLPOffloadConfig.__init__
+
+    def shimmed_init(self, *args, **kwargs) -> None:
+        grouped: Dict[str, Dict[str, object]] = {}
+        for flat, (group, attr) in _FLAT_FIELD_MAP.items():
+            if flat in kwargs:
+                grouped.setdefault(group, {})[attr] = kwargs.pop(flat)
+                if flat not in _WARNED_FLAT_KWARGS:
+                    _WARNED_FLAT_KWARGS.add(flat)
+                    warnings.warn(
+                        f"MLPOffloadConfig({flat}=...) is deprecated; "
+                        f"use {group}={_GROUP_DEFAULTS[group].__name__}({attr}=...)",
+                        DeprecationWarning,
+                        stacklevel=2,
+                    )
+        for group, attrs in grouped.items():
+            base = kwargs.get(group)
+            kwargs[group] = (
+                _GROUP_DEFAULTS[group](**attrs) if base is None else _dc_replace(base, **attrs)
+            )
+        generated_init(self, *args, **kwargs)
+
+    shimmed_init.__wrapped__ = generated_init  # type: ignore[attr-defined]
+    MLPOffloadConfig.__init__ = shimmed_init  # type: ignore[method-assign]
+
+
+_install_flat_kwarg_shim()

@@ -142,7 +142,13 @@ class OffloadEngineBase:
             throttles=throttles,
         )
         #: Pool of reusable fetch/flush scratch arrays (zero-copy tier I/O).
-        self.pool = ArrayPool()
+        #: Aligned to the resolved I/O backends' requirement so O_DIRECT-class
+        #: reads can target pooled buffers directly (alignment 1 = no-op).
+        self.pool = ArrayPool(
+            alignment=max(
+                getattr(store, "io_alignment", 1) for store in self.tier.stores.values()
+            )
+        )
         self.cache = HostSubgroupCache(
             capacity_bytes=config.host_cache_bytes,
             writeback=self._writeback,

@@ -44,10 +44,11 @@ from repro.aio.microbench import probe_tiers
 from repro.core.config import MLPOffloadConfig
 from repro.core.performance_model import BandwidthEstimator, allocation_from_ratios
 from repro.core.placement import PlacementMap
+from repro.aio import backends as io_backends
 from repro.tiers import faultstore
 from repro.tiers.file_store import FileStore, StoreError, element_count
 from repro.tiers.mmap_store import MmapFileStore
-from repro.tiers.spec import degraded_weights
+from repro.tiers.spec import BlobStore, degraded_weights
 from repro.tiers.striped_store import DegradedReadError, StripedStore
 from repro.util.logging import get_logger
 
@@ -247,16 +248,33 @@ class VirtualTier:
         self.track_writes = config.checkpoint_enabled
         active_tiers = config.tiers if config.enable_multipath else (config.primary_tier,)
         self.tier_names: List[str] = [t.name for t in active_tiers]
-        self.stores: Dict[str, FileStore] = {}
-        store_cls = MmapFileStore if config.mmap_tier_reads else FileStore
+        self.stores: Dict[str, BlobStore] = {}
+        store_cls = MmapFileStore if config.io.mmap_tier_reads else FileStore
+        # mmap-served reads bypass the raw backend entirely, so "auto" would
+        # pay O_DIRECT's bounce-buffer writes for no read-side gain there.
+        backend_name = config.io.backend
+        if config.io.mmap_tier_reads and backend_name == "auto":
+            backend_name = "thread"
         for tier in active_tiers:
             throttle = None
             if throttles is not None:
                 throttle = throttles.get(tier.name)  # type: ignore[assignment]
+            # Resolve the raw-I/O backend per tier: availability (O_DIRECT,
+            # io_uring) is a property of each path's filesystem, so one tier
+            # may run odirect while another falls back to thread.
+            tier_path = Path(tier.path)
+            tier_path.mkdir(parents=True, exist_ok=True)
+            backend = io_backends.resolve(
+                backend_name,
+                tier_path,
+                alignment=config.io.alignment_bytes,
+                queue_depth=config.io.uring_queue_depth,
+            )
             self.stores[tier.name] = store_cls(
-                Path(tier.path),
+                tier_path,
                 name=tier.name,
                 throttle=throttle,
+                backend=backend,
                 # The checkpoint planner references tier-resident blobs by
                 # content; recording the digest at write time keeps snapshots
                 # from ever re-reading those blobs just to checksum them.
@@ -277,9 +295,9 @@ class VirtualTier:
             queue_depth=queue_depth,
             lock_manager=lock_manager if config.enable_tier_locks else None,
             retry_policy=IORetryPolicy(
-                attempts=config.io_retry_attempts,
-                backoff_seconds=config.io_retry_backoff_seconds,
-                deadline_seconds=config.io_deadline_seconds,
+                attempts=config.io.retry_attempts,
+                backoff_seconds=config.io.retry_backoff_seconds,
+                deadline_seconds=config.io.deadline_seconds,
             ),
         )
         self.health: Optional[PathHealth] = None
@@ -305,10 +323,17 @@ class VirtualTier:
         self.stripe_tier_names: List[str] = []
         if fanout >= 2 and len(self.tier_names) >= 2:
             self.stripe_tier_names = self.tier_names[: min(fanout, len(self.tier_names))]
+            stripe_stores = [self.stores[name] for name in self.stripe_tier_names]
             self.striped = StripedStore(
-                [self.stores[name] for name in self.stripe_tier_names],
-                threshold_bytes=config.stripe_threshold_bytes,
-                crash_safe=config.crash_safe_striped_flush,
+                stripe_stores,
+                threshold_bytes=config.stripe.threshold_bytes,
+                crash_safe=config.stripe.crash_safe_flush,
+                # O_DIRECT-backed paths need every stripe start on an aligned
+                # byte boundary; thread-backed paths report alignment 1 and
+                # the plans stay byte-identical to the unaligned layout.
+                align_bytes=max(
+                    getattr(store, "io_alignment", 1) for store in stripe_stores
+                ),
             )
 
     # -- construction helpers ---------------------------------------------
@@ -392,7 +417,7 @@ class VirtualTier:
             key = self._field_key(subgroup_key, name)
             if (
                 self.striped is not None
-                and array.nbytes >= self.config.stripe_threshold_bytes
+                and array.nbytes >= self.config.stripe.threshold_bytes
                 and self._can_stripe()
             ):
                 # Stripe the field across the paths; each stripe is written
@@ -563,7 +588,7 @@ class VirtualTier:
         try:
             if (
                 self.striped is not None
-                and array.nbytes >= self.config.stripe_threshold_bytes
+                and array.nbytes >= self.config.stripe.threshold_bytes
                 and self._can_stripe()
             ):
                 # Re-stripe over the survivors: the degraded weights give
@@ -921,7 +946,7 @@ class VirtualTier:
         :meth:`flush_subgroup`).
         """
         return self.striped is not None and any(
-            array.nbytes >= self.config.stripe_threshold_bytes for array in arrays.values()
+            array.nbytes >= self.config.stripe.threshold_bytes for array in arrays.values()
         )
 
     def is_striped_subgroup(self, subgroup_key: str) -> bool:

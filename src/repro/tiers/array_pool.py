@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -112,11 +112,26 @@ class ArrayPool:
     max_free_per_class:
         Upper bound on retained free buffers per size class; releases beyond
         it drop the storage instead of growing the pool without bound.
+    alignment:
+        When set (a power of two), every array handed out starts at a memory
+        address that is a multiple of it — the buffer-address half of the
+        O_DIRECT contract (see :mod:`repro.aio.backends`).  Storage is
+        over-allocated by one alignment unit and the view shifted to the
+        first aligned byte, so pooling behaviour (size classes, hit rates)
+        is unchanged.  ``None``/1 means no address guarantee (historical
+        behaviour); the effective value is exposed as :attr:`alignment`.
     """
 
-    def __init__(self, *, max_free_per_class: int = 32) -> None:
+    def __init__(
+        self, *, max_free_per_class: int = 32, alignment: Optional[int] = None
+    ) -> None:
         if max_free_per_class < 1:
             raise ValueError("max_free_per_class must be >= 1")
+        align = 1 if alignment is None else int(alignment)
+        if align < 1 or align & (align - 1):
+            raise ValueError(f"alignment must be a positive power of two, got {alignment}")
+        #: Guaranteed address granularity of every acquired array (1 = none).
+        self.alignment = align
         self.max_free_per_class = int(max_free_per_class)
         self._free: Dict[int, List[bytearray]] = {}
         #: id(array) -> (array, backing storage, size class) for live handouts.
@@ -165,11 +180,21 @@ class ArrayPool:
                 storage = bucket.pop()
                 self.stats.hits += 1
             else:
-                storage = bytearray(cls)
+                # Over-allocate by one alignment unit so an aligned view of
+                # the full size class always fits, wherever the allocator
+                # happens to place the bytearray.
+                storage = bytearray(cls + self.alignment - 1)
                 self.stats.misses += 1
-            array = np.frombuffer(storage, dtype=dt, count=num_elements)
+            array = np.frombuffer(storage, dtype=dt, count=num_elements, offset=self._shift(storage))
             self._outstanding[id(array)] = (array, storage, cls)
         return array
+
+    def _shift(self, storage: bytearray) -> int:
+        """Byte offset of the first aligned address within ``storage``."""
+        if self.alignment == 1:
+            return 0
+        addr = np.frombuffer(storage, dtype=np.uint8).ctypes.data
+        return (-addr) % self.alignment
 
     def release(self, array: np.ndarray) -> bool:
         """Recycle a pooled array; no-op (``False``) for foreign arrays.

@@ -264,7 +264,7 @@ def maybe_wrap(stores: Mapping[str, object], *, plan: Optional[FaultPlan] = None
 
 
 class FaultInjectingStore:
-    """A fault-injecting proxy around one ``FileStore``-shaped backend.
+    """A fault-injecting proxy around one :class:`~repro.tiers.spec.BlobStore`.
 
     Data-plane operations (``read`` / ``load_into`` / ``load_into_chunks``
     on the read side, ``write`` / ``save_from`` on the write side) consult
@@ -272,6 +272,13 @@ class FaultInjectingStore:
     adopts, stats, attributes like ``name`` / ``root`` / ``throttle`` —
     passes straight through, so the wrapper is transparent to the engine,
     the striped composite and the checkpoint writer alike.
+
+    Conformance note: this class satisfies ``BlobStore`` *structurally*
+    (``isinstance`` via the runtime-checkable protocol, plus the shared
+    conformance suite) but deliberately does **not** subclass it — the
+    protocol's placeholder method bodies would be inherited as real methods
+    and shadow the ``__getattr__`` delegation for everything the proxy does
+    not intercept explicitly.
     """
 
     def __init__(self, inner, plan: FaultPlan) -> None:

@@ -43,12 +43,26 @@ import numpy as np
 
 from typing import TYPE_CHECKING
 
+from repro.tiers.spec import BlobStore
 from repro.util.logging import get_logger
 
 if TYPE_CHECKING:  # pragma: no cover - import is for type checkers only
+    from repro.aio.backends import IOBackend
     from repro.aio.throttle import BandwidthThrottle
 
 _LOG = get_logger("tiers.file_store")
+
+
+def _io_backends():
+    """The :mod:`repro.aio.backends` module, imported lazily.
+
+    ``repro.aio``'s package init imports the engine, which imports this
+    module — a module-level import of the backends registry here would be
+    circular.  By store-construction time everything is initialized.
+    """
+    from repro.aio import backends
+
+    return backends
 
 #: Magic prefix guarding against reading foreign files as subgroup blobs.
 _MAGIC = b"MLPO"
@@ -175,7 +189,7 @@ def blob_nbytes(array: np.ndarray) -> int:
     return len(_pack_meta(array)) + int(array.nbytes)
 
 
-class FileStore:
+class FileStore(BlobStore):
     """A directory-backed key→array store representing one storage tier.
 
     Parameters
@@ -184,6 +198,16 @@ class FileStore:
         Directory holding the tier's files.  Created if missing.
     name:
         Tier name used in diagnostics (defaults to the directory name).
+    backend:
+        Raw-I/O discipline for blob payloads: an
+        :class:`~repro.aio.backends.IOBackend` instance, a backend name
+        (``"auto"``/``"thread"``/``"odirect"``/``"io_uring"``, resolved with
+        per-tier fallback against ``root``'s filesystem — see
+        :func:`repro.aio.backends.resolve`), or ``None`` for the
+        ``REPRO_IO_BACKEND`` environment override falling back to
+        ``"thread"``.  The on-disk format is bitwise identical across
+        backends; only the syscall path differs.  Header parsing and
+        maintenance reads stay buffered regardless.
     throttle:
         Optional :class:`~repro.aio.throttle.BandwidthThrottle` applied to
         both reads and writes (simulating the tier's sustained bandwidth).
@@ -211,10 +235,18 @@ class FileStore:
         capacity: Optional[float] = None,
         fsync: bool = False,
         track_checksums: bool = False,
+        backend: "str | IOBackend | None" = None,
     ) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.name = name if name is not None else self.root.name
+        aio_backends = _io_backends()
+        if backend is None:
+            backend = os.environ.get(aio_backends.BACKEND_ENV_VAR) or "thread"
+        if isinstance(backend, str):
+            backend = aio_backends.resolve(backend, self.root)
+        self.io_backend = backend
+        self._short_read_error = aio_backends.ShortReadError
         self.throttle = throttle
         self.capacity = capacity
         self.fsync = fsync
@@ -369,6 +401,33 @@ class FileStore:
         if got != expected:
             raise TruncatedBlobError(f"blob for {key!r} is truncated")
 
+    @property
+    def backend_name(self) -> str:
+        """Name of the raw-I/O backend actually serving this store."""
+        return self.io_backend.name
+
+    @property
+    def io_alignment(self) -> int:
+        """The backend's buffer/offset/length granularity in bytes (1 = none)."""
+        return self.io_backend.alignment
+
+    def _read_payload(
+        self, handle: BinaryIO, key: str, offset: int, flat: np.ndarray, hasher, chunk_bytes: int
+    ) -> None:
+        """Fill ``flat`` with the validated payload at ``offset`` via the backend.
+
+        ``handle`` is positioned just past the header; the backend either
+        reads from it (buffered) or reopens the path raw.  A backend
+        short-read becomes the store's retryable :class:`TruncatedBlobError`.
+        """
+        view = memoryview(flat.reshape(-1)).cast("B")
+        try:
+            self.io_backend.read_payload(
+                handle, self._path(key), offset, view, hasher=hasher, chunk_bytes=chunk_bytes
+            )
+        except self._short_read_error as exc:
+            raise TruncatedBlobError(f"blob for {key!r} is truncated") from exc
+
     def _account_read(self, total: int, elapsed: float) -> None:
         if self.throttle is not None:
             elapsed += self.throttle.consume(total, direction="read")
@@ -418,12 +477,9 @@ class FileStore:
 
         start = time.perf_counter()
         try:
-            with open(tmp, "wb") as handle:
-                handle.write(meta)
-                handle.write(memoryview(contiguous.reshape(-1)))
-                if self.fsync:
-                    handle.flush()
-                    os.fsync(handle.fileno())
+            self.io_backend.write_blob(
+                tmp, meta, memoryview(contiguous.reshape(-1)), fsync=self.fsync
+            )
             os.replace(tmp, path)
         except BaseException:
             # Torn-write safety: a failed write must never leave its partial
@@ -460,7 +516,7 @@ class FileStore:
             total = os.fstat(handle.fileno()).st_size
             dtype, shape, ndim, count, expected = self._read_validated_meta(handle, key, total)
             array = np.empty(count, dtype=dtype)
-            self._readinto_checked(handle, key, array, expected)
+            self._read_payload(handle, key, total - expected, array, None, _WHOLE_BLOB)
         elapsed = time.perf_counter() - start
         self._account_read(total, elapsed)
         return array.reshape(shape) if ndim else array
@@ -526,16 +582,7 @@ class FileStore:
                     f"load_into size mismatch for {key!r}: blob has {count} elements, "
                     f"destination has {out.size}"
                 )
-            view = memoryview(out.reshape(-1)).cast("B")
-            offset = 0
-            while offset < expected:
-                piece = view[offset : offset + min(chunk_bytes, expected - offset)]
-                got = handle.readinto(piece)
-                if got != len(piece):
-                    raise TruncatedBlobError(f"blob for {key!r} is truncated")
-                if hasher is not None:
-                    hasher.update(piece)
-                offset += len(piece)
+            self._read_payload(handle, key, total - expected, out, hasher, chunk_bytes)
         elapsed = time.perf_counter() - start
         self._account_read(total, elapsed)
         return out

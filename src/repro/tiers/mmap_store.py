@@ -55,6 +55,13 @@ class _MappedBlob:
 class MmapFileStore(FileStore):
     """A :class:`FileStore` whose reads are served from cached memory maps.
 
+    Conforms to :class:`~repro.tiers.spec.BlobStore` through its base class
+    (the shared conformance suite runs against it directly).  Reads are
+    served from the page cache by construction, so the configured raw-I/O
+    backend applies to *writes* only; combining ``mmap_tier_reads`` with an
+    O_DIRECT backend is allowed but pointless, and the auto-selection in
+    :class:`~repro.core.virtual_tier.VirtualTier` prefers ``thread`` here.
+
     Parameters
     ----------
     max_mapped:

@@ -19,9 +19,21 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterator,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    runtime_checkable,
+)
 
 from repro.util.bytesize import GB, GiB
+
+if TYPE_CHECKING:  # pragma: no cover - import is for type checkers only
+    import numpy as np
 
 
 class TierKind(enum.Enum):
@@ -202,6 +214,59 @@ class NodeSpec:
         return replace(self, storage={t.name: t for t in tiers})
 
 
+@runtime_checkable
+class BlobStore(Protocol):
+    """The formal key→array blob-store surface every tier store provides.
+
+    This is the contract :class:`~repro.aio.engine.AsyncIOEngine`,
+    :class:`~repro.core.virtual_tier.VirtualTier` and :mod:`repro.ckpt` are
+    typed against — previously an *implicit* interface that five
+    implementations (:class:`~repro.tiers.file_store.FileStore`,
+    ``MmapFileStore``, ``StripedStore``, ``FaultInjectingStore``, the ckpt
+    CAS stores) happened to share.  ``FileStore``-family stores declare
+    conformance by subclassing; proxy stores like ``FaultInjectingStore``
+    conform structurally (subclassing would let the protocol's placeholder
+    bodies shadow their ``__getattr__`` delegation).  The shared behavioural
+    contract — error types, zero-copy ownership rules, atomic-replace
+    visibility — is pinned by the parametrized conformance suite in
+    ``tests/unit/test_blobstore_conformance.py``, which every implementation
+    must pass.
+
+    Blob semantics (see :mod:`repro.tiers.file_store` for the reference
+    implementation): keys map to immutable serialized arrays; writes are
+    atomic last-writer-wins; missing keys raise the store's ``StoreError``;
+    ``load_into``/``load_into_chunks`` fill caller-owned buffers with zero
+    intermediate copies; ``adopt`` ingests an existing blob file by
+    hard-link/copy; ``used_bytes`` is the store's current on-tier footprint.
+    """
+
+    #: Tier name used in diagnostics and engine stats keys.
+    name: str
+
+    def save_from(self, key: str, array: "np.ndarray") -> int: ...
+
+    def load_into(self, key: str, out: "np.ndarray") -> "np.ndarray": ...
+
+    def load_into_chunks(
+        self, key: str, out: "np.ndarray", *, chunk_bytes: int = 1 << 20, hasher=None
+    ) -> "np.ndarray": ...
+
+    def adopt(self, key: str, source_path, *, checksum: Optional[int] = None) -> int: ...
+
+    def meta_of(self, key: str) -> Tuple["np.dtype", Tuple[int, ...]]: ...
+
+    def path_of(self, key: str): ...
+
+    def delete(self, key: str) -> None: ...
+
+    def contains(self, key: str) -> bool: ...
+
+    def keys(self) -> Iterator[str]: ...
+
+    @property
+    def used_bytes(self) -> int: ...
+
+
 @dataclass(frozen=True)
 class StripeExtent:
     """One contiguous element range of a striped field, bound to one path.
@@ -238,6 +303,25 @@ class StripeExtent:
         return self.start + self.count
 
 
+def _aligned_counts(counts: Sequence[int], align_elems: int, num_elements: int) -> list:
+    """Round per-path element counts down to ``align_elems`` multiples.
+
+    The rounding remainder (including any unaligned tail of the field) is
+    routed to the **last path that had a positive share**, so every stripe
+    boundary except possibly the final one stays aligned and — critically —
+    zero-share paths (dead/quarantined, weight 0) never gain elements, which
+    the degraded-path failover semantics rely on.
+    """
+    aligned = [(c // align_elems) * align_elems for c in counts]
+    leftover = num_elements - sum(aligned)
+    if leftover:
+        for i in range(len(aligned) - 1, -1, -1):
+            if counts[i] > 0:
+                aligned[i] += leftover
+                break
+    return aligned
+
+
 def plan_stripes(
     num_elements: int,
     itemsize: int,
@@ -246,6 +330,7 @@ def plan_stripes(
     threshold_bytes: float = 0.0,
     stripe_bytes: Optional[int] = None,
     weights: Optional[Sequence[float]] = None,
+    align_bytes: int = 1,
 ) -> Tuple[StripeExtent, ...]:
     """Split a flat field of ``num_elements`` into per-path stripe extents.
 
@@ -278,6 +363,20 @@ def plan_stripes(
         finish their stripe at the same time (the Equation 1 principle
         applied *within* a field).  Paths whose share rounds to zero receive
         no stripe.  Mutually exclusive with ``stripe_bytes``.
+    align_bytes:
+        When > 1, stripe boundaries are placed on multiples of this many
+        **bytes** (the O_DIRECT file-offset contract — stores pass their
+        backend's alignment so each stripe blob's payload extent is
+        block-addressable).  Internally the constraint is lifted to elements
+        via ``lcm(align_bytes, itemsize)``; per-path shares are rounded down
+        to that granule and the remainder rides on the last positive-share
+        path, so only the final extent may be unaligned in length (the file
+        tail always is, for odd payloads) while every *start* stays aligned.
+        Alignment never *reduces* fan-out: a field too small to hand every
+        engaged path a whole aligned block keeps its unaligned split (raw
+        backends bounce-buffer such reads, so this costs correctness
+        nothing).  ``1`` (the default) reproduces the historical byte-exact
+        plans.
     """
     if num_elements < 0:
         raise ValueError("num_elements must be non-negative")
@@ -291,6 +390,9 @@ def plan_stripes(
         raise ValueError("stripe_bytes and weights are mutually exclusive")
     if stripe_bytes is not None and stripe_bytes < 1:
         raise ValueError("stripe_bytes must be >= 1 when given")
+    if align_bytes < 1:
+        raise ValueError("align_bytes must be >= 1")
+    align_elems = math.lcm(align_bytes, itemsize) // itemsize if align_bytes > 1 else 1
 
     nbytes = num_elements * itemsize
     if num_paths == 1 or num_elements == 0 or nbytes < threshold_bytes:
@@ -312,6 +414,14 @@ def plan_stripes(
         )
         for i in range(num_elements - sum(counts)):
             counts[remainders[i % num_paths]] += 1
+        if align_elems > 1:
+            aligned = _aligned_counts(counts, align_elems, num_elements)
+            # Alignment is an optimization (O_DIRECT reads fall back to
+            # bounce buffers for unaligned extents), so it must never
+            # *reduce* fan-out: a field too small to give every engaged
+            # path a whole aligned block keeps its unaligned split.
+            if all(a > 0 or c == 0 for a, c in zip(aligned, counts)):
+                counts = aligned
         extents = []
         start = 0
         for path, count in enumerate(counts):
@@ -325,6 +435,16 @@ def plan_stripes(
         chunk = math.ceil(num_elements / num_paths)
     else:
         chunk = max(1, stripe_bytes // itemsize)
+    if align_elems > 1:
+        # Round the granule *up* so chunk starts stay aligned; the tail
+        # chunk absorbs whatever is left (possibly unaligned in length).
+        # Same never-reduce-fan-out rule as the weighted branch: keep the
+        # unaligned granule when rounding up would idle engaged paths.
+        aligned_chunk = -(-chunk // align_elems) * align_elems
+        if math.ceil(num_elements / aligned_chunk) >= min(
+            num_paths, math.ceil(num_elements / chunk)
+        ):
+            chunk = aligned_chunk
     extents = []
     start = 0
     while start < num_elements:

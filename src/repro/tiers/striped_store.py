@@ -54,7 +54,7 @@ import numpy as np
 
 from repro.tiers.array_pool import scatter_views
 from repro.tiers.file_store import _SUPPORTED_DTYPES, FileStore, StoreError
-from repro.tiers.spec import StripeExtent, plan_stripes
+from repro.tiers.spec import BlobStore, StripeExtent, plan_stripes
 from repro.util.logging import get_logger
 
 _LOG = get_logger("tiers.striped_store")
@@ -202,8 +202,13 @@ def _decode_manifest(blob: np.ndarray, key: str) -> _Manifest:
     return _Manifest(dtype=np.dtype(dtype_name), shape=shape, extents=extents, epoch=epoch)
 
 
-class StripedStore:
+class StripedStore(BlobStore):
     """Multi-path striped key→array store over ordered ``FileStore`` backends.
+
+    Declares (and the conformance suite verifies) the full
+    :class:`~repro.tiers.spec.BlobStore` surface, so the engine and the
+    checkpoint subsystem can treat the striped composite exactly like a
+    plain tier store.
 
     Parameters
     ----------
@@ -237,6 +242,12 @@ class StripedStore:
         mid-flush can leave the manifest referencing mixed old/new stripes.
     name:
         Diagnostic name.
+    align_bytes:
+        Stripe-boundary alignment in bytes, forwarded to
+        :func:`~repro.tiers.spec.plan_stripes`.  Pass the raw-I/O backend's
+        alignment (e.g. 4096 under O_DIRECT) so every stripe blob's payload
+        covers a block-aligned extent of the field; 1 (the default) keeps the
+        historical byte-exact plans.
     """
 
     def __init__(
@@ -248,6 +259,7 @@ class StripedStore:
         replan_tolerance: float = 0.02,
         crash_safe: bool = False,
         name: str = "striped",
+        align_bytes: int = 1,
     ) -> None:
         if not backends:
             raise ValueError("at least one backend is required")
@@ -258,6 +270,9 @@ class StripedStore:
             raise ValueError("threshold_bytes must be non-negative")
         if replan_tolerance < 0:
             raise ValueError("replan_tolerance must be non-negative")
+        if align_bytes < 1:
+            raise ValueError("align_bytes must be >= 1")
+        self.align_bytes = int(align_bytes)
         self.backends: Tuple[FileStore, ...] = tuple(backends)
         self.threshold_bytes = float(threshold_bytes)
         self.stripe_bytes = stripe_bytes
@@ -413,6 +428,7 @@ class StripedStore:
             threshold_bytes=0.0,  # the caller already applied the threshold policy
             stripe_bytes=self.stripe_bytes,
             weights=weights,
+            align_bytes=self.align_bytes,
         )
         old = self._load_manifest(key)
         # Crash-safe targets the *other* epoch (commit_save flips the
@@ -670,6 +686,69 @@ class StripedStore:
         for part in self.plan_load(key, out):
             self._backend_by_name(part.tier).load_into(part.key, part.array)
         return out
+
+    def load_into_chunks(
+        self,
+        key: str,
+        out: np.ndarray,
+        *,
+        chunk_bytes: int = 1 << 20,
+        hasher=None,
+    ) -> np.ndarray:
+        """Chunked zero-copy read with an optional streaming digest.
+
+        Same contract as :meth:`FileStore.load_into_chunks`.  Unstriped keys
+        delegate to the primary; striped keys walk their stripes **in extent
+        order**, so ``hasher`` observes the payload bytes exactly as a
+        whole-blob read would feed them — the property that keeps streaming
+        digests representation-independent.
+        """
+        manifest = self._load_manifest(key)
+        if manifest is None:
+            self._account(self.primary.name, "read", out.nbytes)
+            return self.primary.load_into_chunks(key, out, chunk_bytes=chunk_bytes, hasher=hasher)
+        for part in self.plan_load(key, out):
+            self._backend_by_name(part.tier).load_into_chunks(
+                part.key, part.array, chunk_bytes=chunk_bytes, hasher=hasher
+            )
+        return out
+
+    def adopt(
+        self, key: str, source_path, *, checksum: Optional[int] = None
+    ) -> int:
+        """Bring an existing *whole* blob file under ``key`` on the primary.
+
+        Any striped representation of ``key`` is dropped first so readers
+        cannot observe both (the mirror image of :meth:`save_from`'s
+        below-threshold path); use :meth:`adopt_striped` to adopt a striped
+        layout stripe by stripe.
+        """
+        self.drop_stripes(key)
+        return self.primary.adopt(key, source_path, checksum=checksum)
+
+    def path_of(self, key: str):
+        """Filesystem path of ``key``'s whole blob (striped keys have none).
+
+        A striped key's bytes live in several files across paths; asking for
+        *the* path is a category error, surfaced as :class:`StoreError` so
+        hard-link exporters fall back to per-stripe handling
+        (:meth:`extents_of` + the stripe blobs' own ``path_of``).
+        """
+        if self.is_striped(key):
+            raise StoreError(
+                f"striped key {key!r} has no single path; use extents_of() for its stripes"
+            )
+        return self.primary.path_of(key)
+
+    @property
+    def used_bytes(self) -> int:
+        """Total on-store footprint across every backend path."""
+        return int(sum(backend.used_bytes for backend in self.backends))
+
+    @property
+    def backend_name(self) -> str:
+        """The primary path's raw-I/O backend name (stats attribution)."""
+        return getattr(self.primary, "backend_name", "thread")
 
     def read(self, key: str) -> np.ndarray:
         """Allocate and return the array stored under ``key`` (striped or not)."""

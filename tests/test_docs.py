@@ -137,6 +137,40 @@ def test_architecture_guide_documents_fault_tolerance():
         assert anchor in text, f"fault-tolerance section does not mention {anchor}"
 
 
+def test_readme_documents_io_backends():
+    text = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    for anchor in (
+        "repro.aio.backends",
+        "O_DIRECT",
+        "io_uring",
+        "REPRO_IO_BACKEND",
+        "BlobStore",
+        "BENCH_io_backend.json",
+        "io-backend-smoke",
+        ".[codecs]",
+    ):
+        assert anchor in text, f"README I/O-backend section does not mention {anchor}"
+
+
+def test_architecture_guide_documents_io_backends():
+    text = (REPO_ROOT / "docs" / "architecture.md").read_text(encoding="utf-8")
+    for anchor in (
+        "repro.aio.backends",
+        "O_DIRECT",
+        "io_uring",
+        "AUTO_ORDER",
+        "REPRO_IO_BACKEND",
+        "IOBackendConfig",
+        "StripeConfig",
+        "alloc_aligned",
+        "bounce buffer",
+        "BlobStore",
+        "runtime_checkable",
+        "CodecError",
+    ):
+        assert anchor in text, f"I/O-backend section does not mention {anchor}"
+
+
 def test_readme_documents_sweep_cli():
     text = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
     for anchor in (

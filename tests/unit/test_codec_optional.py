@@ -1,0 +1,167 @@
+"""The import-gated lz4/zstd codecs (:mod:`repro.codec.codecs`).
+
+The container running the seed test suite has neither ``lz4`` nor
+``zstandard`` installed, so these tests drive both registration arms with a
+fake ``import_module``: a stub backend standing in for the real package
+(the codec's shuffle + compress + frame plumbing is identical either way —
+only the compressor call changes), and forced ImportErrors for the absent
+arm.  CI's ``io-backend-smoke`` job installs the real packages, where the
+same codecs register against the genuine modules.
+"""
+
+import struct
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.codec import codecs as C
+from repro.codec.framing import decode_frame_into, encoded_frame
+
+
+class FakeLz4Block:
+    """Stub of ``lz4.block``'s one-shot API (length-prefixed deflate)."""
+
+    @staticmethod
+    def compress(data, store_size=True):
+        assert store_size, "the codec must embed the raw size"
+        raw = bytes(data)
+        return struct.pack("<I", len(raw)) + zlib.compress(raw, 1)
+
+    @staticmethod
+    def decompress(payload):
+        (size,) = struct.unpack_from("<I", payload)
+        raw = zlib.decompress(payload[4:])
+        assert len(raw) == size
+        return raw
+
+
+class FakeZstd:
+    """Stub of the simple ``zstd`` module's one-shot API."""
+
+    @staticmethod
+    def compress(data, level):
+        return zlib.compress(bytes(data), 1)
+
+    @staticmethod
+    def decompress(payload):
+        return zlib.decompress(bytes(payload))
+
+
+class FakeZstandard:
+    """Stub of the full ``zstandard`` binding's compressor objects."""
+
+    class ZstdCompressor:
+        def __init__(self, level=3):
+            self.level = level
+
+        def compress(self, data):
+            return zlib.compress(bytes(data), 1)
+
+    class ZstdDecompressor:
+        def decompress(self, payload, max_output_size=0):
+            raw = zlib.decompress(bytes(payload))
+            assert max_output_size == 0 or len(raw) <= max_output_size
+            return raw
+
+
+def _importer(available):
+    def import_module(name):
+        if name in available:
+            return available[name]
+        raise ImportError(f"No module named {name!r}")
+
+    return import_module
+
+
+@pytest.fixture
+def registry():
+    """Snapshot and restore the codec registry around each test."""
+    codecs_before = dict(C._CODECS)
+    unavailable_before = dict(C._UNAVAILABLE)
+    yield
+    C._CODECS.clear()
+    C._CODECS.update(codecs_before)
+    C._UNAVAILABLE.clear()
+    C._UNAVAILABLE.update(unavailable_before)
+
+
+@pytest.fixture
+def payload(rng):
+    return rng.standard_normal(4_096).astype(np.float32)
+
+
+class TestRegistrationArms:
+    def test_absent_packages_record_reasons(self, registry):
+        C._CODECS.pop("lz4", None)
+        C._CODECS.pop("zstd", None)
+        C._UNAVAILABLE.clear()
+        C._register_optional_codecs(import_module=_importer({}))
+        assert "lz4" not in C._CODECS and "zstd" not in C._CODECS
+        assert "lz4" in C._UNAVAILABLE and "zstd" in C._UNAVAILABLE
+        with pytest.raises(C.CodecError, match="installed"):
+            C.get_codec("lz4")
+
+    def test_lz4_registers_when_importable(self, registry):
+        C._register_optional_codecs(import_module=_importer({"lz4.block": FakeLz4Block}))
+        assert isinstance(C.get_codec("lz4"), C.Lz4Codec)
+        assert "lz4" in C.codec_names()
+        assert "lz4" not in C._UNAVAILABLE
+
+    def test_zstandard_preferred_over_simple_zstd(self, registry):
+        C._register_optional_codecs(
+            import_module=_importer({"zstandard": FakeZstandard, "zstd": FakeZstd})
+        )
+        codec = C.get_codec("zstd")
+        assert isinstance(codec, C.ZstdCodec)
+        assert codec._module is FakeZstandard
+
+    def test_simple_zstd_is_the_fallback(self, registry):
+        C._register_optional_codecs(import_module=_importer({"zstd": FakeZstd}))
+        assert C.get_codec("zstd")._module is FakeZstd
+
+    def test_raw_name_is_reserved(self, registry):
+        class RawImpostor(C.Codec):
+            name = C.RAW_CODEC
+
+        with pytest.raises(C.CodecError, match="reserved"):
+            C.register_codec(RawImpostor())
+
+
+class TestGatedCodecRoundTrips:
+    @pytest.fixture(params=["lz4", "zstd-full", "zstd-simple"])
+    def codec(self, request, registry):
+        if request.param == "lz4":
+            return C.Lz4Codec(FakeLz4Block)
+        if request.param == "zstd-full":
+            return C.ZstdCodec(FakeZstandard, simple_api=False)
+        return C.ZstdCodec(FakeZstd, simple_api=True)
+
+    def test_chunk_roundtrip(self, codec, payload):
+        chunk = payload.view(np.uint8)
+        scratch = np.empty(chunk.size, dtype=np.uint8)
+        encoded = codec.encode_chunk(chunk, payload.itemsize, scratch)
+        out = np.empty(chunk.size, dtype=np.uint8)
+        codec.decode_chunk(encoded, out, payload.itemsize)
+        np.testing.assert_array_equal(out, chunk)
+
+    def test_frame_roundtrip_records_codec_name(self, codec, payload, registry):
+        C.register_codec(codec)
+        frame = encoded_frame(payload, codec, chunk_bytes=1024)
+        assert codec.name.encode("ascii") in bytes(frame[:64])
+        out = np.empty_like(payload)
+        decode_frame_into(frame, out)
+        np.testing.assert_array_equal(out, payload)
+
+    def test_corrupt_chunk_raises_codec_error(self, codec, payload):
+        with pytest.raises(C.CodecError, match="corrupt"):
+            codec.decode_chunk(b"\x00garbage", np.empty(16, dtype=np.uint8), 4)
+
+    def test_shuffle_makes_float_payloads_compress(self, codec, rng):
+        # The honest-compression headline: shuffled float32 noise with a
+        # quantized mantissa compresses, unshuffled it barely does.
+        data = (rng.standard_normal(16_384).astype(np.float16)).astype(np.float32)
+        chunk = data.view(np.uint8)
+        scratch = np.empty(chunk.size, dtype=np.uint8)
+        encoded = codec.encode_chunk(chunk, 4, scratch)
+        assert len(encoded) < chunk.size

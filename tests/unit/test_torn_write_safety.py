@@ -47,7 +47,13 @@ class TestFailedWriteHygiene:
         store.load_into("k", out)
         np.testing.assert_array_equal(out, old)
 
-    def test_failed_payload_write_removes_temp(self, store, monkeypatch):
+    def test_failed_payload_write_removes_temp(self, tmp_path, monkeypatch):
+        # Pin a ThreadBackend *instance* (exempt from any REPRO_IO_BACKEND
+        # override): the failure is injected through ``builtins.open``, which
+        # only the buffered write path goes through.
+        from repro.aio.backends import ThreadBackend
+
+        store = FileStore(tmp_path / "thread-tier", name="nvme", backend=ThreadBackend())
         real_open = open
         calls = {"n": 0}
 
